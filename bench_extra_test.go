@@ -1,0 +1,226 @@
+package mbist
+
+// Extension benches beyond the paper's tables: the lifecycle
+// test-logic comparison (the paper's §1 "overall overhead" claim), the
+// scan-load cost sweep (the paper's criticism of ref. [3]), transparent
+// BIST (the paper's conclusion's on-line testing application), and the
+// gate-level closed-loop simulation speed.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fsmbist"
+	"repro/internal/gatesim"
+	"repro/internal/hardbist"
+	"repro/internal/logicbist"
+	"repro/internal/march"
+	"repro/internal/memory"
+	"repro/internal/microbist"
+	"repro/internal/netlist"
+	"repro/internal/transparent"
+)
+
+// BenchmarkLifecycle quantifies the paper's §1 claim: one programmable
+// controller versus a hardwired controller per fabrication-stage
+// algorithm.
+func BenchmarkLifecycle(b *testing.B) {
+	var lc *core.LifecycleCost
+	for i := 0; i < b.N; i++ {
+		var err error
+		lc, err = core.MeasureLifecycle(&netlist.CMOS5SLike)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(lc.Saving()*100, "saving%")
+	printBench("Lifecycle overhead", lc.String())
+}
+
+// BenchmarkLoadCost sweeps the microcode storage size against the
+// number of scan loads March A++ needs — quantifying the paper's
+// criticism of small-buffer architectures that require "loading the
+// necessary microcodes through multiple loads".
+func BenchmarkLoadCost(b *testing.B) {
+	alg := march.MarchAPlusPlus()
+	var rows string
+	for i := 0; i < b.N; i++ {
+		rows = ""
+		for _, slots := range []int{8, 12, 16, 20, 24, 28} {
+			lc, err := core.MicrocodeLoadCost(alg, slots)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += fmt.Sprintf("slots=%-3d program=%d words -> %d load(s), %4d scan cycles total\n",
+				slots, lc.ProgramWords, lc.Loads, lc.TotalScanCycles)
+		}
+	}
+	printBench("Scan-load cost, March A++", rows)
+}
+
+// BenchmarkTransparent measures the transparent (on-line) test: run
+// time and coverage relative to the standard test.
+func BenchmarkTransparent(b *testing.B) {
+	tr, err := transparent.Transform(march.MarchC())
+	if err != nil {
+		b.Fatal(err)
+	}
+	universe := faults.Universe(16, 1, faults.UniverseOpts{})
+	var detected, total int
+	for i := 0; i < b.N; i++ {
+		detected, total = 0, 0
+		for _, f := range universe {
+			if f.Kind == faults.DRF {
+				continue
+			}
+			total++
+			mem := faults.NewInjected(16, 1, 1, f)
+			res, err := tr.Run(mem, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Detected() {
+				detected++
+			}
+		}
+	}
+	b.ReportMetric(100*float64(detected)/float64(total), "coverage%")
+	printBench("Transparent March C", fmt.Sprintf("%s\ncoverage %d/%d faults\n", tr, detected, total))
+}
+
+// BenchmarkGateLevelClosedLoop measures the speed of a complete
+// gate-level BIST unit self-testing a memory (the verification
+// workhorse behind the area tables).
+func BenchmarkGateLevelClosedLoop(b *testing.B) {
+	p, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{Multiport: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hw, err := microbist.BuildHardware(p, microbist.HWConfig{
+		Slots: p.Len(), AddrBits: 5, Width: 1, Ports: 1, IncludeDatapath: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var cycles int
+	for i := 0; i < b.N; i++ {
+		mem := memory.NewSRAM(32, 1, 1)
+		res, err := gatesim.RunBISTUnit(hw.Netlist, mem, 10000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Ended || res.Detected() {
+			b.Fatalf("gate run ended=%v detected=%v", res.Ended, res.Detected())
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "gate-cycles")
+}
+
+// BenchmarkTestability grades both programmable controllers' own logic
+// under full-scan random-pattern logic BIST — the paper's §3 point that
+// the BIST hardware must itself be testable, with the scan chains as
+// stimulus points.
+func BenchmarkTestability(b *testing.B) {
+	microProg, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	microHW, err := microbist.BuildHardware(microProg, microbist.HWConfig{
+		Slots: microProg.Len(), AddrBits: 4, Width: 1, Ports: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsmProg, err := fsmbist.Compile(march.MarchC(), fsmbist.CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fsmHW, err := fsmbist.BuildHardware(fsmProg, fsmbist.HWConfig{
+		Slots: fsmProg.Len(), AddrBits: 4, Width: 1, Ports: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var rows string
+	for i := 0; i < b.N; i++ {
+		rows = ""
+		for _, c := range []struct {
+			name string
+			nl   *netlist.Netlist
+		}{
+			{"microcode controller", microHW.Netlist},
+			{"prog-fsm controller", fsmHW.Netlist},
+		} {
+			res, err := logicbist.RandomPatternCoverage(c.nl, 128, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows += fmt.Sprintf("%-22s %s\n", c.name, res)
+		}
+	}
+	printBench("Controller logic testability", rows)
+}
+
+// BenchmarkEncodingAblation compares binary and one-hot state encoding
+// for the hardwired controllers — the synthesis-style sensitivity of
+// the Table 1 baselines.
+func BenchmarkEncodingAblation(b *testing.B) {
+	var rows string
+	for i := 0; i < b.N; i++ {
+		rows = ""
+		for _, algf := range []func() march.Algorithm{march.MarchC, march.MarchA} {
+			alg := algf()
+			for _, oneHot := range []bool{false, true} {
+				cfg := hardbist.DefaultConfig()
+				cfg.OneHot = oneHot
+				c, err := hardbist.Generate(alg, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nl, err := c.Synthesise()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := nl.StatsFor(&netlist.CMOS5SLike)
+				enc := "binary "
+				if oneHot {
+					enc = "one-hot"
+				}
+				rows += fmt.Sprintf("%-10s %s %3d FFs %8.1f GE %8.0f um2\n",
+					alg.Name, enc, s.FlipFlops, s.GE, s.AreaUm2)
+			}
+		}
+	}
+	printBench("State-encoding ablation", rows)
+}
+
+// BenchmarkStorageSizeSweep is the Table 1 ablation: controller area
+// versus microcode storage capacity, full-scan and scan-only.
+func BenchmarkStorageSizeSweep(b *testing.B) {
+	var rows string
+	for i := 0; i < b.N; i++ {
+		rows = ""
+		for _, slots := range []int{8, 16, 28} {
+			for _, scan := range []bool{false, true} {
+				hw, err := microbist.BuildHardware(nil, microbist.HWConfig{
+					Slots: slots, AddrBits: 10, Width: 1, Ports: 1, ScanOnlyStorage: scan,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := hw.Netlist.StatsFor(&netlist.CMOS5SLike)
+				kind := "full-scan"
+				if scan {
+					kind = "scan-only"
+				}
+				rows += fmt.Sprintf("slots=%-3d %-9s %8.1f GE %9.0f um2\n", slots, kind, s.GE, s.AreaUm2)
+			}
+		}
+	}
+	printBench("Storage-size ablation", rows)
+}

@@ -1,0 +1,210 @@
+package mbist
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation:
+//
+//	BenchmarkTable1        — Table 1 (bit-oriented single-port sizes)
+//	BenchmarkTable2        — Table 2 (word-oriented and multiport sizes)
+//	BenchmarkTable3        — Table 3 (scan-only storage re-design)
+//	BenchmarkObservations  — the §3 observation measurements
+//	BenchmarkFig2Assemble  — Fig. 2 (March C microcode program)
+//	BenchmarkFig5Compile   — Fig. 5 (March C FSM-based program)
+//	BenchmarkTestTime      — test-application cycles per architecture
+//	BenchmarkCoverage      — fault-coverage grading per algorithm
+//	BenchmarkFoldAblation  — Repeat-fold storage ablation
+//
+// Each bench prints its regenerated rows once, so `go test -bench=.`
+// reproduces the paper's evaluation artefacts in one run.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/fsmbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+)
+
+var printOnce sync.Map
+
+// printBench prints s once per key across the benchmark run.
+func printBench(key, s string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", key, s)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("Table 1", t.String())
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("Table 2", t.String())
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("Table 3", t.String())
+	}
+}
+
+func BenchmarkObservations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o, err := MeasureObservations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := o.Check(); err != nil {
+			b.Fatal(err)
+		}
+		printBench("Observations", o.String())
+	}
+}
+
+func BenchmarkFig2Assemble(b *testing.B) {
+	alg := march.MarchC()
+	var p *microbist.Program
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.Len()), "instructions")
+	printBench("Fig. 2: March C microcode program", p.Listing())
+}
+
+func BenchmarkFig5Compile(b *testing.B) {
+	alg := march.MarchC()
+	var p *fsmbist.Program
+	for i := 0; i < b.N; i++ {
+		var err error
+		p, err = fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.Len()), "instructions")
+	printBench("Fig. 5: March C FSM-based program", p.Listing())
+}
+
+// BenchmarkTestTime measures test-application time (controller cycles)
+// per architecture, algorithm and memory size — the BIST figure of
+// merit the paper's introduction motivates (on-chip test time versus
+// external testers).
+func BenchmarkTestTime(b *testing.B) {
+	algs := []string{"marchc", "marchc++", "marcha"}
+	archs := []Architecture{Microcode, ProgFSM, Hardwired}
+	sizes := []int{256, 1024}
+	var rows []string
+	for _, name := range algs {
+		alg, _ := AlgorithmByName(name)
+		for _, arch := range archs {
+			for _, n := range sizes {
+				b.Run(fmt.Sprintf("%s/%v/N=%d", name, arch, n), func(b *testing.B) {
+					var cycles int
+					for i := 0; i < b.N; i++ {
+						mem := NewSRAM(n, 1, 1)
+						res, err := Run(arch, alg, mem, RunOptions{})
+						if err != nil {
+							b.Fatal(err)
+						}
+						cycles = res.Cycles
+					}
+					b.ReportMetric(float64(cycles), "cycles")
+					b.ReportMetric(float64(cycles)/float64(n), "cycles/bit")
+					rows = append(rows, fmt.Sprintf("%-10s %-10v N=%-5d %8d cycles (%.2f per bit)",
+						name, arch, n, cycles, float64(cycles)/float64(n)))
+				})
+			}
+		}
+	}
+	if len(rows) == 3*3*2 {
+		out := ""
+		for _, r := range rows {
+			out += r + "\n"
+		}
+		printBench("Test time", out)
+	}
+}
+
+// BenchmarkCoverage grades fault coverage per algorithm on the
+// microcode architecture (extension experiment X1).
+func BenchmarkCoverage(b *testing.B) {
+	for _, name := range []string{"mats+", "marchc", "marchc+", "marchc++"} {
+		alg, _ := AlgorithmByName(name)
+		b.Run(name, func(b *testing.B) {
+			var rep *coverage.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = GradeCoverage(alg, Microcode, CoverageOptions{Size: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Overall.Percent(), "coverage%")
+			printBench("Coverage "+name, rep.String())
+		})
+	}
+}
+
+// BenchmarkFoldAblation quantifies the Repeat/reference-register
+// mechanism: microcode storage needed with and without symmetry
+// folding (a DESIGN.md ablation).
+func BenchmarkFoldAblation(b *testing.B) {
+	var rows string
+	for _, name := range []string{"marchc", "marcha", "marchc+", "marcha+"} {
+		alg, _ := AlgorithmByName(name)
+		var folded, flat *microbist.Program
+		for i := 0; i < b.N; i++ {
+			var err error
+			folded, err = microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: true, Multiport: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			flat, err = microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: true, Multiport: true, DisableFold: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows += fmt.Sprintf("%-10s folded %2d instructions, unfolded %2d (%.0f%% storage saved)\n",
+			name, folded.Len(), flat.Len(), 100*(1-float64(folded.Len())/float64(flat.Len())))
+	}
+	printBench("Fold ablation", rows)
+}
+
+// BenchmarkExecutorThroughput measures the raw simulation speed of the
+// microcode executor (simulator performance, not a paper artefact).
+func BenchmarkExecutorThroughput(b *testing.B) {
+	alg, _ := AlgorithmByName("marchc")
+	p, err := microbist.Assemble(alg, microbist.AssembleOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mem := NewSRAM(1024, 1, 1)
+		if _, err := p.Run(mem, microbist.ExecOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command mbistarea regenerates the paper's area evaluation: Tables
+// 1-3 and the four concluding observations.
+//
+// Usage:
+//
+//	mbistarea            # all tables and observations
+//	mbistarea -table 2   # one table
+//	mbistarea -obs       # observations only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	mbist "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistarea: ")
+	table := flag.Int("table", 0, "print only this table (1-3)")
+	obs := flag.Bool("obs", false, "print only the observations")
+	flag.Parse()
+
+	printTable := func(n int, f func() (*mbist.Table, error)) {
+		t, err := f()
+		if err != nil {
+			log.Fatalf("table %d: %v", n, err)
+		}
+		fmt.Println(t)
+	}
+
+	if *obs {
+		printObservations()
+		return
+	}
+	switch *table {
+	case 0:
+		printTable(1, mbist.Table1)
+		printTable(2, mbist.Table2)
+		printTable(3, mbist.Table3)
+		printObservations()
+	case 1:
+		printTable(1, mbist.Table1)
+	case 2:
+		printTable(2, mbist.Table2)
+	case 3:
+		printTable(3, mbist.Table3)
+	default:
+		log.Fatalf("no table %d (want 1-3)", *table)
+	}
+}
+
+func printObservations() {
+	o, err := mbist.MeasureObservations()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Observations (paper §3):")
+	fmt.Print(o)
+	if err := o.Check(); err != nil {
+		log.Fatalf("observation check FAILED: %v", err)
+	}
+	fmt.Println("all four observations hold")
+}

@@ -1,0 +1,96 @@
+// Command mbistasm assembles a march test algorithm for a programmable
+// BIST architecture and prints the program listing — regenerating the
+// paper's Fig. 2 (microcode) and Fig. 5 (FSM-based) for any algorithm.
+//
+// Usage:
+//
+//	mbistasm -arch microcode -alg marchc
+//	mbistasm -arch fsm -alg marcha++
+//	mbistasm -arch microcode -spec 'b(w0); u(r0,w1); d(r1,w0)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/fsmbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistasm: ")
+	arch := flag.String("arch", "microcode", "target architecture: microcode or fsm")
+	algName := flag.String("alg", "marchc", "library algorithm name")
+	spec := flag.String("spec", "", "custom algorithm in march notation (overrides -alg)")
+	word := flag.Bool("word", true, "emit the data-background loop (word-oriented memories)")
+	multi := flag.Bool("multiport", true, "emit the port loop (multiport memories)")
+	noFold := flag.Bool("nofold", false, "disable the Repeat symmetry fold (microcode only)")
+	memb := flag.Int("memb", 0, "emit a $readmemb storage image with this many slots instead of a listing (microcode only)")
+	list := flag.Bool("list", false, "list library algorithms and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for name := range march.Library() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			a, _ := march.ByName(n)
+			fmt.Printf("%-10s %2dN  %s\n", n, a.OpCount(), a)
+		}
+		return
+	}
+
+	var alg march.Algorithm
+	var err error
+	if *spec != "" {
+		alg, err = march.Parse("custom", *spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var ok bool
+		alg, ok = march.ByName(*algName)
+		if !ok {
+			log.Fatalf("unknown algorithm %q (try -list)", *algName)
+		}
+	}
+
+	switch *arch {
+	case "microcode":
+		p, err := microbist.Assemble(alg, microbist.AssembleOpts{
+			WordOriented: *word, Multiport: *multi, DisableFold: *noFold,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *memb > 0 {
+			if err := p.WriteMemb(os.Stdout, *memb); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Printf("algorithm: %s = %s (%dN)\n\n", alg.Name, alg, alg.OpCount())
+		fmt.Print(p.Listing())
+	case "fsm":
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{
+			WordOriented: *word, Multiport: *multi,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("algorithm: %s = %s (%dN)\n\n", alg.Name, alg, alg.OpCount())
+		fmt.Print(p.Listing())
+		if p.Decomposed {
+			fmt.Printf("\nnote: elements decomposed into SM components; realized algorithm:\n%s\n", p.Realized)
+		}
+	default:
+		log.Fatalf("unknown architecture %q (want microcode or fsm)", *arch)
+	}
+}

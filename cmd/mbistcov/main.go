@@ -1,0 +1,90 @@
+// Command mbistcov grades march algorithms against the functional
+// fault universe and prints a coverage matrix (extension experiment X1
+// of DESIGN.md).
+//
+// Usage:
+//
+//	mbistcov
+//	mbistcov -algs marchc,marchc+,marchc++ -arch microcode -size 16
+//	mbistcov -detail marchc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	mbist "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistcov: ")
+	algList := flag.String("algs", "mats+,marchx,marchy,marchc,marchc+,marchc++,marcha,marchb",
+		"comma-separated library algorithms")
+	archName := flag.String("arch", "reference", "architecture: reference, microcode, fsm, hardwired")
+	size := flag.Int("size", 16, "memory addresses")
+	width := flag.Int("width", 1, "word width in bits")
+	ports := flag.Int("ports", 1, "memory ports")
+	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
+	flag.Parse()
+
+	arch, err := parseArch(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := mbist.CoverageOptions{Size: *size, Width: *width, Ports: *ports}
+
+	if *detail != "" {
+		alg, ok := mbist.AlgorithmByName(*detail)
+		if !ok {
+			log.Fatalf("unknown algorithm %q", *detail)
+		}
+		rep, err := mbist.GradeCoverage(alg, arch, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+		if len(rep.Missed) > 0 {
+			fmt.Printf("missed faults (%d):\n", len(rep.Missed))
+			for i, f := range rep.Missed {
+				if i >= 40 {
+					fmt.Printf("  ... %d more\n", len(rep.Missed)-40)
+					break
+				}
+				fmt.Printf("  %v\n", f)
+			}
+		}
+		return
+	}
+
+	var algs []mbist.Algorithm
+	for _, name := range strings.Split(*algList, ",") {
+		alg, ok := mbist.AlgorithmByName(strings.TrimSpace(name))
+		if !ok {
+			log.Fatalf("unknown algorithm %q", name)
+		}
+		algs = append(algs, alg)
+	}
+	out, err := mbist.CoverageMatrix(algs, arch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault coverage on %v (%d x %d bits, %d ports):\n\n%s",
+		arch, *size, *width, *ports, out)
+}
+
+func parseArch(s string) (mbist.Architecture, error) {
+	switch s {
+	case "reference":
+		return mbist.Reference, nil
+	case "microcode":
+		return mbist.Microcode, nil
+	case "fsm":
+		return mbist.ProgFSM, nil
+	case "hardwired":
+		return mbist.Hardwired, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q", s)
+}

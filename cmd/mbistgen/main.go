@@ -1,0 +1,105 @@
+// Command mbistgen generates synthesisable structural Verilog for a
+// BIST controller — the artefact a DFT flow would actually integrate.
+//
+// Usage:
+//
+//	mbistgen -arch microcode -alg marchc -o controller.v
+//	mbistgen -arch microcode -scanonly -datapath
+//	mbistgen -arch fsm -alg marcha
+//	mbistgen -arch hardwired -alg marchc+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fsmbist"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+	"repro/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistgen: ")
+	arch := flag.String("arch", "microcode", "architecture: microcode, fsm, hardwired")
+	algName := flag.String("alg", "marchc", "library algorithm (program contents / hardwired behaviour)")
+	out := flag.String("o", "", "output file (default stdout)")
+	addrBits := flag.Int("addrbits", 10, "address generator width")
+	width := flag.Int("width", 1, "memory word width")
+	ports := flag.Int("ports", 1, "memory ports")
+	scanOnly := flag.Bool("scanonly", false, "scan-only microcode storage (Table 3 re-design)")
+	datapath := flag.Bool("datapath", false, "include the shared datapath")
+	stats := flag.Bool("stats", true, "print area statistics to stderr")
+	flag.Parse()
+
+	alg, ok := march.ByName(*algName)
+	if !ok {
+		log.Fatalf("unknown algorithm %q", *algName)
+	}
+	word := *width > 1
+	multi := *ports > 1
+
+	var nl *netlist.Netlist
+	switch *arch {
+	case "microcode":
+		p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw, err := microbist.BuildHardware(p, microbist.HWConfig{
+			AddrBits: *addrBits, Width: *width, Ports: *ports,
+			ScanOnlyStorage: *scanOnly, IncludeDatapath: *datapath,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nl = hw.Netlist
+	case "fsm":
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hw, err := fsmbist.BuildHardware(p, fsmbist.HWConfig{
+			AddrBits: *addrBits, Width: *width, Ports: *ports, IncludeDatapath: *datapath,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nl = hw.Netlist
+	case "hardwired":
+		c, err := hardbist.Generate(alg, hardbist.Config{
+			WordOriented: word, Multiport: multi,
+			AddrBits: *addrBits, Width: *width, Ports: *ports, IncludeDatapath: *datapath,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nl, err = c.Synthesise()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown architecture %q", *arch)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := nl.WriteVerilog(w); err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		s := nl.StatsFor(&netlist.CMOS5SLike)
+		fmt.Fprintf(os.Stderr, "%s\n", s)
+	}
+}

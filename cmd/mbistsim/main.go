@@ -1,0 +1,228 @@
+// Command mbistsim runs a march test on a (possibly faulty) simulated
+// memory through a selected BIST architecture, and prints the verdict,
+// the fail log, the fail bitmap and a diagnosis.
+//
+// Usage:
+//
+//	mbistsim -alg marchc -size 64
+//	mbistsim -alg marchc+ -arch microcode -fault sa1@13
+//	mbistsim -alg marchc -width 8 -ports 2 -fault cfid:3:9 -bitmap
+//
+// Fault syntax (cells are bit indices = addr*width + bit):
+//
+//	sa0@C sa1@C      stuck-at on cell C
+//	tfu@C tfd@C      transition fault (cannot rise / cannot fall)
+//	sof@C            stuck-open cell
+//	drf0@C drf1@C    data retention (leaks to 0/1)
+//	rdf0@C rdf1@C    read disturb (disconnected pull-down/up)
+//	wdf0@C wdf1@C    write disturb (non-transition write flips)
+//	irf0@C irf1@C    incorrect read
+//	drdf0@C drdf1@C  deceptive read destructive
+//	cfin:A:V         inversion coupling, aggressor A victim V
+//	cfid:A:V         idempotent coupling <↑;1>
+//	cfst:A:V         state coupling <1;1>
+//	afnone@ADDR      address selects no cell
+//	afmap:A:B        address A selects B's cells
+//	afmulti:A:B      address A also selects B's cells
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	mbist "repro"
+	"repro/internal/diag"
+	"repro/internal/faults"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistsim: ")
+	algName := flag.String("alg", "marchc", "library algorithm name")
+	archName := flag.String("arch", "microcode", "architecture: reference, microcode, fsm, hardwired")
+	size := flag.Int("size", 64, "memory addresses")
+	width := flag.Int("width", 1, "word width in bits")
+	ports := flag.Int("ports", 1, "memory ports")
+	maxFails := flag.Int("maxfails", 0, "stop after this many fails (0 = log all)")
+	bitmap := flag.Bool("bitmap", false, "print the fail bitmap")
+	locate := flag.Bool("locate", false, "probe for coupling aggressors when a single victim is implicated")
+	var faultSpecs multiFlag
+	flag.Var(&faultSpecs, "fault", "inject a fault (repeatable)")
+	flag.Parse()
+
+	alg, ok := mbist.AlgorithmByName(*algName)
+	if !ok {
+		log.Fatalf("unknown algorithm %q", *algName)
+	}
+	arch, err := parseArch(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var fs []mbist.Fault
+	for _, spec := range faultSpecs {
+		f, err := parseFault(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs = append(fs, f)
+	}
+	mem := mbist.NewFaultyMemory(*size, *width, *ports, fs...)
+
+	res, err := mbist.Run(arch, alg, mem, mbist.RunOptions{MaxFails: *maxFails})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("algorithm: %s = %s\n", alg.Name, alg)
+	fmt.Printf("memory:    %d x %d bits, %d port(s)\n", *size, *width, *ports)
+	fmt.Printf("arch:      %v\n", arch)
+	for _, f := range fs {
+		fmt.Printf("injected:  %v\n", f)
+	}
+	fmt.Printf("operations: %d", res.Operations)
+	if res.Cycles > 0 {
+		fmt.Printf(", cycles: %d", res.Cycles)
+	}
+	fmt.Println()
+	if res.Pass {
+		fmt.Println("verdict:   PASS")
+		return
+	}
+	fmt.Printf("verdict:   FAIL (%d miscompares, signature %04x)\n", len(res.Fails), res.Signature)
+	for i, f := range res.Fails {
+		if i >= 10 {
+			fmt.Printf("  ... %d more\n", len(res.Fails)-10)
+			break
+		}
+		fmt.Printf("  %v\n", f)
+	}
+
+	d := diag.Classify(res.Fails, alg, *size, *width)
+	fmt.Printf("diagnosis: %v", d.Class)
+	if d.PortSpecific {
+		fmt.Printf(", port-specific (port %d)", d.Port)
+	}
+	if d.RetentionOnly {
+		fmt.Printf(", retention signature")
+	}
+	fmt.Printf(", cells %v\n", d.Cells)
+
+	if *bitmap {
+		fmt.Println("fail bitmap (addr rows, bit columns):")
+		fmt.Print(diag.BuildBitmap(res.Fails, *size, *width))
+	}
+	if *locate && d.Class == diag.ClassSingleCell {
+		probe := mbist.NewFaultyMemory(*size, *width, *ports, fs...)
+		suspects := diag.LocateAggressor(probe, 0, d.Cells[0])
+		cells := diag.AggressorCells(suspects)
+		switch {
+		case len(cells) == 0:
+			fmt.Println("aggressor:  none (isolated cell defect)")
+		case len(cells) <= 2:
+			fmt.Printf("aggressor:  %v\n", suspects)
+		default:
+			fmt.Printf("aggressor:  %d cells implicated — not a coupling defect\n", len(cells))
+		}
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func parseArch(s string) (mbist.Architecture, error) {
+	switch s {
+	case "reference":
+		return mbist.Reference, nil
+	case "microcode":
+		return mbist.Microcode, nil
+	case "fsm":
+		return mbist.ProgFSM, nil
+	case "hardwired":
+		return mbist.Hardwired, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q", s)
+}
+
+func parseFault(spec string) (mbist.Fault, error) {
+	bad := func() (mbist.Fault, error) {
+		return mbist.Fault{}, fmt.Errorf("bad fault spec %q", spec)
+	}
+	if name, at, ok := strings.Cut(spec, "@"); ok {
+		cell, err := strconv.Atoi(at)
+		if err != nil {
+			return bad()
+		}
+		f := mbist.Fault{Cell: cell, Addr: cell, Port: faults.AnyPort}
+		switch name {
+		case "sa0":
+			f.Kind = faults.SA
+		case "sa1":
+			f.Kind, f.Value = faults.SA, true
+		case "tfu":
+			f.Kind, f.Value = faults.TF, true
+		case "tfd":
+			f.Kind = faults.TF
+		case "sof":
+			f.Kind = faults.SOF
+		case "drf0":
+			f.Kind = faults.DRF
+		case "drf1":
+			f.Kind, f.Value = faults.DRF, true
+		case "rdf0":
+			f.Kind = faults.RDF
+		case "rdf1":
+			f.Kind, f.Value = faults.RDF, true
+		case "wdf0":
+			f.Kind = faults.WDF
+		case "wdf1":
+			f.Kind, f.Value = faults.WDF, true
+		case "irf0":
+			f.Kind = faults.IRF
+		case "irf1":
+			f.Kind, f.Value = faults.IRF, true
+		case "drdf0":
+			f.Kind = faults.DRDF
+		case "drdf1":
+			f.Kind, f.Value = faults.DRDF, true
+		case "afnone":
+			f.Kind = faults.AFNone
+		default:
+			return bad()
+		}
+		return f, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return bad()
+	}
+	a, err1 := strconv.Atoi(parts[1])
+	v, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return bad()
+	}
+	f := mbist.Fault{Aggressor: a, Cell: v, Addr: a, AggAddr: v, Port: faults.AnyPort}
+	switch parts[0] {
+	case "cfin":
+		f.Kind, f.AggVal = faults.CFin, true
+	case "cfid":
+		f.Kind, f.AggVal, f.Value = faults.CFid, true, true
+	case "cfst":
+		f.Kind, f.AggVal, f.Value = faults.CFst, true, true
+	case "afmap":
+		f.Kind, f.Addr, f.AggAddr = faults.AFMap, a, v
+	case "afmulti":
+		f.Kind, f.Addr, f.AggAddr = faults.AFMulti, a, v
+	default:
+		return bad()
+	}
+	return f, nil
+}

@@ -1,0 +1,36 @@
+// Package mbist is a library of programmable memory built-in self-test
+// (BIST) architectures, reproducing "On Programmable Memory Built-In
+// Self Test Architectures" (Zarrineh and Upadhyaya, DATE 1999).
+//
+// It provides:
+//
+//   - march test algorithms and notation (March C/C+/C++, A/A+/A++,
+//     MATS+, X, Y, B), with parsing, validation, complexity analysis and
+//     symmetry folding (internal/march);
+//   - a memory-under-test simulator with the classical functional fault
+//     models — stuck-at, transition, coupling, stuck-open, retention,
+//     read-disturb and address-decoder faults (internal/memory,
+//     internal/faults);
+//   - the paper's microcode-based programmable BIST controller: a 10-bit
+//     microcode ISA, an assembler with Repeat/reference-register
+//     symmetry folding, a cycle-accurate executor and a structural
+//     netlist generator including the scan-only storage re-design
+//     (internal/microbist);
+//   - the programmable FSM-based BIST controller: SM0-SM7 march
+//     components, a compiler with decomposition, executor and netlist
+//     generator (internal/fsmbist);
+//   - generated hardwired (non-programmable) controllers as baselines
+//     (internal/hardbist);
+//   - gate-level synthesis substrate: boolean minimisation, a standard
+//     cell library with a CMOS5S-like 0.35µm technology file, netlist
+//     builders and a simulator (internal/logic, internal/netlist,
+//     internal/fsm, internal/gatesim);
+//   - fault-coverage grading across architectures (internal/coverage)
+//     and fail-bitmap diagnosis (internal/diag);
+//   - the paper's evaluation: area Tables 1-3 and the four concluding
+//     observations (internal/core).
+//
+// This top-level package is a thin facade over those building blocks;
+// see the examples directory for end-to-end usage and cmd/ for the
+// tools that regenerate each table and figure of the paper.
+package mbist

@@ -1,0 +1,78 @@
+// Diagnostics: the paper motivates programmable BIST with diagnosis and
+// process monitoring — the same controller that gives a go/no-go in
+// production collects a full fail log in the lab. This example injects
+// a coupling fault and a retention fault, captures complete fail logs,
+// builds fail bitmaps and classifies the defects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mbist "repro"
+	"repro/internal/diag"
+	"repro/internal/faults"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	investigate("idempotent coupling <↑;1> aggressor 11 -> victim 21",
+		"marchc",
+		mbist.Fault{Kind: faults.CFid, Aggressor: 11, Cell: 21, AggVal: true, Value: true, Port: faults.AnyPort})
+
+	investigate("data retention on cell 9 (leaks to 0)",
+		"marchc+",
+		mbist.Fault{Kind: faults.DRF, Cell: 9, Value: false, Port: faults.AnyPort})
+
+	investigate("address decoder maps address 5 onto address 6",
+		"marchc",
+		mbist.Fault{Kind: faults.AFMap, Addr: 5, AggAddr: 6, Port: faults.AnyPort})
+}
+
+func investigate(title, algName string, f mbist.Fault) {
+	const size = 32
+	fmt.Printf("=== %s ===\n", title)
+	alg, ok := mbist.AlgorithmByName(algName)
+	if !ok {
+		log.Fatalf("unknown algorithm %q", algName)
+	}
+
+	mem := mbist.NewFaultyMemory(size, 1, 1, f)
+	// MaxFails 0: diagnostic mode, log every miscompare.
+	res, err := mbist.Run(mbist.Microcode, alg, mem, mbist.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Pass {
+		fmt.Printf("%s did not expose the defect — escalate the test algorithm\n\n", alg.Name)
+		return
+	}
+	fmt.Printf("%s failed %d reads (signature %04x)\n", alg.Name, len(res.Fails), res.Signature)
+
+	d := diag.Classify(res.Fails, alg, size, 1)
+	fmt.Printf("classification: %v, implicated cells %v", d.Class, d.Cells)
+	if d.RetentionOnly {
+		fmt.Print(" — every fail follows a pause: retention defect")
+	}
+	fmt.Println()
+
+	bm := diag.BuildBitmap(res.Fails, size, 1)
+	fmt.Printf("failing addresses: %v\n", bm.FailingAddresses())
+
+	// For a single implicated victim, run the active aggressor probe —
+	// the adaptive second pass a programmable BIST unit can execute.
+	if d.Class == diag.ClassSingleCell && !d.RetentionOnly {
+		probe := mbist.NewFaultyMemory(size, 1, 1, f)
+		suspects := diag.LocateAggressor(probe, 0, d.Cells[0])
+		switch cells := diag.AggressorCells(suspects); {
+		case len(cells) == 0:
+			fmt.Println("aggressor probe: none — isolated single-cell defect")
+		case len(cells) <= 2:
+			fmt.Printf("aggressor probe: coupling from cell(s) %v (%v)\n", cells, suspects[0])
+		default:
+			fmt.Printf("aggressor probe: %d cells implicated — not a coupling defect\n", len(cells))
+		}
+	}
+	fmt.Println()
+}

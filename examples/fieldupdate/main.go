@@ -1,0 +1,98 @@
+// Fieldupdate: the paper's core claim is that a programmable BIST unit
+// "could accommodate changes in the test algorithm with no impact on
+// the hardware". This example plays out that scenario: a part ships
+// with March C loaded; a new data-retention failure mechanism is found
+// at the fab; the test program is upgraded to March C+ — and the
+// comparison shows the microcode controller hardware is bit-for-bit
+// identical, while the hardwired baseline has to be re-synthesised into
+// a different (larger) netlist.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mbist "repro"
+	"repro/internal/faults"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+)
+
+func main() {
+	log.SetFlags(0)
+	lib := mbist.TechLibrary()
+	hwCfg := microbist.HWConfig{Slots: 28, AddrBits: 10, Width: 1, Ports: 1,
+		ScanOnlyStorage: true, DelayTimerBits: 8}
+
+	// Rev A: the part ships testing with March C.
+	revA, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlA, err := microbist.BuildHardware(revA, hwCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statsA := ctrlA.Netlist.StatsFor(lib)
+	fmt.Printf("rev A: March C  -> %d microcode words, controller %.0f um2\n",
+		revA.Len(), statsA.AreaUm2)
+
+	// The fab reports escapes that look like data-retention defects:
+	// verify that March C really misses them.
+	drf := mbist.Fault{Kind: faults.DRF, Cell: 123, Value: true, Port: faults.AnyPort}
+	escaped := mbist.NewFaultyMemory(1024, 1, 1, drf)
+	res, err := revA.Run(escaped, microbist.ExecOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("       retention defect under March C: detected=%v (an escape)\n", res.Detected())
+
+	// Rev B: upgrade the *program* to March C+ — a scan-chain reload,
+	// no silicon change.
+	revB, err := microbist.Assemble(march.MarchCPlus(), microbist.AssembleOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrlB, err := microbist.BuildHardware(revB, hwCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statsB := ctrlB.Netlist.StatsFor(lib)
+	fmt.Printf("rev B: March C+ -> %d microcode words, controller %.0f um2\n",
+		revB.Len(), statsB.AreaUm2)
+	fmt.Printf("       hardware change: %.0f um2 (same netlist, new storage contents)\n",
+		statsB.AreaUm2-statsA.AreaUm2)
+
+	caught := mbist.NewFaultyMemory(1024, 1, 1, drf)
+	res2, err := revB.Run(caught, microbist.ExecOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("       retention defect under March C+: detected=%v\n\n", res2.Detected())
+
+	// The hardwired alternative: a new controller must be synthesised.
+	hc, err := hardbist.Generate(march.MarchC(), hardbist.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcNet, err := hc.Synthesise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfgPlus := hardbist.DefaultConfig()
+	cfgPlus.DelayTimerBits = 8
+	hcp, err := hardbist.Generate(march.MarchCPlus(), cfgPlus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hcpNet, err := hcp.Synthesise()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := hcNet.StatsFor(lib)
+	b := hcpNet.StatsFor(lib)
+	fmt.Printf("hardwired March C:  %2d states, %.0f um2\n", hc.NumStates(), a.AreaUm2)
+	fmt.Printf("hardwired March C+: %2d states, %.0f um2 (re-design: +%.0f um2, new mask set)\n",
+		hcp.NumStates(), b.AreaUm2, b.AreaUm2-a.AreaUm2)
+}

@@ -1,0 +1,84 @@
+package bist
+
+import "repro/internal/march"
+
+// MISR is a multiple-input signature register: a 16-bit internal-XOR
+// LFSR (CRC-16-CCITT polynomial) that compacts the read-data stream into
+// a signature. It gives the BIST unit a compact pass/fail indication
+// when the full fail log is not observable.
+type MISR struct {
+	state uint16
+}
+
+// misrPoly is x^16 + x^12 + x^5 + 1.
+const misrPoly = 0x1021
+
+// Reset clears the signature.
+func (m *MISR) Reset() { m.state = 0 }
+
+// Shift compacts one data word (low 16 bits contribute).
+func (m *MISR) Shift(data uint64) {
+	m.state = m.state<<1 ^ uint16(data) ^ maskIfMSB(m.state)
+}
+
+func maskIfMSB(s uint16) uint16 {
+	if s&0x8000 != 0 {
+		return misrPoly
+	}
+	return 0
+}
+
+// Signature returns the current signature.
+func (m *MISR) Signature() uint16 { return m.state }
+
+// ResponseAnalyzer compares read data against the expected pattern,
+// accumulates a fail log and a MISR signature, and implements the
+// comparator-polarity XOR of the paper's architectures.
+type ResponseAnalyzer struct {
+	fails    []march.Fail
+	maxFails int
+	misr     MISR
+	reads    int
+}
+
+// NewResponseAnalyzer returns an analyser keeping at most maxFails fail
+// records (0 = unlimited).
+func NewResponseAnalyzer(maxFails int) *ResponseAnalyzer {
+	return &ResponseAnalyzer{maxFails: maxFails}
+}
+
+// Reset clears the fail log, signature and counters.
+func (r *ResponseAnalyzer) Reset() {
+	r.fails = nil
+	r.misr.Reset()
+	r.reads = 0
+}
+
+// Compare checks one read against its expected value and logs a fail
+// (attributed with the given position) on miscompare. It returns true
+// when the read matched.
+func (r *ResponseAnalyzer) Compare(got, expected uint64, pos march.Fail) bool {
+	r.misr.Shift(got)
+	r.reads++
+	if got == expected {
+		return true
+	}
+	if r.maxFails == 0 || len(r.fails) < r.maxFails {
+		pos.Got = got
+		pos.Expected = expected
+		r.fails = append(r.fails, pos)
+	}
+	return false
+}
+
+// Fails returns the accumulated fail records.
+func (r *ResponseAnalyzer) Fails() []march.Fail { return r.fails }
+
+// Pass reports whether no miscompare occurred.
+func (r *ResponseAnalyzer) Pass() bool { return len(r.fails) == 0 }
+
+// Reads returns the number of comparisons performed.
+func (r *ResponseAnalyzer) Reads() int { return r.reads }
+
+// Signature returns the MISR signature of the read stream.
+func (r *ResponseAnalyzer) Signature() uint16 { return r.misr.Signature() }

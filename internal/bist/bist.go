@@ -1,0 +1,144 @@
+// Package bist provides the datapath components every memory BIST
+// architecture in the paper shares: the address generator, the data
+// background generator, the port selector and the response analyser
+// (comparator, fail log and an optional MISR signature). Each component
+// has a behavioural model used by the controller executors and a
+// netlist builder used for the area evaluation.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// AddressGenerator is a binary up/down address counter over [0, N).
+type AddressGenerator struct {
+	n    int
+	cur  int
+	down bool
+}
+
+// NewAddressGenerator returns a generator over n addresses positioned at
+// the start of an ascending sweep.
+func NewAddressGenerator(n int) *AddressGenerator {
+	if n <= 0 {
+		panic(fmt.Sprintf("bist: address space %d must be positive", n))
+	}
+	return &AddressGenerator{n: n}
+}
+
+// Reset restarts a sweep in the given direction: address 0 when
+// ascending, N-1 when descending.
+func (g *AddressGenerator) Reset(down bool) {
+	g.down = down
+	if down {
+		g.cur = g.n - 1
+	} else {
+		g.cur = 0
+	}
+}
+
+// Addr returns the current address.
+func (g *AddressGenerator) Addr() int { return g.cur }
+
+// Down reports the current direction.
+func (g *AddressGenerator) Down() bool { return g.down }
+
+// Last reports whether the current address is the final one of the
+// sweep — the "Last Address" condition of the paper's instruction
+// decoders.
+func (g *AddressGenerator) Last() bool {
+	if g.down {
+		return g.cur == 0
+	}
+	return g.cur == g.n-1
+}
+
+// Step advances one address, wrapping to the start of the sweep after
+// the last address.
+func (g *AddressGenerator) Step() {
+	if g.Last() {
+		g.Reset(g.down)
+		return
+	}
+	if g.down {
+		g.cur--
+	} else {
+		g.cur++
+	}
+}
+
+// DataGenerator cycles through the data background patterns of a word
+// width (see march.Backgrounds).
+type DataGenerator struct {
+	width int
+	bgs   []uint64
+	idx   int
+	mask  uint64
+}
+
+// NewDataGenerator returns a generator for the given word width,
+// positioned at the solid background.
+func NewDataGenerator(width int) *DataGenerator {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("bist: width %d out of [1,64]", width))
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = uint64(1)<<uint(width) - 1
+	}
+	return &DataGenerator{width: width, bgs: march.Backgrounds(width), mask: mask}
+}
+
+// Reset returns to the solid background.
+func (g *DataGenerator) Reset() { g.idx = 0 }
+
+// Background returns the index of the current background.
+func (g *DataGenerator) Background() int { return g.idx }
+
+// Count returns the number of backgrounds.
+func (g *DataGenerator) Count() int { return len(g.bgs) }
+
+// Last reports whether the current background is the final one — the
+// "Last Data" condition.
+func (g *DataGenerator) Last() bool { return g.idx == len(g.bgs)-1 }
+
+// Step advances to the next background, wrapping after the last.
+func (g *DataGenerator) Step() { g.idx = (g.idx + 1) % len(g.bgs) }
+
+// Pattern returns the current test word: the background when invert is
+// false ("0" polarity), its complement when true ("1" polarity).
+func (g *DataGenerator) Pattern(invert bool) uint64 {
+	if invert {
+		return ^g.bgs[g.idx] & g.mask
+	}
+	return g.bgs[g.idx]
+}
+
+// PortSelector steps through the ports of a multiport memory.
+type PortSelector struct {
+	ports int
+	cur   int
+}
+
+// NewPortSelector returns a selector over the given port count.
+func NewPortSelector(ports int) *PortSelector {
+	if ports <= 0 {
+		panic(fmt.Sprintf("bist: ports %d must be positive", ports))
+	}
+	return &PortSelector{ports: ports}
+}
+
+// Reset returns to port 0.
+func (s *PortSelector) Reset() { s.cur = 0 }
+
+// Port returns the current port.
+func (s *PortSelector) Port() int { return s.cur }
+
+// Last reports whether the current port is the final one — the
+// "Last Port" condition.
+func (s *PortSelector) Last() bool { return s.cur == s.ports-1 }
+
+// Step advances to the next port, wrapping after the last.
+func (s *PortSelector) Step() { s.cur = (s.cur + 1) % s.ports }

@@ -1,0 +1,179 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/march"
+)
+
+func TestAddressGeneratorUpSweep(t *testing.T) {
+	g := NewAddressGenerator(4)
+	g.Reset(false)
+	want := []int{0, 1, 2, 3}
+	for i, w := range want {
+		if g.Addr() != w {
+			t.Fatalf("step %d: addr %d, want %d", i, g.Addr(), w)
+		}
+		if g.Last() != (i == 3) {
+			t.Fatalf("step %d: last = %v", i, g.Last())
+		}
+		g.Step()
+	}
+	// Wraps back to the sweep start.
+	if g.Addr() != 0 {
+		t.Errorf("after wrap: %d", g.Addr())
+	}
+}
+
+func TestAddressGeneratorDownSweep(t *testing.T) {
+	g := NewAddressGenerator(4)
+	g.Reset(true)
+	want := []int{3, 2, 1, 0}
+	for i, w := range want {
+		if g.Addr() != w {
+			t.Fatalf("step %d: addr %d, want %d", i, g.Addr(), w)
+		}
+		if g.Last() != (i == 3) {
+			t.Fatalf("step %d: last = %v", i, g.Last())
+		}
+		g.Step()
+	}
+	if g.Addr() != 3 {
+		t.Errorf("after wrap: %d", g.Addr())
+	}
+}
+
+func TestAddressGeneratorNonPow2(t *testing.T) {
+	g := NewAddressGenerator(5)
+	g.Reset(false)
+	n := 0
+	for !g.Last() {
+		g.Step()
+		n++
+		if n > 10 {
+			t.Fatal("sweep never terminates")
+		}
+	}
+	if n != 4 {
+		t.Errorf("5-address up sweep took %d steps to last, want 4", n)
+	}
+}
+
+func TestDataGeneratorPatterns(t *testing.T) {
+	g := NewDataGenerator(8)
+	if g.Count() != 4 {
+		t.Fatalf("8-bit backgrounds = %d, want 4", g.Count())
+	}
+	if g.Pattern(false) != 0x00 || g.Pattern(true) != 0xFF {
+		t.Errorf("solid background: %x / %x", g.Pattern(false), g.Pattern(true))
+	}
+	g.Step()
+	if g.Pattern(false) != 0xAA || g.Pattern(true) != 0x55 {
+		t.Errorf("checkerboard: %x / %x", g.Pattern(false), g.Pattern(true))
+	}
+	g.Step()
+	g.Step()
+	if !g.Last() {
+		t.Error("last background not flagged")
+	}
+	g.Step()
+	if g.Background() != 0 {
+		t.Error("background did not wrap")
+	}
+}
+
+func TestDataGeneratorBitOriented(t *testing.T) {
+	g := NewDataGenerator(1)
+	if g.Count() != 1 || !g.Last() {
+		t.Errorf("bit-oriented generator: count %d last %v", g.Count(), g.Last())
+	}
+	if g.Pattern(false) != 0 || g.Pattern(true) != 1 {
+		t.Errorf("patterns %d/%d", g.Pattern(false), g.Pattern(true))
+	}
+}
+
+func TestPortSelector(t *testing.T) {
+	s := NewPortSelector(3)
+	seq := []int{0, 1, 2, 0}
+	for i, w := range seq {
+		if s.Port() != w {
+			t.Fatalf("step %d: port %d, want %d", i, s.Port(), w)
+		}
+		if s.Last() != (w == 2) {
+			t.Fatalf("step %d: last = %v", i, s.Last())
+		}
+		s.Step()
+	}
+}
+
+func TestResponseAnalyzer(t *testing.T) {
+	r := NewResponseAnalyzer(2)
+	pos := march.Fail{Addr: 7}
+	if !r.Compare(1, 1, pos) {
+		t.Error("match reported as mismatch")
+	}
+	if r.Compare(0, 1, pos) {
+		t.Error("mismatch reported as match")
+	}
+	r.Compare(0, 1, pos)
+	r.Compare(0, 1, pos) // beyond cap
+	if len(r.Fails()) != 2 {
+		t.Errorf("fails = %d, want capped 2", len(r.Fails()))
+	}
+	if r.Pass() {
+		t.Error("Pass() with fails")
+	}
+	if r.Reads() != 4 {
+		t.Errorf("reads = %d, want 4", r.Reads())
+	}
+	if r.Fails()[0].Addr != 7 || r.Fails()[0].Expected != 1 || r.Fails()[0].Got != 0 {
+		t.Errorf("fail record = %+v", r.Fails()[0])
+	}
+	r.Reset()
+	if !r.Pass() || r.Reads() != 0 || r.Signature() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMISRDiscriminates(t *testing.T) {
+	var a, b MISR
+	stream := []uint64{1, 0, 1, 1, 0, 1, 0, 0, 1}
+	for _, d := range stream {
+		a.Shift(d)
+		b.Shift(d)
+	}
+	if a.Signature() != b.Signature() {
+		t.Fatal("identical streams give different signatures")
+	}
+	b.Shift(1)
+	a.Shift(0)
+	if a.Signature() == b.Signature() {
+		t.Error("diverging streams give identical signatures (16-bit aliasing this early is a bug)")
+	}
+}
+
+func TestMISRSingleBitError(t *testing.T) {
+	// A single flipped bit anywhere in a 100-word stream changes the
+	// signature (linearity of the MISR: error signature is the error
+	// polynomial's remainder, non-zero for a single bit).
+	base := make([]uint64, 100)
+	for i := range base {
+		base[i] = uint64(i * 2654435761)
+	}
+	var ref MISR
+	for _, d := range base {
+		ref.Shift(d)
+	}
+	for flip := 0; flip < 100; flip += 7 {
+		var m MISR
+		for i, d := range base {
+			if i == flip {
+				d ^= 1
+			}
+			m.Shift(d)
+		}
+		if m.Signature() == ref.Signature() {
+			t.Errorf("single-bit error at word %d aliased", flip)
+		}
+	}
+}

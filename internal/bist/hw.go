@@ -1,0 +1,124 @@
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/march"
+	"repro/internal/netlist"
+)
+
+// Hardware builders for the shared datapath. The area evaluation of the
+// paper sizes controllers; these builders additionally let the full BIST
+// unit (controller + datapath) be sized, which is how the word-oriented
+// and multiport extensions of Table 2 grow the non-controller hardware.
+
+// AddressGenNets exposes the address-generator hardware interface.
+type AddressGenNets struct {
+	Q    []netlist.NetID // current address
+	Last netlist.NetID   // terminal-address flag for the current direction
+}
+
+// BuildAddressGen builds the address generator using the
+// XOR-complement scheme standard in BIST datapaths: an up-only counter
+// provides the sweep position, and the physical address is the counter
+// XORed with the direction bit — a descending sweep therefore starts at
+// the top address with no reload, and every sweep ends when the counter
+// reaches all-ones (the Last condition), wrapping naturally to the next
+// element's start. en advances the counter, down selects direction, clr
+// synchronously restarts the sweep.
+func BuildAddressGen(nl *netlist.Netlist, bits int, en, down, clr netlist.NetID) AddressGenNets {
+	c := nl.BuildCounter("addr", bits, en, netlist.Invalid, clr)
+	q := make([]netlist.NetID, bits)
+	for i := range q {
+		q[i] = nl.Xor2(c.Q[i], down)
+	}
+	return AddressGenNets{Q: q, Last: c.Terminal}
+}
+
+// DataGenNets exposes the data-generator hardware interface.
+type DataGenNets struct {
+	BgIndex []netlist.NetID // background counter state
+	Last    netlist.NetID   // last-background flag
+	Pattern []netlist.NetID // test word after polarity XOR
+}
+
+// BuildDataGen builds the background generator for a word width: a
+// background-index counter (step advances, clr restarts) and the decoded
+// pattern, XORed with the invert polarity input.
+func BuildDataGen(nl *netlist.Netlist, width int, step, clr, invert netlist.NetID) DataGenNets {
+	bgs := march.Backgrounds(width)
+	bgBits := logic.Log2Ceil(len(bgs))
+	if bgBits == 0 {
+		bgBits = 1
+	}
+	c := nl.BuildCounter("bg", bgBits, step, netlist.Invalid, clr)
+	last := nl.EqualsConst(c.Q, uint64(len(bgs)-1))
+
+	pattern := make([]netlist.NetID, width)
+	for lane := 0; lane < width; lane++ {
+		tt := logic.NewTruthTable(bgBits)
+		for row := 0; row < tt.NumRows(); row++ {
+			if row >= len(bgs) {
+				tt.Set(row, logic.DontCare)
+				continue
+			}
+			tt.SetBool(row, bgs[row]>>uint(lane)&1 == 1)
+		}
+		lanePat := nl.FromTruthTable(tt, c.Q)
+		pattern[lane] = nl.Xor2(lanePat, invert)
+	}
+	return DataGenNets{BgIndex: c.Q, Last: last, Pattern: pattern}
+}
+
+// BuildComparator builds a width-bit equality comparator with a compare
+// enable: mismatch = en AND (read != expected).
+func BuildComparator(nl *netlist.Netlist, read, expected []netlist.NetID, en netlist.NetID) netlist.NetID {
+	if len(read) != len(expected) {
+		panic(fmt.Sprintf("bist: comparator width mismatch %d vs %d", len(read), len(expected)))
+	}
+	diffs := make([]netlist.NetID, len(read))
+	for i := range read {
+		diffs[i] = nl.Xor2(read[i], expected[i])
+	}
+	return nl.And2(en, nl.OrN(diffs...))
+}
+
+// BuildPortCounter builds the port selector for a multiport memory.
+func BuildPortCounter(nl *netlist.Netlist, ports int, step, clr netlist.NetID) (q []netlist.NetID, last netlist.NetID) {
+	bits := logic.Log2Ceil(ports)
+	if bits == 0 {
+		bits = 1
+	}
+	c := nl.BuildCounter("port", bits, step, netlist.Invalid, clr)
+	return c.Q, nl.EqualsConst(c.Q, uint64(ports-1))
+}
+
+// BuildMISR builds a 16-bit internal-XOR MISR compacting the data nets
+// (lanes beyond 16 are folded in modulo 16) when en is asserted.
+func BuildMISR(nl *netlist.Netlist, data []netlist.NetID, en netlist.NetID) []netlist.NetID {
+	const n = 16
+	q := make([]netlist.NetID, n)
+	for i := range q {
+		q[i] = nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+		nl.SetNetName(q[i], fmt.Sprintf("misr[%d]", i))
+	}
+	fb := q[n-1]
+	for i := 0; i < n; i++ {
+		var d netlist.NetID
+		if i == 0 {
+			d = fb
+		} else {
+			d = q[i-1]
+			// Polynomial taps of x^16+x^12+x^5+1: bits 12 and 5.
+			if i == 12 || i == 5 {
+				d = nl.Xor2(d, fb)
+			}
+		}
+		for lane := i; lane < len(data); lane += n {
+			d = nl.Xor2(d, data[lane])
+		}
+		nl.SetFFInput(q[i], nl.Mux2(en, q[i], d))
+	}
+	return q
+}

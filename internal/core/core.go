@@ -1,0 +1,286 @@
+// Package core assembles the paper's evaluation: it builds every memory
+// BIST method of §3 (the microcode-based and programmable FSM-based
+// controllers plus the six hardwired March C/A baselines), sizes them
+// under the CMOS5S-like library, regenerates the structure of Tables
+// 1-3, and checks the paper's four concluding observations.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fsmbist"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+	"repro/internal/netlist"
+)
+
+// Flexibility is the paper's qualitative flexibility rating.
+type Flexibility string
+
+// Flexibility ratings of Table 1.
+const (
+	High   Flexibility = "HIGH"
+	Medium Flexibility = "MEDIUM"
+	Low    Flexibility = "LOW"
+)
+
+// Geometry describes the memory under test.
+type Geometry struct {
+	AddrBits int
+	Width    int
+	Ports    int
+}
+
+// The paper's three evaluation geometries (1K addresses).
+var (
+	BitOriented  = Geometry{AddrBits: 10, Width: 1, Ports: 1}
+	WordOriented = Geometry{AddrBits: 10, Width: 8, Ports: 1}
+	Multiport    = Geometry{AddrBits: 10, Width: 8, Ports: 2}
+)
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("%d-bit x %d words x %d ports", g.Width, 1<<uint(g.AddrBits), g.Ports)
+}
+
+// delayTimerBits is the retention-delay timer width given to every
+// method that must support pause phases.
+const delayTimerBits = 8
+
+// microSlots and fsmSlots size the programmable controllers' storage to
+// hold the largest algorithm of the baseline suite (March A++ with the
+// word-oriented and multiport loops) — the capacity a programmable unit
+// needs to actually replace all six hardwired controllers.
+var microSlots, fsmSlots = func() (int, int) {
+	micro, fsmN := 0, 0
+	for _, alg := range BaselineAlgorithms() {
+		p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			panic(err)
+		}
+		if p.Len() > micro {
+			micro = p.Len()
+		}
+		q, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			panic(err)
+		}
+		if q.Len() > fsmN {
+			fsmN = q.Len()
+		}
+	}
+	return micro, fsmN
+}()
+
+// StorageSlots reports the storage capacities used for the tables
+// (microcode words, SM instructions).
+func StorageSlots() (micro, fsmSlotCount int) { return microSlots, fsmSlots }
+
+// Method is one BIST methodology under evaluation.
+type Method struct {
+	Name        string
+	Flexibility Flexibility
+	// build returns the method's netlist for a geometry; scanOnly
+	// selects the Table 3 storage re-design (microcode only).
+	build func(g Geometry, includeDatapath, scanOnly bool) (*netlist.Netlist, error)
+	// scanOnlyCapable marks methods whose storage can use scan-only
+	// cells (no functional-clock data path).
+	scanOnlyCapable bool
+}
+
+// Methods returns the eight methods of Tables 1-2 in paper order.
+func Methods() []Method {
+	ms := []Method{
+		{
+			Name:            "Microcode-Based",
+			Flexibility:     High,
+			scanOnlyCapable: true,
+			build: func(g Geometry, dp, scan bool) (*netlist.Netlist, error) {
+				p, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{
+					WordOriented: g.Width > 1, Multiport: g.Ports > 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				hw, err := microbist.BuildHardware(p, microbist.HWConfig{
+					Slots: microSlots, AddrBits: g.AddrBits, Width: g.Width, Ports: g.Ports,
+					ScanOnlyStorage: scan, IncludeDatapath: dp, DelayTimerBits: delayTimerBits,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return hw.Netlist, nil
+			},
+		},
+		{
+			Name:        "Prog. FSM-Based",
+			Flexibility: Medium,
+			build: func(g Geometry, dp, _ bool) (*netlist.Netlist, error) {
+				p, err := fsmbist.Compile(march.MarchC(), fsmbist.CompileOpts{
+					WordOriented: g.Width > 1, Multiport: g.Ports > 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				hw, err := fsmbist.BuildHardware(p, fsmbist.HWConfig{
+					Slots: fsmSlots, AddrBits: g.AddrBits, Width: g.Width, Ports: g.Ports,
+					IncludeDatapath: dp, DelayTimerBits: delayTimerBits,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return hw.Netlist, nil
+			},
+		},
+	}
+	for _, alg := range BaselineAlgorithms() {
+		alg := alg
+		ms = append(ms, Method{
+			Name:        alg.Name,
+			Flexibility: Low,
+			build: func(g Geometry, dp, _ bool) (*netlist.Netlist, error) {
+				timer := 0
+				if alg.Pauses() > 0 {
+					timer = delayTimerBits
+				}
+				c, err := hardbist.Generate(alg, hardbist.Config{
+					WordOriented: g.Width > 1, Multiport: g.Ports > 1,
+					AddrBits: g.AddrBits, Width: g.Width, Ports: g.Ports,
+					IncludeDatapath: dp, DelayTimerBits: timer,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return c.Synthesise()
+			},
+		})
+	}
+	return ms
+}
+
+// BaselineAlgorithms returns the six hardwired baselines of §3 in paper
+// order: March C, C+, C++, A, A+, A++.
+func BaselineAlgorithms() []march.Algorithm {
+	return []march.Algorithm{
+		march.MarchC(), march.MarchCPlus(), march.MarchCPlusPlus(),
+		march.MarchA(), march.MarchAPlus(), march.MarchAPlusPlus(),
+	}
+}
+
+// Row is one method's sizing at one geometry.
+type Row struct {
+	Method      string
+	Flexibility Flexibility
+	// Controller-only figures (the paper's "Int. Area" in 2-input NAND
+	// gate equivalents and "Size" in µm²).
+	ControllerGE   float64
+	ControllerUm2  float64
+	ControllerFFs  int
+	UnitGE         float64 // controller + datapath
+	UnitUm2        float64
+	ScanOnly       bool
+	FlipFlopsTotal int
+}
+
+// SizeMethod sizes one method at a geometry under the library.
+func SizeMethod(m Method, g Geometry, scanOnly bool, lib *netlist.Library) (Row, error) {
+	if scanOnly && !m.scanOnlyCapable {
+		return Row{}, fmt.Errorf("core: %s cannot use scan-only storage", m.Name)
+	}
+	ctrl, err := m.build(g, false, scanOnly)
+	if err != nil {
+		return Row{}, err
+	}
+	cs := ctrl.StatsFor(lib)
+	unit, err := m.build(g, true, scanOnly)
+	if err != nil {
+		return Row{}, err
+	}
+	us := unit.StatsFor(lib)
+	return Row{
+		Method:         m.Name,
+		Flexibility:    m.Flexibility,
+		ControllerGE:   cs.GE,
+		ControllerUm2:  cs.AreaUm2,
+		ControllerFFs:  cs.FlipFlops,
+		UnitGE:         us.GE,
+		UnitUm2:        us.AreaUm2,
+		ScanOnly:       scanOnly,
+		FlipFlopsTotal: us.FlipFlops,
+	}, nil
+}
+
+// Table is a rendered area comparison.
+type Table struct {
+	Title    string
+	Geometry []Geometry
+	// Rows[g][m] is method m at geometry Geometry[g].
+	Rows [][]Row
+}
+
+// Table1 regenerates the structure of the paper's Table 1: every method
+// sized for a bit-oriented single-port memory.
+func Table1(lib *netlist.Library) (*Table, error) {
+	return buildTable("Table 1: memory BIST size, bit-oriented single-port",
+		[]Geometry{BitOriented}, lib)
+}
+
+// Table2 regenerates the paper's Table 2: word-oriented and multiport
+// memories.
+func Table2(lib *netlist.Library) (*Table, error) {
+	return buildTable("Table 2: memory BIST size, word-oriented and multiport",
+		[]Geometry{WordOriented, Multiport}, lib)
+}
+
+func buildTable(title string, gs []Geometry, lib *netlist.Library) (*Table, error) {
+	t := &Table{Title: title, Geometry: gs}
+	for _, g := range gs {
+		var rows []Row
+		for _, m := range Methods() {
+			r, err := SizeMethod(m, g, false, lib)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %v: %w", m.Name, g, err)
+			}
+			rows = append(rows, r)
+		}
+		t.Rows = append(t.Rows, rows)
+	}
+	return t, nil
+}
+
+// Table3 regenerates the paper's Table 3: the microcode-based
+// controller re-designed with scan-only storage cells, at all three
+// geometries.
+func Table3(lib *netlist.Library) (*Table, error) {
+	t := &Table{
+		Title:    "Table 3: adjusted size of microcode-based controller (scan-only storage)",
+		Geometry: []Geometry{BitOriented, WordOriented, Multiport},
+	}
+	micro := Methods()[0]
+	for _, g := range t.Geometry {
+		r, err := SizeMethod(micro, g, true, lib)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []Row{r})
+	}
+	return t, nil
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	for gi, g := range t.Geometry {
+		fmt.Fprintf(&b, "-- %v --\n", g)
+		fmt.Fprintf(&b, "%-18s %-7s %12s %12s %12s %12s\n",
+			"Method", "Flex.", "Ctrl GE", "Ctrl um2", "Unit GE", "Unit um2")
+		for _, r := range t.Rows[gi] {
+			fmt.Fprintf(&b, "%-18s %-7s %12.1f %12.0f %12.1f %12.0f\n",
+				r.Method, r.Flexibility, r.ControllerGE, r.ControllerUm2, r.UnitGE, r.UnitUm2)
+		}
+	}
+	return b.String()
+}

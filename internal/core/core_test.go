@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestTable1Structure(t *testing.T) {
+	tb, err := Table1(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 8 {
+		t.Fatalf("Table 1 has %d geometries x %d rows, want 1x8", len(tb.Rows), len(tb.Rows[0]))
+	}
+	rows := tb.Rows[0]
+	if rows[0].Flexibility != High || rows[1].Flexibility != Medium {
+		t.Errorf("programmable flexibility ratings wrong: %v %v", rows[0].Flexibility, rows[1].Flexibility)
+	}
+	for _, r := range rows[2:] {
+		if r.Flexibility != Low {
+			t.Errorf("%s flexibility = %v, want LOW", r.Method, r.Flexibility)
+		}
+	}
+	for _, r := range rows {
+		if r.ControllerGE <= 0 || r.ControllerUm2 <= 0 {
+			t.Errorf("%s has degenerate size: %+v", r.Method, r)
+		}
+		if r.UnitGE < r.ControllerGE {
+			t.Errorf("%s unit smaller than controller", r.Method)
+		}
+	}
+	out := tb.String()
+	for _, frag := range []string{"Microcode-Based", "Prog. FSM-Based", "March A++", "HIGH", "LOW"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered table missing %q", frag)
+		}
+	}
+}
+
+func TestTable2GeometriesGrow(t *testing.T) {
+	t1, err := Table1(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Table2(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 2 {
+		t.Fatalf("Table 2 has %d geometries, want 2", len(t2.Rows))
+	}
+	// Unit sizes must grow bit -> word -> multiport for every method.
+	for m := range t2.Rows[0] {
+		bit := t1.Rows[0][m].UnitUm2
+		word := t2.Rows[0][m].UnitUm2
+		multi := t2.Rows[1][m].UnitUm2
+		if !(bit < word && word < multi) {
+			t.Errorf("%s unit areas not monotone: %.0f %.0f %.0f",
+				t2.Rows[0][m].Method, bit, word, multi)
+		}
+	}
+}
+
+func TestTable3ScanOnly(t *testing.T) {
+	t3, err := Table3(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != 3 {
+		t.Fatalf("Table 3 has %d rows, want 3", len(t3.Rows))
+	}
+	t1, err := Table1(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := t3.Rows[0][0].ControllerUm2
+	orig := t1.Rows[0][0].ControllerUm2
+	if adj >= orig {
+		t.Errorf("adjusted controller %.0f not smaller than original %.0f", adj, orig)
+	}
+	for _, rows := range t3.Rows {
+		if !rows[0].ScanOnly {
+			t.Error("Table 3 row not marked scan-only")
+		}
+	}
+}
+
+func TestObservationsHold(t *testing.T) {
+	obs, err := Measure(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Check(); err != nil {
+		t.Errorf("%v\n%s", err, obs)
+	}
+	out := obs.String()
+	for _, frag := range []string{"O1", "O2", "O3", "O4"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("observations rendering missing %q", frag)
+		}
+	}
+}
+
+// TestObservationsLibraryIndependent re-checks the paper's four
+// observations under the second (0.25µm-class) technology library: the
+// qualitative claims must not depend on the cell-area calibration —
+// the premise of substituting a synthetic library for IBM CMOS5S.
+func TestObservationsLibraryIndependent(t *testing.T) {
+	obs, err := Measure(&netlist.CMOS6SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Check(); err != nil {
+		t.Errorf("observations fail under %s: %v\n%s", netlist.CMOS6SLike.Name, err, obs)
+	}
+}
+
+func TestScanOnlyRejectedForFSM(t *testing.T) {
+	ms := Methods()
+	if _, err := SizeMethod(ms[1], BitOriented, true, &netlist.CMOS5SLike); err == nil {
+		t.Error("programmable FSM accepted scan-only storage; its buffer shifts at functional clock")
+	}
+}
+
+func TestMethodsOrderStable(t *testing.T) {
+	names := []string{
+		"Microcode-Based", "Prog. FSM-Based",
+		"March C", "March C+", "March C++",
+		"March A", "March A+", "March A++",
+	}
+	ms := Methods()
+	if len(ms) != len(names) {
+		t.Fatalf("%d methods, want %d", len(ms), len(names))
+	}
+	for i, m := range ms {
+		if m.Name != names[i] {
+			t.Errorf("method %d = %s, want %s", i, m.Name, names[i])
+		}
+	}
+}

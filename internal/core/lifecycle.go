@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/march"
+	"repro/internal/netlist"
+)
+
+// Stage is one phase of a memory's test life cycle, with the test
+// algorithm that phase requires. The paper's introduction argues that
+// memories "undergo different types of testing during the course of
+// their design and fabrication", and that a programmable BIST unit —
+// able to run every stage's algorithm on the same hardware — yields
+// "lower overall memory test logic overhead" than dedicating a
+// hardwired controller to each requirement.
+type Stage struct {
+	Name      string
+	Algorithm march.Algorithm
+}
+
+// LifecycleStages returns the six test phases the paper's §3 baseline
+// set maps onto: from fast wafer-level screening to the full
+// static-fault qualification suite.
+func LifecycleStages() []Stage {
+	return []Stage{
+		{Name: "wafer probe", Algorithm: march.MarchC()},
+		{Name: "final test", Algorithm: march.MarchCPlus()},
+		{Name: "qualification", Algorithm: march.MarchCPlusPlus()},
+		{Name: "process monitor", Algorithm: march.MarchA()},
+		{Name: "burn-in", Algorithm: march.MarchAPlus()},
+		{Name: "field diagnosis", Algorithm: march.MarchAPlusPlus()},
+	}
+}
+
+// LifecycleCost compares the total controller logic needed to cover all
+// stages: one programmable controller (sized for the largest program,
+// reloaded per stage) versus one hardwired controller per stage
+// algorithm.
+type LifecycleCost struct {
+	Stages []Stage
+	// ProgrammableUm2 is the adjusted (scan-only storage)
+	// microcode-based controller area — a single instance serves every
+	// stage.
+	ProgrammableUm2 float64
+	// HardwiredUm2 maps each stage to its dedicated controller area.
+	HardwiredUm2 map[string]float64
+	// HardwiredTotalUm2 is the summed hardwired area.
+	HardwiredTotalUm2 float64
+}
+
+// MeasureLifecycle sizes the lifecycle comparison at the bit-oriented
+// geometry under lib.
+func MeasureLifecycle(lib *netlist.Library) (*LifecycleCost, error) {
+	stages := LifecycleStages()
+	lc := &LifecycleCost{Stages: stages, HardwiredUm2: make(map[string]float64)}
+
+	micro, err := SizeMethod(Methods()[0], BitOriented, true, lib)
+	if err != nil {
+		return nil, err
+	}
+	lc.ProgrammableUm2 = micro.ControllerUm2
+
+	for _, m := range Methods()[2:] {
+		for _, st := range stages {
+			if m.Name != st.Algorithm.Name {
+				continue
+			}
+			r, err := SizeMethod(m, BitOriented, false, lib)
+			if err != nil {
+				return nil, err
+			}
+			lc.HardwiredUm2[st.Name] = r.ControllerUm2
+			lc.HardwiredTotalUm2 += r.ControllerUm2
+		}
+	}
+	if len(lc.HardwiredUm2) != len(stages) {
+		return nil, fmt.Errorf("core: lifecycle stages do not all map onto §3 baselines")
+	}
+	return lc, nil
+}
+
+// Saving returns the fractional logic saved by the programmable
+// approach over the per-stage hardwired controllers.
+func (lc *LifecycleCost) Saving() float64 {
+	if lc.HardwiredTotalUm2 == 0 {
+		return 0
+	}
+	return 1 - lc.ProgrammableUm2/lc.HardwiredTotalUm2
+}
+
+// String renders the comparison.
+func (lc *LifecycleCost) String() string {
+	var b strings.Builder
+	b.WriteString("Lifecycle test-logic overhead (bit-oriented, 1K):\n")
+	for _, st := range lc.Stages {
+		fmt.Fprintf(&b, "  %-16s %-10s hardwired %8.0f um2\n",
+			st.Name, st.Algorithm.Name, lc.HardwiredUm2[st.Name])
+	}
+	fmt.Fprintf(&b, "  hardwired total                    %8.0f um2\n", lc.HardwiredTotalUm2)
+	fmt.Fprintf(&b, "  one programmable (adj. microcode)  %8.0f um2\n", lc.ProgrammableUm2)
+	fmt.Fprintf(&b, "  overall saving: %.0f%%\n", lc.Saving()*100)
+	return b.String()
+}

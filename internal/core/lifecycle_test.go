@@ -1,0 +1,39 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestLifecycleProgrammableWins(t *testing.T) {
+	lc, err := MeasureLifecycle(&netlist.CMOS5SLike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.HardwiredUm2) != 6 {
+		t.Fatalf("lifecycle covers %d stages, want 6", len(lc.HardwiredUm2))
+	}
+	if lc.ProgrammableUm2 >= lc.HardwiredTotalUm2 {
+		t.Errorf("programmable %.0f um2 not below hardwired total %.0f um2 — the paper's overall-overhead claim fails",
+			lc.ProgrammableUm2, lc.HardwiredTotalUm2)
+	}
+	if s := lc.Saving(); s <= 0 || s >= 1 {
+		t.Errorf("saving = %.2f out of (0,1)", s)
+	}
+	out := lc.String()
+	for _, frag := range []string{"wafer probe", "field diagnosis", "saving"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendering missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLifecycleStagesAreValidAlgorithms(t *testing.T) {
+	for _, st := range LifecycleStages() {
+		if err := st.Algorithm.Validate(); err != nil {
+			t.Errorf("%s: %v", st.Name, err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fsmbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+)
+
+// LoadCost models the one-time programming cost of a programmable BIST
+// controller: the number of scan loads the algorithm needs and the
+// scan-shift cycles per load. The paper criticises the architecture of
+// Shephard III et al. [3] precisely for needing *multiple* loads when
+// the algorithm does not fit its buffer ("time consuming and might not
+// always be feasible"); this model quantifies that trade-off against
+// storage size.
+type LoadCost struct {
+	// ProgramWords is the assembled program length.
+	ProgramWords int
+	// Loads is how many times the storage must be (re)loaded to run the
+	// whole algorithm with a storage of the given capacity.
+	Loads int
+	// ScanCyclesPerLoad is the scan-chain length (slots × word bits).
+	ScanCyclesPerLoad int
+	// TotalScanCycles = Loads × ScanCyclesPerLoad.
+	TotalScanCycles int
+}
+
+func newLoadCost(programWords, slots, wordBits int) LoadCost {
+	loads := (programWords + slots - 1) / slots
+	if loads < 1 {
+		loads = 1
+	}
+	per := slots * wordBits
+	return LoadCost{
+		ProgramWords:      programWords,
+		Loads:             loads,
+		ScanCyclesPerLoad: per,
+		TotalScanCycles:   loads * per,
+	}
+}
+
+// MicrocodeLoadCost computes the scan-load cost of running the
+// algorithm on a microcode controller with the given storage capacity.
+func MicrocodeLoadCost(alg march.Algorithm, slots int) (LoadCost, error) {
+	if slots <= 0 {
+		return LoadCost{}, fmt.Errorf("core: slots must be positive")
+	}
+	p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		return LoadCost{}, err
+	}
+	return newLoadCost(p.Len(), slots, microbist.WordBits), nil
+}
+
+// ProgFSMLoadCost computes the load cost for the programmable
+// FSM-based controller's circular buffer.
+func ProgFSMLoadCost(alg march.Algorithm, slots int) (LoadCost, error) {
+	if slots <= 0 {
+		return LoadCost{}, fmt.Errorf("core: slots must be positive")
+	}
+	p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		return LoadCost{}, err
+	}
+	return newLoadCost(p.Len(), slots, fsmbist.WordBits), nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/march"
+)
+
+func TestMicrocodeLoadCostSingleLoadWhenFits(t *testing.T) {
+	micro, _ := StorageSlots()
+	for _, alg := range BaselineAlgorithms() {
+		lc, err := MicrocodeLoadCost(alg, micro)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if lc.Loads != 1 {
+			t.Errorf("%s needs %d loads with suite-sized storage", alg.Name, lc.Loads)
+		}
+		if lc.TotalScanCycles != micro*10 {
+			t.Errorf("%s scan cycles = %d, want %d", alg.Name, lc.TotalScanCycles, micro*10)
+		}
+	}
+}
+
+func TestSmallBufferNeedsMultipleLoads(t *testing.T) {
+	// The paper's criticism of [3]: a buffer smaller than the program
+	// forces multiple loads.
+	lc, err := MicrocodeLoadCost(march.MarchAPlusPlus(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Loads < 3 {
+		t.Errorf("March A++ in an 8-slot buffer takes %d loads, want >= 3 (program %d words)",
+			lc.Loads, lc.ProgramWords)
+	}
+	if lc.TotalScanCycles != lc.Loads*8*10 {
+		t.Errorf("scan cycle arithmetic wrong: %+v", lc)
+	}
+}
+
+func TestProgFSMLoadCost(t *testing.T) {
+	lc, err := ProgFSMLoadCost(march.MarchC(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.ProgramWords != 8 || lc.Loads != 1 || lc.ScanCyclesPerLoad != 64 {
+		t.Errorf("March C FSM load cost = %+v", lc)
+	}
+}
+
+func TestLoadCostRejectsBadSlots(t *testing.T) {
+	if _, err := MicrocodeLoadCost(march.MarchC(), 0); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := ProgFSMLoadCost(march.MarchC(), -1); err == nil {
+		t.Error("negative slots accepted")
+	}
+}

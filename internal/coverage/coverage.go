@@ -1,0 +1,244 @@
+// Package coverage grades march algorithms and BIST architectures
+// against the functional fault universe: for every fault, a fresh
+// memory is built, the fault injected, the test executed, and detection
+// recorded. It cross-checks that all three controller architectures
+// achieve the fault coverage of the reference runner.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+	"repro/internal/fsmbist"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+)
+
+// Architecture selects the execution engine.
+type Architecture uint8
+
+const (
+	// Reference is the direct march runner (the oracle).
+	Reference Architecture = iota
+	// Microcode is the microcode-based programmable controller.
+	Microcode
+	// ProgFSM is the programmable FSM-based controller.
+	ProgFSM
+	// Hardwired is the per-algorithm non-programmable controller.
+	Hardwired
+)
+
+var archNames = [...]string{"reference", "microcode", "prog-fsm", "hardwired"}
+
+func (a Architecture) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("arch(%d)", int(a))
+}
+
+// Options configures a grading run.
+type Options struct {
+	// Size, Width, Ports set the memory geometry (defaults 16×1, 1 port).
+	Size  int
+	Width int
+	Ports int
+	// Universe tunes fault enumeration; the zero value is exhaustive.
+	Universe faults.UniverseOpts
+}
+
+func (o *Options) normalise() {
+	if o.Size <= 0 {
+		o.Size = 16
+	}
+	if o.Width <= 0 {
+		o.Width = 1
+	}
+	if o.Ports <= 0 {
+		o.Ports = 1
+	}
+	o.Universe.Ports = o.Ports
+}
+
+// Ratio is detected-over-total.
+type Ratio struct {
+	Detected int
+	Total    int
+}
+
+// Percent returns the detection percentage (100 for an empty class).
+func (r Ratio) Percent() float64 {
+	if r.Total == 0 {
+		return 100
+	}
+	return 100 * float64(r.Detected) / float64(r.Total)
+}
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.1f%%)", r.Detected, r.Total, r.Percent())
+}
+
+// Report is the coverage of one algorithm on one architecture.
+type Report struct {
+	Algorithm    string
+	Architecture Architecture
+	ByKind       map[faults.Kind]Ratio
+	Overall      Ratio
+	Missed       []faults.Fault
+}
+
+// Grade runs the algorithm against every fault in the universe on the
+// selected architecture.
+func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
+	opts.normalise()
+	runner, err := buildRunner(alg, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
+	rep := &Report{
+		Algorithm:    alg.Name,
+		Architecture: arch,
+		ByKind:       make(map[faults.Kind]Ratio),
+	}
+	for _, f := range universe {
+		mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
+		detected, err := runner(mem)
+		if err != nil {
+			return nil, fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
+		}
+		r := rep.ByKind[f.Kind]
+		r.Total++
+		rep.Overall.Total++
+		if detected {
+			r.Detected++
+			rep.Overall.Detected++
+		} else {
+			rep.Missed = append(rep.Missed, f)
+		}
+		rep.ByKind[f.Kind] = r
+	}
+	return rep, nil
+}
+
+// runner executes one test and reports detection.
+type runner func(mem *faults.Injected) (bool, error)
+
+func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, error) {
+	word := opts.Width > 1
+	multi := opts.Ports > 1
+	switch arch {
+	case Reference:
+		return func(mem *faults.Injected) (bool, error) {
+			res, err := march.Run(alg, mem, march.RunOpts{
+				MaxFails: 1, SinglePort: !multi, SingleBackground: !word,
+			})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}, nil
+	case Microcode:
+		p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			return nil, err
+		}
+		return func(mem *faults.Injected) (bool, error) {
+			res, err := p.Run(mem, microbist.ExecOpts{MaxFails: 1})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}, nil
+	case ProgFSM:
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			return nil, err
+		}
+		return func(mem *faults.Injected) (bool, error) {
+			res, err := p.Run(mem, fsmbist.ExecOpts{MaxFails: 1})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}, nil
+	case Hardwired:
+		cfg := hardbist.Config{
+			WordOriented: word, Multiport: multi,
+			Width: opts.Width, Ports: opts.Ports, AddrBits: 10,
+		}
+		c, err := hardbist.Generate(alg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return func(mem *faults.Injected) (bool, error) {
+			res, err := c.Run(mem, hardbist.ExecOpts{MaxFails: 1})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("coverage: unknown architecture %d", arch)
+	}
+}
+
+// String renders the report as an aligned table sorted by fault kind.
+func (rep *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s: %s overall\n", rep.Algorithm, rep.Architecture, rep.Overall)
+	kinds := make([]faults.Kind, 0, len(rep.ByKind))
+	for k := range rep.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-8s %s\n", k, rep.ByKind[k])
+	}
+	return b.String()
+}
+
+// Matrix grades several algorithms on one architecture and renders a
+// kind-by-algorithm coverage table.
+func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, error) {
+	var reports []*Report
+	kindSet := map[faults.Kind]bool{}
+	for _, alg := range algs {
+		rep, err := Grade(alg, arch, opts)
+		if err != nil {
+			return "", err
+		}
+		reports = append(reports, rep)
+		for k := range rep.ByKind {
+			kindSet[k] = true
+		}
+	}
+	kinds := make([]faults.Kind, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "fault\\alg")
+	for _, rep := range reports {
+		fmt.Fprintf(&b, " %12s", rep.Algorithm)
+	}
+	b.WriteByte('\n')
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-12s", k.String())
+		for _, rep := range reports {
+			fmt.Fprintf(&b, " %11.1f%%", rep.ByKind[k].Percent())
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-12s", "overall")
+	for _, rep := range reports {
+		fmt.Fprintf(&b, " %11.1f%%", rep.Overall.Percent())
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}

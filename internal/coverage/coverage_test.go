@@ -1,0 +1,207 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+func TestGradeReferenceMarchC(t *testing.T) {
+	rep, err := Grade(march.MarchC(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// March C detects 100% of SA, TF, AF and unlinked CFs.
+	for _, k := range []faults.Kind{faults.SA, faults.TF, faults.CFin, faults.CFid, faults.CFst, faults.AFNone, faults.AFMap, faults.AFMulti} {
+		if r := rep.ByKind[k]; r.Detected != r.Total {
+			t.Errorf("March C misses %s faults: %s", k, r)
+		}
+	}
+	// But not DRF (no pause) nor RDF (single reads).
+	if r := rep.ByKind[faults.DRF]; r.Detected != 0 {
+		t.Errorf("March C detects DRFs without pausing: %s", r)
+	}
+	if r := rep.ByKind[faults.RDF]; r.Detected != 0 {
+		t.Errorf("March C detects RDFs with single reads: %s", r)
+	}
+}
+
+func TestEnhancementsCloseCoverageGaps(t *testing.T) {
+	// C+ adds DRF coverage, C++ adds RDF coverage on top.
+	base, err := Grade(march.MarchC(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := Grade(march.MarchCPlus(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Grade(march.MarchCPlusPlus(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := plus.ByKind[faults.DRF]; r.Detected != r.Total {
+		t.Errorf("March C+ DRF coverage: %s", r)
+	}
+	if r := plus.ByKind[faults.RDF]; r.Detected != 0 {
+		t.Errorf("March C+ RDF coverage should be zero: %s", r)
+	}
+	if r := pp.ByKind[faults.DRF]; r.Detected != r.Total {
+		t.Errorf("March C++ DRF coverage: %s", r)
+	}
+	if r := pp.ByKind[faults.RDF]; r.Detected != r.Total {
+		t.Errorf("March C++ RDF coverage: %s", r)
+	}
+	if !(base.Overall.Percent() < plus.Overall.Percent() && plus.Overall.Percent() < pp.Overall.Percent()) {
+		t.Errorf("coverage not increasing: %v %v %v", base.Overall, plus.Overall, pp.Overall)
+	}
+}
+
+func TestAllArchitecturesReachReferenceCoverage(t *testing.T) {
+	// The central cross-check: for each algorithm, the three controller
+	// architectures must detect exactly the faults the reference runner
+	// detects.
+	opts := Options{Size: 8}
+	for _, algf := range []func() march.Algorithm{march.MarchC, march.MarchCPlus, march.MarchA} {
+		alg := algf()
+		ref, err := Grade(alg, Reference, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, arch := range []Architecture{Microcode, Hardwired} {
+			rep, err := Grade(alg, arch, opts)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg.Name, arch, err)
+			}
+			if rep.Overall != ref.Overall {
+				t.Errorf("%s on %s: %v, reference %v", alg.Name, arch, rep.Overall, ref.Overall)
+			}
+		}
+		// The programmable FSM may decompose (equal-or-better coverage).
+		rep, err := Grade(alg, ProgFSM, opts)
+		if err != nil {
+			t.Fatalf("%s on prog-fsm: %v", alg.Name, err)
+		}
+		if rep.Overall.Detected < ref.Overall.Detected {
+			t.Errorf("%s on prog-fsm: %v below reference %v", alg.Name, rep.Overall, ref.Overall)
+		}
+	}
+}
+
+func TestStaticFaultsNeedMarchSS(t *testing.T) {
+	// WDF needs a non-transition write, DRDF needs back-to-back reads:
+	// March C detects neither; March SS detects both (and IRF, which
+	// any read detects).
+	mc, err := Grade(march.MarchC(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Grade(march.MarchSS(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// March C's only non-transition write is the initialisation w0
+	// landing on the all-zero power-up state, which sensitises exactly
+	// the WDF<0w0> half of the class; WDF<1w1> stays undetected.
+	if r := mc.ByKind[faults.WDF]; r.Detected != r.Total/2 {
+		t.Errorf("March C WDF coverage %s, want exactly the <0w0> half", r)
+	}
+	if r := mc.ByKind[faults.DRDF]; r.Detected != 0 {
+		t.Errorf("March C detects DRDFs without back-to-back reads: %s", r)
+	}
+	if r := mc.ByKind[faults.IRF]; r.Detected != r.Total {
+		t.Errorf("March C misses IRFs: %s", r)
+	}
+	for _, k := range []faults.Kind{faults.WDF, faults.IRF, faults.DRDF, faults.SA, faults.TF} {
+		if r := ss.ByKind[k]; r.Detected != r.Total {
+			t.Errorf("March SS misses %s faults: %s", k, r)
+		}
+	}
+}
+
+func TestTripleReadsDetectDRDF(t *testing.T) {
+	pp, err := Grade(march.MarchCPlusPlus(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := pp.ByKind[faults.DRDF]; r.Detected != r.Total {
+		t.Errorf("March C++ misses DRDFs: %s", r)
+	}
+}
+
+func TestMarchGCoversRetentionAndSOF(t *testing.T) {
+	g, err := Grade(march.MarchG(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []faults.Kind{faults.DRF, faults.SOF, faults.SA, faults.TF, faults.CFin, faults.CFid} {
+		if r := g.ByKind[k]; r.Detected != r.Total {
+			t.Errorf("March G misses %s faults: %s", k, r)
+		}
+	}
+}
+
+func TestMATSPlusWeakerThanMarchC(t *testing.T) {
+	mats, err := Grade(march.MATSPlus(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Grade(march.MarchC(), Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mats.Overall.Percent() >= mc.Overall.Percent() {
+		t.Errorf("MATS+ %.1f%% >= March C %.1f%%", mats.Overall.Percent(), mc.Overall.Percent())
+	}
+}
+
+func TestMultiportCoverageNeedsPortLoop(t *testing.T) {
+	opts := Options{Size: 8, Ports: 2}
+	rep, err := Grade(march.MarchC(), Microcode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every port-specific fault must be caught by the port loop.
+	for _, f := range rep.Missed {
+		if f.Port != faults.AnyPort {
+			t.Errorf("port loop missed port-specific fault %v", f)
+		}
+	}
+	// And the microcode controller must match the reference exactly.
+	ref, err := Grade(march.MarchC(), Reference, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall != ref.Overall {
+		t.Errorf("microcode multiport %v, reference %v", rep.Overall, ref.Overall)
+	}
+}
+
+func TestMatrixRenders(t *testing.T) {
+	out, err := Matrix([]march.Algorithm{march.MATSPlus(), march.MarchC()}, Reference, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"MATS+", "March C", "SA", "overall"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("matrix missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRatioPercentEdge(t *testing.T) {
+	if (Ratio{}).Percent() != 100 {
+		t.Error("empty ratio should be 100%")
+	}
+	if (Ratio{Detected: 1, Total: 4}).Percent() != 25 {
+		t.Error("25% ratio wrong")
+	}
+}
+
+func TestGradeUnknownArchitecture(t *testing.T) {
+	if _, err := Grade(march.MarchC(), Architecture(99), Options{Size: 4}); err == nil {
+		t.Error("unknown architecture graded")
+	}
+}

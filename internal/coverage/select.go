@@ -1,0 +1,72 @@
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+// Selection is the outcome of algorithm selection: the cheapest
+// algorithm (fewest operations per cell) achieving full coverage of the
+// requested fault classes, plus every candidate's evaluation.
+type Selection struct {
+	Best       march.Algorithm
+	BestReport *Report
+	// Rejected maps candidate names to the first fault class they do
+	// not fully cover.
+	Rejected map[string]faults.Kind
+}
+
+// Select picks the cheapest library algorithm that detects 100% of each
+// requested fault kind on the reference runner. This is the flow a DFT
+// engineer runs when programming the BIST unit for a new test
+// requirement: choose the weakest (fastest) algorithm that still covers
+// the fault classes the fab reports.
+func Select(target []faults.Kind, opts Options) (*Selection, error) {
+	if len(target) == 0 {
+		return nil, fmt.Errorf("coverage: no target fault kinds")
+	}
+	lib := march.Library()
+	names := make([]string, 0, len(lib))
+	for name := range lib {
+		names = append(names, name)
+	}
+	// Cheapest first; names break ties deterministically.
+	sort.Slice(names, func(i, j int) bool {
+		a, b := lib[names[i]](), lib[names[j]]()
+		if a.OpCount() != b.OpCount() {
+			return a.OpCount() < b.OpCount()
+		}
+		return names[i] < names[j]
+	})
+
+	sel := &Selection{Rejected: make(map[string]faults.Kind)}
+	for _, name := range names {
+		alg := lib[name]()
+		rep, err := Grade(alg, Reference, opts)
+		if err != nil {
+			return nil, err
+		}
+		miss, ok := fullCoverage(rep, target)
+		if !ok {
+			sel.Rejected[alg.Name] = miss
+			continue
+		}
+		sel.Best = alg
+		sel.BestReport = rep
+		return sel, nil
+	}
+	return nil, fmt.Errorf("coverage: no library algorithm covers all of %v", target)
+}
+
+func fullCoverage(rep *Report, target []faults.Kind) (faults.Kind, bool) {
+	for _, k := range target {
+		r := rep.ByKind[k]
+		if r.Detected != r.Total {
+			return k, false
+		}
+	}
+	return 0, true
+}

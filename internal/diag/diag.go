@@ -1,0 +1,215 @@
+// Package diag turns BIST fail logs into diagnostic artefacts: a
+// physical fail bitmap and a coarse fault classification. The paper
+// motivates the extra logic overhead of programmable BIST with exactly
+// this use — reusing the same controller for production test and for
+// diagnostics/process monitoring, where the full fail log (not just a
+// go/no-go bit) is collected.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/march"
+)
+
+// Bitmap is a per-cell miscompare count over the memory array.
+type Bitmap struct {
+	Size   int
+	Width  int
+	Counts []int // [addr*Width + bit]
+}
+
+// BuildBitmap folds a fail log into a bitmap. Word miscompares are
+// attributed to the individual failing bits (expected XOR got).
+func BuildBitmap(fails []march.Fail, size, width int) *Bitmap {
+	b := &Bitmap{Size: size, Width: width, Counts: make([]int, size*width)}
+	for _, f := range fails {
+		if f.Addr < 0 || f.Addr >= size {
+			continue
+		}
+		diff := f.Expected ^ f.Got
+		for bit := 0; bit < width; bit++ {
+			if diff>>uint(bit)&1 == 1 {
+				b.Counts[f.Addr*width+bit]++
+			}
+		}
+	}
+	return b
+}
+
+// FailingCells returns the cell indices with at least one miscompare,
+// ascending.
+func (b *Bitmap) FailingCells() []int {
+	var cells []int
+	for c, n := range b.Counts {
+		if n > 0 {
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// FailingAddresses returns the word addresses with at least one failing
+// bit, ascending.
+func (b *Bitmap) FailingAddresses() []int {
+	seen := make(map[int]bool)
+	for _, c := range b.FailingCells() {
+		seen[c/b.Width] = true
+	}
+	addrs := make([]int, 0, len(seen))
+	for a := range seen {
+		addrs = append(addrs, a)
+	}
+	sort.Ints(addrs)
+	return addrs
+}
+
+// String renders the bitmap as an ASCII map, one row per address:
+// '.' clean, digits 1-9 the miscompare count, '*' for ten or more.
+func (b *Bitmap) String() string {
+	var s strings.Builder
+	for a := 0; a < b.Size; a++ {
+		fmt.Fprintf(&s, "%4d ", a)
+		for bit := 0; bit < b.Width; bit++ {
+			n := b.Counts[a*b.Width+bit]
+			switch {
+			case n == 0:
+				s.WriteByte('.')
+			case n < 10:
+				s.WriteByte(byte('0' + n))
+			default:
+				s.WriteByte('*')
+			}
+		}
+		s.WriteByte('\n')
+	}
+	return s.String()
+}
+
+// Class is a coarse fault classification derived from a fail log.
+type Class uint8
+
+const (
+	// ClassNone means the memory passed.
+	ClassNone Class = iota
+	// ClassSingleCell covers faults confined to one cell (stuck-at,
+	// transition, retention, read-disturb, stuck-open).
+	ClassSingleCell
+	// ClassCellPair covers two implicated cells (coupling faults or
+	// two-address decoder faults).
+	ClassCellPair
+	// ClassRowColumn covers a failing stripe (decoder or peripheral
+	// defects hitting a full address or bit lane).
+	ClassRowColumn
+	// ClassGross covers widespread failure (array-level defects).
+	ClassGross
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "pass"
+	case ClassSingleCell:
+		return "single-cell"
+	case ClassCellPair:
+		return "cell-pair"
+	case ClassRowColumn:
+		return "row/column"
+	default:
+		return "gross"
+	}
+}
+
+// Diagnosis is the classifier's verdict.
+type Diagnosis struct {
+	Class Class
+	// Cells are the implicated cell indices (bounded to the first 16).
+	Cells []int
+	// PortSpecific is set when every miscompare occurred on one
+	// non-zero port — a port read-circuit defect in a multiport memory.
+	PortSpecific bool
+	Port         int
+	// RetentionOnly is set when every miscompare followed a pause
+	// element (data-retention signature).
+	RetentionOnly bool
+}
+
+// Classify derives a diagnosis from a fail log. alg supplies the pause
+// structure for retention detection; pass the algorithm that produced
+// the log.
+func Classify(fails []march.Fail, alg march.Algorithm, size, width int) Diagnosis {
+	if len(fails) == 0 {
+		return Diagnosis{Class: ClassNone}
+	}
+	b := BuildBitmap(fails, size, width)
+	cells := b.FailingCells()
+	d := Diagnosis{}
+	if len(cells) > 16 {
+		d.Cells = cells[:16]
+	} else {
+		d.Cells = cells
+	}
+
+	switch {
+	case len(cells) == 1:
+		d.Class = ClassSingleCell
+	case len(cells) == 2:
+		d.Class = ClassCellPair
+	case stripe(cells, width, size):
+		d.Class = ClassRowColumn
+	default:
+		d.Class = ClassGross
+	}
+
+	port := fails[0].Port
+	d.PortSpecific = port != 0
+	for _, f := range fails {
+		if f.Port != port {
+			d.PortSpecific = false
+			break
+		}
+	}
+	if d.PortSpecific {
+		d.Port = port
+	}
+
+	d.RetentionOnly = true
+	for _, f := range fails {
+		if f.Element < 0 || f.Element >= len(alg.Elements) || !alg.Elements[f.Element].PauseBefore {
+			d.RetentionOnly = false
+			break
+		}
+	}
+	return d
+}
+
+// stripe reports whether the failing cells form one full row (all bits
+// of one address) or one full column (one bit lane across all
+// addresses).
+func stripe(cells []int, width, size int) bool {
+	if width > 1 && len(cells) == width {
+		row := cells[0] / width
+		full := true
+		for _, c := range cells {
+			if c/width != row {
+				full = false
+				break
+			}
+		}
+		if full {
+			return true
+		}
+	}
+	if width > 1 && len(cells) == size {
+		lane := cells[0] % width
+		for _, c := range cells {
+			if c%width != lane {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,167 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+// runFull runs the algorithm with an unbounded fail log (diagnostic
+// mode) and returns the fails.
+func runFull(t *testing.T, alg march.Algorithm, size, width, ports int, fs ...faults.Fault) []march.Fail {
+	t.Helper()
+	mem := faults.NewInjected(size, width, ports, fs...)
+	res, err := march.Run(alg, mem, march.RunOpts{SinglePort: ports == 1, SingleBackground: width == 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Fails
+}
+
+func TestBitmapSingleStuckAt(t *testing.T) {
+	fails := runFull(t, march.MarchC(), 16, 1, 1,
+		faults.Fault{Kind: faults.SA, Cell: 5, Value: true, Port: faults.AnyPort})
+	b := BuildBitmap(fails, 16, 1)
+	cells := b.FailingCells()
+	if len(cells) != 1 || cells[0] != 5 {
+		t.Fatalf("failing cells = %v, want [5]", cells)
+	}
+	if got := b.FailingAddresses(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("failing addresses = %v", got)
+	}
+}
+
+func TestBitmapWordAttributesBits(t *testing.T) {
+	// SA on bit 2 of word 3 in a 4-bit memory.
+	fails := runFull(t, march.MarchC(), 8, 4, 1,
+		faults.Fault{Kind: faults.SA, Cell: 3*4 + 2, Value: true, Port: faults.AnyPort})
+	b := BuildBitmap(fails, 8, 4)
+	cells := b.FailingCells()
+	if len(cells) != 1 || cells[0] != 3*4+2 {
+		t.Fatalf("failing cells = %v, want [14]", cells)
+	}
+}
+
+func TestBitmapString(t *testing.T) {
+	fails := []march.Fail{{Addr: 1, Expected: 1, Got: 0}}
+	b := BuildBitmap(fails, 4, 1)
+	s := b.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("bitmap has %d lines, want 4:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "1") || strings.Contains(lines[0], "1") {
+		t.Errorf("bitmap rows wrong:\n%s", s)
+	}
+}
+
+func TestClassifySingleCell(t *testing.T) {
+	for _, f := range []faults.Fault{
+		{Kind: faults.SA, Cell: 7, Value: true, Port: faults.AnyPort},
+		{Kind: faults.TF, Cell: 7, Value: true, Port: faults.AnyPort},
+	} {
+		fails := runFull(t, march.MarchC(), 16, 1, 1, f)
+		d := Classify(fails, march.MarchC(), 16, 1)
+		if d.Class != ClassSingleCell {
+			t.Errorf("%v classified as %v", f, d.Class)
+		}
+		if len(d.Cells) != 1 || d.Cells[0] != 7 {
+			t.Errorf("%v implicated cells %v", f, d.Cells)
+		}
+	}
+}
+
+func TestClassifyCouplingPair(t *testing.T) {
+	// An inversion coupling fault usually implicates only the victim in
+	// the log; a decoder AFmap implicates two addresses.
+	fails := runFull(t, march.MarchC(), 16, 1, 1,
+		faults.Fault{Kind: faults.AFMap, Addr: 4, AggAddr: 5, Port: faults.AnyPort})
+	d := Classify(fails, march.MarchC(), 16, 1)
+	if d.Class != ClassCellPair {
+		t.Errorf("AFmap classified as %v (cells %v)", d.Class, d.Cells)
+	}
+}
+
+func TestClassifyGross(t *testing.T) {
+	var fs []faults.Fault
+	for c := 0; c < 16; c++ {
+		fs = append(fs, faults.Fault{Kind: faults.SA, Cell: c, Value: true, Port: faults.AnyPort})
+	}
+	fails := runFull(t, march.MarchC(), 16, 1, 1, fs...)
+	d := Classify(fails, march.MarchC(), 16, 1)
+	if d.Class != ClassGross {
+		t.Errorf("whole-array failure classified as %v", d.Class)
+	}
+	if len(d.Cells) > 16 {
+		t.Errorf("cells not bounded: %d", len(d.Cells))
+	}
+}
+
+func TestClassifyRowStripe(t *testing.T) {
+	// All bits of one word stuck: a row defect.
+	var fs []faults.Fault
+	for bit := 0; bit < 4; bit++ {
+		fs = append(fs, faults.Fault{Kind: faults.SA, Cell: 2*4 + bit, Value: true, Port: faults.AnyPort})
+	}
+	fails := runFull(t, march.MarchC(), 8, 4, 1, fs...)
+	d := Classify(fails, march.MarchC(), 8, 4)
+	if d.Class != ClassRowColumn {
+		t.Errorf("row defect classified as %v (cells %v)", d.Class, d.Cells)
+	}
+}
+
+func TestClassifyColumnStripe(t *testing.T) {
+	// One bit lane failing at every address: a column defect.
+	var fs []faults.Fault
+	for a := 0; a < 8; a++ {
+		fs = append(fs, faults.Fault{Kind: faults.SA, Cell: a*4 + 1, Value: true, Port: faults.AnyPort})
+	}
+	fails := runFull(t, march.MarchC(), 8, 4, 1, fs...)
+	d := Classify(fails, march.MarchC(), 8, 4)
+	if d.Class != ClassRowColumn {
+		t.Errorf("column defect classified as %v (cells %v)", d.Class, d.Cells)
+	}
+}
+
+func TestClassifyRetentionSignature(t *testing.T) {
+	alg := march.MarchCPlus()
+	fails := runFull(t, alg, 16, 1, 1,
+		faults.Fault{Kind: faults.DRF, Cell: 3, Value: true, Port: faults.AnyPort})
+	d := Classify(fails, alg, 16, 1)
+	if !d.RetentionOnly {
+		t.Errorf("DRF fail log not flagged retention-only: %+v (fails %v)", d, fails)
+	}
+	// A stuck-at fault is not retention-only.
+	fails2 := runFull(t, alg, 16, 1, 1,
+		faults.Fault{Kind: faults.SA, Cell: 3, Value: true, Port: faults.AnyPort})
+	d2 := Classify(fails2, alg, 16, 1)
+	if d2.RetentionOnly {
+		t.Error("stuck-at fail log flagged retention-only")
+	}
+}
+
+func TestClassifyPortSpecific(t *testing.T) {
+	fails := runFull(t, march.MarchC(), 16, 1, 2,
+		faults.Fault{Kind: faults.SA, Cell: 6, Value: true, Port: 1})
+	d := Classify(fails, march.MarchC(), 16, 1)
+	if !d.PortSpecific || d.Port != 1 {
+		t.Errorf("port-1 fault not flagged: %+v", d)
+	}
+}
+
+func TestClassifyPass(t *testing.T) {
+	d := Classify(nil, march.MarchC(), 16, 1)
+	if d.Class != ClassNone {
+		t.Errorf("empty log classified as %v", d.Class)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassNone; c <= ClassGross; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package diag
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Suspect is a candidate aggressor found by LocateAggressor: toggling
+// (or holding) cell Cell with a rising (Rise) or falling transition
+// upset the victim.
+type Suspect struct {
+	Cell int
+	Rise bool
+	// VictimWas is the victim value that was corrupted.
+	VictimWas bool
+}
+
+func (s Suspect) String() string {
+	dir := "↓"
+	if s.Rise {
+		dir = "↑"
+	}
+	return fmt.Sprintf("cell %d %s upsets victim at %v", s.Cell, dir, s.VictimWas)
+}
+
+// LocateAggressor actively probes for the aggressor(s) coupling into a
+// known victim cell — the adaptive diagnosis pass a programmable BIST
+// unit can run after a march test implicates a victim (the paper's
+// diagnostics use case). For every candidate cell the victim is set to
+// each value, the candidate is driven through both transitions, and the
+// victim is re-read; any upset registers the candidate as a suspect.
+//
+// A clean coupling fault yields exactly the aggressor (one or two
+// transition polarities). A victim that fails regardless of candidate
+// (e.g. a stuck-at cell) implicates almost every candidate — callers
+// should treat a suspect list covering most of the array as
+// "not a coupling defect".
+func LocateAggressor(mem memory.Memory, port, victimCell int) []Suspect {
+	size, width := mem.Size(), mem.Width()
+	nCells := size * width
+	if victimCell < 0 || victimCell >= nCells {
+		panic(fmt.Sprintf("diag: victim cell %d out of range", victimCell))
+	}
+	vAddr, vBit := victimCell/width, victimCell%width
+
+	getBit := func(addr, bit int) bool {
+		return mem.Read(port, addr)>>uint(bit)&1 == 1
+	}
+	setBit := func(addr, bit int, v bool) {
+		w := mem.Read(port, addr)
+		if v {
+			w |= 1 << uint(bit)
+		} else {
+			w &^= 1 << uint(bit)
+		}
+		mem.Write(port, addr, w)
+	}
+
+	var suspects []Suspect
+	for c := 0; c < nCells; c++ {
+		if c == victimCell {
+			continue
+		}
+		cAddr, cBit := c/width, c%width
+		for _, vVal := range []bool{false, true} {
+			for _, rise := range []bool{true, false} {
+				// Pre-condition candidate and victim.
+				setBit(cAddr, cBit, !rise)
+				setBit(vAddr, vBit, vVal)
+				// Trigger the candidate transition.
+				setBit(cAddr, cBit, rise)
+				// Observe the victim.
+				if getBit(vAddr, vBit) != vVal {
+					suspects = append(suspects, Suspect{Cell: c, Rise: rise, VictimWas: vVal})
+					// Repair the victim for the next probe.
+					setBit(vAddr, vBit, vVal)
+				}
+			}
+		}
+	}
+	return suspects
+}
+
+// AggressorCells reduces a suspect list to the distinct implicated
+// cells, preserving probe order.
+func AggressorCells(suspects []Suspect) []int {
+	seen := make(map[int]bool)
+	var cells []int
+	for _, s := range suspects {
+		if !seen[s.Cell] {
+			seen[s.Cell] = true
+			cells = append(cells, s.Cell)
+		}
+	}
+	return cells
+}

@@ -1,0 +1,105 @@
+package diag
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+// locateAfterMarch runs the full diagnosis flow: march test implicates
+// a victim, LocateAggressor probes for the aggressor.
+func locateAfterMarch(t *testing.T, f faults.Fault, size, width int) ([]Suspect, int) {
+	t.Helper()
+	mem := faults.NewInjected(size, width, 1, f)
+	res, err := march.Run(march.MarchC(), mem, march.RunOpts{SinglePort: true, SingleBackground: width == 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatalf("march test missed %v", f)
+	}
+	b := BuildBitmap(res.Fails, size, width)
+	victims := b.FailingCells()
+	if len(victims) != 1 {
+		t.Fatalf("expected one victim, bitmap has %v", victims)
+	}
+	// Probe on a fresh copy (the march run left the array dirty).
+	mem2 := faults.NewInjected(size, width, 1, f)
+	return LocateAggressor(mem2, 0, victims[0]), victims[0]
+}
+
+func TestLocateCFinAggressor(t *testing.T) {
+	f := faults.Fault{Kind: faults.CFin, Aggressor: 3, Cell: 11, AggVal: true, Port: faults.AnyPort}
+	suspects, victim := locateAfterMarch(t, f, 16, 1)
+	if victim != 11 {
+		t.Fatalf("victim = %d", victim)
+	}
+	cells := AggressorCells(suspects)
+	if len(cells) != 1 || cells[0] != 3 {
+		t.Fatalf("aggressors = %v, want [3] (suspects %v)", cells, suspects)
+	}
+	for _, s := range suspects {
+		if !s.Rise {
+			t.Errorf("CFin<↑> flagged on a falling transition: %v", s)
+		}
+	}
+}
+
+func TestLocateCFidAggressorAndDirection(t *testing.T) {
+	f := faults.Fault{Kind: faults.CFid, Aggressor: 9, Cell: 2, AggVal: false, Value: true, Port: faults.AnyPort}
+	suspects, _ := locateAfterMarch(t, f, 16, 1)
+	cells := AggressorCells(suspects)
+	if len(cells) != 1 || cells[0] != 9 {
+		t.Fatalf("aggressors = %v, want [9]", cells)
+	}
+	for _, s := range suspects {
+		if s.Rise {
+			t.Errorf("CFid<↓;1> flagged on a rising transition: %v", s)
+		}
+		if s.VictimWas {
+			t.Errorf("CFid<↓;1> upsets only a 0 victim, flagged %v", s)
+		}
+	}
+}
+
+func TestLocateIntraWordAggressor(t *testing.T) {
+	// Coupling between two bits of the same word.
+	f := faults.Fault{Kind: faults.CFid, Aggressor: 5*4 + 3, Cell: 5*4 + 1,
+		AggVal: true, Value: true, Port: faults.AnyPort}
+	mem := faults.NewInjected(16, 4, 1, f)
+	suspects := LocateAggressor(mem, 0, 5*4+1)
+	cells := AggressorCells(suspects)
+	if len(cells) != 1 || cells[0] != 5*4+3 {
+		t.Fatalf("aggressors = %v, want [23]", cells)
+	}
+}
+
+func TestLocateStuckVictimImplicatesEverything(t *testing.T) {
+	// A stuck-at victim fails regardless of the candidate: the probe
+	// implicates (nearly) every cell, which callers read as
+	// "not a coupling defect".
+	f := faults.Fault{Kind: faults.SA, Cell: 6, Value: true, Port: faults.AnyPort}
+	mem := faults.NewInjected(16, 1, 1, f)
+	suspects := LocateAggressor(mem, 0, 6)
+	if len(AggressorCells(suspects)) < 14 {
+		t.Errorf("stuck victim implicated only %d cells", len(AggressorCells(suspects)))
+	}
+}
+
+func TestLocateCleanVictimFindsNothing(t *testing.T) {
+	mem := faults.NewInjected(16, 1, 1)
+	if suspects := LocateAggressor(mem, 0, 5); len(suspects) != 0 {
+		t.Errorf("clean memory produced suspects %v", suspects)
+	}
+}
+
+func TestLocatePanicsOnBadVictim(t *testing.T) {
+	mem := faults.NewInjected(8, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range victim accepted")
+		}
+	}()
+	LocateAggressor(mem, 0, 99)
+}

@@ -1,0 +1,269 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Injected is a memory.Memory with functional faults injected. It keeps
+// its own bit-level cell array so that word-oriented and multiport
+// geometries share one fault semantics.
+type Injected struct {
+	size  int
+	width int
+	ports int
+
+	cells []bool // size*width bits
+
+	byVictim  map[int][]Fault // SA/TF/SOF/DRF/RDF indexed by victim cell
+	byAgg     map[int][]Fault // CFin/CFid indexed by aggressor cell
+	stateCFs  []Fault         // CFst faults, re-applied after every operation
+	byAddr    map[int][]Fault // AF kinds indexed by faulty address
+	allFaults []Fault
+
+	senseLatch  [][]bool    // per port, per bit lane: previous sensed value
+	consecReads map[int]int // victim cell -> consecutive read count
+}
+
+// NewInjected returns a memory of the given geometry with the faults
+// injected. All cells start at zero.
+func NewInjected(size, width, ports int, faultList ...Fault) *Injected {
+	if size <= 0 || width < 1 || width > 64 || ports <= 0 {
+		panic(fmt.Sprintf("faults: bad geometry %dx%d, %d ports", size, width, ports))
+	}
+	m := &Injected{
+		size:        size,
+		width:       width,
+		ports:       ports,
+		cells:       make([]bool, size*width),
+		byVictim:    make(map[int][]Fault),
+		byAgg:       make(map[int][]Fault),
+		byAddr:      make(map[int][]Fault),
+		consecReads: make(map[int]int),
+	}
+	m.senseLatch = make([][]bool, ports)
+	for p := range m.senseLatch {
+		m.senseLatch[p] = make([]bool, width)
+	}
+	for _, f := range faultList {
+		m.inject(f)
+	}
+	return m
+}
+
+func (m *Injected) inject(f Fault) {
+	switch f.Kind {
+	case SA, TF, SOF, DRF, RDF, WDF, IRF, DRDF:
+		if f.Cell < 0 || f.Cell >= len(m.cells) {
+			panic(fmt.Sprintf("faults: victim cell %d out of range", f.Cell))
+		}
+		m.byVictim[f.Cell] = append(m.byVictim[f.Cell], f)
+	case CFin, CFid:
+		if f.Cell < 0 || f.Cell >= len(m.cells) || f.Aggressor < 0 || f.Aggressor >= len(m.cells) {
+			panic("faults: coupling fault cell out of range")
+		}
+		if f.Cell == f.Aggressor {
+			panic("faults: coupling fault victim == aggressor")
+		}
+		m.byAgg[f.Aggressor] = append(m.byAgg[f.Aggressor], f)
+	case CFst:
+		if f.Cell == f.Aggressor {
+			panic("faults: coupling fault victim == aggressor")
+		}
+		m.stateCFs = append(m.stateCFs, f)
+	case AFNone, AFMap, AFMulti:
+		if f.Addr < 0 || f.Addr >= m.size {
+			panic("faults: AF address out of range")
+		}
+		m.byAddr[f.Addr] = append(m.byAddr[f.Addr], f)
+	default:
+		panic("faults: unknown fault kind")
+	}
+	m.allFaults = append(m.allFaults, f)
+}
+
+// Faults returns the injected fault list.
+func (m *Injected) Faults() []Fault { return m.allFaults }
+
+// Size returns the number of word addresses.
+func (m *Injected) Size() int { return m.size }
+
+// Width returns the bits per word.
+func (m *Injected) Width() int { return m.width }
+
+// Ports returns the number of access ports.
+func (m *Injected) Ports() int { return m.ports }
+
+func (m *Injected) checkAccess(port, addr int) {
+	if port < 0 || port >= m.ports {
+		panic(fmt.Sprintf("faults: port %d out of [0,%d)", port, m.ports))
+	}
+	if addr < 0 || addr >= m.size {
+		panic(fmt.Sprintf("faults: address %d out of [0,%d)", addr, m.size))
+	}
+}
+
+// decode resolves the word addresses actually selected when addr is
+// presented on the given port, applying address-decoder faults.
+// An empty slice means no cell is selected.
+func (m *Injected) decode(port, addr int) []int {
+	for _, f := range m.byAddr[addr] {
+		if !f.appliesTo(port) {
+			continue
+		}
+		switch f.Kind {
+		case AFNone:
+			return nil
+		case AFMap:
+			return []int{f.AggAddr}
+		case AFMulti:
+			return []int{addr, f.AggAddr}
+		}
+	}
+	return []int{addr}
+}
+
+// Write stores data at addr through port, applying fault behaviour.
+func (m *Injected) Write(port, addr int, data uint64) {
+	m.checkAccess(port, addr)
+	for _, target := range m.decode(port, addr) {
+		for bit := 0; bit < m.width; bit++ {
+			m.writeCell(port, target*m.width+bit, data>>uint(bit)&1 == 1)
+		}
+	}
+	m.applyStateCFs()
+}
+
+func (m *Injected) writeCell(port, cell int, v bool) {
+	old := m.cells[cell]
+	eff := v
+	for _, f := range m.byVictim[cell] {
+		if !f.appliesTo(port) {
+			continue
+		}
+		switch f.Kind {
+		case SA:
+			eff = f.Value
+		case TF:
+			// The cell cannot transition to f.Value.
+			if old != f.Value && eff == f.Value {
+				eff = old
+			}
+		case WDF:
+			// A non-transition write of Value flips the cell.
+			if old == f.Value && v == f.Value {
+				eff = !f.Value
+			}
+		}
+	}
+	m.cells[cell] = eff
+	delete(m.consecReads, cell) // writes reset read-disturb accumulation
+
+	if old != eff {
+		m.triggerCoupling(cell, eff)
+	}
+}
+
+// triggerCoupling applies CFin/CFid faults whose aggressor just
+// transitioned. Victim updates are direct (non-cascading), the standard
+// single-fault simulation semantics.
+func (m *Injected) triggerCoupling(agg int, rose bool) {
+	for _, f := range m.byAgg[agg] {
+		if f.AggVal != rose {
+			continue
+		}
+		switch f.Kind {
+		case CFin:
+			m.cells[f.Cell] = !m.cells[f.Cell]
+		case CFid:
+			m.cells[f.Cell] = f.Value
+		}
+	}
+}
+
+func (m *Injected) applyStateCFs() {
+	for _, f := range m.stateCFs {
+		if m.cells[f.Aggressor] == f.AggVal {
+			m.cells[f.Cell] = f.Value
+		}
+	}
+}
+
+// Read returns the word at addr through port, applying fault behaviour.
+func (m *Injected) Read(port, addr int) uint64 {
+	m.checkAccess(port, addr)
+	targets := m.decode(port, addr)
+	if len(targets) == 0 {
+		// No cell selected: the data bus floats; model as all-zeros.
+		for bit := 0; bit < m.width; bit++ {
+			m.senseLatch[port][bit] = false
+		}
+		return 0
+	}
+	var word uint64
+	for bit := 0; bit < m.width; bit++ {
+		// Wired-AND across multi-selected cells.
+		v := true
+		for _, target := range targets {
+			v = v && m.readCell(port, target*m.width+bit, bit)
+		}
+		if v {
+			word |= 1 << uint(bit)
+		}
+	}
+	return word
+}
+
+func (m *Injected) readCell(port, cell, lane int) bool {
+	v := m.cells[cell]
+	stuckOpen := false
+	for _, f := range m.byVictim[cell] {
+		if !f.appliesTo(port) {
+			continue
+		}
+		switch f.Kind {
+		case SA:
+			v = f.Value
+		case SOF:
+			stuckOpen = true
+		case RDF:
+			m.consecReads[cell]++
+			if m.consecReads[cell] >= 3 {
+				v = f.Value
+			}
+		case IRF:
+			if m.cells[cell] == f.Value {
+				v = !f.Value
+			}
+		case DRDF:
+			if m.cells[cell] == f.Value {
+				v = f.Value // the read itself delivers the right value
+				m.cells[cell] = !f.Value
+			}
+		}
+	}
+	if stuckOpen {
+		// The sense amplifier re-delivers its previous value.
+		return m.senseLatch[port][lane]
+	}
+	m.senseLatch[port][lane] = v
+	return v
+}
+
+// Pause models a retention delay: every DRF victim leaks to its value.
+func (m *Injected) Pause() {
+	for cell, fs := range m.byVictim {
+		for _, f := range fs {
+			if f.Kind == DRF {
+				m.cells[cell] = f.Value
+			}
+		}
+	}
+	m.applyStateCFs()
+}
+
+// CellState returns the raw stored value of a cell (test introspection).
+func (m *Injected) CellState(cell int) bool { return m.cells[cell] }
+
+var _ memory.Memory = (*Injected)(nil)

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+// TestFaultFreeEquivalenceProperty: with no faults injected, any
+// sequence of operations on the injected memory behaves exactly like
+// the plain SRAM.
+func TestFaultFreeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, opsRaw []uint32) bool {
+		const size, width, ports = 16, 4, 2
+		inj := NewInjected(size, width, ports)
+		ref := memory.NewSRAM(size, width, ports)
+		rng := rand.New(rand.NewSource(seed))
+		for _, raw := range opsRaw {
+			port := int(raw>>28) % ports
+			addr := int(raw>>20) % size
+			data := uint64(raw & 0xF)
+			switch raw % 3 {
+			case 0:
+				inj.Write(port, addr, data)
+				ref.Write(port, addr, data)
+			case 1:
+				if inj.Read(port, addr) != ref.Read(port, addr) {
+					return false
+				}
+			case 2:
+				inj.Pause()
+				ref.Pause()
+			}
+			_ = rng
+		}
+		return memory.Equal(inj, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleCellFaultLocalityProperty: a single-cell fault never
+// perturbs any other cell, whatever the operation sequence.
+func TestSingleCellFaultLocalityProperty(t *testing.T) {
+	kinds := []Kind{SA, TF, SOF, DRF, RDF, WDF, IRF, DRDF}
+	f := func(seed int64, kindIdx uint8, victim uint8, value bool) bool {
+		const size = 16
+		fault := Fault{
+			Kind:  kinds[int(kindIdx)%len(kinds)],
+			Cell:  int(victim) % size,
+			Value: value,
+			Port:  AnyPort,
+		}
+		inj := NewInjected(size, 1, 1, fault)
+		ref := memory.NewSRAM(size, 1, 1)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			addr := rng.Intn(size)
+			switch rng.Intn(3) {
+			case 0:
+				d := uint64(rng.Intn(2))
+				inj.Write(0, addr, d)
+				ref.Write(0, addr, d)
+			case 1:
+				got := inj.Read(0, addr)
+				want := ref.Read(0, addr)
+				if addr != fault.Cell && got != want {
+					return false // a non-victim cell misbehaved
+				}
+			case 2:
+				inj.Pause()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCouplingOnlyTouchesVictimProperty: a coupling fault perturbs at
+// most the victim cell; the aggressor itself and bystanders always
+// behave nominally.
+func TestCouplingOnlyTouchesVictimProperty(t *testing.T) {
+	kinds := []Kind{CFin, CFid, CFst}
+	f := func(seed int64, kindIdx, agg, vic uint8, aggVal, value bool) bool {
+		const size = 16
+		a := int(agg) % size
+		v := int(vic) % size
+		if a == v {
+			return true
+		}
+		fault := Fault{
+			Kind: kinds[int(kindIdx)%len(kinds)], Aggressor: a, Cell: v,
+			AggVal: aggVal, Value: value, Port: AnyPort,
+		}
+		inj := NewInjected(size, 1, 1, fault)
+		ref := memory.NewSRAM(size, 1, 1)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			addr := rng.Intn(size)
+			if rng.Intn(2) == 0 {
+				d := uint64(rng.Intn(2))
+				inj.Write(0, addr, d)
+				ref.Write(0, addr, d)
+			} else if addr != v {
+				if inj.Read(0, addr) != ref.Read(0, addr) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package fsm models Moore finite state machines and synthesises them to
+// gate-level netlists (binary state encoding, Quine-McCluskey next-state
+// and output logic). It is the engine behind both the hardwired
+// (non-programmable) March controllers and the lower-level controller of
+// the programmable FSM-based BIST architecture.
+package fsm
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Guard is a condition over the FSM inputs, expressed as a cube: the
+// guard holds when (inputs & Mask) == Value. The zero Guard always holds.
+type Guard struct {
+	Value uint64
+	Mask  uint64
+}
+
+// Always is the guard that holds for every input assignment.
+var Always = Guard{}
+
+// Holds reports whether the guard matches the input assignment.
+func (g Guard) Holds(inputs uint64) bool {
+	return inputs&g.Mask == g.Value
+}
+
+// InputSet tracks named input signals and builds guards over them.
+type InputSet struct {
+	names []string
+	index map[string]int
+}
+
+// NewInputSet returns an input set over the given signal names.
+func NewInputSet(names ...string) *InputSet {
+	s := &InputSet{names: append([]string(nil), names...), index: make(map[string]int)}
+	for i, n := range names {
+		if _, dup := s.index[n]; dup {
+			panic("fsm: duplicate input name " + n)
+		}
+		s.index[n] = i
+	}
+	return s
+}
+
+// Names returns the input names in bit order.
+func (s *InputSet) Names() []string { return s.names }
+
+// Len returns the number of inputs.
+func (s *InputSet) Len() int { return len(s.names) }
+
+// Bit returns the bit position of a named input.
+func (s *InputSet) Bit(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic("fsm: unknown input " + name)
+	}
+	return i
+}
+
+// If builds a guard requiring the named input to have value v.
+func (s *InputSet) If(name string, v bool) Guard {
+	bit := uint64(1) << uint(s.Bit(name))
+	g := Guard{Mask: bit}
+	if v {
+		g.Value = bit
+	}
+	return g
+}
+
+// And conjoins two guards; conflicting requirements panic (the guard
+// would be unsatisfiable, always a spec bug).
+func (g Guard) And(h Guard) Guard {
+	common := g.Mask & h.Mask
+	if g.Value&common != h.Value&common {
+		panic("fsm: contradictory guard conjunction")
+	}
+	return Guard{Value: g.Value | h.Value, Mask: g.Mask | h.Mask}
+}
+
+// Transition is one outgoing edge of a state. Transitions are evaluated
+// in declaration order; the first whose guard holds is taken. If none
+// holds the machine stays in its current state.
+type Transition struct {
+	Guard Guard
+	Next  int
+}
+
+// State is one Moore state: a name, the outputs asserted while in it,
+// and its outgoing transitions.
+type State struct {
+	Name        string
+	Outputs     map[string]bool
+	Transitions []Transition
+}
+
+// Spec is a complete Moore machine description.
+type Spec struct {
+	Name    string
+	Inputs  *InputSet
+	Outputs []string
+	States  []State
+	Reset   int // reset state index
+}
+
+// Validate checks structural consistency of the spec.
+func (sp *Spec) Validate() error {
+	if len(sp.States) == 0 {
+		return fmt.Errorf("fsm %s: no states", sp.Name)
+	}
+	if sp.Reset < 0 || sp.Reset >= len(sp.States) {
+		return fmt.Errorf("fsm %s: reset state %d out of range", sp.Name, sp.Reset)
+	}
+	outs := make(map[string]bool, len(sp.Outputs))
+	for _, o := range sp.Outputs {
+		if outs[o] {
+			return fmt.Errorf("fsm %s: duplicate output %s", sp.Name, o)
+		}
+		outs[o] = true
+	}
+	for _, st := range sp.States {
+		for o := range st.Outputs {
+			if !outs[o] {
+				return fmt.Errorf("fsm %s: state %s asserts undeclared output %s", sp.Name, st.Name, o)
+			}
+		}
+		for ti, tr := range st.Transitions {
+			if tr.Next < 0 || tr.Next >= len(sp.States) {
+				return fmt.Errorf("fsm %s: state %s transition %d targets state %d out of range", sp.Name, st.Name, ti, tr.Next)
+			}
+			maxMask := uint64(1)<<uint(sp.Inputs.Len()) - 1
+			if sp.Inputs.Len() == 0 {
+				maxMask = 0
+			}
+			if tr.Guard.Mask&^maxMask != 0 {
+				return fmt.Errorf("fsm %s: state %s transition %d guard uses undeclared input bits", sp.Name, st.Name, ti)
+			}
+		}
+	}
+	return nil
+}
+
+// NextState returns the successor of state si under the input assignment.
+func (sp *Spec) NextState(si int, inputs uint64) int {
+	for _, tr := range sp.States[si].Transitions {
+		if tr.Guard.Holds(inputs) {
+			return tr.Next
+		}
+	}
+	return si
+}
+
+// Machine is a behavioural executor of a Spec.
+type Machine struct {
+	Spec  *Spec
+	state int
+}
+
+// NewMachine returns an executor positioned in the reset state.
+func NewMachine(sp *Spec) *Machine {
+	return &Machine{Spec: sp, state: sp.Reset}
+}
+
+// Reset returns the machine to its reset state.
+func (m *Machine) Reset() { m.state = m.Spec.Reset }
+
+// State returns the current state index.
+func (m *Machine) State() int { return m.state }
+
+// StateName returns the current state's name.
+func (m *Machine) StateName() string { return m.Spec.States[m.state].Name }
+
+// Output returns the Moore output value in the current state.
+func (m *Machine) Output(name string) bool {
+	return m.Spec.States[m.state].Outputs[name]
+}
+
+// Step advances one cycle under the given input assignment.
+func (m *Machine) Step(inputs uint64) {
+	m.state = m.Spec.NextState(m.state, inputs)
+}
+
+// StateBits returns the width of the binary state encoding.
+func (sp *Spec) StateBits() int {
+	return max(1, logic.Log2Ceil(len(sp.States)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

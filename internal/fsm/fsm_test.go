@@ -1,0 +1,238 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gatesim"
+	"repro/internal/netlist"
+)
+
+// trafficLight builds a small 3-state machine with one input, used across
+// the unit tests: green -> yellow (always), yellow -> red (always),
+// red -> green when "go" is asserted.
+func trafficLight() *Spec {
+	in := NewInputSet("go")
+	return &Spec{
+		Name:    "traffic",
+		Inputs:  in,
+		Outputs: []string{"stop", "caution"},
+		States: []State{
+			{Name: "green", Transitions: []Transition{{Always, 1}}},
+			{Name: "yellow", Outputs: map[string]bool{"caution": true}, Transitions: []Transition{{Always, 2}}},
+			{Name: "red", Outputs: map[string]bool{"stop": true}, Transitions: []Transition{{in.If("go", true), 0}}},
+		},
+	}
+}
+
+func TestMachineStepping(t *testing.T) {
+	sp := trafficLight()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(sp)
+	if m.StateName() != "green" {
+		t.Fatalf("reset state = %s", m.StateName())
+	}
+	m.Step(0)
+	if m.StateName() != "yellow" || !m.Output("caution") {
+		t.Fatalf("after 1 step: %s caution=%v", m.StateName(), m.Output("caution"))
+	}
+	m.Step(0)
+	if m.StateName() != "red" || !m.Output("stop") {
+		t.Fatalf("after 2 steps: %s", m.StateName())
+	}
+	// Holds in red until go.
+	m.Step(0)
+	if m.StateName() != "red" {
+		t.Fatalf("red did not hold: %s", m.StateName())
+	}
+	m.Step(1)
+	if m.StateName() != "green" {
+		t.Fatalf("go did not return to green: %s", m.StateName())
+	}
+}
+
+func TestGuardAnd(t *testing.T) {
+	in := NewInputSet("a", "b", "c")
+	g := in.If("a", true).And(in.If("c", false))
+	if !g.Holds(0b001) || g.Holds(0b101) || g.Holds(0b000) {
+		t.Errorf("guard a&!c misbehaves")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("contradictory guard did not panic")
+		}
+	}()
+	_ = in.If("a", true).And(in.If("a", false))
+}
+
+func TestValidateErrors(t *testing.T) {
+	in := NewInputSet("x")
+	bad := &Spec{Name: "bad", Inputs: in, States: []State{
+		{Name: "s0", Transitions: []Transition{{Always, 5}}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range transition accepted")
+	}
+	bad2 := &Spec{Name: "bad2", Inputs: in, States: []State{
+		{Name: "s0", Outputs: map[string]bool{"nope": true}},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("undeclared output accepted")
+	}
+	empty := &Spec{Name: "empty", Inputs: in}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+// TestSynthesisedMatchesMachine drives the behavioural machine and the
+// synthesised netlist with the same random input streams and checks state
+// and outputs agree every cycle.
+func TestSynthesisedMatchesMachine(t *testing.T) {
+	sp := trafficLight()
+	syn, err := Synthesise(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gatesim.New(syn.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(sp)
+	rng := rand.New(rand.NewSource(5))
+	for cycle := 0; cycle < 300; cycle++ {
+		in := uint64(rng.Intn(2))
+		sim.Set(syn.InputNet["go"], in == 1)
+		sim.Eval()
+		if got := int(sim.GetBus(syn.StateQ)); got != m.State() {
+			t.Fatalf("cycle %d: netlist state %d, machine state %d", cycle, got, m.State())
+		}
+		for _, o := range sp.Outputs {
+			if sim.Get(syn.OutputNet[o]) != m.Output(o) {
+				t.Fatalf("cycle %d: output %s mismatch", cycle, o)
+			}
+		}
+		sim.Step()
+		m.Step(in)
+	}
+}
+
+// randomSpec builds a random but valid Moore machine for the equivalence
+// property test.
+func randomSpec(rng *rand.Rand, nStates, nInputs int) *Spec {
+	names := make([]string, nInputs)
+	for i := range names {
+		names[i] = "i" + string(rune('0'+i))
+	}
+	in := NewInputSet(names...)
+	sp := &Spec{Name: "rand", Inputs: in, Outputs: []string{"o0", "o1"}}
+	for s := 0; s < nStates; s++ {
+		st := State{Name: "s" + string(rune('0'+s)), Outputs: map[string]bool{
+			"o0": rng.Intn(2) == 1,
+			"o1": rng.Intn(2) == 1,
+		}}
+		nTrans := rng.Intn(3)
+		for k := 0; k < nTrans; k++ {
+			mask := uint64(rng.Intn(1 << uint(nInputs)))
+			val := uint64(rng.Intn(1<<uint(nInputs))) & mask
+			st.Transitions = append(st.Transitions, Transition{
+				Guard: Guard{Value: val, Mask: mask},
+				Next:  rng.Intn(nStates),
+			})
+		}
+		sp.States = append(sp.States, st)
+	}
+	return sp
+}
+
+func TestRandomSpecEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		sp := randomSpec(rng, 2+rng.Intn(6), 1+rng.Intn(3))
+		syn, err := Synthesise(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := gatesim.New(syn.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine(sp)
+		for cycle := 0; cycle < 100; cycle++ {
+			in := uint64(rng.Intn(1 << uint(sp.Inputs.Len())))
+			for _, name := range sp.Inputs.Names() {
+				sim.Set(syn.InputNet[name], in>>uint(sp.Inputs.Bit(name))&1 == 1)
+			}
+			sim.Eval()
+			if got := int(sim.GetBus(syn.StateQ)); got != m.State() {
+				t.Fatalf("trial %d cycle %d: state %d vs %d", trial, cycle, got, m.State())
+			}
+			sim.Step()
+			m.Step(in)
+		}
+	}
+}
+
+func TestSynthesiseIntoSharedNetlist(t *testing.T) {
+	sp := trafficLight()
+	nl := netlist.New("parent")
+	goNet := nl.AddInput("go")
+	syn, err := SynthesiseInto(sp, nl, "tl_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.InputNet["go"] != goNet {
+		t.Error("SynthesiseInto did not reuse the existing input net")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	in := NewInputSet()
+	mk := func(n int) *Spec {
+		sp := &Spec{Name: "n", Inputs: in}
+		for i := 0; i < n; i++ {
+			sp.States = append(sp.States, State{Name: "s"})
+		}
+		return sp
+	}
+	cases := []struct{ states, bits int }{{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {17, 5}}
+	for _, c := range cases {
+		if got := mk(c.states).StateBits(); got != c.bits {
+			t.Errorf("StateBits(%d states) = %d, want %d", c.states, got, c.bits)
+		}
+	}
+}
+
+func TestResetStateEncoded(t *testing.T) {
+	// A machine whose reset state is not state 0 must come out of reset
+	// in the right state.
+	in := NewInputSet("x")
+	sp := &Spec{
+		Name: "rst", Inputs: in, Outputs: []string{"o"},
+		Reset: 2,
+		States: []State{
+			{Name: "a", Transitions: []Transition{{Always, 1}}},
+			{Name: "b", Transitions: []Transition{{Always, 2}}},
+			{Name: "c", Outputs: map[string]bool{"o": true}, Transitions: []Transition{{Always, 0}}},
+		},
+	}
+	syn, err := Synthesise(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gatesim.New(syn.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.GetBus(syn.StateQ); got != 2 {
+		t.Fatalf("reset state code = %d, want 2", got)
+	}
+	if !sim.Get(syn.OutputNet["o"]) {
+		t.Error("reset-state output not asserted")
+	}
+}

@@ -1,0 +1,105 @@
+package fsm
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// SynthesiseOneHot builds a one-hot-encoded realisation of the spec:
+// one flip-flop per state, next-state logic built directly from the
+// transition guards (no boolean minimisation needed), outputs as OR
+// trees over the asserting states. One-hot machines trade register
+// count for simpler next-state logic — the classic encoding choice a
+// synthesis tool makes; the benchmark suite compares it against the
+// binary encoding for the hardwired BIST controllers.
+func SynthesiseOneHot(sp *Spec) (*Synthesised, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	nl := netlist.New(sp.Name + "-onehot")
+	syn := &Synthesised{
+		Spec:      sp,
+		Netlist:   nl,
+		InputNet:  make(map[string]netlist.NetID, sp.Inputs.Len()),
+		OutputNet: make(map[string]netlist.NetID, len(sp.Outputs)),
+	}
+	for _, name := range sp.Inputs.Names() {
+		syn.InputNet[name] = nl.AddInput(name)
+	}
+
+	n := len(sp.States)
+	state := make([]netlist.NetID, n)
+	for i := range state {
+		state[i] = nl.AddFF(netlist.CellDFF, nl.Const0(), i == sp.Reset)
+		nl.SetNetName(state[i], fmt.Sprintf("oh_state[%d]", i))
+	}
+	syn.StateQ = state
+
+	// guardNet builds the product term of a guard over the inputs.
+	guardNet := func(g Guard) netlist.NetID {
+		lits := []netlist.NetID{}
+		for b := 0; b < sp.Inputs.Len(); b++ {
+			bit := uint64(1) << uint(b)
+			if g.Mask&bit == 0 {
+				continue
+			}
+			in := syn.InputNet[sp.Inputs.Names()[b]]
+			if g.Value&bit != 0 {
+				lits = append(lits, in)
+			} else {
+				lits = append(lits, nl.Inv(in))
+			}
+		}
+		return nl.AndN(lits...)
+	}
+
+	// Collect entry terms per target state.
+	into := make([][]netlist.NetID, n)
+	for i, st := range sp.States {
+		remaining := nl.Const1()
+		for _, tr := range st.Transitions {
+			g := guardNet(tr.Guard)
+			take := nl.AndN(state[i], remaining, g)
+			into[tr.Next] = append(into[tr.Next], take)
+			remaining = nl.And2(remaining, nl.Inv(g))
+		}
+		// No transition matched: hold the state.
+		into[i] = append(into[i], nl.And2(state[i], remaining))
+	}
+	for i := range state {
+		nl.SetFFInput(state[i], nl.OrN(into[i]...))
+	}
+
+	// Moore outputs: OR of the asserting states.
+	for _, name := range sp.Outputs {
+		var terms []netlist.NetID
+		for i, st := range sp.States {
+			if st.Outputs[name] {
+				terms = append(terms, state[i])
+			}
+		}
+		out := nl.OrN(terms...)
+		syn.OutputNet[name] = out
+		nl.AddOutput(name, out)
+	}
+	return syn, nil
+}
+
+// OneHotState decodes a one-hot state vector to its index; ok is false
+// when the vector is not one-hot (an illegal machine state).
+func OneHotState(bits uint64, n int) (int, bool) {
+	idx := -1
+	for i := 0; i < n; i++ {
+		if bits>>uint(i)&1 == 1 {
+			if idx >= 0 {
+				return -1, false
+			}
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return -1, false
+	}
+	return idx, true
+}

@@ -1,0 +1,102 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gatesim"
+	"repro/internal/netlist"
+)
+
+func TestOneHotMatchesMachine(t *testing.T) {
+	sp := trafficLight()
+	syn, err := SynthesiseOneHot(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gatesim.New(syn.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(sp)
+	rng := rand.New(rand.NewSource(13))
+	for cycle := 0; cycle < 200; cycle++ {
+		in := uint64(rng.Intn(2))
+		sim.Set(syn.InputNet["go"], in == 1)
+		sim.Eval()
+		idx, ok := OneHotState(sim.GetBus(syn.StateQ), len(sp.States))
+		if !ok {
+			t.Fatalf("cycle %d: state vector %b not one-hot", cycle, sim.GetBus(syn.StateQ))
+		}
+		if idx != m.State() {
+			t.Fatalf("cycle %d: one-hot state %d, machine %d", cycle, idx, m.State())
+		}
+		for _, o := range sp.Outputs {
+			if sim.Get(syn.OutputNet[o]) != m.Output(o) {
+				t.Fatalf("cycle %d: output %s mismatch", cycle, o)
+			}
+		}
+		sim.Step()
+		m.Step(in)
+	}
+}
+
+func TestOneHotRandomSpecEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		sp := randomSpec(rng, 2+rng.Intn(6), 1+rng.Intn(3))
+		syn, err := SynthesiseOneHot(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := gatesim.New(syn.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine(sp)
+		for cycle := 0; cycle < 80; cycle++ {
+			in := uint64(rng.Intn(1 << uint(sp.Inputs.Len())))
+			for _, name := range sp.Inputs.Names() {
+				sim.Set(syn.InputNet[name], in>>uint(sp.Inputs.Bit(name))&1 == 1)
+			}
+			sim.Eval()
+			idx, ok := OneHotState(sim.GetBus(syn.StateQ), len(sp.States))
+			if !ok || idx != m.State() {
+				t.Fatalf("trial %d cycle %d: one-hot %d (ok=%v), machine %d", trial, cycle, idx, ok, m.State())
+			}
+			sim.Step()
+			m.Step(in)
+		}
+	}
+}
+
+func TestOneHotMoreFFsFewerGates(t *testing.T) {
+	// The classic trade-off: one-hot uses more flip-flops; binary uses
+	// more combinational logic per state bit.
+	sp := trafficLight()
+	bin, err := Synthesise(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh, err := SynthesiseOneHot(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := bin.Netlist.StatsFor(&netlist.CMOS5SLike)
+	os := oh.Netlist.StatsFor(&netlist.CMOS5SLike)
+	if os.FlipFlops <= bs.FlipFlops {
+		t.Errorf("one-hot FFs %d <= binary FFs %d", os.FlipFlops, bs.FlipFlops)
+	}
+}
+
+func TestOneHotStateDecode(t *testing.T) {
+	if idx, ok := OneHotState(0b0100, 4); !ok || idx != 2 {
+		t.Errorf("decode(0100) = %d,%v", idx, ok)
+	}
+	if _, ok := OneHotState(0b0110, 4); ok {
+		t.Error("two-hot accepted")
+	}
+	if _, ok := OneHotState(0, 4); ok {
+		t.Error("zero-hot accepted")
+	}
+}

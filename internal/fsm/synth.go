@@ -1,0 +1,137 @@
+package fsm
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Synthesised couples a spec's netlist with handles to its interface
+// nets so simulators and parent designs can wire it up.
+type Synthesised struct {
+	Spec     *Spec
+	Netlist  *netlist.Netlist
+	InputNet map[string]netlist.NetID
+	// OutputNet maps each declared Moore output to its net.
+	OutputNet map[string]netlist.NetID
+	// StateQ are the state-register outputs, LSB first.
+	StateQ []netlist.NetID
+}
+
+// Synthesise builds a gate-level realisation of the spec into a fresh
+// netlist: binary state encoding in declaration order, ripple-free
+// two-level next-state and output logic from Quine-McCluskey covers.
+// Unused state codes are don't-cares.
+func Synthesise(sp *Spec) (*Synthesised, error) {
+	nl := netlist.New(sp.Name)
+	syn, err := SynthesiseInto(sp, nl, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range sp.Outputs {
+		nl.AddOutput(name, syn.OutputNet[name])
+	}
+	return syn, nil
+}
+
+// SynthesiseInto builds the spec inside an existing netlist so a larger
+// design (e.g. the programmable FSM-based BIST unit) can embed it. When
+// prefix is non-empty it namespaces the state register nets. Inputs are
+// declared as primary inputs of nl only when nl has no input of that
+// name yet; otherwise the existing net is reused.
+func SynthesiseInto(sp *Spec, nl *netlist.Netlist, prefix string) (*Synthesised, error) {
+	return SynthesiseIntoWith(sp, nl, prefix, nil)
+}
+
+// SynthesiseIntoWith is SynthesiseInto with explicit input bindings:
+// inputs named in bind are driven by the given internal nets instead of
+// primary inputs.
+func SynthesiseIntoWith(sp *Spec, nl *netlist.Netlist, prefix string, bind map[string]netlist.NetID) (*Synthesised, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	sb := sp.StateBits()
+	ni := sp.Inputs.Len()
+	nvars := sb + ni
+	if nvars > logic.MaxInputs {
+		return nil, fmt.Errorf("fsm %s: %d state bits + %d inputs exceeds synthesis limit of %d variables",
+			sp.Name, sb, ni, logic.MaxInputs)
+	}
+
+	syn := &Synthesised{
+		Spec:      sp,
+		Netlist:   nl,
+		InputNet:  make(map[string]netlist.NetID, ni),
+		OutputNet: make(map[string]netlist.NetID, len(sp.Outputs)),
+	}
+
+	// Interface nets.
+	for _, name := range sp.Inputs.Names() {
+		if id, ok := bind[name]; ok {
+			syn.InputNet[name] = id
+		} else if id, ok := nl.InputByName(name); ok {
+			syn.InputNet[name] = id
+		} else {
+			syn.InputNet[name] = nl.AddInput(name)
+		}
+	}
+
+	// State register with reset to the reset-state code.
+	resetCode := uint64(sp.Reset)
+	syn.StateQ = make([]netlist.NetID, sb)
+	for i := 0; i < sb; i++ {
+		syn.StateQ[i] = nl.AddFF(netlist.CellDFF, nl.Const0(), resetCode>>uint(i)&1 == 1)
+		nl.SetNetName(syn.StateQ[i], fmt.Sprintf("%sstate[%d]", prefix, i))
+	}
+
+	// Variable ordering for the truth tables: state bits 0..sb-1 are the
+	// low variables, inputs follow.
+	vars := make([]netlist.NetID, 0, nvars)
+	vars = append(vars, syn.StateQ...)
+	for _, name := range sp.Inputs.Names() {
+		vars = append(vars, syn.InputNet[name])
+	}
+
+	// Next-state tables.
+	nextTables := make([]*logic.TruthTable, sb)
+	for i := range nextTables {
+		nextTables[i] = logic.NewTruthTable(nvars)
+	}
+	outTables := make(map[string]*logic.TruthTable, len(sp.Outputs))
+	for _, o := range sp.Outputs {
+		outTables[o] = logic.NewTruthTable(nvars)
+	}
+
+	numCodes := 1 << uint(sb)
+	numIn := 1 << uint(ni)
+	for code := 0; code < numCodes; code++ {
+		for in := 0; in < numIn; in++ {
+			row := code | in<<uint(sb)
+			if code >= len(sp.States) {
+				for i := range nextTables {
+					nextTables[i].Set(row, logic.DontCare)
+				}
+				for _, t := range outTables {
+					t.Set(row, logic.DontCare)
+				}
+				continue
+			}
+			next := sp.NextState(code, uint64(in))
+			for i := range nextTables {
+				nextTables[i].SetBool(row, next>>uint(i)&1 == 1)
+			}
+			for o, t := range outTables {
+				t.SetBool(row, sp.States[code].Outputs[o])
+			}
+		}
+	}
+
+	for i := 0; i < sb; i++ {
+		nl.SetFFInput(syn.StateQ[i], nl.FromTruthTable(nextTables[i], vars))
+	}
+	for _, o := range sp.Outputs {
+		syn.OutputNet[o] = nl.FromTruthTable(outTables[o], vars)
+	}
+	return syn, nil
+}

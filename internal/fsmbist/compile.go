@@ -1,0 +1,163 @@
+package fsmbist
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// Program is a compiled upper-controller instruction sequence.
+type Program struct {
+	Name         string
+	Instructions []Instruction
+	// Realized is the march algorithm the program actually executes.
+	// When every element maps to a single SM component it equals the
+	// source algorithm; decomposed elements appear as several
+	// consecutive elements with the same address order.
+	Realized march.Algorithm
+	// Decomposed reports whether any element needed decomposition —
+	// the architecture's flexibility penalty versus the microcode
+	// controller.
+	Decomposed bool
+	// Source maps each instruction to its realized element (-1 for the
+	// loop-back flow words).
+	Source []int
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Instructions) }
+
+// CompileOpts configures the compiler.
+type CompileOpts struct {
+	// WordOriented emits the data-background loop-back word.
+	WordOriented bool
+	// Multiport emits the port loop-back word.
+	Multiport bool
+}
+
+// Compile translates a march algorithm into SM-component instructions.
+// Each element must match one of the eight SM patterns, or decompose
+// into a sequence of them; otherwise compilation fails — the
+// programmable FSM architecture cannot run the algorithm, in contrast
+// to the microcode architecture.
+func Compile(a march.Algorithm, opts CompileOpts) (*Program, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{Name: a.Name, Realized: march.Algorithm{Name: a.Name}}
+
+	for ei, e := range a.Elements {
+		chunks, err := decompose(e.Ops)
+		if err != nil {
+			return nil, fmt.Errorf("fsmbist: %s element %d %v: %w", a.Name, ei, e, err)
+		}
+		if len(chunks) > 1 {
+			p.Decomposed = true
+		}
+		if e.PauseBefore {
+			// The retention delay is realised by holding the lower
+			// controller in Done after the previous component.
+			if len(p.Instructions) == 0 {
+				return nil, fmt.Errorf("fsmbist: %s element %d: leading pause not realisable (no previous component to hold)", a.Name, ei)
+			}
+			p.Instructions[len(p.Instructions)-1].Hold = true
+		}
+		for ci, ch := range chunks {
+			p.Instructions = append(p.Instructions, Instruction{
+				AddrDown: e.Order == march.Down,
+				DataInv:  ch.d,
+				SM:       ch.sm,
+			})
+			p.Source = append(p.Source, len(p.Realized.Elements))
+			p.Realized.Elements = append(p.Realized.Elements, march.Element{
+				Order:       e.Order,
+				Ops:         ch.sm.Ops(ch.d),
+				PauseBefore: e.PauseBefore && ci == 0,
+			})
+		}
+	}
+
+	if opts.WordOriented {
+		p.Instructions = append(p.Instructions, Instruction{DataInc: true})
+		p.Source = append(p.Source, -1)
+	}
+	if opts.Multiport {
+		p.Instructions = append(p.Instructions, Instruction{PortInc: true})
+		p.Source = append(p.Source, -1)
+	}
+
+	if err := p.Realized.Validate(); err != nil {
+		return nil, fmt.Errorf("fsmbist: realized algorithm inconsistent: %w", err)
+	}
+	return p, nil
+}
+
+// chunk is one SM component of a decomposed element.
+type chunk struct {
+	sm SM
+	d  bool
+}
+
+// matchSM finds the component and polarity realising the op sequence
+// exactly.
+func matchSM(ops []march.Op) (SM, bool, bool) {
+	for s := SM0; s <= SM7; s++ {
+		if s.NumOps() != len(ops) {
+			continue
+		}
+		for _, d := range []bool{false, true} {
+			if opsEqual(s.Ops(d), ops) {
+				return s, d, true
+			}
+		}
+	}
+	return 0, false, false
+}
+
+func opsEqual(a, b []march.Op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// decompose splits an op sequence into SM chunks, preferring the
+// longest-prefix match at each step (fewest sweeps). It fails when no
+// prefix matches any component.
+func decompose(ops []march.Op) ([]chunk, error) {
+	var out []chunk
+	rest := ops
+	for len(rest) > 0 {
+		matched := false
+		for l := min(4, len(rest)); l >= 1; l-- {
+			if s, d, ok := matchSM(rest[:l]); ok {
+				out = append(out, chunk{sm: s, d: d})
+				rest = rest[l:]
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("no SM component matches op prefix of %v", rest)
+		}
+	}
+	return out, nil
+}
+
+// Listing renders the program one instruction per line, like Fig. 5.
+func (p *Program) Listing() string {
+	s := fmt.Sprintf("%s (%d instructions", p.Name, p.Len())
+	if p.Decomposed {
+		s += ", decomposed"
+	}
+	s += ")\n"
+	for i, in := range p.Instructions {
+		s += fmt.Sprintf("%2d: %-16s ; %08b\n", i+1, in.String(), in.Encode())
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+package fsmbist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/march"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(w uint8) bool {
+		return Decode(w).Encode() == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSMPatternsMatchEq2(t *testing.T) {
+	// Spot-check the component definitions against Eq. 2 with d = 0.
+	cases := []struct {
+		sm   SM
+		want string
+	}{
+		{SM0, "w0"},
+		{SM1, "r0 w1"},
+		{SM2, "r0 w1 r1 w0"},
+		{SM3, "r0 w1 w0"},
+		{SM4, "r0 r0 r0"},
+		{SM5, "r0"},
+		{SM6, "r0 w1 w0 w1"},
+		{SM7, "r0 w1 r1"},
+	}
+	for _, c := range cases {
+		var parts []string
+		for _, op := range c.sm.Ops(false) {
+			parts = append(parts, op.String())
+		}
+		if got := strings.Join(parts, " "); got != c.want {
+			t.Errorf("%v(d=0) = %q, want %q", c.sm, got, c.want)
+		}
+	}
+	// Polarity d=1 complements every op.
+	ops := SM1.Ops(true)
+	if ops[0].String() != "r1" || ops[1].String() != "w0" {
+		t.Errorf("SM1(d=1) = %v %v", ops[0], ops[1])
+	}
+}
+
+func TestCompileMarchCMatchesFig5(t *testing.T) {
+	// Fig. 5: March C compiles to 8 instructions — 6 components plus
+	// the data-background and port loop-backs.
+	p, err := Compile(march.MarchC(), CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 8 {
+		t.Fatalf("March C compiles to %d instructions, want 8:\n%s", p.Len(), p.Listing())
+	}
+	if p.Decomposed {
+		t.Error("March C should map 1:1 onto SM components")
+	}
+	want := []struct {
+		sm   SM
+		down bool
+		d    bool
+	}{
+		{SM0, false, false}, // ⇕(w0)
+		{SM1, false, false}, // ⇑(r0,w1)
+		{SM1, false, true},  // ⇑(r1,w0)
+		{SM1, true, false},  // ⇓(r0,w1)
+		{SM1, true, true},   // ⇓(r1,w0)
+		{SM5, false, false}, // ⇕(r0)
+	}
+	for i, w := range want {
+		in := p.Instructions[i]
+		if in.SM != w.sm || in.AddrDown != w.down || in.DataInv != w.d {
+			t.Errorf("instr %d = %v, want %v down=%v d=%v", i+1, in, w.sm, w.down, w.d)
+		}
+	}
+	if !p.Instructions[6].DataInc || !p.Instructions[7].PortInc {
+		t.Errorf("loop-back words wrong: %v %v", p.Instructions[6], p.Instructions[7])
+	}
+}
+
+func TestCompileMarchAUsesSM6AndSM3(t *testing.T) {
+	p, err := Compile(march.MarchA(), CompileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Decomposed {
+		t.Error("March A should map 1:1 onto SM components")
+	}
+	wantSM := []SM{SM0, SM6, SM3, SM6, SM3}
+	for i, w := range wantSM {
+		if p.Instructions[i].SM != w {
+			t.Errorf("instr %d = %v, want %v", i+1, p.Instructions[i].SM, w)
+		}
+	}
+}
+
+func TestCompileMarchBDecomposes(t *testing.T) {
+	// March B's 6-op first element is not an SM component; it must
+	// decompose into SM2 + SM1.
+	p, err := Compile(march.MarchB(), CompileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Decomposed {
+		t.Error("March B compiled without decomposition")
+	}
+	if p.Instructions[1].SM != SM2 || p.Instructions[2].SM != SM1 {
+		t.Errorf("March B element 1 decomposed to %v,%v, want SM2,SM1",
+			p.Instructions[1].SM, p.Instructions[2].SM)
+	}
+	if p.Realized.OpCount() != march.MarchB().OpCount() {
+		t.Errorf("March B decomposition changed op count: %d vs %d",
+			p.Realized.OpCount(), march.MarchB().OpCount())
+	}
+}
+
+func TestCompileTripleReadVariants(t *testing.T) {
+	// March C++/A++ decompose via SM4 (triple read) + SM0.
+	for _, alg := range []march.Algorithm{march.MarchCPlusPlus(), march.MarchAPlusPlus()} {
+		p, err := Compile(alg, CompileOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if !p.Decomposed {
+			t.Errorf("%s compiled without decomposition", alg.Name)
+		}
+		usesSM4 := false
+		for _, in := range p.Instructions {
+			if !in.IsFlow() && in.SM == SM4 {
+				usesSM4 = true
+			}
+		}
+		if !usesSM4 {
+			t.Errorf("%s does not use the SM4 triple-read component", alg.Name)
+		}
+	}
+}
+
+func TestCompileRetentionSetsHold(t *testing.T) {
+	p, err := Compile(march.MarchCPlus(), CompileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds := 0
+	for _, in := range p.Instructions {
+		if in.Hold {
+			holds++
+		}
+	}
+	if holds != 2 {
+		t.Errorf("March C+ program has %d hold bits, want 2\n%s", holds, p.Listing())
+	}
+}
+
+func TestCompileRejectsLeadingPause(t *testing.T) {
+	a := march.Algorithm{Name: "leading-pause", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(false)}, PauseBefore: true},
+	}}
+	if _, err := Compile(a, CompileOpts{}); err == nil {
+		t.Error("leading pause compiled; the FSM architecture cannot hold before the first component")
+	}
+}
+
+func TestCompileAllLibrary(t *testing.T) {
+	for name, f := range march.Library() {
+		p, err := Compile(f(), CompileOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := p.Realized.Validate(); err != nil {
+			t.Errorf("%s realized: %v", name, err)
+		}
+	}
+}
+
+func TestRealizedEqualsSourceWhenExact(t *testing.T) {
+	for _, alg := range []march.Algorithm{march.MATSPlus(), march.MarchX(), march.MarchY(), march.MarchC(), march.MarchA(), march.MarchCPlus()} {
+		p, err := Compile(alg, CompileOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if p.Decomposed {
+			t.Errorf("%s unexpectedly decomposed", alg.Name)
+			continue
+		}
+		if len(p.Realized.Elements) != len(alg.Elements) {
+			t.Errorf("%s realized has %d elements, want %d", alg.Name, len(p.Realized.Elements), len(alg.Elements))
+			continue
+		}
+		for i := range alg.Elements {
+			if !p.Realized.Elements[i].Equal(alg.Elements[i]) {
+				t.Errorf("%s element %d: realized %v, source %v", alg.Name, i, p.Realized.Elements[i], alg.Elements[i])
+			}
+		}
+	}
+}
+
+func TestListing(t *testing.T) {
+	p, err := Compile(march.MarchC(), CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Listing()
+	for _, frag := range []string{"SM0", "SM1", "SM5", "loopdata", "loopport"} {
+		if !strings.Contains(l, frag) {
+			t.Errorf("listing missing %q:\n%s", frag, l)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package fsmbist
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// ExecOpts tunes the behavioural executor.
+type ExecOpts struct {
+	// MaxFails caps the fail log (0 = unlimited).
+	MaxFails int
+	// MaxCycles overrides the runaway-protection budget.
+	MaxCycles int
+}
+
+// ExecResult is the outcome of running a compiled program.
+type ExecResult struct {
+	Fails      []march.Fail
+	Cycles     int
+	Operations int
+	PauseCount int
+	Signature  uint16
+	Terminated bool
+}
+
+// Detected reports whether any miscompare occurred.
+func (r *ExecResult) Detected() bool { return len(r.Fails) > 0 }
+
+// Run executes the program against the memory: the upper controller
+// steps through the circular buffer, the lower 7-state FSM sweeps the
+// address space per SM component. Cycle accounting models the lower
+// controller: one Reset cycle and one Done cycle per component plus one
+// cycle per memory operation; loop-back words take one cycle.
+func (p *Program) Run(mem memory.Memory, opts ExecOpts) (*ExecResult, error) {
+	if len(p.Instructions) == 0 {
+		return nil, fmt.Errorf("fsmbist: empty program")
+	}
+	addrGen := bist.NewAddressGenerator(mem.Size())
+	dataGen := bist.NewDataGenerator(mem.Width())
+	portSel := bist.NewPortSelector(mem.Ports())
+	analyzer := bist.NewResponseAnalyzer(opts.MaxFails)
+	res := &ExecResult{}
+
+	budget := opts.MaxCycles
+	if budget == 0 {
+		perPass := 2 * len(p.Instructions)
+		for _, in := range p.Instructions {
+			if !in.IsFlow() {
+				perPass += in.SM.NumOps() * mem.Size()
+			}
+		}
+		budget = (perPass+16)*dataGen.Count()*mem.Ports() + 256
+	}
+
+	pc := 0
+	for res.Cycles < budget {
+		in := p.Instructions[pc]
+
+		if in.DataInc {
+			res.Cycles++
+			if dataGen.Last() {
+				dataGen.Reset()
+				pc++
+			} else {
+				dataGen.Step()
+				pc = 0
+			}
+			if pc >= len(p.Instructions) {
+				res.Terminated = true
+				break
+			}
+			continue
+		}
+		if in.PortInc {
+			res.Cycles++
+			if portSel.Last() {
+				res.Terminated = true
+				break
+			}
+			portSel.Step()
+			dataGen.Reset()
+			pc = 0
+			continue
+		}
+
+		// Lower controller: Reset, sweep, Done.
+		res.Cycles++ // Reset state
+		addrGen.Reset(in.AddrDown)
+		ops := in.SM.Ops(in.DataInv)
+		elem := p.Source[pc]
+		for {
+			for oi, op := range ops {
+				if res.Cycles >= budget {
+					res.Fails = analyzer.Fails()
+					res.Signature = analyzer.Signature()
+					return res, nil
+				}
+				res.Cycles++
+				switch op.Kind {
+				case march.Write:
+					mem.Write(portSel.Port(), addrGen.Addr(), dataGen.Pattern(op.Data))
+					res.Operations++
+				case march.Read:
+					expected := dataGen.Pattern(op.Data)
+					got := mem.Read(portSel.Port(), addrGen.Addr())
+					res.Operations++
+					analyzer.Compare(got, expected, march.Fail{
+						Port:       portSel.Port(),
+						Background: dataGen.Background(),
+						Element:    elem,
+						OpIndex:    oi,
+						Addr:       addrGen.Addr(),
+					})
+					if opts.MaxFails > 0 && len(analyzer.Fails()) >= opts.MaxFails {
+						res.Fails = analyzer.Fails()
+						res.Signature = analyzer.Signature()
+						res.Terminated = true
+						return res, nil
+					}
+				}
+			}
+			if addrGen.Last() {
+				break
+			}
+			addrGen.Step()
+		}
+		res.Cycles++ // Done state
+		if in.Hold {
+			// Hold in Done: the retention delay phase.
+			mem.Pause()
+			res.PauseCount++
+			res.Cycles++
+		}
+		pc++
+		if pc >= len(p.Instructions) {
+			res.Terminated = true
+			break
+		}
+	}
+
+	res.Fails = analyzer.Fails()
+	res.Signature = analyzer.Signature()
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package fsmbist
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// execVsOracle compiles the algorithm, runs the executor, and requires
+// the fail log to match the march reference runner executing the
+// *realized* algorithm (identical to the source when no decomposition
+// occurred).
+func execVsOracle(t *testing.T, alg march.Algorithm, size, width, ports int, fs ...faults.Fault) {
+	t.Helper()
+	p, err := Compile(alg, CompileOpts{WordOriented: width > 1, Multiport: ports > 1})
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name, err)
+	}
+
+	memA := faults.NewInjected(size, width, ports, fs...)
+	got, err := p.Run(memA, ExecOpts{})
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name, err)
+	}
+	if !got.Terminated {
+		t.Fatalf("%s: executor hit the cycle budget", alg.Name)
+	}
+
+	memB := faults.NewInjected(size, width, ports, fs...)
+	want, err := march.Run(p.Realized, memB, march.RunOpts{
+		SinglePort:       ports == 1,
+		SingleBackground: width == 1,
+	})
+	if err != nil {
+		t.Fatalf("%s oracle: %v", alg.Name, err)
+	}
+
+	if len(got.Fails) != len(want.Fails) {
+		t.Fatalf("%s with %v: executor %d fails, oracle %d\nexec: %v\noracle: %v",
+			alg.Name, fs, len(got.Fails), len(want.Fails), got.Fails, want.Fails)
+	}
+	for i := range got.Fails {
+		if got.Fails[i] != want.Fails[i] {
+			t.Fatalf("%s with %v: fail %d differs\nexec:   %v\noracle: %v",
+				alg.Name, fs, i, got.Fails[i], want.Fails[i])
+		}
+	}
+	if got.Operations != want.Operations {
+		t.Errorf("%s: executor %d ops, oracle %d", alg.Name, got.Operations, want.Operations)
+	}
+	if got.PauseCount != want.PauseCount {
+		t.Errorf("%s: executor %d pauses, oracle %d", alg.Name, got.PauseCount, want.PauseCount)
+	}
+}
+
+func TestExecutorMatchesOracleCleanMemory(t *testing.T) {
+	for name, f := range march.Library() {
+		t.Run(name, func(t *testing.T) {
+			execVsOracle(t, f(), 16, 1, 1)
+		})
+	}
+}
+
+func TestExecutorMatchesOracleUnderFaults(t *testing.T) {
+	universe := faults.Universe(8, 1, faults.UniverseOpts{})
+	algs := []march.Algorithm{
+		march.MATSPlus(), march.MarchC(), march.MarchA(),
+		march.MarchCPlus(), march.MarchCPlusPlus(), march.MarchB(),
+	}
+	for _, alg := range algs {
+		for _, f := range universe {
+			execVsOracle(t, alg, 8, 1, 1, f)
+		}
+	}
+}
+
+func TestExecutorMatchesOracleWordOriented(t *testing.T) {
+	universe := faults.Universe(8, 4, faults.UniverseOpts{CellSample: 6, CouplingPairs: 8, AddrSample: 2, Seed: 3})
+	for _, f := range universe {
+		execVsOracle(t, march.MarchC(), 8, 4, 1, f)
+	}
+}
+
+func TestExecutorMatchesOracleMultiport(t *testing.T) {
+	universe := faults.Universe(8, 2, faults.UniverseOpts{CellSample: 4, CouplingPairs: 4, AddrSample: 2, Ports: 2, Seed: 5})
+	for _, f := range universe {
+		execVsOracle(t, march.MarchC(), 8, 2, 2, f)
+	}
+}
+
+func TestExecutorDetectsDRF(t *testing.T) {
+	p, err := Compile(march.MarchCPlus(), CompileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := faults.NewInjected(16, 1, 1, faults.Fault{
+		Kind: faults.DRF, Cell: 9, Value: true, Port: faults.AnyPort,
+	})
+	res, err := p.Run(mem, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Error("FSM-based March C+ missed a DRF")
+	}
+	if res.PauseCount != 2 {
+		t.Errorf("pauses = %d, want 2", res.PauseCount)
+	}
+}
+
+func TestExecutorCycleOverheadPerComponent(t *testing.T) {
+	// March C on N=32 bit-oriented: 10N memory-op cycles + 2 cycles
+	// (Reset+Done) per component per pass + 1 terminate-path cycle.
+	p, err := Compile(march.MarchC(), CompileOpts{Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.NewSRAM(32, 1, 1)
+	res, err := p.Run(mem, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := 10 * 32
+	if res.Operations != wantOps {
+		t.Errorf("operations = %d, want %d", res.Operations, wantOps)
+	}
+	wantCycles := wantOps + 2*6 + 1 // 6 components, one port loop-back
+	if res.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", res.Cycles, wantCycles)
+	}
+}
+
+func TestExecutorMaxFails(t *testing.T) {
+	var fs []faults.Fault
+	for c := 0; c < 16; c++ {
+		fs = append(fs, faults.Fault{Kind: faults.SA, Cell: c, Value: true, Port: faults.AnyPort})
+	}
+	p, _ := Compile(march.MarchC(), CompileOpts{})
+	mem := faults.NewInjected(16, 1, 1, fs...)
+	res, err := p.Run(mem, ExecOpts{MaxFails: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fails) != 4 {
+		t.Errorf("fails = %d, want 4", len(res.Fails))
+	}
+}
+
+func TestExecutorEmptyProgramError(t *testing.T) {
+	p := &Program{Name: "empty"}
+	if _, err := p.Run(memory.NewSRAM(8, 1, 1), ExecOpts{}); err == nil {
+		t.Error("empty program ran")
+	}
+}
+
+func TestMicrocodeAndFSMArchitecturesAgree(t *testing.T) {
+	// Cross-architecture check: for exactly-realizable algorithms, both
+	// programmable architectures must produce identical fail logs.
+	universe := faults.Universe(8, 1, faults.UniverseOpts{CellSample: 4, CouplingPairs: 6, AddrSample: 2, Seed: 9})
+	for _, algf := range []func() march.Algorithm{march.MarchC, march.MarchA, march.MarchCPlus} {
+		alg := algf()
+		fp, err := Compile(alg, CompileOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range universe {
+			memA := faults.NewInjected(8, 1, 1, f)
+			ra, err := fp.Run(memA, ExecOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			memB := faults.NewInjected(8, 1, 1, f)
+			rb, err := march.Run(alg, memB, march.RunOpts{SinglePort: true, SingleBackground: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra.Detected() != rb.Detected() {
+				t.Errorf("%s with %v: FSM %v, oracle %v", alg.Name, f, ra.Detected(), rb.Detected())
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package fsmbist
+
+import (
+	"testing"
+
+	"repro/internal/fsm"
+	"repro/internal/march"
+	"repro/internal/netlist"
+)
+
+func TestLowerSpecValid(t *testing.T) {
+	sp := LowerSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.States) != 7 {
+		t.Errorf("lower controller has %d states, want 7 (Fig. 4a)", len(sp.States))
+	}
+}
+
+// TestLowerSpecWalksComponents drives the behavioural lower FSM through
+// each SM component and checks the visited op states and the sweep
+// looping match the component's op count.
+func TestLowerSpecWalksComponents(t *testing.T) {
+	sp := LowerSpec()
+	in := sp.Inputs
+	inputVec := func(start, lastAddr, hold bool, s SM) uint64 {
+		var v uint64
+		if start {
+			v |= 1 << uint(in.Bit("start"))
+		}
+		if lastAddr {
+			v |= 1 << uint(in.Bit("last_addr"))
+		}
+		if hold {
+			v |= 1 << uint(in.Bit("hold"))
+		}
+		v |= uint64(s&1) << uint(in.Bit("sm0"))
+		v |= uint64(s&2>>1) << uint(in.Bit("sm1"))
+		v |= uint64(s&4>>2) << uint(in.Bit("sm2"))
+		return v
+	}
+
+	for s := SM0; s <= SM7; s++ {
+		m := fsm.NewMachine(sp)
+		if m.StateName() != "Idle" {
+			t.Fatalf("reset state %s", m.StateName())
+		}
+		m.Step(inputVec(true, false, false, s))
+		if m.StateName() != "Reset" {
+			t.Fatalf("%v: after start: %s", s, m.StateName())
+		}
+		m.Step(inputVec(false, false, false, s))
+
+		// Two full address positions (not last, then last).
+		for _, last := range []bool{false, true} {
+			for op := 0; op < s.NumOps(); op++ {
+				wantState := 2 + op // stOp1 + op
+				if m.State() != wantState {
+					t.Fatalf("%v last=%v op %d: in state %s", s, last, op, m.StateName())
+				}
+				if !m.Output("active") {
+					t.Fatalf("%v: active not asserted in %s", s, m.StateName())
+				}
+				gotIdx := 0
+				if m.Output(opBitName(0)) {
+					gotIdx |= 1
+				}
+				if m.Output(opBitName(1)) {
+					gotIdx |= 2
+				}
+				if gotIdx != op {
+					t.Fatalf("%v op %d: op index outputs say %d", s, op, gotIdx)
+				}
+				m.Step(inputVec(false, last, false, s))
+			}
+		}
+		if m.StateName() != "Done" {
+			t.Fatalf("%v: after last address: %s", s, m.StateName())
+		}
+		// Hold keeps it in Done; release goes to Idle.
+		m.Step(inputVec(false, false, true, s))
+		if m.StateName() != "Done" {
+			t.Fatalf("%v: hold did not hold: %s", s, m.StateName())
+		}
+		m.Step(inputVec(false, false, false, s))
+		if m.StateName() != "Idle" {
+			t.Fatalf("%v: release did not idle: %s", s, m.StateName())
+		}
+	}
+}
+
+func TestOpDecodeAgainstPatterns(t *testing.T) {
+	for s := SM0; s <= SM7; s++ {
+		ops := s.Ops(false)
+		for oi, op := range ops {
+			r, w, d, inc := opDecode(s, oi)
+			if r != (op.Kind == march.Read) || w != (op.Kind == march.Write) {
+				t.Errorf("%v op %d: decode r=%v w=%v for %v", s, oi, r, w, op)
+			}
+			if d != op.Data {
+				t.Errorf("%v op %d: relative polarity %v, want %v", s, oi, d, op.Data)
+			}
+			if inc != (oi == len(ops)-1) {
+				t.Errorf("%v op %d: addrInc %v", s, oi, inc)
+			}
+		}
+	}
+}
+
+func TestBuildHardwareValidates(t *testing.T) {
+	p, err := Compile(march.MarchC(), CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []HWConfig{
+		DefaultHWConfig(),
+		{Slots: 8, AddrBits: 10, Width: 8, Ports: 2, IncludeDatapath: true},
+		{Slots: 8, AddrBits: 10, Width: 1, Ports: 1, DelayTimerBits: 8},
+	} {
+		hw, err := BuildHardware(p, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if err := hw.Netlist.Validate(); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestBufferUsesFullScanCells(t *testing.T) {
+	// The circular buffer shifts at functional clock, so it cannot use
+	// scan-only storage — the microcode architecture's Table 3 trick
+	// does not apply here. All buffer cells must be full-scan.
+	p, _ := Compile(march.MarchC(), CompileOpts{})
+	hw, err := BuildHardware(p, DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hw.Netlist.StatsFor(&netlist.CMOS5SLike)
+	if s.CellCount[netlist.CellSODFF] != 0 {
+		t.Errorf("FSM-based buffer uses %d scan-only cells", s.CellCount[netlist.CellSODFF])
+	}
+	if s.CellCount[netlist.CellSDFF] != 8*WordBits {
+		t.Errorf("buffer cells = %d, want %d", s.CellCount[netlist.CellSDFF], 8*WordBits)
+	}
+}
+
+func TestSlotsGrowToFitProgram(t *testing.T) {
+	p, err := Compile(march.MarchAPlusPlus(), CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := BuildHardware(p, HWConfig{Slots: 4, AddrBits: 6, Width: 1, Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Config.Slots < p.Len() {
+		t.Errorf("slots = %d < program %d", hw.Config.Slots, p.Len())
+	}
+}
+
+func TestAreaIndependentOfProgramContents(t *testing.T) {
+	lib := &netlist.CMOS5SLike
+	var areas []float64
+	for _, algf := range []func() march.Algorithm{march.MarchC, march.MarchA} {
+		p, err := Compile(algf(), CompileOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, err := BuildHardware(p, HWConfig{Slots: 8, AddrBits: 10, Width: 1, Ports: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas = append(areas, hw.Netlist.StatsFor(lib).AreaUm2)
+	}
+	if areas[0] != areas[1] {
+		t.Errorf("area depends on program contents: %v", areas)
+	}
+}

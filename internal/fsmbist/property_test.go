@@ -1,0 +1,58 @@
+package fsmbist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+// TestRandomAlgorithmEquivalenceProperty fuzzes the compiler: random
+// valid march algorithms either fail compilation (flexibility limit) or
+// run to a fail log identical to the reference runner executing the
+// realized algorithm.
+func TestRandomAlgorithmEquivalenceProperty(t *testing.T) {
+	universe := faults.Universe(8, 1, faults.UniverseOpts{})
+	compiled, rejected := 0, 0
+	f := func(seed int64, faultIdx uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := march.Random(rng)
+		fault := universe[int(faultIdx)%len(universe)]
+
+		p, err := Compile(alg, CompileOpts{})
+		if err != nil {
+			rejected++
+			return true // a documented flexibility limit, not a bug
+		}
+		compiled++
+
+		memA := faults.NewInjected(8, 1, 1, fault)
+		got, err := p.Run(memA, ExecOpts{})
+		if err != nil || !got.Terminated {
+			return false
+		}
+		memB := faults.NewInjected(8, 1, 1, fault)
+		want, err := march.Run(p.Realized, memB, march.RunOpts{SinglePort: true, SingleBackground: true})
+		if err != nil {
+			return false
+		}
+		if len(got.Fails) != len(want.Fails) || got.Operations != want.Operations {
+			return false
+		}
+		for i := range got.Fails {
+			if got.Fails[i] != want.Fails[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+	if compiled == 0 {
+		t.Error("every random algorithm was rejected; generator or compiler too restrictive")
+	}
+	t.Logf("compiled %d, rejected %d (flexibility limit)", compiled, rejected)
+}

@@ -1,0 +1,223 @@
+// Package gatesim simulates flattened netlists from internal/netlist:
+// two-phase (settle combinational logic, clock flip-flops) with a
+// levelised evaluation order. It exists to check that every synthesised
+// BIST controller netlist matches its behavioural model cycle for cycle.
+package gatesim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Simulator executes one netlist. The zero value is not usable; call New.
+type Simulator struct {
+	nl     *netlist.Netlist
+	values []bool // indexed by NetID
+	order  []int  // combinational instance indices in topological order
+	ffs    []int  // sequential instance indices
+	const1 netlist.NetID
+	cycles int
+	// forced nets override their driver's value during settling —
+	// the stuck-at fault injection mechanism of the logic-BIST fault
+	// simulator.
+	forced map[netlist.NetID]bool
+}
+
+// New levelises the netlist and returns a simulator in the post-reset
+// state. It fails on combinational loops or structural errors.
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		nl:     nl,
+		values: make([]bool, nl.NumNets()+1),
+	}
+
+	insts := nl.Instances()
+	// Kahn levelisation over combinational instances. FF outputs,
+	// primary inputs and constants are sources.
+	indeg := make([]int, len(insts))
+	fanout := make(map[netlist.NetID][]int)
+	for i, inst := range insts {
+		if inst.Kind.IsSequential() {
+			s.ffs = append(s.ffs, i)
+			continue
+		}
+		for _, in := range inst.In {
+			d := nl.Driver(in)
+			if d >= 0 && !insts[d].Kind.IsSequential() {
+				indeg[i]++
+				fanout[insts[d].Out] = append(fanout[insts[d].Out], i)
+			}
+		}
+	}
+	var queue []int
+	for i, inst := range insts {
+		if !inst.Kind.IsSequential() && indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, i)
+		for _, j := range fanout[insts[i].Out] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	combCount := 0
+	for _, inst := range insts {
+		if !inst.Kind.IsSequential() {
+			combCount++
+		}
+	}
+	if len(s.order) != combCount {
+		return nil, fmt.Errorf("gatesim: netlist %s has a combinational loop", nl.Name)
+	}
+	s.const1 = s.constNet(true)
+	s.Reset()
+	return s, nil
+}
+
+// Reset applies the asynchronous reset: every flip-flop takes its Init
+// value and the combinational logic settles. Primary inputs keep their
+// current values. The cycle counter restarts at zero.
+func (s *Simulator) Reset() {
+	insts := s.nl.Instances()
+	for _, i := range s.ffs {
+		s.values[insts[i].Out] = insts[i].Init
+	}
+	s.settle()
+	s.cycles = 0
+}
+
+func (s *Simulator) settle() {
+	if s.const1 != netlist.Invalid {
+		s.values[s.const1] = true
+	}
+	for id, v := range s.forced {
+		s.values[id] = v
+	}
+	insts := s.nl.Instances()
+	var in [3]bool
+	for _, i := range s.order {
+		inst := insts[i]
+		for k, net := range inst.In {
+			in[k] = s.values[net]
+		}
+		v := inst.Kind.Eval(in[:len(inst.In)])
+		if fv, ok := s.forced[inst.Out]; ok {
+			v = fv
+		}
+		s.values[inst.Out] = v
+	}
+}
+
+// Force pins a net to a value during settling regardless of its driver
+// — stuck-at fault injection. Forcing also applies to primary inputs
+// and flip-flop outputs.
+func (s *Simulator) Force(id netlist.NetID, v bool) {
+	if s.forced == nil {
+		s.forced = make(map[netlist.NetID]bool)
+	}
+	s.forced[id] = v
+	s.values[id] = v
+}
+
+// Unforce releases a forced net.
+func (s *Simulator) Unforce(id netlist.NetID) {
+	delete(s.forced, id)
+}
+
+func (s *Simulator) constNet(one bool) netlist.NetID {
+	// Constants are identified through IsConst on candidate nets; the
+	// netlist does not expose them directly, so probe via name lookup.
+	for id := netlist.NetID(1); id <= netlist.NetID(s.nl.NumNets()); id++ {
+		if c, v := s.nl.IsConst(id); c && v == one {
+			return id
+		}
+	}
+	return netlist.Invalid
+}
+
+// Set drives a primary input net.
+func (s *Simulator) Set(id netlist.NetID, v bool) {
+	s.values[id] = v
+}
+
+// SetByName drives the primary input with the given name, panicking if it
+// does not exist (a test programming error).
+func (s *Simulator) SetByName(name string, v bool) {
+	id, ok := s.nl.InputByName(name)
+	if !ok {
+		panic("gatesim: no input named " + name)
+	}
+	s.Set(id, v)
+}
+
+// Get returns the settled value of a net.
+func (s *Simulator) Get(id netlist.NetID) bool {
+	return s.values[id]
+}
+
+// GetByName returns the value of the primary output with the given name.
+func (s *Simulator) GetByName(name string) bool {
+	id, ok := s.nl.OutputByName(name)
+	if !ok {
+		panic("gatesim: no output named " + name)
+	}
+	return s.Get(id)
+}
+
+// GetBus reads a bus of nets as an unsigned integer, LSB first.
+func (s *Simulator) GetBus(ids []netlist.NetID) uint64 {
+	var v uint64
+	for i, id := range ids {
+		if s.values[id] {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// SetBus drives a bus of input nets from an unsigned integer, LSB first.
+func (s *Simulator) SetBus(ids []netlist.NetID, v uint64) {
+	for i, id := range ids {
+		s.Set(id, v>>uint(i)&1 == 1)
+	}
+}
+
+// Eval settles combinational logic without clocking, so outputs reflect
+// the current inputs. Useful for probing Mealy outputs mid-cycle.
+func (s *Simulator) Eval() { s.settle() }
+
+// Step advances one clock cycle: settle, capture every flip-flop's D,
+// update Qs, settle again.
+func (s *Simulator) Step() {
+	s.settle()
+	insts := s.nl.Instances()
+	next := make([]bool, len(s.ffs))
+	for k, i := range s.ffs {
+		next[k] = s.values[insts[i].In[0]]
+	}
+	for k, i := range s.ffs {
+		s.values[insts[i].Out] = next[k]
+	}
+	s.settle()
+	s.cycles++
+}
+
+// StepN advances n clock cycles.
+func (s *Simulator) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Cycles returns the number of Step calls since the last Reset.
+func (s *Simulator) Cycles() int { return s.cycles }

@@ -1,0 +1,342 @@
+package gatesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func TestCombinationalGates(t *testing.T) {
+	n := netlist.New("comb")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("and", n.And2(a, b))
+	n.AddOutput("or", n.Or2(a, b))
+	n.AddOutput("xor", n.Xor2(a, b))
+	n.AddOutput("nand", n.Nand2(a, b))
+
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, av := range []bool{false, true} {
+		for _, bv := range []bool{false, true} {
+			s.SetByName("a", av)
+			s.SetByName("b", bv)
+			s.Eval()
+			if got := s.GetByName("and"); got != (av && bv) {
+				t.Errorf("and(%v,%v)=%v", av, bv, got)
+			}
+			if got := s.GetByName("or"); got != (av || bv) {
+				t.Errorf("or(%v,%v)=%v", av, bv, got)
+			}
+			if got := s.GetByName("xor"); got != (av != bv) {
+				t.Errorf("xor(%v,%v)=%v", av, bv, got)
+			}
+			if got := s.GetByName("nand"); got != !(av && bv) {
+				t.Errorf("nand(%v,%v)=%v", av, bv, got)
+			}
+		}
+	}
+}
+
+func TestUpCounterMatchesBehaviour(t *testing.T) {
+	n := netlist.New("cnt4")
+	en := n.AddInput("en")
+	c := n.BuildCounter("q", 4, en, netlist.Invalid, netlist.Invalid)
+	for i, q := range c.Q {
+		n.AddOutput([]string{"q0", "q1", "q2", "q3"}[i], q)
+	}
+	n.AddOutput("tc", c.Terminal)
+
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetByName("en", true)
+	for want := 0; want < 40; want++ {
+		got := int(s.GetBus(c.Q))
+		if got != want%16 {
+			t.Fatalf("cycle %d: counter = %d, want %d", want, got, want%16)
+		}
+		if tc := s.Get(c.Terminal); tc != (want%16 == 15) {
+			t.Fatalf("cycle %d: terminal = %v", want, tc)
+		}
+		s.Step()
+	}
+	// Disable: counter holds.
+	s.SetByName("en", false)
+	before := s.GetBus(c.Q)
+	s.StepN(5)
+	if after := s.GetBus(c.Q); after != before {
+		t.Errorf("disabled counter moved from %d to %d", before, after)
+	}
+}
+
+func TestUpDownCounter(t *testing.T) {
+	n := netlist.New("updown")
+	en := n.AddInput("en")
+	down := n.AddInput("down")
+	c := n.BuildCounter("q", 3, en, down, netlist.Invalid)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetByName("en", true)
+	s.SetByName("down", false)
+	s.StepN(5)
+	if got := s.GetBus(c.Q); got != 5 {
+		t.Fatalf("after 5 up steps: %d", got)
+	}
+	s.SetByName("down", true)
+	s.Eval()
+	if s.Get(c.Terminal) {
+		t.Error("terminal asserted at 5 counting down")
+	}
+	s.StepN(5)
+	if got := s.GetBus(c.Q); got != 0 {
+		t.Fatalf("after 5 down steps: %d", got)
+	}
+	s.Eval()
+	if !s.Get(c.Terminal) {
+		t.Error("terminal not asserted at 0 counting down")
+	}
+}
+
+func TestCounterClear(t *testing.T) {
+	n := netlist.New("clr")
+	en := n.AddInput("en")
+	clr := n.AddInput("clr")
+	c := n.BuildCounter("q", 4, en, netlist.Invalid, clr)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetByName("en", true)
+	s.SetByName("clr", false)
+	s.StepN(9)
+	if got := s.GetBus(c.Q); got != 9 {
+		t.Fatalf("count = %d, want 9", got)
+	}
+	s.SetByName("clr", true)
+	s.Step()
+	if got := s.GetBus(c.Q); got != 0 {
+		t.Fatalf("after clear: %d, want 0", got)
+	}
+}
+
+func TestRegisterLoadEnable(t *testing.T) {
+	n := netlist.New("reg")
+	en := n.AddInput("en")
+	d := []netlist.NetID{n.AddInput("d0"), n.AddInput("d1"), n.AddInput("d2")}
+	q := n.Register("r", netlist.CellDFF, 3, d, en, []bool{true, false, true})
+	for _, id := range q {
+		n.AddOutput(n.NetName(id), id)
+	}
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reset value 101 (bits 0 and 2).
+	if got := s.GetBus(q); got != 0b101 {
+		t.Fatalf("reset value = %03b, want 101", got)
+	}
+	s.SetBus(d, 0b010)
+	s.SetByName("en", false)
+	s.Step()
+	if got := s.GetBus(q); got != 0b101 {
+		t.Fatalf("load with en=0 changed register to %03b", got)
+	}
+	s.SetByName("en", true)
+	s.Step()
+	if got := s.GetBus(q); got != 0b010 {
+		t.Fatalf("load with en=1 gave %03b, want 010", got)
+	}
+}
+
+func TestMuxNSelects(t *testing.T) {
+	n := netlist.New("mux")
+	sel := []netlist.NetID{n.AddInput("s0"), n.AddInput("s1"), n.AddInput("s2")}
+	data := make([]netlist.NetID, 8)
+	for i := range data {
+		data[i] = n.AddInput("d" + string(rune('0'+i)))
+	}
+	out := n.MuxN(sel, data)
+	n.AddOutput("out", out)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		word := rng.Uint64() & 0xff
+		s.SetBus(data, 0)
+		for i := 0; i < 8; i++ {
+			s.Set(data[i], word>>uint(i)&1 == 1)
+		}
+		for k := uint64(0); k < 8; k++ {
+			s.SetBus(sel, k)
+			s.Eval()
+			if got := s.Get(out); got != (word>>k&1 == 1) {
+				t.Fatalf("word %08b sel %d: got %v", word, k, got)
+			}
+		}
+	}
+}
+
+func TestDecoderOneHot(t *testing.T) {
+	n := netlist.New("dec")
+	sel := []netlist.NetID{n.AddInput("s0"), n.AddInput("s1"), n.AddInput("s2")}
+	outs := n.Decoder(sel, 8)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 8; k++ {
+		s.SetBus(sel, k)
+		s.Eval()
+		for i, o := range outs {
+			want := uint64(i) == k
+			if got := s.Get(o); got != want {
+				t.Fatalf("sel=%d out[%d]=%v", k, i, got)
+			}
+		}
+	}
+}
+
+func TestEqualsBusAndConst(t *testing.T) {
+	n := netlist.New("eq")
+	a := []netlist.NetID{n.AddInput("a0"), n.AddInput("a1"), n.AddInput("a2"), n.AddInput("a3")}
+	b := []netlist.NetID{n.AddInput("b0"), n.AddInput("b1"), n.AddInput("b2"), n.AddInput("b3")}
+	eq := n.EqualsBus(a, b)
+	eqc := n.EqualsConst(a, 0b1010)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			s.SetBus(a, av)
+			s.SetBus(b, bv)
+			s.Eval()
+			if got := s.Get(eq); got != (av == bv) {
+				t.Fatalf("eq(%d,%d)=%v", av, bv, got)
+			}
+			if got := s.Get(eqc); got != (av == 0b1010) {
+				t.Fatalf("eqc(%d)=%v", av, got)
+			}
+		}
+	}
+}
+
+// TestSynthesisedTableMatchesSim is the key closure property: a random
+// truth table minimised by QM and synthesised to gates must evaluate
+// identically in the gate-level simulator.
+func TestSynthesisedTableMatchesSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		nin := 2 + rng.Intn(5)
+		tt := logic.NewTruthTable(nin)
+		for i := 0; i < tt.NumRows(); i++ {
+			tt.SetBool(i, rng.Intn(2) == 1)
+		}
+
+		n := netlist.New("sop")
+		vars := make([]netlist.NetID, nin)
+		for i := range vars {
+			vars[i] = n.AddInput("x" + string(rune('0'+i)))
+		}
+		out := n.FromTruthTable(tt, vars)
+		n.AddOutput("f", out)
+
+		s, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for in := uint64(0); in < uint64(tt.NumRows()); in++ {
+			s.SetBus(vars, in)
+			s.Eval()
+			if got := s.Get(out); got != tt.Eval(in) {
+				t.Fatalf("trial %d input %b: gate=%v table=%v", trial, in, got, tt.Eval(in))
+			}
+		}
+	}
+}
+
+func TestStorageRegisterHolds(t *testing.T) {
+	n := netlist.New("store")
+	q := n.StorageRegister("m", netlist.CellSODFF, 4, []bool{true, false, true, true})
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GetBus(q); got != 0b1101 {
+		t.Fatalf("storage reset = %04b, want 1101", got)
+	}
+	s.StepN(10)
+	if got := s.GetBus(q); got != 0b1101 {
+		t.Fatalf("storage after 10 cycles = %04b, want 1101", got)
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	n := netlist.New("loop")
+	a := n.AddInput("a")
+	// Build x = AND(a, y); y = INV(x) by wiring through a placeholder FF
+	// trick is not available for comb cells, so construct the loop with
+	// instance-level access: add INV of a net that the AND later drives.
+	// Simplest honest loop: two cross-coupled gates via NewNet is not
+	// expressible through Add (it always makes fresh outputs), so verify
+	// instead that a self-feeding FF does NOT count as a loop.
+	q := n.AddFF(netlist.CellDFF, a, false)
+	n.SetFFInput(q, n.Inv(q)) // toggle FF: q' = !q
+	n.AddOutput("q", q)
+	s, err := New(n)
+	if err != nil {
+		t.Fatalf("FF self-loop flagged as combinational: %v", err)
+	}
+	vals := []bool{s.Get(q)}
+	s.Step()
+	vals = append(vals, s.Get(q))
+	s.Step()
+	vals = append(vals, s.Get(q))
+	if vals[0] != false || vals[1] != true || vals[2] != false {
+		t.Errorf("toggle FF sequence = %v", vals)
+	}
+}
+
+func TestIncDecBehaviour(t *testing.T) {
+	n := netlist.New("incdec")
+	a := []netlist.NetID{n.AddInput("a0"), n.AddInput("a1"), n.AddInput("a2")}
+	en := n.AddInput("en")
+	sum, carry := n.Incrementer(a, en)
+	dif, borrow := n.Decrementer(a, en)
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 8; v++ {
+		s.SetBus(a, v)
+		s.SetByName("en", true)
+		s.Eval()
+		if got := s.GetBus(sum); got != (v+1)%8 {
+			t.Errorf("inc(%d) = %d", v, got)
+		}
+		if got := s.Get(carry); got != (v == 7) {
+			t.Errorf("inc carry(%d) = %v", v, got)
+		}
+		if got := s.GetBus(dif); got != (v+7)%8 {
+			t.Errorf("dec(%d) = %d", v, got)
+		}
+		if got := s.Get(borrow); got != (v == 0) {
+			t.Errorf("dec borrow(%d) = %v", v, got)
+		}
+		s.SetByName("en", false)
+		s.Eval()
+		if got := s.GetBus(sum); got != v {
+			t.Errorf("inc disabled(%d) = %d", v, got)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package gatesim
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/netlist"
+)
+
+// BISTOp is one memory operation observed on a gate-level BIST unit's
+// memory interface.
+type BISTOp struct {
+	Write bool
+	Port  int
+	Addr  int
+	Data  uint64 // written word, or the word presented on the read bus
+}
+
+// BISTResult is the outcome of a closed-loop gate-level BIST run.
+type BISTResult struct {
+	Ops []BISTOp
+	// MismatchAddrs records the address of every cycle on which the
+	// unit's comparator flagged a miscompare.
+	MismatchAddrs []int
+	Cycles        int
+	// Ended is true when the unit raised test_end before the cycle
+	// budget expired.
+	Ended bool
+}
+
+// Detected reports whether the comparator flagged at least one
+// miscompare.
+func (r *BISTResult) Detected() bool { return len(r.MismatchAddrs) > 0 }
+
+// RunBISTUnit executes a complete BIST unit netlist (controller +
+// datapath, as produced by the IncludeDatapath builders) closed-loop
+// against a behavioural memory through port 0: every clock cycle the
+// harness feeds the datapath's own last-address/last-data/last-port
+// flags back into the controller's condition inputs, serves reads from
+// the memory onto the mem_q bus, commits writes from the mem_addr/mem_d
+// buses, and records the comparator's mismatch output — a gate-level
+// end-to-end self-test run.
+//
+// Required nets: inputs last_address, last_data, last_port and a
+// mem_q[i] bus; outputs mem_addr[i], mem_d[i], read_en/write_en (or
+// read/write), mismatch, test_end, dp_last_address, dp_last_data and
+// optionally dp_last_port. Inputs named start and delay_done, when
+// present, are held high.
+func RunBISTUnit(nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTResult, error) {
+	sim, err := New(nl)
+	if err != nil {
+		return nil, err
+	}
+
+	in := func(name string) (netlist.NetID, bool) { return nl.InputByName(name) }
+	out := func(name string) (netlist.NetID, bool) { return nl.OutputByName(name) }
+	need := func(get func(string) (netlist.NetID, bool), name string) (netlist.NetID, error) {
+		id, ok := get(name)
+		if !ok {
+			return netlist.Invalid, fmt.Errorf("gatesim: BIST unit %s lacks net %q", nl.Name, name)
+		}
+		return id, nil
+	}
+
+	lastAddrIn, ok := in("last_address")
+	if !ok {
+		if lastAddrIn, err = need(in, "last_addr"); err != nil {
+			return nil, err
+		}
+	}
+	lastDataIn, err := need(in, "last_data")
+	if err != nil {
+		return nil, err
+	}
+	lastPortIn, err := need(in, "last_port")
+	if err != nil {
+		return nil, err
+	}
+	readEn, ok := out("read_en")
+	if !ok {
+		if readEn, err = need(out, "read"); err != nil {
+			return nil, err
+		}
+	}
+	writeEn, ok := out("write_en")
+	if !ok {
+		if writeEn, err = need(out, "write"); err != nil {
+			return nil, err
+		}
+	}
+	mismatch, err := need(out, "mismatch")
+	if err != nil {
+		return nil, err
+	}
+	testEnd, err := need(out, "test_end")
+	if err != nil {
+		return nil, err
+	}
+	dpLastAddr, err := need(out, "dp_last_address")
+	if err != nil {
+		return nil, err
+	}
+	dpLastData, err := need(out, "dp_last_data")
+	if err != nil {
+		return nil, err
+	}
+	dpLastPort, hasPortLoop := out("dp_last_port")
+
+	bus := func(get func(string) (netlist.NetID, bool), prefix string) []netlist.NetID {
+		var ids []netlist.NetID
+		for i := 0; ; i++ {
+			id, ok := get(fmt.Sprintf("%s[%d]", prefix, i))
+			if !ok {
+				break
+			}
+			ids = append(ids, id)
+		}
+		return ids
+	}
+	addrBus := bus(out, "mem_addr")
+	dataBus := bus(out, "mem_d")
+	qBus := bus(in, "mem_q")
+	portBus := bus(out, "mem_port")
+	if mem.Ports() > 1 && len(portBus) == 0 {
+		return nil, fmt.Errorf("gatesim: BIST unit %s lacks a port bus for a %d-port memory", nl.Name, mem.Ports())
+	}
+	if len(addrBus) == 0 || len(dataBus) == 0 || len(qBus) == 0 {
+		return nil, fmt.Errorf("gatesim: BIST unit %s lacks a memory interface (addr %d, d %d, q %d)",
+			nl.Name, len(addrBus), len(dataBus), len(qBus))
+	}
+	if len(dataBus) != mem.Width() || len(qBus) != mem.Width() {
+		return nil, fmt.Errorf("gatesim: BIST unit width %d does not match memory width %d",
+			len(dataBus), mem.Width())
+	}
+	if 1<<uint(len(addrBus)) != mem.Size() {
+		return nil, fmt.Errorf("gatesim: BIST unit addresses %d words, memory has %d",
+			1<<uint(len(addrBus)), mem.Size())
+	}
+
+	if id, ok := in("start"); ok {
+		sim.Set(id, true)
+	}
+	if id, ok := in("delay_done"); ok {
+		sim.Set(id, true)
+	}
+
+	res := &BISTResult{}
+	for res.Cycles = 0; res.Cycles < maxCycles; res.Cycles++ {
+		// Feed the datapath's condition flags back to the controller.
+		sim.Eval()
+		sim.Set(lastAddrIn, sim.Get(dpLastAddr))
+		sim.Set(lastDataIn, sim.Get(dpLastData))
+		if hasPortLoop {
+			sim.Set(lastPortIn, sim.Get(dpLastPort))
+		} else {
+			sim.Set(lastPortIn, true)
+		}
+		sim.Eval()
+
+		if sim.Get(testEnd) {
+			res.Ended = true
+			break
+		}
+
+		addr := int(sim.GetBus(addrBus))
+		port := 0
+		if len(portBus) > 0 {
+			port = int(sim.GetBus(portBus)) % mem.Ports()
+		}
+		// Serve the read combinationally, then settle the comparator.
+		if sim.Get(readEn) {
+			word := mem.Read(port, addr)
+			sim.SetBus(qBus, word)
+			sim.Eval()
+			res.Ops = append(res.Ops, BISTOp{Port: port, Addr: addr, Data: word})
+			if sim.Get(mismatch) {
+				res.MismatchAddrs = append(res.MismatchAddrs, addr)
+			}
+		} else if sim.Get(writeEn) {
+			word := sim.GetBus(dataBus)
+			mem.Write(port, addr, word)
+			res.Ops = append(res.Ops, BISTOp{Write: true, Port: port, Addr: addr, Data: word})
+		}
+		sim.Step()
+	}
+	return res, nil
+}

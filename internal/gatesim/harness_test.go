@@ -1,0 +1,103 @@
+package gatesim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/netlist"
+)
+
+func TestRunBISTUnitRejectsMissingInterface(t *testing.T) {
+	nl := netlist.New("bare")
+	a := nl.AddInput("a")
+	nl.AddOutput("y", nl.Inv(a))
+	_, err := RunBISTUnit(nl, memory.NewSRAM(8, 1, 1), 100)
+	if err == nil || !strings.Contains(err.Error(), "lacks") {
+		t.Errorf("bare netlist accepted: %v", err)
+	}
+}
+
+func TestRunBISTUnitRejectsGeometryMismatch(t *testing.T) {
+	// A minimal netlist with the right net names but a 2-address bus
+	// against an 8-word memory.
+	nl := netlist.New("tiny")
+	nl.AddInput("last_address")
+	nl.AddInput("last_data")
+	nl.AddInput("last_port")
+	q := nl.AddInput("mem_q[0]")
+	c0 := nl.Const0()
+	addr := nl.AddFF(netlist.CellDFF, c0, false)
+	nl.AddOutput("mem_addr[0]", addr)
+	nl.AddOutput("mem_d[0]", q)
+	nl.AddOutput("read_en", c0)
+	nl.AddOutput("write_en", c0)
+	nl.AddOutput("mismatch", c0)
+	nl.AddOutput("test_end", nl.Const1())
+	nl.AddOutput("dp_last_address", c0)
+	nl.AddOutput("dp_last_data", c0)
+
+	if _, err := RunBISTUnit(nl, memory.NewSRAM(8, 1, 1), 100); err == nil {
+		t.Error("address-bus/memory size mismatch accepted")
+	}
+	if _, err := RunBISTUnit(nl, memory.NewSRAM(2, 2, 1), 100); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	// Matching geometry: ends immediately via test_end.
+	res, err := RunBISTUnit(nl, memory.NewSRAM(2, 1, 1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended || len(res.Ops) != 0 {
+		t.Errorf("trivial unit: ended=%v ops=%d", res.Ended, len(res.Ops))
+	}
+}
+
+func TestRunBISTUnitRejectsMultiportWithoutPortBus(t *testing.T) {
+	nl := netlist.New("noport")
+	nl.AddInput("last_address")
+	nl.AddInput("last_data")
+	nl.AddInput("last_port")
+	q := nl.AddInput("mem_q[0]")
+	c0 := nl.Const0()
+	nl.AddOutput("mem_addr[0]", nl.AddFF(netlist.CellDFF, c0, false))
+	nl.AddOutput("mem_d[0]", q)
+	nl.AddOutput("read_en", c0)
+	nl.AddOutput("write_en", c0)
+	nl.AddOutput("mismatch", c0)
+	nl.AddOutput("test_end", nl.Const1())
+	nl.AddOutput("dp_last_address", c0)
+	nl.AddOutput("dp_last_data", c0)
+	if _, err := RunBISTUnit(nl, memory.NewSRAM(2, 1, 2), 100); err == nil {
+		t.Error("multiport memory without port bus accepted")
+	}
+}
+
+func TestForceOverridesDriver(t *testing.T) {
+	nl := netlist.New("force")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	mid := nl.And2(a, b)
+	out := nl.Inv(mid)
+	nl.AddOutput("y", out)
+	sim, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Set(a, true)
+	sim.Set(b, true)
+	sim.Eval()
+	if sim.Get(out) {
+		t.Fatal("baseline wrong")
+	}
+	sim.Force(mid, false) // stuck-at-0 on the AND output
+	sim.Eval()
+	if !sim.Get(out) {
+		t.Error("forced value not observed")
+	}
+	sim.Unforce(mid)
+	sim.Eval()
+	if sim.Get(out) {
+		t.Error("unforce did not restore")
+	}
+}

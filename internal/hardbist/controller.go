@@ -1,0 +1,270 @@
+// Package hardbist generates the paper's non-programmable baselines:
+// hardwired FSM controllers that realise one fixed march algorithm
+// (March C, C+, C++, A, A+, A++ in §3). The generator turns a march
+// algorithm into a Moore machine — one state per operation, plus pause
+// states for retention delays and loop states for data backgrounds and
+// ports — which internal/fsm synthesises to gates for the area tables.
+//
+// Any change to the test algorithm requires regenerating (re-designing)
+// the controller: the LOW-flexibility end of the paper's comparison.
+package hardbist
+
+import (
+	"fmt"
+
+	"repro/internal/fsm"
+	"repro/internal/march"
+	"repro/internal/netlist"
+)
+
+// Config selects the memory geometry support compiled into the
+// controller.
+type Config struct {
+	// WordOriented adds the data-background loop.
+	WordOriented bool
+	// Multiport adds the port loop.
+	Multiport bool
+	// AddrBits, Width, Ports size the optional datapath and the area
+	// accounting; they do not change the state graph.
+	AddrBits int
+	Width    int
+	Ports    int
+	// IncludeDatapath adds the shared datapath to the netlist.
+	IncludeDatapath bool
+	// DelayTimerBits adds a retention delay timer when the algorithm
+	// pauses.
+	DelayTimerBits int
+	// OneHot selects one-hot state encoding instead of binary — the
+	// synthesis trade-off the encoding ablation benchmark explores.
+	// One-hot synthesis does not support the internal delay timer or
+	// datapath attachment (it is a controller-area experiment).
+	OneHot bool
+}
+
+// DefaultConfig matches the paper's first experiment: bit-oriented,
+// single-port, 1K addresses.
+func DefaultConfig() Config {
+	return Config{AddrBits: 10, Width: 1, Ports: 1}
+}
+
+// stateKind classifies generated states for the executor.
+type stateKind uint8
+
+const (
+	kindIdle stateKind = iota
+	kindPause
+	kindOp
+	kindCheck // bg/port check states
+	kindStep  // bg/port step states
+	kindDone
+)
+
+type stateMeta struct {
+	kind    stateKind
+	element int // op/pause states: element index
+	op      int // op states: op index within the element
+}
+
+// Controller is a generated hardwired BIST controller.
+type Controller struct {
+	Algorithm march.Algorithm
+	Config    Config
+	Spec      *fsm.Spec
+	meta      []stateMeta
+}
+
+// Moore output names of the generated machines.
+var outputNames = []string{
+	"read", "write", "data_inv", "addr_down", "addr_inc",
+	"step_data", "data_clr", "step_port", "pause", "test_end",
+}
+
+// Generate builds the hardwired controller for the algorithm.
+func Generate(a march.Algorithm, cfg Config) (*Controller, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.AddrBits <= 0 {
+		cfg.AddrBits = 10
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 1
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 1
+	}
+
+	inputs := fsm.NewInputSet("start", "last_addr", "last_data", "last_port", "delay_done")
+	c := &Controller{Algorithm: a, Config: cfg}
+	sp := &fsm.Spec{
+		Name:    "hardwired-" + a.Name,
+		Inputs:  inputs,
+		Outputs: outputNames,
+	}
+
+	add := func(st fsm.State, m stateMeta) int {
+		sp.States = append(sp.States, st)
+		c.meta = append(c.meta, m)
+		return len(sp.States) - 1
+	}
+
+	// State indices are assigned sequentially; compute the index of
+	// each element's first state (pause state when present) up front so
+	// transitions can reference forward states.
+	idle := add(fsm.State{Name: "Idle"}, stateMeta{kind: kindIdle})
+
+	firstOf := make([]int, len(a.Elements))
+	next := idle + 1
+	for ei, e := range a.Elements {
+		firstOf[ei] = next
+		if e.PauseBefore {
+			next++
+		}
+		next += len(e.Ops)
+	}
+	afterBody := next // first state after the last element
+
+	for ei, e := range a.Elements {
+		if e.PauseBefore {
+			idx := add(fsm.State{
+				Name:    fmt.Sprintf("Pause%d", ei),
+				Outputs: map[string]bool{"pause": true},
+				Transitions: []fsm.Transition{
+					{Guard: inputs.If("delay_done", true), Next: firstOf[ei] + 1},
+				},
+			}, stateMeta{kind: kindPause, element: ei})
+			if idx != firstOf[ei] {
+				return nil, fmt.Errorf("hardbist: state layout drift at element %d", ei)
+			}
+		}
+		opBase := firstOf[ei]
+		if e.PauseBefore {
+			opBase++
+		}
+		for oi, op := range e.Ops {
+			out := map[string]bool{
+				"addr_down": e.Order == march.Down,
+			}
+			if op.Kind == march.Read {
+				out["read"] = true
+			} else {
+				out["write"] = true
+			}
+			out["data_inv"] = op.Data
+			st := fsm.State{Name: fmt.Sprintf("E%dO%d", ei, oi), Outputs: out}
+			if oi == len(e.Ops)-1 {
+				out["addr_inc"] = true
+				nextElem := afterBody
+				if ei+1 < len(a.Elements) {
+					nextElem = firstOf[ei+1]
+				}
+				st.Transitions = []fsm.Transition{
+					{Guard: inputs.If("last_addr", true), Next: nextElem},
+					{Guard: fsm.Always, Next: opBase},
+				}
+			} else {
+				st.Transitions = []fsm.Transition{{Guard: fsm.Always, Next: opBase + oi + 1}}
+			}
+			add(st, stateMeta{kind: kindOp, element: ei, op: oi})
+		}
+	}
+
+	// Tail: optional background loop, optional port loop, Done.
+	// Forward indices depend on which loops exist.
+	cur := afterBody
+	bgStep, portCheck, portStep := -1, -1, -1
+	if cfg.WordOriented {
+		bgStep = cur + 1
+		cur += 2
+	}
+	if cfg.Multiport {
+		portCheck, portStep = cur, cur+1
+		cur += 2
+	}
+	done := cur
+
+	afterBg := done
+	if cfg.Multiport {
+		afterBg = portCheck
+	}
+	if cfg.WordOriented {
+		add(fsm.State{Name: "BgCheck", Transitions: []fsm.Transition{
+			{Guard: inputs.If("last_data", true), Next: afterBg},
+			{Guard: fsm.Always, Next: bgStep},
+		}}, stateMeta{kind: kindCheck})
+		add(fsm.State{Name: "BgStep",
+			Outputs:     map[string]bool{"step_data": true},
+			Transitions: []fsm.Transition{{Guard: fsm.Always, Next: firstOf[0]}},
+		}, stateMeta{kind: kindStep})
+	}
+	if cfg.Multiport {
+		add(fsm.State{Name: "PortCheck", Transitions: []fsm.Transition{
+			{Guard: inputs.If("last_port", true), Next: done},
+			{Guard: fsm.Always, Next: portStep},
+		}}, stateMeta{kind: kindCheck})
+		add(fsm.State{Name: "PortStep",
+			Outputs:     map[string]bool{"step_port": true, "data_clr": true},
+			Transitions: []fsm.Transition{{Guard: fsm.Always, Next: firstOf[0]}},
+		}, stateMeta{kind: kindStep})
+	}
+	add(fsm.State{Name: "Done", Outputs: map[string]bool{"test_end": true}}, stateMeta{kind: kindDone})
+
+	// Idle waits for start.
+	sp.States[idle].Transitions = []fsm.Transition{
+		{Guard: inputs.If("start", true), Next: firstOf[0]},
+	}
+	sp.Reset = idle
+
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	c.Spec = sp
+	return c, nil
+}
+
+// NumStates returns the controller's state count.
+func (c *Controller) NumStates() int { return len(c.Spec.States) }
+
+// Synthesise builds the controller's gate-level netlist, optionally
+// with the shared datapath. When a delay timer is configured it drives
+// the FSM's delay_done condition internally (a free-running counter
+// whose terminal count releases the pause states); otherwise delay_done
+// stays a primary input.
+func (c *Controller) Synthesise() (*netlist.Netlist, error) {
+	cfg := c.Config
+	if cfg.OneHot {
+		if cfg.DelayTimerBits > 0 || cfg.IncludeDatapath {
+			return nil, fmt.Errorf("hardbist: one-hot synthesis supports the bare controller only")
+		}
+		syn, err := fsm.SynthesiseOneHot(c.Spec)
+		if err != nil {
+			return nil, err
+		}
+		syn.Netlist.SweepDead()
+		if err := syn.Netlist.Validate(); err != nil {
+			return nil, err
+		}
+		return syn.Netlist, nil
+	}
+	nl := netlist.New(c.Spec.Name)
+	var bind map[string]netlist.NetID
+	if cfg.DelayTimerBits > 0 {
+		timer := nl.BuildCounter("delay", cfg.DelayTimerBits, nl.Const1(), netlist.Invalid, netlist.Invalid)
+		bind = map[string]netlist.NetID{"delay_done": timer.Terminal}
+	}
+	syn, err := fsm.SynthesiseIntoWith(c.Spec, nl, "", bind)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range c.Spec.Outputs {
+		nl.AddOutput(name, syn.OutputNet[name])
+	}
+	if cfg.IncludeDatapath {
+		attachDatapath(nl, syn, cfg)
+	}
+	nl.SweepDead()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}

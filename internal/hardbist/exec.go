@@ -1,0 +1,158 @@
+package hardbist
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/fsm"
+	"repro/internal/march"
+	"repro/internal/memory"
+	"repro/internal/netlist"
+)
+
+// ExecOpts tunes the behavioural executor.
+type ExecOpts struct {
+	MaxFails  int
+	MaxCycles int
+}
+
+// ExecResult is the outcome of running the hardwired controller.
+type ExecResult struct {
+	Fails      []march.Fail
+	Cycles     int
+	Operations int
+	PauseCount int
+	Signature  uint16
+	Terminated bool
+}
+
+// Detected reports whether any miscompare occurred.
+func (r *ExecResult) Detected() bool { return len(r.Fails) > 0 }
+
+// Run executes the controller against a memory by interpreting the
+// generated FSM spec directly with fsm.Machine — the same state graph
+// the netlist is synthesised from — wired to the behavioural datapath.
+// One state visit is one clock cycle.
+func (c *Controller) Run(mem memory.Memory, opts ExecOpts) (*ExecResult, error) {
+	m := fsm.NewMachine(c.Spec)
+	in := c.Spec.Inputs
+	addrGen := bist.NewAddressGenerator(mem.Size())
+	dataGen := bist.NewDataGenerator(mem.Width())
+	portSel := bist.NewPortSelector(mem.Ports())
+	analyzer := bist.NewResponseAnalyzer(opts.MaxFails)
+	res := &ExecResult{}
+
+	budget := opts.MaxCycles
+	if budget == 0 {
+		budget = (c.Algorithm.OpCount()*mem.Size()+4*len(c.Spec.States)+16)*
+			dataGen.Count()*mem.Ports() + 256
+	}
+
+	prevElement := -1
+	for res.Cycles < budget {
+		res.Cycles++
+		meta := c.meta[m.State()]
+
+		// Element boundary: restart the address sweep in the element's
+		// direction.
+		if meta.kind == kindOp && meta.element != prevElement {
+			addrGen.Reset(m.Output("addr_down"))
+			prevElement = meta.element
+		}
+		if meta.kind == kindStep || meta.kind == kindCheck {
+			prevElement = -1
+		}
+
+		switch {
+		case m.Output("read"):
+			expected := dataGen.Pattern(m.Output("data_inv"))
+			got := mem.Read(portSel.Port(), addrGen.Addr())
+			res.Operations++
+			analyzer.Compare(got, expected, march.Fail{
+				Port:       portSel.Port(),
+				Background: dataGen.Background(),
+				Element:    meta.element,
+				OpIndex:    meta.op,
+				Addr:       addrGen.Addr(),
+			})
+			if opts.MaxFails > 0 && len(analyzer.Fails()) >= opts.MaxFails {
+				res.Fails = analyzer.Fails()
+				res.Signature = analyzer.Signature()
+				res.Terminated = true
+				return res, nil
+			}
+		case m.Output("write"):
+			mem.Write(portSel.Port(), addrGen.Addr(), dataGen.Pattern(m.Output("data_inv")))
+			res.Operations++
+		case m.Output("pause"):
+			mem.Pause()
+			res.PauseCount++
+		}
+
+		// Sample conditions before stepping the generators.
+		var inputs uint64
+		setBit := func(name string, v bool) {
+			if v {
+				inputs |= 1 << uint(in.Bit(name))
+			}
+		}
+		setBit("start", true)
+		setBit("last_addr", addrGen.Last())
+		setBit("last_data", dataGen.Last())
+		setBit("last_port", portSel.Last())
+		setBit("delay_done", true)
+
+		if m.Output("addr_inc") {
+			addrGen.Step()
+		}
+		if m.Output("step_data") {
+			dataGen.Step()
+		}
+		if m.Output("data_clr") {
+			dataGen.Reset()
+		}
+		if m.Output("step_port") {
+			portSel.Step()
+		}
+		if m.Output("test_end") {
+			res.Terminated = true
+			break
+		}
+		m.Step(inputs)
+	}
+
+	res.Fails = analyzer.Fails()
+	res.Signature = analyzer.Signature()
+	return res, nil
+}
+
+// attachDatapath adds the shared datapath to a synthesised controller.
+func attachDatapath(nl *netlist.Netlist, syn *fsm.Synthesised, cfg Config) {
+	ag := bist.BuildAddressGen(nl, cfg.AddrBits,
+		syn.OutputNet["addr_inc"], syn.OutputNet["addr_down"], netlist.Invalid)
+	dg := bist.BuildDataGen(nl, cfg.Width,
+		syn.OutputNet["step_data"], syn.OutputNet["data_clr"], syn.OutputNet["data_inv"])
+	read := make([]netlist.NetID, cfg.Width)
+	for i := range read {
+		read[i] = nl.AddInput(fmt.Sprintf("mem_q[%d]", i))
+	}
+	mismatch := bist.BuildComparator(nl, read, dg.Pattern, syn.OutputNet["read"])
+	nl.AddOutput("mismatch", mismatch)
+	nl.AddOutput("read_en", syn.OutputNet["read"])
+	nl.AddOutput("write_en", syn.OutputNet["write"])
+	for i, q := range ag.Q {
+		nl.AddOutput(fmt.Sprintf("mem_addr[%d]", i), q)
+	}
+	for i, d := range dg.Pattern {
+		nl.AddOutput(fmt.Sprintf("mem_d[%d]", i), d)
+	}
+	nl.AddOutput("dp_last_address", ag.Last)
+	nl.AddOutput("dp_last_data", dg.Last)
+	if cfg.Ports > 1 {
+		pq, plast := bist.BuildPortCounter(nl, cfg.Ports, syn.OutputNet["step_port"], netlist.Invalid)
+		for i, q := range pq {
+			nl.AddOutput(fmt.Sprintf("mem_port[%d]", i), q)
+		}
+		nl.AddOutput("dp_last_port", plast)
+	}
+}

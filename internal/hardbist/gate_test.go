@@ -1,0 +1,153 @@
+package hardbist
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gatesim"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+func buildUnit(t *testing.T, alg march.Algorithm, addrBits, width int) *Controller {
+	t.Helper()
+	cfg := Config{
+		WordOriented: width > 1,
+		AddrBits:     addrBits, Width: width, Ports: 1,
+		IncludeDatapath: true,
+	}
+	if alg.Pauses() > 0 {
+		cfg.DelayTimerBits = 2
+	}
+	c, err := Generate(alg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestGateLevelClosedLoop runs the synthesised hardwired BIST unit
+// closed-loop against a memory: the fully synthesised Moore machine
+// drives the datapath, and the observed operation stream must equal the
+// algorithm's canonical stream.
+func TestGateLevelClosedLoop(t *testing.T) {
+	cases := []struct {
+		alg   march.Algorithm
+		width int
+	}{
+		{march.MATSPlus(), 1},
+		{march.MarchC(), 1},
+		{march.MarchA(), 1},
+		{march.MarchC(), 4}, // background loop
+	}
+	const addrBits = 3
+	size := 1 << addrBits
+	for _, c := range cases {
+		t.Run(c.alg.Name, func(t *testing.T) {
+			ctrl := buildUnit(t, c.alg, addrBits, c.width)
+			nl, err := ctrl.Synthesise()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem := memory.NewSRAM(size, c.width, 1)
+			want := march.OpStream(c.alg, size, c.width)
+
+			res, err := gatesim.RunBISTUnit(nl, mem, 20*len(want)+500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Ended {
+				t.Fatalf("unit did not raise test_end in %d cycles (%d/%d ops)",
+					res.Cycles, len(res.Ops), len(want))
+			}
+			if res.Detected() {
+				t.Fatalf("comparator flagged a clean memory at %v", res.MismatchAddrs)
+			}
+			if len(res.Ops) != len(want) {
+				t.Fatalf("unit issued %d ops, want %d", len(res.Ops), len(want))
+			}
+			for i := range want {
+				got := res.Ops[i]
+				if got.Write != want[i].Write || got.Addr != want[i].Addr || got.Data != want[i].Data {
+					t.Fatalf("op %d: gate %+v, golden %+v", i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGateLevelMultiport runs the synthesised Moore machine with port
+// and background loop states against a dual-port memory.
+func TestGateLevelMultiport(t *testing.T) {
+	const addrBits, width, ports = 3, 2, 2
+	size := 1 << addrBits
+	alg := march.MarchC()
+	cfg := Config{
+		WordOriented: true, Multiport: true,
+		AddrBits: addrBits, Width: width, Ports: ports,
+		IncludeDatapath: true,
+	}
+	ctrl, err := Generate(alg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := ctrl.Synthesise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.NewSRAM(size, width, ports)
+	want := march.OpStreamPorts(alg, size, width, ports)
+	res, err := gatesim.RunBISTUnit(nl, mem, 20*len(want)+500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended || res.Detected() {
+		t.Fatalf("clean multiport run: ended=%v mismatches=%v (%d/%d ops)",
+			res.Ended, res.MismatchAddrs, len(res.Ops), len(want))
+	}
+	if len(res.Ops) != len(want) {
+		t.Fatalf("unit issued %d ops, want %d", len(res.Ops), len(want))
+	}
+	for i := range want {
+		got := res.Ops[i]
+		if got.Write != want[i].Write || got.Port != want[i].Port ||
+			got.Addr != want[i].Addr || got.Data != want[i].Data {
+			t.Fatalf("op %d: gate %+v, golden %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestGateLevelDetectsFault(t *testing.T) {
+	const addrBits = 3
+	size := 1 << addrBits
+	alg := march.MarchA()
+	f := faults.Fault{Kind: faults.CFid, Aggressor: 1, Cell: 6, AggVal: true, Value: true, Port: faults.AnyPort}
+
+	ctrl := buildUnit(t, alg, addrBits, 1)
+	nl, err := ctrl.Synthesise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := faults.NewInjected(size, 1, 1, f)
+	res, err := gatesim.RunBISTUnit(nl, mem, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended || !res.Detected() {
+		t.Fatalf("ended=%v detected=%v", res.Ended, res.Detected())
+	}
+
+	oracle := faults.NewInjected(size, 1, 1, f)
+	want, err := march.Run(alg, oracle, march.RunOpts{SinglePort: true, SingleBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MismatchAddrs) != len(want.Fails) {
+		t.Fatalf("gate mismatches %v, oracle fails %v", res.MismatchAddrs, want.Fails)
+	}
+	for i, addr := range res.MismatchAddrs {
+		if addr != want.Fails[i].Addr {
+			t.Errorf("mismatch %d at addr %d, oracle at %d", i, addr, want.Fails[i].Addr)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package hardbist
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+	"repro/internal/memory"
+	"repro/internal/netlist"
+)
+
+func execVsOracle(t *testing.T, alg march.Algorithm, size, width, ports int, fs ...faults.Fault) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Width = width
+	cfg.Ports = ports
+	cfg.WordOriented = width > 1
+	cfg.Multiport = ports > 1
+	c, err := Generate(alg, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name, err)
+	}
+
+	memA := faults.NewInjected(size, width, ports, fs...)
+	got, err := c.Run(memA, ExecOpts{})
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name, err)
+	}
+	if !got.Terminated {
+		t.Fatalf("%s: executor hit the cycle budget", alg.Name)
+	}
+
+	memB := faults.NewInjected(size, width, ports, fs...)
+	want, err := march.Run(alg, memB, march.RunOpts{
+		SinglePort:       ports == 1,
+		SingleBackground: width == 1,
+	})
+	if err != nil {
+		t.Fatalf("%s oracle: %v", alg.Name, err)
+	}
+
+	if len(got.Fails) != len(want.Fails) {
+		t.Fatalf("%s with %v: executor %d fails, oracle %d\nexec: %v\noracle: %v",
+			alg.Name, fs, len(got.Fails), len(want.Fails), got.Fails, want.Fails)
+	}
+	for i := range got.Fails {
+		if got.Fails[i] != want.Fails[i] {
+			t.Fatalf("%s with %v: fail %d differs\nexec:   %v\noracle: %v",
+				alg.Name, fs, i, got.Fails[i], want.Fails[i])
+		}
+	}
+	if got.Operations != want.Operations {
+		t.Errorf("%s: executor %d ops, oracle %d", alg.Name, got.Operations, want.Operations)
+	}
+	if got.PauseCount != want.PauseCount {
+		t.Errorf("%s: executor %d pauses, oracle %d", alg.Name, got.PauseCount, want.PauseCount)
+	}
+}
+
+func TestExecutorMatchesOracleCleanMemory(t *testing.T) {
+	for name, f := range march.Library() {
+		t.Run(name, func(t *testing.T) {
+			execVsOracle(t, f(), 16, 1, 1)
+		})
+	}
+}
+
+func TestExecutorMatchesOracleUnderFaults(t *testing.T) {
+	universe := faults.Universe(8, 1, faults.UniverseOpts{})
+	algs := []march.Algorithm{
+		march.MarchC(), march.MarchCPlus(), march.MarchCPlusPlus(),
+		march.MarchA(), march.MarchAPlus(), march.MarchAPlusPlus(),
+	}
+	for _, alg := range algs {
+		for _, f := range universe {
+			execVsOracle(t, alg, 8, 1, 1, f)
+		}
+	}
+}
+
+func TestExecutorMatchesOracleWordOriented(t *testing.T) {
+	universe := faults.Universe(8, 4, faults.UniverseOpts{CellSample: 6, CouplingPairs: 8, AddrSample: 2, Seed: 3})
+	for _, f := range universe {
+		execVsOracle(t, march.MarchC(), 8, 4, 1, f)
+	}
+}
+
+func TestExecutorMatchesOracleMultiport(t *testing.T) {
+	universe := faults.Universe(8, 2, faults.UniverseOpts{CellSample: 4, CouplingPairs: 4, AddrSample: 2, Ports: 2, Seed: 5})
+	for _, f := range universe {
+		execVsOracle(t, march.MarchC(), 8, 2, 2, f)
+	}
+}
+
+func TestStateCountsTrackAlgorithmSize(t *testing.T) {
+	// One state per operation plus pauses plus fixed overhead: enhanced
+	// algorithms must have strictly more states.
+	counts := map[string]int{}
+	for _, algf := range []func() march.Algorithm{
+		march.MarchC, march.MarchCPlus, march.MarchCPlusPlus,
+		march.MarchA, march.MarchAPlus, march.MarchAPlusPlus,
+	} {
+		alg := algf()
+		c, err := Generate(alg, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[alg.Name] = c.NumStates()
+		// Idle + ops + pauses + Done.
+		want := 2 + alg.OpCount() + alg.Pauses()
+		if c.NumStates() != want {
+			t.Errorf("%s: %d states, want %d", alg.Name, c.NumStates(), want)
+		}
+	}
+	if !(counts["March C"] < counts["March C+"] && counts["March C+"] < counts["March C++"]) {
+		t.Errorf("March C family state counts not increasing: %v", counts)
+	}
+	if !(counts["March A"] < counts["March A+"] && counts["March A+"] < counts["March A++"]) {
+		t.Errorf("March A family state counts not increasing: %v", counts)
+	}
+}
+
+func TestSynthesiseAllBaselines(t *testing.T) {
+	lib := &netlist.CMOS5SLike
+	for _, algf := range []func() march.Algorithm{
+		march.MarchC, march.MarchCPlus, march.MarchA,
+	} {
+		alg := algf()
+		c, err := Generate(alg, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := c.Synthesise()
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		s := nl.StatsFor(lib)
+		if s.GE <= 0 {
+			t.Errorf("%s: degenerate stats %v", alg.Name, s)
+		}
+	}
+}
+
+func TestEnhancementGrowsArea(t *testing.T) {
+	// The paper's observation 3: enhancing the fault model grows the
+	// non-programmable controller.
+	lib := &netlist.CMOS5SLike
+	area := func(alg march.Algorithm, timer int) float64 {
+		cfg := DefaultConfig()
+		cfg.DelayTimerBits = timer
+		c, err := Generate(alg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := c.Synthesise()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl.StatsFor(lib).AreaUm2
+	}
+	c := area(march.MarchC(), 0)
+	cp := area(march.MarchCPlus(), 8)
+	cpp := area(march.MarchCPlusPlus(), 8)
+	if !(c < cp && cp < cpp) {
+		t.Errorf("March C family area not increasing: %.0f %.0f %.0f", c, cp, cpp)
+	}
+}
+
+func TestWordMultiportSupportGrowsController(t *testing.T) {
+	lib := &netlist.CMOS5SLike
+	area := func(word, multi bool) float64 {
+		cfg := DefaultConfig()
+		cfg.WordOriented = word
+		cfg.Multiport = multi
+		if word {
+			cfg.Width = 8
+		}
+		if multi {
+			cfg.Ports = 2
+		}
+		c, err := Generate(march.MarchC(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := c.Synthesise()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl.StatsFor(lib).AreaUm2
+	}
+	bit := area(false, false)
+	word := area(true, false)
+	multi := area(true, true)
+	if !(bit < word && word < multi) {
+		t.Errorf("controller areas not monotone: %.0f %.0f %.0f", bit, word, multi)
+	}
+}
+
+func TestOneHotSynthesis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OneHot = true
+	c, err := Generate(march.MarchC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := c.Synthesise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nl.StatsFor(&netlist.CMOS5SLike)
+	// One FF per state.
+	if s.FlipFlops != c.NumStates() {
+		t.Errorf("one-hot FFs = %d, want %d states", s.FlipFlops, c.NumStates())
+	}
+	// Binary encoding for comparison.
+	cfgB := DefaultConfig()
+	cB, err := Generate(march.MarchC(), cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlB, err := cB.Synthesise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := nlB.StatsFor(&netlist.CMOS5SLike)
+	if s.FlipFlops <= sB.FlipFlops {
+		t.Errorf("one-hot FFs %d <= binary FFs %d", s.FlipFlops, sB.FlipFlops)
+	}
+}
+
+func TestOneHotRejectsTimerAndDatapath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OneHot = true
+	cfg.DelayTimerBits = 4
+	c, err := Generate(march.MarchCPlus(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Synthesise(); err == nil {
+		t.Error("one-hot with timer accepted")
+	}
+}
+
+func TestRunOnCleanMemoryTerminates(t *testing.T) {
+	c, err := Generate(march.MarchA(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(memory.NewSRAM(64, 1, 1), ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.Detected() {
+		t.Errorf("clean run: terminated=%v fails=%d", res.Terminated, len(res.Fails))
+	}
+	if res.Operations != 15*64 {
+		t.Errorf("ops = %d, want %d", res.Operations, 15*64)
+	}
+	// Cycle overhead: Idle + Done + per-pass transitions only.
+	if res.Cycles < res.Operations || res.Cycles > res.Operations+8 {
+		t.Errorf("cycles = %d for %d ops", res.Cycles, res.Operations)
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	bad := march.Algorithm{Name: "bad", Elements: []march.Element{
+		{Order: march.Up, Ops: []march.Op{march.R(true)}},
+	}}
+	if _, err := Generate(bad, DefaultConfig()); err == nil {
+		t.Error("invalid algorithm generated a controller")
+	}
+}

@@ -1,0 +1,52 @@
+package hardbist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+// TestRandomAlgorithmEquivalenceProperty fuzzes the FSM generator: for
+// random valid march algorithms, the generated Moore machine —
+// interpreted by fsm.Machine over the behavioural datapath — must
+// produce the reference runner's fail log byte for byte under a random
+// fault.
+func TestRandomAlgorithmEquivalenceProperty(t *testing.T) {
+	universe := faults.Universe(8, 1, faults.UniverseOpts{})
+	f := func(seed int64, faultIdx uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := march.Random(rng)
+		fault := universe[int(faultIdx)%len(universe)]
+
+		c, err := Generate(alg, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		memA := faults.NewInjected(8, 1, 1, fault)
+		got, err := c.Run(memA, ExecOpts{})
+		if err != nil || !got.Terminated {
+			return false
+		}
+
+		memB := faults.NewInjected(8, 1, 1, fault)
+		want, err := march.Run(alg, memB, march.RunOpts{SinglePort: true, SingleBackground: true})
+		if err != nil {
+			return false
+		}
+		if len(got.Fails) != len(want.Fails) || got.Operations != want.Operations {
+			return false
+		}
+		for i := range got.Fails {
+			if got.Fails[i] != want.Fails[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package logic
+
+import "math/bits"
+
+// Log2Ceil returns the number of bits needed to represent n distinct
+// values, i.e. ceil(log2(n)). Log2Ceil(0) and Log2Ceil(1) return 0.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// OnesCount returns the number of set bits in v.
+func OnesCount(v uint64) int {
+	return bits.OnesCount64(v)
+}
+
+// ReverseBits reverses the low n bits of v.
+func ReverseBits(v uint64, n int) uint64 {
+	var r uint64
+	for i := 0; i < n; i++ {
+		r <<= 1
+		r |= (v >> i) & 1
+	}
+	return r
+}
+
+// GrayCode returns the i-th Gray code value.
+func GrayCode(i uint64) uint64 {
+	return i ^ (i >> 1)
+}

@@ -1,0 +1,53 @@
+package logic
+
+import "testing"
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{16, 4}, {17, 5}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := Log2Ceil(c.n); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false, want true", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 5, 6, 7, 9, 1023} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true, want false", n)
+		}
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	if got := ReverseBits(0b001, 3); got != 0b100 {
+		t.Errorf("ReverseBits(001,3) = %03b, want 100", got)
+	}
+	if got := ReverseBits(0b1101, 4); got != 0b1011 {
+		t.Errorf("ReverseBits(1101,4) = %04b, want 1011", got)
+	}
+	// Double reversal is identity.
+	for v := uint64(0); v < 64; v++ {
+		if got := ReverseBits(ReverseBits(v, 6), 6); got != v {
+			t.Fatalf("double ReverseBits(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestGrayCode(t *testing.T) {
+	// Successive Gray codes differ in exactly one bit.
+	for i := uint64(0); i < 255; i++ {
+		d := GrayCode(i) ^ GrayCode(i+1)
+		if OnesCount(d) != 1 {
+			t.Fatalf("GrayCode(%d) and GrayCode(%d) differ in %d bits", i, i+1, OnesCount(d))
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package logic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Cube is a product term over up to MaxInputs variables. A variable k
+// appears in the term iff bit k of Mask is set; its required value is then
+// bit k of Value. Bits of Value outside Mask must be zero.
+type Cube struct {
+	Value uint64 // literal polarities for variables in Mask
+	Mask  uint64 // which variables are bound by this cube
+}
+
+// Covers reports whether the cube covers minterm m.
+func (c Cube) Covers(m uint64) bool {
+	return m&c.Mask == c.Value
+}
+
+// Contains reports whether cube c covers every minterm of cube d.
+func (c Cube) Contains(d Cube) bool {
+	// c contains d iff every variable bound by c is bound by d with the
+	// same polarity.
+	return c.Mask&d.Mask == c.Mask && d.Value&c.Mask == c.Value
+}
+
+// Literals returns the number of literals (bound variables) in the cube.
+func (c Cube) Literals() int {
+	return OnesCount(c.Mask)
+}
+
+// Combine attempts to merge two cubes that differ in exactly one bound
+// variable, producing the cube with that variable freed. ok is false when
+// the cubes are not adjacent.
+func (c Cube) Combine(d Cube) (merged Cube, ok bool) {
+	if c.Mask != d.Mask {
+		return Cube{}, false
+	}
+	diff := c.Value ^ d.Value
+	if OnesCount(diff) != 1 {
+		return Cube{}, false
+	}
+	m := c.Mask &^ diff
+	return Cube{Value: c.Value & m, Mask: m}, true
+}
+
+// String renders the cube over n variables as a position string, e.g.
+// "1-0" (variable 0 is the leftmost character).
+func (c Cube) StringN(n int) string {
+	var b strings.Builder
+	for k := 0; k < n; k++ {
+		bit := uint64(1) << uint(k)
+		switch {
+		case c.Mask&bit == 0:
+			b.WriteByte('-')
+		case c.Value&bit != 0:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Cover is a sum of product terms.
+type Cover []Cube
+
+// Eval evaluates the cover on input assignment in.
+func (cv Cover) Eval(in uint64) bool {
+	for _, c := range cv {
+		if c.Covers(in) {
+			return true
+		}
+	}
+	return false
+}
+
+// Literals returns the total literal count of the cover.
+func (cv Cover) Literals() int {
+	n := 0
+	for _, c := range cv {
+		n += c.Literals()
+	}
+	return n
+}
+
+// Sort orders the cover deterministically (by mask, then value) so that
+// synthesis output is reproducible run to run.
+func (cv Cover) Sort() {
+	sort.Slice(cv, func(i, j int) bool {
+		if cv[i].Mask != cv[j].Mask {
+			return cv[i].Mask < cv[j].Mask
+		}
+		return cv[i].Value < cv[j].Value
+	})
+}
+
+// EquivalentTo reports whether the cover realises truth table t: it must
+// evaluate to 1 on every minterm and to 0 on every maxterm; don't-care
+// rows are unconstrained.
+func (cv Cover) EquivalentTo(t *TruthTable) bool {
+	for i := 0; i < t.NumRows(); i++ {
+		switch t.Get(i) {
+		case One:
+			if !cv.Eval(uint64(i)) {
+				return false
+			}
+		case Zero:
+			if cv.Eval(uint64(i)) {
+				return false
+			}
+		}
+	}
+	return true
+}

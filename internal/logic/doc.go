@@ -1,0 +1,8 @@
+// Package logic provides a small boolean-function toolkit used to
+// synthesise the control logic of the memory BIST architectures: truth
+// tables with don't-cares, cube covers, Quine-McCluskey two-level
+// minimisation, and a NAND-NAND technology-independent cost model.
+//
+// The package is deliberately sized for controller-scale problems (up to
+// ~14 input variables); it is not a general-purpose logic synthesiser.
+package logic

@@ -1,0 +1,157 @@
+package logic
+
+import "sort"
+
+// Minimize computes a near-minimal sum-of-products cover of truth table t
+// using the Quine-McCluskey procedure: prime implicant generation over the
+// ON-set plus DC-set, essential prime selection, then a greedy set cover
+// for the residue. The returned cover is deterministic for a given table.
+//
+// A constant function yields a nil cover (constant 0) or the single
+// all-don't-care cube (constant 1).
+func Minimize(t *TruthTable) Cover {
+	on := t.Minterms()
+	if len(on) == 0 {
+		return nil
+	}
+	dc := t.DontCares()
+	if len(on)+len(dc) == t.NumRows() {
+		return Cover{{Value: 0, Mask: 0}} // constant one
+	}
+	primes := primeImplicants(on, dc, t.NumInputs())
+	return selectCover(primes, on)
+}
+
+// primeImplicants generates all prime implicants of the function whose
+// ON-set is on and DC-set is dc, over n variables.
+func primeImplicants(on, dc []int, n int) []Cube {
+	fullMask := uint64(1)<<uint(n) - 1
+	if n == 0 {
+		fullMask = 0
+	}
+
+	// Current generation of cubes, deduplicated.
+	cur := make(map[Cube]bool, len(on)+len(dc))
+	for _, m := range on {
+		cur[Cube{Value: uint64(m), Mask: fullMask}] = true
+	}
+	for _, m := range dc {
+		cur[Cube{Value: uint64(m), Mask: fullMask}] = true
+	}
+
+	var primes []Cube
+	for len(cur) > 0 {
+		// Group cubes by mask, then by popcount of value, so only
+		// plausible neighbours are compared.
+		combined := make(map[Cube]bool, len(cur))
+		next := make(map[Cube]bool)
+
+		byMask := make(map[uint64][]Cube)
+		for c := range cur {
+			byMask[c.Mask] = append(byMask[c.Mask], c)
+		}
+		for _, group := range byMask {
+			sort.Slice(group, func(i, j int) bool { return group[i].Value < group[j].Value })
+			// Index by popcount for adjacency pruning.
+			byCount := make(map[int][]Cube)
+			for _, c := range group {
+				byCount[OnesCount(c.Value)] = append(byCount[OnesCount(c.Value)], c)
+			}
+			for cnt, lo := range byCount {
+				hi := byCount[cnt+1]
+				for _, a := range lo {
+					for _, b := range hi {
+						if m, ok := a.Combine(b); ok {
+							next[m] = true
+							combined[a] = true
+							combined[b] = true
+						}
+					}
+				}
+			}
+		}
+		// Cubes that combined with nothing are prime.
+		for c := range cur {
+			if !combined[c] {
+				primes = append(primes, c)
+			}
+		}
+		cur = next
+	}
+	Cover(primes).Sort()
+	return primes
+}
+
+// selectCover picks a small subset of primes covering every ON-set
+// minterm: essential primes first, then greedy largest-cover selection.
+func selectCover(primes []Cube, on []int) Cover {
+	uncovered := make(map[int]bool, len(on))
+	for _, m := range on {
+		uncovered[m] = true
+	}
+	coveredBy := make(map[int][]int, len(on)) // minterm -> prime indices
+	for pi, p := range primes {
+		for _, m := range on {
+			if p.Covers(uint64(m)) {
+				coveredBy[m] = append(coveredBy[m], pi)
+			}
+		}
+	}
+
+	chosen := make(map[int]bool)
+	// Essential primes: a minterm covered by exactly one prime forces it.
+	for _, m := range on {
+		if len(coveredBy[m]) == 1 {
+			chosen[coveredBy[m][0]] = true
+		}
+	}
+	for pi := range chosen {
+		for _, m := range on {
+			if primes[pi].Covers(uint64(m)) {
+				delete(uncovered, m)
+			}
+		}
+	}
+
+	// Greedy: repeatedly take the prime covering the most remaining
+	// minterms; ties broken by fewer literals, then by index for
+	// determinism.
+	for len(uncovered) > 0 {
+		best, bestGain := -1, -1
+		for pi, p := range primes {
+			if chosen[pi] {
+				continue
+			}
+			gain := 0
+			for m := range uncovered {
+				if p.Covers(uint64(m)) {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			if gain > bestGain ||
+				(gain == bestGain && p.Literals() < primes[best].Literals()) ||
+				(gain == bestGain && p.Literals() == primes[best].Literals() && pi < best) {
+				best, bestGain = pi, gain
+			}
+		}
+		if best < 0 {
+			break // unreachable if primes cover the ON-set
+		}
+		chosen[best] = true
+		for m := range uncovered {
+			if primes[best].Covers(uint64(m)) {
+				delete(uncovered, m)
+			}
+		}
+	}
+
+	var cover Cover
+	for pi := range chosen {
+		cover = append(cover, primes[pi])
+	}
+	cover.Sort()
+	return cover
+}

@@ -1,0 +1,239 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tableFromFunc builds a truth table of n inputs from a boolean function.
+func tableFromFunc(n int, f func(uint64) bool) *TruthTable {
+	t := NewTruthTable(n)
+	for i := 0; i < t.NumRows(); i++ {
+		t.SetBool(i, f(uint64(i)))
+	}
+	return t
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	zero := NewTruthTable(3)
+	if cv := Minimize(zero); cv != nil {
+		t.Errorf("Minimize(const 0) = %v, want nil", cv)
+	}
+
+	one := NewTruthTable(3)
+	for i := 0; i < one.NumRows(); i++ {
+		one.Set(i, One)
+	}
+	cv := Minimize(one)
+	if len(cv) != 1 || cv[0].Mask != 0 {
+		t.Errorf("Minimize(const 1) = %v, want single empty cube", cv)
+	}
+}
+
+func TestMinimizeXOR(t *testing.T) {
+	// XOR has no adjacent minterms: cover must keep all 2^(n-1) cubes.
+	tt := tableFromFunc(3, func(in uint64) bool {
+		return OnesCount(in&0b111)%2 == 1
+	})
+	cv := Minimize(tt)
+	if len(cv) != 4 {
+		t.Errorf("3-input XOR cover has %d cubes, want 4", len(cv))
+	}
+	if !cv.EquivalentTo(tt) {
+		t.Errorf("XOR cover not equivalent to table")
+	}
+}
+
+func TestMinimizeAbsorbsDontCares(t *testing.T) {
+	// Classic 4-variable example: f = Σm(1,3,7,11,15) + d(0,2,5).
+	tt := NewTruthTable(4)
+	for _, m := range []int{1, 3, 7, 11, 15} {
+		tt.Set(m, One)
+	}
+	for _, m := range []int{0, 2, 5} {
+		tt.Set(m, DontCare)
+	}
+	cv := Minimize(tt)
+	if !cv.EquivalentTo(tt) {
+		t.Fatalf("cover %v not equivalent to %v", cv, tt)
+	}
+	// Known minimal solution has 2 terms (x3x4 + x1'x2' style).
+	if len(cv) > 2 {
+		t.Errorf("cover has %d terms, want <= 2 (classic QM example)", len(cv))
+	}
+}
+
+func TestMinimizeSingleVariable(t *testing.T) {
+	tt := tableFromFunc(4, func(in uint64) bool { return in&0b0100 != 0 })
+	cv := Minimize(tt)
+	if len(cv) != 1 || cv[0].Literals() != 1 {
+		t.Errorf("single-variable function minimised to %v", cv)
+	}
+	if !cv.EquivalentTo(tt) {
+		t.Errorf("cover not equivalent")
+	}
+}
+
+func TestMinimizeMajority(t *testing.T) {
+	tt := tableFromFunc(3, func(in uint64) bool { return OnesCount(in&7) >= 2 })
+	cv := Minimize(tt)
+	if !cv.EquivalentTo(tt) {
+		t.Fatalf("majority cover wrong")
+	}
+	if len(cv) != 3 {
+		t.Errorf("majority-of-3 cover has %d cubes, want 3", len(cv))
+	}
+	for _, c := range cv {
+		if c.Literals() != 2 {
+			t.Errorf("majority cube %v has %d literals, want 2", c, c.Literals())
+		}
+	}
+}
+
+// TestMinimizeRandomEquivalence is the core property test: for random
+// functions with don't-cares, the minimised cover must agree with the
+// table on its entire care-set, and be no larger than the minterm count.
+func TestMinimizeRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(7) // 1..7 inputs
+		tt := NewTruthTable(n)
+		onCount := 0
+		for i := 0; i < tt.NumRows(); i++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				tt.Set(i, Zero)
+			case 2:
+				tt.Set(i, One)
+				onCount++
+			case 3:
+				tt.Set(i, DontCare)
+			}
+		}
+		cv := Minimize(tt)
+		if !cv.EquivalentTo(tt) {
+			t.Fatalf("trial %d: cover %v not equivalent to %v", trial, cv, tt)
+		}
+		if len(cv) > onCount {
+			t.Fatalf("trial %d: cover has %d cubes for %d minterms", trial, len(cv), onCount)
+		}
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tt := NewTruthTable(6)
+	for i := 0; i < tt.NumRows(); i++ {
+		tt.Set(i, Value(rng.Intn(3)))
+	}
+	first := Minimize(tt)
+	for k := 0; k < 5; k++ {
+		again := Minimize(tt)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d cubes vs %d", k, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: cube %d differs: %v vs %v", k, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+func TestCubeCombine(t *testing.T) {
+	a := Cube{Value: 0b101, Mask: 0b111}
+	b := Cube{Value: 0b100, Mask: 0b111}
+	m, ok := a.Combine(b)
+	if !ok {
+		t.Fatal("adjacent cubes did not combine")
+	}
+	if m.Mask != 0b110 || m.Value != 0b100 {
+		t.Errorf("combined = %v", m)
+	}
+	// Non-adjacent.
+	c := Cube{Value: 0b010, Mask: 0b111}
+	if _, ok := a.Combine(c); ok {
+		t.Error("non-adjacent cubes combined")
+	}
+	// Different masks never combine.
+	d := Cube{Value: 0b100, Mask: 0b110}
+	if _, ok := a.Combine(d); ok {
+		t.Error("different-mask cubes combined")
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	big := Cube{Value: 0b100, Mask: 0b100}   // x2
+	small := Cube{Value: 0b101, Mask: 0b111} // x2 x1' x0
+	if !big.Contains(small) {
+		t.Error("x2 should contain x2x1'x0")
+	}
+	if small.Contains(big) {
+		t.Error("x2x1'x0 should not contain x2")
+	}
+}
+
+func TestCubeCoversProperty(t *testing.T) {
+	// Property: Combine yields a cube covering exactly the minterms of
+	// both parents.
+	f := func(val uint16, flip uint8) bool {
+		v := uint64(val) & 0xff
+		bit := uint64(1) << (uint(flip) % 8)
+		a := Cube{Value: v, Mask: 0xff}
+		b := Cube{Value: v ^ bit, Mask: 0xff}
+		m, ok := a.Combine(b)
+		if !ok {
+			return false
+		}
+		for x := uint64(0); x < 256; x++ {
+			want := a.Covers(x) || b.Covers(x)
+			if m.Covers(x) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruthTableString(t *testing.T) {
+	tt := NewTruthTable(2)
+	tt.Set(1, One)
+	tt.Set(3, DontCare)
+	got := tt.String()
+	want := "f(2) = Σm(1) + d(3)"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCubeStringN(t *testing.T) {
+	c := Cube{Value: 0b001, Mask: 0b011}
+	if got := c.StringN(3); got != "10-" {
+		t.Errorf("StringN = %q, want \"10-\"", got)
+	}
+}
+
+func TestIsConstant(t *testing.T) {
+	tt := NewTruthTable(2)
+	if c, v := tt.IsConstant(); !c || v {
+		t.Error("all-zero table should be constant 0")
+	}
+	tt.Set(0, DontCare)
+	if c, v := tt.IsConstant(); !c || v {
+		t.Error("zero+dc table should be constant 0")
+	}
+	tt.Set(1, One)
+	tt.Set(2, One)
+	tt.Set(3, One)
+	if c, v := tt.IsConstant(); !c || !v {
+		t.Error("one+dc table should be constant 1")
+	}
+	tt.Set(2, Zero)
+	if c, _ := tt.IsConstant(); c {
+		t.Error("mixed table should not be constant")
+	}
+}

@@ -1,0 +1,147 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a three-valued logic value used in truth tables: 0, 1 or
+// don't-care.
+type Value uint8
+
+// Truth-table output values.
+const (
+	Zero Value = iota
+	One
+	DontCare
+)
+
+func (v Value) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "-"
+	}
+}
+
+// TruthTable is a single-output boolean function of NumInputs variables
+// with explicit don't-care rows. Row index i encodes the input assignment
+// where bit k of i is the value of input variable k.
+type TruthTable struct {
+	numInputs int
+	rows      []Value
+}
+
+// NewTruthTable returns a truth table of n inputs with every row set to
+// Zero. n must be in [0, MaxInputs].
+func NewTruthTable(n int) *TruthTable {
+	if n < 0 || n > MaxInputs {
+		panic(fmt.Sprintf("logic: truth table inputs %d out of range [0,%d]", n, MaxInputs))
+	}
+	return &TruthTable{numInputs: n, rows: make([]Value, 1<<uint(n))}
+}
+
+// MaxInputs bounds the truth-table size; 2^16 rows is ample for the
+// controller-scale synthesis problems in this repository.
+const MaxInputs = 16
+
+// NumInputs returns the number of input variables.
+func (t *TruthTable) NumInputs() int { return t.numInputs }
+
+// NumRows returns 2^NumInputs.
+func (t *TruthTable) NumRows() int { return len(t.rows) }
+
+// Set assigns value v to row i.
+func (t *TruthTable) Set(i int, v Value) {
+	t.rows[i] = v
+}
+
+// SetBool assigns boolean b to row i.
+func (t *TruthTable) SetBool(i int, b bool) {
+	if b {
+		t.rows[i] = One
+	} else {
+		t.rows[i] = Zero
+	}
+}
+
+// Get returns the value of row i.
+func (t *TruthTable) Get(i int) Value { return t.rows[i] }
+
+// Minterms returns the row indices whose value is One.
+func (t *TruthTable) Minterms() []int {
+	var m []int
+	for i, v := range t.rows {
+		if v == One {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// DontCares returns the row indices whose value is DontCare.
+func (t *TruthTable) DontCares() []int {
+	var m []int
+	for i, v := range t.rows {
+		if v == DontCare {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// IsConstant reports whether the care-set of the function is constant,
+// and if so which constant it can be implemented as. A function whose
+// care-set is empty is constant Zero.
+func (t *TruthTable) IsConstant() (constant bool, value bool) {
+	sawZero, sawOne := false, false
+	for _, v := range t.rows {
+		switch v {
+		case Zero:
+			sawZero = true
+		case One:
+			sawOne = true
+		}
+	}
+	switch {
+	case !sawOne:
+		return true, false
+	case !sawZero:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Eval evaluates the function on the input assignment encoded in bits of
+// in, treating don't-care rows as Zero.
+func (t *TruthTable) Eval(in uint64) bool {
+	return t.rows[in&uint64(len(t.rows)-1)] == One
+}
+
+// String renders the table in minterm-list form, e.g. "f(3) = Σm(1,2,4) + d(7)".
+func (t *TruthTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f(%d) = Σm(", t.numInputs)
+	for i, m := range t.Minterms() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", m)
+	}
+	b.WriteByte(')')
+	if dc := t.DontCares(); len(dc) > 0 {
+		b.WriteString(" + d(")
+		for i, m := range dc {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", m)
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}

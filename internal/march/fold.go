@@ -1,0 +1,90 @@
+package march
+
+// Fold describes a detected symmetry in a march algorithm: the block of
+// elements [Start, Start+Len) reappears at [Start+Len, Start+2*Len)
+// transformed by Mask. The microcode-based BIST architecture encodes the
+// second block as a single Repeat instruction whose fields load the
+// reference register with the mask (paper §2.1), halving the storage the
+// symmetric part of the algorithm needs.
+type Fold struct {
+	Start int
+	Len   int
+	Mask  Mask
+}
+
+// allMasks enumerates the seven non-trivial reference-register masks.
+var allMasks = []Mask{
+	{Order: true},
+	{Data: true},
+	{Compare: true},
+	{Order: true, Data: true},
+	{Order: true, Compare: true},
+	{Data: true, Compare: true},
+	{Order: true, Data: true, Compare: true},
+}
+
+// FindFold searches for the longest foldable block. When several folds
+// tie on length the earliest start and then the first mask in
+// enumeration order wins, making the result deterministic.
+func (a Algorithm) FindFold() (Fold, bool) {
+	best := Fold{}
+	found := false
+	n := len(a.Elements)
+	for length := n / 2; length >= 1; length-- {
+		for start := 0; start+2*length <= n; start++ {
+			for _, m := range allMasks {
+				if a.foldMatches(start, length, m) {
+					if !found || length > best.Len {
+						best = Fold{Start: start, Len: length, Mask: m}
+						found = true
+					}
+					break
+				}
+			}
+			if found && best.Len == length {
+				break
+			}
+		}
+		if found {
+			break // lengths descend, so the first hit is the longest
+		}
+	}
+	return best, found
+}
+
+func (a Algorithm) foldMatches(start, length int, m Mask) bool {
+	for i := 0; i < length; i++ {
+		want := a.Elements[start+i].Transform(m)
+		if !a.Elements[start+length+i].Equal(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// Folded returns the algorithm with the folded block removed and the
+// fold descriptor; when no fold exists it returns the algorithm
+// unchanged and ok=false.
+func (a Algorithm) Folded() (reduced Algorithm, fold Fold, ok bool) {
+	fold, ok = a.FindFold()
+	if !ok {
+		return a, Fold{}, false
+	}
+	reduced = Algorithm{Name: a.Name}
+	reduced.Elements = append(reduced.Elements, a.Elements[:fold.Start+fold.Len]...)
+	reduced.Elements = append(reduced.Elements, a.Elements[fold.Start+2*fold.Len:]...)
+	return reduced, fold, true
+}
+
+// Unfold re-expands a folded algorithm, re-inserting the transformed
+// block. It is the inverse of Folded and exists so tests can prove the
+// fold round-trips.
+func Unfold(reduced Algorithm, fold Fold) Algorithm {
+	out := Algorithm{Name: reduced.Name}
+	out.Elements = append(out.Elements, reduced.Elements[:fold.Start+fold.Len]...)
+	for i := 0; i < fold.Len; i++ {
+		out.Elements = append(out.Elements, reduced.Elements[fold.Start+i].Transform(fold.Mask))
+	}
+	out.Elements = append(out.Elements, reduced.Elements[fold.Start+fold.Len:]...)
+	return out
+}

@@ -1,0 +1,223 @@
+package march
+
+// Standard march test algorithms, and the enhanced deviations the paper
+// evaluates its non-programmable controllers on.
+
+// MATSPlus is MATS+ (5N): detects all address-decoder and stuck-at
+// faults.
+func MATSPlus() Algorithm {
+	return Algorithm{Name: "MATS+", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false)}},
+	}}
+}
+
+// MarchX is March X (6N): MATS+ plus a final verify, adding inversion
+// coupling fault coverage.
+func MarchX() Algorithm {
+	return Algorithm{Name: "March X", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false)}},
+		{Order: Any, Ops: []Op{R(false)}},
+	}}
+}
+
+// MarchY is March Y (8N): March X with read-back after writes, adding
+// linked transition fault coverage.
+func MarchY() Algorithm {
+	return Algorithm{Name: "March Y", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true), R(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false), R(false)}},
+		{Order: Any, Ops: []Op{R(false)}},
+	}}
+}
+
+// MarchC is the 10N March C of the paper's Eq. 1 (the variant usually
+// called March C- in the literature): it detects stuck-at, transition,
+// address-decoder and unlinked coupling faults. Note the down-order
+// elements complement the up-order pair — the symmetry the microcode
+// architecture's Repeat instruction folds away (Fig. 2 of the paper).
+func MarchC() Algorithm {
+	return Algorithm{Name: "March C", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false)}},
+		{Order: Down, Ops: []Op{R(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false)}},
+		{Order: Any, Ops: []Op{R(false)}},
+	}}
+}
+
+// MarchCOriginal is the 11N March C with the redundant middle verify
+// element, as originally published by Marinescu.
+func MarchCOriginal() Algorithm {
+	return Algorithm{Name: "March C (11N)", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false)}},
+		{Order: Any, Ops: []Op{R(false)}},
+		{Order: Down, Ops: []Op{R(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false)}},
+		{Order: Any, Ops: []Op{R(false)}},
+	}}
+}
+
+// MarchA is March A (15N): detects linked idempotent coupling faults.
+func MarchA() Algorithm {
+	return Algorithm{Name: "March A", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true), W(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false), W(true), W(false)}},
+		{Order: Down, Ops: []Op{R(false), W(true), W(false)}},
+	}}
+}
+
+// MarchB is March B (17N): March A with additional read verification,
+// detecting linked transition and coupling fault combinations.
+func MarchB() Algorithm {
+	return Algorithm{Name: "March B", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true), R(true), W(false), R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false), W(true), W(false)}},
+		{Order: Down, Ops: []Op{R(false), W(true), W(false)}},
+	}}
+}
+
+// MarchSS is March SS (Hamdioui et al., 22N): the simple static fault
+// test. Its non-transition writes and back-to-back reads detect write
+// disturb (WDF), incorrect read (IRF) and deceptive read-destructive
+// (DRDF) faults that the classical tests miss.
+func MarchSS() Algorithm {
+	return Algorithm{Name: "March SS", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), R(false), W(false), R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), R(true), W(true), R(true), W(false)}},
+		{Order: Down, Ops: []Op{R(false), R(false), W(false), R(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), R(true), W(true), R(true), W(false)}},
+		{Order: Any, Ops: []Op{R(false)}},
+	}}
+}
+
+// MarchLR is March LR (van de Goor et al., 14N): detects linked
+// (mutually masking) coupling faults.
+func MarchLR() Algorithm {
+	return Algorithm{Name: "March LR", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Down, Ops: []Op{R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false), R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true), R(true), W(false)}},
+		{Order: Up, Ops: []Op{R(false)}},
+	}}
+}
+
+// MarchG is March G (van de Goor, 23N + 2 delays): March B extended
+// with data-retention phases — the most thorough of the classical
+// tests.
+func MarchG() Algorithm {
+	return Algorithm{Name: "March G", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(false), W(true), R(true), W(false), R(false), W(true)}},
+		{Order: Up, Ops: []Op{R(true), W(false), W(true)}},
+		{Order: Down, Ops: []Op{R(true), W(false), W(true), W(false)}},
+		{Order: Down, Ops: []Op{R(false), W(true), W(false)}},
+		{PauseBefore: true, Order: Any, Ops: []Op{R(false), W(true), R(true)}},
+		{PauseBefore: true, Order: Any, Ops: []Op{R(true), W(false), R(false)}},
+	}}
+}
+
+// WithRetention appends the paper's data-retention extension: a delay
+// phase, a read/write-back/read sweep, a second delay, and a final
+// verify. This is the "+" deviation (March C+, March A+): it detects
+// data-retention faults in both leakage polarities.
+func WithRetention(a Algorithm) Algorithm {
+	s := a.FinalState()
+	out := Algorithm{Name: a.Name + "+"}
+	out.Elements = append(out.Elements, a.Elements...)
+	out.Elements = append(out.Elements,
+		Element{PauseBefore: true, Order: Any, Ops: []Op{R(s), W(!s), R(!s)}},
+		Element{PauseBefore: true, Order: Any, Ops: []Op{R(!s)}},
+	)
+	return out
+}
+
+// WithTripleReads replaces every read by three consecutive reads — the
+// "++" deviation (March C++, March A++), which excites and detects
+// disconnected pull-up/pull-down devices (read-disturb faults).
+func WithTripleReads(a Algorithm) Algorithm {
+	out := Algorithm{Name: a.Name + "×3r"}
+	for _, e := range a.Elements {
+		ne := Element{Order: e.Order, PauseBefore: e.PauseBefore}
+		for _, op := range e.Ops {
+			if op.Kind == Read {
+				ne.Ops = append(ne.Ops, op, op, op)
+			} else {
+				ne.Ops = append(ne.Ops, op)
+			}
+		}
+		out.Elements = append(out.Elements, ne)
+	}
+	return out
+}
+
+// MarchCPlus is March C+ — March C with the retention extension.
+func MarchCPlus() Algorithm {
+	a := WithRetention(MarchC())
+	a.Name = "March C+"
+	return a
+}
+
+// MarchCPlusPlus is March C++ — March C+ with every read tripled.
+func MarchCPlusPlus() Algorithm {
+	a := WithTripleReads(WithRetention(MarchC()))
+	a.Name = "March C++"
+	return a
+}
+
+// MarchAPlus is March A+ — March A with the retention extension.
+func MarchAPlus() Algorithm {
+	a := WithRetention(MarchA())
+	a.Name = "March A+"
+	return a
+}
+
+// MarchAPlusPlus is March A++ — March A+ with every read tripled.
+func MarchAPlusPlus() Algorithm {
+	a := WithTripleReads(WithRetention(MarchA()))
+	a.Name = "March A++"
+	return a
+}
+
+// Library returns the standard algorithms by canonical lower-case name.
+func Library() map[string]func() Algorithm {
+	return map[string]func() Algorithm{
+		"mats+":    MATSPlus,
+		"marchx":   MarchX,
+		"marchy":   MarchY,
+		"marchc":   MarchC,
+		"marchc11": MarchCOriginal,
+		"marchc+":  MarchCPlus,
+		"marchc++": MarchCPlusPlus,
+		"marcha":   MarchA,
+		"marcha+":  MarchAPlus,
+		"marcha++": MarchAPlusPlus,
+		"marchb":   MarchB,
+		"marchss":  MarchSS,
+		"marchlr":  MarchLR,
+		"marchg":   MarchG,
+	}
+}
+
+// ByName looks up a library algorithm by its canonical name.
+func ByName(name string) (Algorithm, bool) {
+	f, ok := Library()[name]
+	if !ok {
+		return Algorithm{}, false
+	}
+	return f(), true
+}

@@ -1,0 +1,295 @@
+// Package march models march memory-test algorithms: the element
+// notation of van de Goor ("Testing Semiconductor Memories"), a library
+// of standard algorithms and the paper's enhanced variants, a text
+// parser, structural analysis (well-formedness, symmetry folding for the
+// microcode architecture), and a reference runner that serves as the
+// functional oracle every BIST controller in this repository is checked
+// against.
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Order is the address order of a march element.
+type Order uint8
+
+const (
+	// Up traverses addresses 0 .. N-1.
+	Up Order = iota
+	// Down traverses addresses N-1 .. 0.
+	Down
+	// Any means the order is irrelevant for fault coverage; runners use
+	// ascending order.
+	Any
+)
+
+func (o Order) String() string {
+	switch o {
+	case Up:
+		return "⇑"
+	case Down:
+		return "⇓"
+	default:
+		return "⇕"
+	}
+}
+
+// Reverse returns the opposite traversal order; Any stays Any.
+func (o Order) Reverse() Order {
+	switch o {
+	case Up:
+		return Down
+	case Down:
+		return Up
+	default:
+		return Any
+	}
+}
+
+// OpKind distinguishes read and write operations.
+type OpKind uint8
+
+const (
+	// Read reads a cell and compares against the expected data.
+	Read OpKind = iota
+	// Write stores data into the cell.
+	Write
+)
+
+// Op is a single read or write within a march element. Data is the
+// polarity relative to the current data background: false writes/expects
+// the background pattern ("0"), true its complement ("1").
+type Op struct {
+	Kind OpKind
+	Data bool
+}
+
+func (op Op) String() string {
+	k := "r"
+	if op.Kind == Write {
+		k = "w"
+	}
+	d := "0"
+	if op.Data {
+		d = "1"
+	}
+	return k + d
+}
+
+// Invert returns the op with complemented data polarity.
+func (op Op) Invert() Op {
+	op.Data = !op.Data
+	return op
+}
+
+// R and W build ops concisely: R(false) is r0, W(true) is w1.
+func R(data bool) Op { return Op{Kind: Read, Data: data} }
+
+// W builds a write op.
+func W(data bool) Op { return Op{Kind: Write, Data: data} }
+
+// Element is one march element: an address order and an op sequence
+// applied to each cell before advancing. PauseBefore inserts a retention
+// delay before the element starts (the "Hold"/Del phase of the paper's
+// March C+ and A+ deviations).
+type Element struct {
+	Order       Order
+	Ops         []Op
+	PauseBefore bool
+}
+
+func (e Element) String() string {
+	var b strings.Builder
+	if e.PauseBefore {
+		b.WriteString("Del ")
+	}
+	b.WriteString(e.Order.String())
+	b.WriteByte('(')
+	for i, op := range e.Ops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(op.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Mask selects which fields of an element the microcode architecture's
+// reference register complements on a Repeat: the address order, the
+// write data polarity and the read compare polarity. These are the three
+// auxiliary bits of the paper's 4-bit reference register.
+type Mask struct {
+	Order   bool
+	Data    bool // write polarity
+	Compare bool // read (expected-data) polarity
+}
+
+// IsZero reports whether the mask transforms nothing.
+func (m Mask) IsZero() bool { return !m.Order && !m.Data && !m.Compare }
+
+func (m Mask) String() string {
+	s := ""
+	if m.Order {
+		s += "order"
+	}
+	if m.Data {
+		if s != "" {
+			s += "+"
+		}
+		s += "data"
+	}
+	if m.Compare {
+		if s != "" {
+			s += "+"
+		}
+		s += "compare"
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// Transform applies a reference-register mask to the element.
+func (e Element) Transform(m Mask) Element {
+	out := Element{Order: e.Order, PauseBefore: e.PauseBefore}
+	if m.Order {
+		out.Order = e.Order.Reverse()
+	}
+	out.Ops = make([]Op, len(e.Ops))
+	for i, op := range e.Ops {
+		flip := m.Data
+		if op.Kind == Read {
+			flip = m.Compare
+		}
+		if flip {
+			op = op.Invert()
+		}
+		out.Ops[i] = op
+	}
+	return out
+}
+
+// Complement returns the element under the full mask (order, data and
+// compare all inverted).
+func (e Element) Complement() Element {
+	return e.Transform(Mask{Order: true, Data: true, Compare: true})
+}
+
+// Equal reports structural equality of two elements.
+func (e Element) Equal(f Element) bool {
+	if e.Order != f.Order || e.PauseBefore != f.PauseBefore || len(e.Ops) != len(f.Ops) {
+		return false
+	}
+	for i := range e.Ops {
+		if e.Ops[i] != f.Ops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Algorithm is a complete march test.
+type Algorithm struct {
+	Name     string
+	Elements []Element
+}
+
+// String renders the algorithm in the paper's notation, e.g.
+// "{⇕(w0); ⇑(r0,w1); ...}".
+func (a Algorithm) String() string {
+	parts := make([]string, len(a.Elements))
+	for i, e := range a.Elements {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// OpCount returns the number of operations per cell, i.e. the k of the
+// algorithm's kN complexity.
+func (a Algorithm) OpCount() int {
+	n := 0
+	for _, e := range a.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// Pauses returns the number of retention delay phases.
+func (a Algorithm) Pauses() int {
+	n := 0
+	for _, e := range a.Elements {
+		if e.PauseBefore {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks well-formedness: the algorithm must start by writing
+// before it reads, and every read's expected polarity must match the
+// uniform cell state produced by the preceding operations.
+func (a Algorithm) Validate() error {
+	if len(a.Elements) == 0 {
+		return fmt.Errorf("march %s: no elements", a.Name)
+	}
+	known := false
+	var state bool
+	for ei, e := range a.Elements {
+		if len(e.Ops) == 0 {
+			return fmt.Errorf("march %s: element %d is empty", a.Name, ei)
+		}
+		// Track the state of the *current* cell through the element.
+		// Because every cell sees the same op sequence, the uniform
+		// pre-element state is the post-element state of the previous
+		// element's last cell.
+		cur := state
+		for oi, op := range e.Ops {
+			switch op.Kind {
+			case Read:
+				if !known {
+					return fmt.Errorf("march %s: element %d op %d reads before any write", a.Name, ei, oi)
+				}
+				if op.Data != cur {
+					return fmt.Errorf("march %s: element %d op %d expects %v but cells hold %v",
+						a.Name, ei, oi, op.Data, cur)
+				}
+			case Write:
+				cur = op.Data
+				known = true
+			}
+		}
+		state = cur
+	}
+	return nil
+}
+
+// FinalState returns the uniform cell state after the algorithm
+// completes. Validate must pass for the result to be meaningful.
+func (a Algorithm) FinalState() bool {
+	var state bool
+	for _, e := range a.Elements {
+		for _, op := range e.Ops {
+			if op.Kind == Write {
+				state = op.Data
+			}
+		}
+	}
+	return state
+}
+
+// ReadCount returns the number of read operations per cell.
+func (a Algorithm) ReadCount() int {
+	n := 0
+	for _, e := range a.Elements {
+		for _, op := range e.Ops {
+			if op.Kind == Read {
+				n++
+			}
+		}
+	}
+	return n
+}

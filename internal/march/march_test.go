@@ -1,0 +1,290 @@
+package march
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLibraryAllValid(t *testing.T) {
+	for name, f := range Library() {
+		a := f()
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	cases := []struct {
+		alg  Algorithm
+		want int
+	}{
+		{MATSPlus(), 5},
+		{MarchX(), 6},
+		{MarchY(), 8},
+		{MarchC(), 10},
+		{MarchCOriginal(), 11},
+		{MarchA(), 15},
+		{MarchB(), 17},
+		{MarchCPlus(), 14},     // 10 + (r,w,r) + (r)
+		{MarchCPlusPlus(), 30}, // 14 with 8 reads tripled
+		{MarchAPlus(), 19},
+		{MarchAPlusPlus(), 33}, // 19 with 7 reads tripled
+	}
+	for _, c := range cases {
+		if got := c.alg.OpCount(); got != c.want {
+			t.Errorf("%s: OpCount = %d, want %d (%s)", c.alg.Name, got, c.want, c.alg)
+		}
+	}
+}
+
+func TestRetentionVariantsHavePauses(t *testing.T) {
+	for _, a := range []Algorithm{MarchCPlus(), MarchCPlusPlus(), MarchAPlus(), MarchAPlusPlus()} {
+		if got := a.Pauses(); got != 2 {
+			t.Errorf("%s: pauses = %d, want 2", a.Name, got)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	if MarchC().Pauses() != 0 {
+		t.Error("March C has unexpected pauses")
+	}
+}
+
+func TestValidateCatchesBadAlgorithms(t *testing.T) {
+	bad := Algorithm{Name: "bad-read-first", Elements: []Element{
+		{Order: Up, Ops: []Op{R(false)}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("read-before-write accepted")
+	}
+	bad2 := Algorithm{Name: "bad-expect", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up, Ops: []Op{R(true)}},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("wrong expected polarity accepted")
+	}
+	bad3 := Algorithm{Name: "empty-element", Elements: []Element{
+		{Order: Any, Ops: []Op{W(false)}},
+		{Order: Up},
+	}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("empty element accepted")
+	}
+	if err := (Algorithm{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty algorithm accepted")
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	got := MarchC().String()
+	want := "{⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}"
+	if got != want {
+		t.Errorf("March C = %s, want %s", got, want)
+	}
+	if s := MarchCPlus().String(); !strings.Contains(s, "Del ⇕(r0,w1,r1)") {
+		t.Errorf("March C+ missing retention element: %s", s)
+	}
+}
+
+func TestTransformMask(t *testing.T) {
+	e := Element{Order: Up, Ops: []Op{R(false), W(true)}}
+	// Order-only flip.
+	got := e.Transform(Mask{Order: true})
+	want := Element{Order: Down, Ops: []Op{R(false), W(true)}}
+	if !got.Equal(want) {
+		t.Errorf("order-only transform = %v", got)
+	}
+	// Full complement.
+	got = e.Complement()
+	want = Element{Order: Down, Ops: []Op{R(true), W(false)}}
+	if !got.Equal(want) {
+		t.Errorf("complement = %v", got)
+	}
+	// Data flips writes only; compare flips reads only.
+	got = e.Transform(Mask{Data: true})
+	want = Element{Order: Up, Ops: []Op{R(false), W(false)}}
+	if !got.Equal(want) {
+		t.Errorf("data transform = %v", got)
+	}
+	got = e.Transform(Mask{Compare: true})
+	want = Element{Order: Up, Ops: []Op{R(true), W(true)}}
+	if !got.Equal(want) {
+		t.Errorf("compare transform = %v", got)
+	}
+	// Any order stays Any under order flip.
+	anyE := Element{Order: Any, Ops: []Op{W(false)}}
+	if anyE.Transform(Mask{Order: true}).Order != Any {
+		t.Error("Any order changed under order flip")
+	}
+}
+
+func TestTransformInvolution(t *testing.T) {
+	for _, a := range []Algorithm{MarchC(), MarchA(), MarchB()} {
+		for _, m := range allMasks {
+			for _, e := range a.Elements {
+				if !e.Transform(m).Transform(m).Equal(e) {
+					t.Errorf("%s: transform %v is not an involution on %v", a.Name, m, e)
+				}
+			}
+		}
+	}
+}
+
+func TestFindFoldMarchC(t *testing.T) {
+	fold, ok := MarchC().FindFold()
+	if !ok {
+		t.Fatal("March C has no fold")
+	}
+	if fold.Start != 1 || fold.Len != 2 {
+		t.Errorf("March C fold = %+v, want start 1 len 2", fold)
+	}
+	if !fold.Mask.Order || fold.Mask.Data || fold.Mask.Compare {
+		t.Errorf("March C fold mask = %v, want order-only", fold.Mask)
+	}
+}
+
+func TestFindFoldMarchA(t *testing.T) {
+	fold, ok := MarchA().FindFold()
+	if !ok {
+		t.Fatal("March A has no fold")
+	}
+	if fold.Start != 1 || fold.Len != 2 {
+		t.Errorf("March A fold = %+v, want start 1 len 2", fold)
+	}
+	if !fold.Mask.Order || !fold.Mask.Data || !fold.Mask.Compare {
+		t.Errorf("March A fold mask = %v, want full complement", fold.Mask)
+	}
+}
+
+func TestFoldRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{MarchC(), MarchA(), MarchCPlus(), MarchAPlus(), MATSPlus(), MarchX()} {
+		reduced, fold, ok := a.Folded()
+		if !ok {
+			continue
+		}
+		back := Unfold(reduced, fold)
+		if len(back.Elements) != len(a.Elements) {
+			t.Errorf("%s: unfold length %d, want %d", a.Name, len(back.Elements), len(a.Elements))
+			continue
+		}
+		for i := range a.Elements {
+			if !back.Elements[i].Equal(a.Elements[i]) {
+				t.Errorf("%s: element %d round-trip: %v vs %v", a.Name, i, back.Elements[i], a.Elements[i])
+			}
+		}
+	}
+}
+
+func TestFoldReducesStorage(t *testing.T) {
+	reduced, _, ok := MarchC().Folded()
+	if !ok {
+		t.Fatal("March C should fold")
+	}
+	if len(reduced.Elements) != 4 {
+		t.Errorf("folded March C has %d elements, want 4", len(reduced.Elements))
+	}
+}
+
+func TestNoFoldOnAsymmetric(t *testing.T) {
+	// MATS+ ⇑(r0,w1) / ⇓(r1,w0) IS a full complement pair — it folds.
+	if _, ok := MATSPlus().FindFold(); !ok {
+		t.Error("MATS+ complement pair not found")
+	}
+	// A genuinely asymmetric algorithm (no two adjacent blocks are
+	// related by any reference-register mask — op counts differ).
+	a := MustParse("asym", "b(w0); u(r0,w1); u(r1,w0,w1)")
+	if f, ok := a.FindFold(); ok {
+		t.Errorf("asymmetric algorithm folded: %+v", f)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	a := MustParse("March C", "b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0)")
+	lib := MarchC()
+	if len(a.Elements) != len(lib.Elements) {
+		t.Fatalf("parsed %d elements, want %d", len(a.Elements), len(lib.Elements))
+	}
+	for i := range a.Elements {
+		if !a.Elements[i].Equal(lib.Elements[i]) {
+			t.Errorf("element %d: parsed %v, library %v", i, a.Elements[i], lib.Elements[i])
+		}
+	}
+}
+
+func TestParseDelPrefix(t *testing.T) {
+	a := MustParse("ret", "b(w0); del b(r0,w1,r1); del b(r1)")
+	if !a.Elements[1].PauseBefore || !a.Elements[2].PauseBefore {
+		t.Error("del prefix not parsed")
+	}
+	if a.Elements[0].PauseBefore {
+		t.Error("spurious pause on first element")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"x(w0)",          // bad order
+		"u(w2)",          // bad data
+		"u(q0)",          // bad kind
+		"u w0",           // missing parens
+		"u()",            // empty element
+		"u(r0)",          // read before write (validation)
+		"b(w0); u(r1)",   // wrong polarity (validation)
+		"b(w0); u(r0,)",  // trailing comma
+		"b(w0); u(read)", // word op
+	}
+	for _, text := range cases {
+		if _, err := Parse("bad", text); err == nil {
+			t.Errorf("Parse(%q) accepted", text)
+		}
+	}
+}
+
+func TestBackgrounds(t *testing.T) {
+	if got := Backgrounds(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Backgrounds(1) = %v", got)
+	}
+	got := Backgrounds(8)
+	want := []uint64{0x00, 0xAA, 0xCC, 0xF0}
+	if len(got) != len(want) {
+		t.Fatalf("Backgrounds(8) = %x, want %x", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Backgrounds(8)[%d] = %x, want %x", i, got[i], want[i])
+		}
+	}
+	// log2(w)+1 backgrounds.
+	if got := Backgrounds(16); len(got) != 5 {
+		t.Errorf("Backgrounds(16) has %d patterns, want 5", len(got))
+	}
+	// Non-power-of-two width still terminates and starts with 0.
+	if got := Backgrounds(12); len(got) != 5 || got[0] != 0 {
+		t.Errorf("Backgrounds(12) = %x", got)
+	}
+}
+
+func TestFinalState(t *testing.T) {
+	if MarchC().FinalState() != false {
+		t.Error("March C final state should be 0")
+	}
+	if MarchA().FinalState() != false {
+		t.Error("March A final state should be 0")
+	}
+	inv := MustParse("inv", "b(w1); u(r1,w0); u(r0,w1)")
+	if inv.FinalState() != true {
+		t.Error("final state should be 1")
+	}
+}
+
+func TestReadCount(t *testing.T) {
+	if got := MarchC().ReadCount(); got != 5 {
+		t.Errorf("March C reads = %d, want 5", got)
+	}
+	if got := MarchCPlusPlus().ReadCount(); got != 24 {
+		t.Errorf("March C++ reads = %d, want 21", got)
+	}
+}

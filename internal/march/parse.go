@@ -1,0 +1,98 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a march algorithm from its ASCII notation: semicolon-
+// separated elements of the form
+//
+//	[del] ORDER(op,op,...)
+//
+// where ORDER is u/up/⇑ (ascending), d/down/⇓ (descending) or b/any/⇕
+// (either), ops are r0, r1, w0, w1, and a leading "del" inserts a
+// retention delay before the element. Example (March C):
+//
+//	b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0)
+func Parse(name, text string) (Algorithm, error) {
+	a := Algorithm{Name: name}
+	for i, raw := range strings.Split(text, ";") {
+		field := strings.TrimSpace(raw)
+		if field == "" {
+			continue
+		}
+		e, err := parseElement(field)
+		if err != nil {
+			return Algorithm{}, fmt.Errorf("march: element %d %q: %w", i, field, err)
+		}
+		a.Elements = append(a.Elements, e)
+	}
+	if err := a.Validate(); err != nil {
+		return Algorithm{}, err
+	}
+	return a, nil
+}
+
+func parseElement(s string) (Element, error) {
+	var e Element
+	low := strings.ToLower(s)
+	if strings.HasPrefix(low, "del") {
+		e.PauseBefore = true
+		s = strings.TrimSpace(s[3:])
+		low = strings.ToLower(s)
+	}
+	open := strings.IndexByte(low, '(')
+	if open < 0 || !strings.HasSuffix(low, ")") {
+		return e, fmt.Errorf("want ORDER(ops)")
+	}
+	switch strings.TrimSpace(low[:open]) {
+	case "u", "up", "⇑":
+		e.Order = Up
+	case "d", "down", "⇓":
+		e.Order = Down
+	case "b", "any", "both", "⇕":
+		e.Order = Any
+	default:
+		return e, fmt.Errorf("unknown address order %q", strings.TrimSpace(low[:open]))
+	}
+	body := low[open+1 : len(low)-1]
+	for _, tok := range strings.Split(body, ",") {
+		tok = strings.TrimSpace(tok)
+		if len(tok) != 2 {
+			return e, fmt.Errorf("bad op %q", tok)
+		}
+		var op Op
+		switch tok[0] {
+		case 'r':
+			op.Kind = Read
+		case 'w':
+			op.Kind = Write
+		default:
+			return e, fmt.Errorf("bad op kind %q", tok)
+		}
+		switch tok[1] {
+		case '0':
+			op.Data = false
+		case '1':
+			op.Data = true
+		default:
+			return e, fmt.Errorf("bad op data %q", tok)
+		}
+		e.Ops = append(e.Ops, op)
+	}
+	if len(e.Ops) == 0 {
+		return e, fmt.Errorf("empty element")
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and tables of
+// known-good algorithms.
+func MustParse(name, text string) Algorithm {
+	a, err := Parse(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,132 @@
+package march
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+)
+
+// randomAlgorithm aliases the exported fuzz helper.
+func randomAlgorithm(rng *rand.Rand) Algorithm { return Random(rng) }
+
+func TestRandomAlgorithmsValidateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAlgorithm(rand.New(rand.NewSource(seed)))
+		return a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomAlgorithmsPassCleanMemoryProperty: any valid march
+// algorithm runs clean on a fault-free memory.
+func TestRandomAlgorithmsPassCleanMemoryProperty(t *testing.T) {
+	f := func(seed int64, width8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomAlgorithm(rng)
+		width := 1 + int(width8)%8
+		mem := memory.NewSRAM(16, width, 1)
+		res, err := Run(a, mem, RunOpts{})
+		if err != nil {
+			return false
+		}
+		return !res.Detected() && res.Operations == a.OpCount()*16*len(Backgrounds(width))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFoldUnfoldIdentityProperty: for any valid algorithm, folding and
+// unfolding is the identity.
+func TestFoldUnfoldIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomAlgorithm(rand.New(rand.NewSource(seed)))
+		reduced, fold, ok := a.Folded()
+		if !ok {
+			return true
+		}
+		back := Unfold(reduced, fold)
+		if len(back.Elements) != len(a.Elements) {
+			return false
+		}
+		for i := range a.Elements {
+			if !back.Elements[i].Equal(a.Elements[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsePrintRoundTripProperty: printing an algorithm in ASCII
+// notation and re-parsing it reproduces the same algorithm.
+func TestParsePrintRoundTripProperty(t *testing.T) {
+	toASCII := func(a Algorithm) string {
+		s := ""
+		for i, e := range a.Elements {
+			if i > 0 {
+				s += "; "
+			}
+			if e.PauseBefore {
+				s += "del "
+			}
+			switch e.Order {
+			case Up:
+				s += "u("
+			case Down:
+				s += "d("
+			default:
+				s += "b("
+			}
+			for j, op := range e.Ops {
+				if j > 0 {
+					s += ","
+				}
+				s += op.String()
+			}
+			s += ")"
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		a := randomAlgorithm(rand.New(rand.NewSource(seed)))
+		back, err := Parse("round", toASCII(a))
+		if err != nil {
+			return false
+		}
+		if len(back.Elements) != len(a.Elements) {
+			return false
+		}
+		for i := range a.Elements {
+			if !back.Elements[i].Equal(a.Elements[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpStreamLengthProperty: the op stream length is
+// OpCount × size × backgrounds.
+func TestOpStreamLengthProperty(t *testing.T) {
+	f := func(seed int64, size8, width8 uint8) bool {
+		a := randomAlgorithm(rand.New(rand.NewSource(seed)))
+		size := 1 + int(size8)%32
+		width := 1 + int(width8)%8
+		stream := OpStream(a, size, width)
+		return len(stream) == a.OpCount()*size*len(Backgrounds(width))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

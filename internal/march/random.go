@@ -1,0 +1,31 @@
+package march
+
+import "math/rand"
+
+// Random builds a random, guaranteed-valid march algorithm: polarities
+// are chained so every read expects the uniform state the preceding
+// operations established. It drives the property-based tests that fuzz
+// the assemblers, compilers and executors against the reference runner.
+func Random(rng *rand.Rand) Algorithm {
+	a := Algorithm{Name: "random"}
+	state := rng.Intn(2) == 1
+	a.Elements = append(a.Elements, Element{
+		Order: Order(rng.Intn(3)),
+		Ops:   []Op{W(state)},
+	})
+	n := 1 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		e := Element{Order: Order(rng.Intn(3)), PauseBefore: rng.Intn(4) == 0}
+		k := 1 + rng.Intn(4)
+		for j := 0; j < k; j++ {
+			if rng.Intn(2) == 0 {
+				e.Ops = append(e.Ops, R(state))
+			} else {
+				state = rng.Intn(2) == 1
+				e.Ops = append(e.Ops, W(state))
+			}
+		}
+		a.Elements = append(a.Elements, e)
+	}
+	return a
+}

@@ -1,0 +1,136 @@
+package march
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Backgrounds returns the data-background patterns for a word width:
+// the solid pattern plus log2(width) alternating "checkerboard" patterns
+// of doubling stripe size. Width 1 has the single background 0. Each
+// pattern and its complement are exercised by the algorithm's own 0/1
+// polarity, so only the base patterns are listed.
+func Backgrounds(width int) []uint64 {
+	bgs := []uint64{0}
+	for stripe := 1; stripe < width; stripe <<= 1 {
+		var bg uint64
+		for bit := 0; bit < width; bit++ {
+			if bit/stripe%2 == 1 {
+				bg |= 1 << uint(bit)
+			}
+		}
+		bgs = append(bgs, bg)
+	}
+	return bgs
+}
+
+// Fail records one miscompare observed while running a march test.
+type Fail struct {
+	Port       int
+	Background int // index into the background list
+	Element    int // element index within the algorithm
+	OpIndex    int // op index within the element
+	Addr       int
+	Expected   uint64
+	Got        uint64
+}
+
+func (f Fail) String() string {
+	return fmt.Sprintf("port %d bg %d elem %d op %d addr %d: read %0b, expected %0b",
+		f.Port, f.Background, f.Element, f.OpIndex, f.Addr, f.Got, f.Expected)
+}
+
+// Result is the outcome of a march test run.
+type Result struct {
+	Fails      []Fail
+	Operations int // memory read+write operations issued
+	PauseCount int // retention delays taken
+}
+
+// Detected reports whether any miscompare occurred.
+func (r *Result) Detected() bool { return len(r.Fails) > 0 }
+
+// RunOpts tunes the reference runner.
+type RunOpts struct {
+	// MaxFails stops the run after this many miscompares (0 = run to
+	// completion, logging every fail — the diagnostic mode).
+	MaxFails int
+	// SinglePort restricts testing to port 0 even on multiport
+	// memories.
+	SinglePort bool
+	// SingleBackground restricts testing to the solid background even
+	// on word-oriented memories.
+	SingleBackground bool
+}
+
+// Run executes the algorithm directly against the memory: the reference
+// (behavioural) implementation of a march test, used as the oracle for
+// every BIST controller architecture. Ports are the outer loop and data
+// backgrounds the inner loop, matching the microcode architecture's
+// instruction 8/9 nesting in Fig. 2 of the paper.
+func Run(a Algorithm, mem memory.Memory, opts RunOpts) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	mask := wordMask(mem.Width())
+	bgs := Backgrounds(mem.Width())
+	if opts.SingleBackground {
+		bgs = bgs[:1]
+	}
+	ports := mem.Ports()
+	if opts.SinglePort {
+		ports = 1
+	}
+	n := mem.Size()
+
+	for port := 0; port < ports; port++ {
+		for bgIdx, bg := range bgs {
+			for ei, e := range a.Elements {
+				if e.PauseBefore {
+					mem.Pause()
+					res.PauseCount++
+				}
+				for k := 0; k < n; k++ {
+					addr := k
+					if e.Order == Down {
+						addr = n - 1 - k
+					}
+					for oi, op := range e.Ops {
+						data := bg
+						if op.Data {
+							data = ^bg & mask
+						}
+						switch op.Kind {
+						case Write:
+							mem.Write(port, addr, data)
+							res.Operations++
+						case Read:
+							got := mem.Read(port, addr)
+							res.Operations++
+							if got != data {
+								res.Fails = append(res.Fails, Fail{
+									Port: port, Background: bgIdx,
+									Element: ei, OpIndex: oi, Addr: addr,
+									Expected: data, Got: got,
+								})
+								if opts.MaxFails > 0 && len(res.Fails) >= opts.MaxFails {
+									return res, nil
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func wordMask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(width) - 1
+}

@@ -1,0 +1,218 @@
+package march
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/memory"
+)
+
+func TestRunCleanMemoryPasses(t *testing.T) {
+	for name, f := range Library() {
+		a := f()
+		mem := memory.NewSRAM(64, 1, 1)
+		res, err := Run(a, mem, RunOpts{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Detected() {
+			t.Errorf("%s: false positive on clean memory: %v", name, res.Fails[0])
+		}
+		if res.Operations != a.OpCount()*64 {
+			t.Errorf("%s: operations = %d, want %d", name, res.Operations, a.OpCount()*64)
+		}
+	}
+}
+
+func TestRunDetectsStuckAt(t *testing.T) {
+	for name, f := range Library() {
+		a := f()
+		for _, v := range []bool{false, true} {
+			mem := faults.NewInjected(32, 1, 1, faults.Fault{
+				Kind: faults.SA, Cell: 13, Value: v, Port: faults.AnyPort,
+			})
+			res, err := Run(a, mem, RunOpts{MaxFails: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Detected() {
+				t.Errorf("%s missed SA%v", name, v)
+			}
+		}
+	}
+}
+
+func TestMarchCDetectsCoupling(t *testing.T) {
+	// March C detects unlinked inversion and idempotent coupling faults
+	// in both aggressor/victim address orders.
+	a := MarchC()
+	for _, f := range []faults.Fault{
+		{Kind: faults.CFin, Aggressor: 3, Cell: 9, AggVal: true, Port: faults.AnyPort},
+		{Kind: faults.CFin, Aggressor: 9, Cell: 3, AggVal: false, Port: faults.AnyPort},
+		{Kind: faults.CFid, Aggressor: 3, Cell: 9, AggVal: true, Value: true, Port: faults.AnyPort},
+		{Kind: faults.CFid, Aggressor: 9, Cell: 3, AggVal: false, Value: false, Port: faults.AnyPort},
+		{Kind: faults.CFst, Aggressor: 3, Cell: 9, AggVal: true, Value: true, Port: faults.AnyPort},
+	} {
+		mem := faults.NewInjected(16, 1, 1, f)
+		res, err := Run(a, mem, RunOpts{MaxFails: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected() {
+			t.Errorf("March C missed %v", f)
+		}
+	}
+}
+
+func TestMATSPlusMissesSomeCoupling(t *testing.T) {
+	// MATS+ does not cover all coupling faults — sanity check that the
+	// fault grading discriminates between algorithms.
+	missed := 0
+	for _, pair := range [][2]int{{3, 9}, {9, 3}, {0, 15}, {15, 0}} {
+		for _, aggRise := range []bool{false, true} {
+			for _, val := range []bool{false, true} {
+				f := faults.Fault{Kind: faults.CFid, Aggressor: pair[0], Cell: pair[1],
+					AggVal: aggRise, Value: val, Port: faults.AnyPort}
+				mem := faults.NewInjected(16, 1, 1, f)
+				res, _ := Run(MATSPlus(), mem, RunOpts{MaxFails: 1})
+				if !res.Detected() {
+					missed++
+				}
+			}
+		}
+	}
+	if missed == 0 {
+		t.Error("MATS+ detected every idempotent coupling fault; grading cannot discriminate")
+	}
+}
+
+func TestRetentionNeededForDRF(t *testing.T) {
+	drf := faults.Fault{Kind: faults.DRF, Cell: 5, Value: true, Port: faults.AnyPort}
+
+	mem := faults.NewInjected(16, 1, 1, drf)
+	res, _ := Run(MarchC(), mem, RunOpts{MaxFails: 1})
+	if res.Detected() {
+		t.Error("March C (no pause) detected a DRF; fault model broken")
+	}
+
+	mem2 := faults.NewInjected(16, 1, 1, drf)
+	res2, _ := Run(MarchCPlus(), mem2, RunOpts{MaxFails: 1})
+	if !res2.Detected() {
+		t.Error("March C+ missed a DRF")
+	}
+
+	// Both polarities.
+	drf0 := faults.Fault{Kind: faults.DRF, Cell: 5, Value: false, Port: faults.AnyPort}
+	mem3 := faults.NewInjected(16, 1, 1, drf0)
+	res3, _ := Run(MarchCPlus(), mem3, RunOpts{MaxFails: 1})
+	if !res3.Detected() {
+		t.Error("March C+ missed a DRF0")
+	}
+}
+
+func TestTripleReadsNeededForRDF(t *testing.T) {
+	for _, v := range []bool{false, true} {
+		rdf := faults.Fault{Kind: faults.RDF, Cell: 7, Value: v, Port: faults.AnyPort}
+
+		mem := faults.NewInjected(16, 1, 1, rdf)
+		res, _ := Run(MarchCPlus(), mem, RunOpts{MaxFails: 1})
+		if res.Detected() {
+			t.Errorf("March C+ (single reads) detected RDF%v; fault model broken", v)
+		}
+
+		mem2 := faults.NewInjected(16, 1, 1, rdf)
+		res2, _ := Run(MarchCPlusPlus(), mem2, RunOpts{MaxFails: 1})
+		if !res2.Detected() {
+			t.Errorf("March C++ missed RDF%v", v)
+		}
+	}
+}
+
+func TestRunDetectsAddressFaults(t *testing.T) {
+	for _, f := range []faults.Fault{
+		{Kind: faults.AFNone, Addr: 3, Port: faults.AnyPort},
+		{Kind: faults.AFMap, Addr: 3, AggAddr: 4, Port: faults.AnyPort},
+		{Kind: faults.AFMulti, Addr: 3, AggAddr: 4, Port: faults.AnyPort},
+	} {
+		mem := faults.NewInjected(16, 1, 1, f)
+		res, _ := Run(MATSPlus(), mem, RunOpts{MaxFails: 1})
+		if !res.Detected() {
+			t.Errorf("MATS+ missed %v", f)
+		}
+	}
+}
+
+func TestWordOrientedBackgroundsCatchIntraWordCoupling(t *testing.T) {
+	// A coupling fault between two bits of the same word is invisible
+	// under the solid background (both bits always carry the same value,
+	// and a write updates aggressor and victim together), but a
+	// checkerboard background drives them to opposite values.
+	f := faults.Fault{Kind: faults.CFst, Aggressor: 8*4 + 1, Cell: 8*4 + 0,
+		AggVal: true, Value: true, Port: faults.AnyPort}
+
+	mem := faults.NewInjected(16, 4, 1, f)
+	res, _ := Run(MarchC(), mem, RunOpts{MaxFails: 1, SingleBackground: true})
+	if res.Detected() {
+		t.Fatalf("intra-word CFst detected under solid background: %v", res.Fails)
+	}
+
+	mem2 := faults.NewInjected(16, 4, 1, f)
+	res2, _ := Run(MarchC(), mem2, RunOpts{MaxFails: 1})
+	if !res2.Detected() {
+		t.Error("intra-word CFst missed even with all backgrounds")
+	}
+}
+
+func TestMultiportPortLoopNeeded(t *testing.T) {
+	// A read-circuit fault on port 1 only: testing port 0 alone misses
+	// it, the full port loop catches it.
+	f := faults.Fault{Kind: faults.SA, Cell: 6, Value: true, Port: 1}
+
+	mem := faults.NewInjected(16, 1, 2, f)
+	res, _ := Run(MarchC(), mem, RunOpts{MaxFails: 1, SinglePort: true})
+	if res.Detected() {
+		t.Fatal("port-1 fault detected while testing only port 0")
+	}
+
+	mem2 := faults.NewInjected(16, 1, 2, f)
+	res2, _ := Run(MarchC(), mem2, RunOpts{MaxFails: 1})
+	if !res2.Detected() {
+		t.Error("port-1 fault missed by full port loop")
+	}
+}
+
+func TestRunMaxFailsBounds(t *testing.T) {
+	// Whole-array stuck-at-1 produces many fails; MaxFails caps them.
+	var fs []faults.Fault
+	for c := 0; c < 16; c++ {
+		fs = append(fs, faults.Fault{Kind: faults.SA, Cell: c, Value: true, Port: faults.AnyPort})
+	}
+	mem := faults.NewInjected(16, 1, 1, fs...)
+	res, _ := Run(MarchC(), mem, RunOpts{MaxFails: 5})
+	if len(res.Fails) != 5 {
+		t.Errorf("fails = %d, want capped at 5", len(res.Fails))
+	}
+	mem2 := faults.NewInjected(16, 1, 1, fs...)
+	res2, _ := Run(MarchC(), mem2, RunOpts{})
+	if len(res2.Fails) <= 5 {
+		t.Errorf("uncapped run logged only %d fails", len(res2.Fails))
+	}
+}
+
+func TestRunRejectsInvalidAlgorithm(t *testing.T) {
+	bad := Algorithm{Name: "bad", Elements: []Element{{Order: Up, Ops: []Op{R(true)}}}}
+	if _, err := Run(bad, memory.NewSRAM(8, 1, 1), RunOpts{}); err == nil {
+		t.Error("Run accepted an invalid algorithm")
+	}
+}
+
+func TestFailString(t *testing.T) {
+	f := Fail{Port: 1, Background: 2, Element: 3, OpIndex: 0, Addr: 7, Expected: 1, Got: 0}
+	s := f.String()
+	for _, frag := range []string{"port 1", "bg 2", "elem 3", "addr 7"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Fail.String() = %q missing %q", s, frag)
+		}
+	}
+}

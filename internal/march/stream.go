@@ -1,0 +1,51 @@
+package march
+
+// StreamOp is one entry of the canonical memory-operation stream of a
+// march test on a fault-free memory: reads carry the value a clean
+// memory returns (the expected pattern), writes the written word.
+type StreamOp struct {
+	Write bool
+	Port  int
+	Addr  int
+	Data  uint64
+}
+
+// OpStream expands the algorithm into its full operation stream for a
+// memory of the given geometry through one port, all data backgrounds
+// included. It is the golden sequence the gate-level BIST harness runs
+// are compared against.
+func OpStream(a Algorithm, size, width int) []StreamOp {
+	return OpStreamPorts(a, size, width, 1)
+}
+
+// OpStreamPorts is OpStream with the outer port loop included: the
+// whole test repeats per port (the Fig. 2 instruction-9 nesting).
+func OpStreamPorts(a Algorithm, size, width, ports int) []StreamOp {
+	mask := wordMask(width)
+	var ops []StreamOp
+	for port := 0; port < ports; port++ {
+		for _, bg := range Backgrounds(width) {
+			for _, e := range a.Elements {
+				for k := 0; k < size; k++ {
+					addr := k
+					if e.Order == Down {
+						addr = size - 1 - k
+					}
+					for _, op := range e.Ops {
+						data := bg
+						if op.Data {
+							data = ^bg & mask
+						}
+						ops = append(ops, StreamOp{
+							Write: op.Kind == Write,
+							Port:  port,
+							Addr:  addr,
+							Data:  data,
+						})
+					}
+				}
+			}
+		}
+	}
+	return ops
+}

@@ -1,0 +1,117 @@
+// Package memory models the memory under test as seen by a BIST
+// controller: an addressable array of words with one or more read/write
+// ports and an explicit Pause operation (the "hold" phase data-retention
+// tests insert between march elements).
+package memory
+
+import "fmt"
+
+// Memory is the controller-visible interface of a memory under test.
+// Implementations must tolerate any port in [0,Ports) and address in
+// [0,Size); data words use the low Width bits.
+type Memory interface {
+	// Size returns the number of word addresses.
+	Size() int
+	// Width returns the bits per word (1 for bit-oriented memories).
+	Width() int
+	// Ports returns the number of access ports.
+	Ports() int
+	// Read returns the word at addr through the given port.
+	Read(port, addr int) uint64
+	// Write stores the low Width bits of data at addr through the port.
+	Write(port, addr int, data uint64)
+	// Pause models a test delay phase (data-retention excitation).
+	// Fault-free memories treat it as a no-op.
+	Pause()
+}
+
+// SRAM is a fault-free behavioural static RAM.
+type SRAM struct {
+	size  int
+	width int
+	ports int
+	mask  uint64
+	words []uint64
+}
+
+// NewSRAM returns a fault-free memory of the given geometry. Width must
+// be in [1,64]; size and ports must be positive.
+func NewSRAM(size, width, ports int) *SRAM {
+	if size <= 0 {
+		panic(fmt.Sprintf("memory: size %d must be positive", size))
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("memory: width %d out of [1,64]", width))
+	}
+	if ports <= 0 {
+		panic(fmt.Sprintf("memory: ports %d must be positive", ports))
+	}
+	return &SRAM{
+		size:  size,
+		width: width,
+		ports: ports,
+		mask:  wordMask(width),
+		words: make([]uint64, size),
+	}
+}
+
+func wordMask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(width) - 1
+}
+
+// Size returns the number of word addresses.
+func (m *SRAM) Size() int { return m.size }
+
+// Width returns the bits per word.
+func (m *SRAM) Width() int { return m.width }
+
+// Ports returns the number of access ports.
+func (m *SRAM) Ports() int { return m.ports }
+
+func (m *SRAM) check(port, addr int) {
+	if port < 0 || port >= m.ports {
+		panic(fmt.Sprintf("memory: port %d out of [0,%d)", port, m.ports))
+	}
+	if addr < 0 || addr >= m.size {
+		panic(fmt.Sprintf("memory: address %d out of [0,%d)", addr, m.size))
+	}
+}
+
+// Read returns the word at addr.
+func (m *SRAM) Read(port, addr int) uint64 {
+	m.check(port, addr)
+	return m.words[addr]
+}
+
+// Write stores data at addr.
+func (m *SRAM) Write(port, addr int, data uint64) {
+	m.check(port, addr)
+	m.words[addr] = data & m.mask
+}
+
+// Pause is a no-op on a fault-free memory.
+func (m *SRAM) Pause() {}
+
+// Fill writes the same word to every address through port 0.
+func Fill(m Memory, data uint64) {
+	for a := 0; a < m.Size(); a++ {
+		m.Write(0, a, data)
+	}
+}
+
+// Equal reports whether two memories have identical geometry and
+// contents (as observed through port 0).
+func Equal(a, b Memory) bool {
+	if a.Size() != b.Size() || a.Width() != b.Width() {
+		return false
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.Read(0, i) != b.Read(0, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSRAMReadWrite(t *testing.T) {
+	m := NewSRAM(16, 8, 1)
+	for a := 0; a < 16; a++ {
+		m.Write(0, a, uint64(a*3))
+	}
+	for a := 0; a < 16; a++ {
+		if got := m.Read(0, a); got != uint64(a*3) {
+			t.Errorf("Read(%d) = %d, want %d", a, got, a*3)
+		}
+	}
+}
+
+func TestSRAMWidthMask(t *testing.T) {
+	m := NewSRAM(4, 4, 1)
+	m.Write(0, 0, 0xFFFF)
+	if got := m.Read(0, 0); got != 0xF {
+		t.Errorf("4-bit write of 0xFFFF reads %x, want F", got)
+	}
+	m64 := NewSRAM(2, 64, 1)
+	m64.Write(0, 0, ^uint64(0))
+	if got := m64.Read(0, 0); got != ^uint64(0) {
+		t.Errorf("64-bit word truncated: %x", got)
+	}
+}
+
+func TestSRAMMultiportShareArray(t *testing.T) {
+	m := NewSRAM(8, 1, 3)
+	m.Write(2, 5, 1)
+	for p := 0; p < 3; p++ {
+		if got := m.Read(p, 5); got != 1 {
+			t.Errorf("port %d sees %d, want 1", p, got)
+		}
+	}
+}
+
+func TestSRAMBoundsPanic(t *testing.T) {
+	m := NewSRAM(4, 1, 1)
+	for _, f := range []func(){
+		func() { m.Read(0, 4) },
+		func() { m.Read(0, -1) },
+		func() { m.Read(1, 0) },
+		func() { m.Write(0, 99, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNewSRAMGeometryPanics(t *testing.T) {
+	for _, g := range [][3]int{{0, 1, 1}, {4, 0, 1}, {4, 65, 1}, {4, 1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSRAM%v did not panic", g)
+				}
+			}()
+			NewSRAM(g[0], g[1], g[2])
+		}()
+	}
+}
+
+func TestFillAndEqual(t *testing.T) {
+	a := NewSRAM(32, 2, 1)
+	b := NewSRAM(32, 2, 1)
+	Fill(a, 0b11)
+	if Equal(a, b) {
+		t.Error("filled and empty memories compare equal")
+	}
+	Fill(b, 0b11)
+	if !Equal(a, b) {
+		t.Error("identically filled memories compare unequal")
+	}
+	c := NewSRAM(16, 2, 1)
+	if Equal(a, c) {
+		t.Error("different-size memories compare equal")
+	}
+}
+
+// Property: a write is durable and independent of other addresses.
+func TestWriteReadProperty(t *testing.T) {
+	m := NewSRAM(64, 16, 1)
+	f := func(addr uint8, data uint16, other uint8, otherData uint16) bool {
+		a := int(addr) % 64
+		o := int(other) % 64
+		if a == o {
+			return true
+		}
+		m.Write(0, a, uint64(data))
+		m.Write(0, o, uint64(otherData))
+		return m.Read(0, a) == uint64(data)&0xFFFF
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPauseIsNoOp(t *testing.T) {
+	m := NewSRAM(8, 1, 1)
+	Fill(m, 1)
+	m.Pause()
+	for a := 0; a < 8; a++ {
+		if m.Read(0, a) != 1 {
+			t.Fatalf("Pause changed fault-free memory at %d", a)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package microbist
+
+import (
+	"fmt"
+
+	"repro/internal/march"
+)
+
+// AssembleOpts configures the assembler.
+type AssembleOpts struct {
+	// WordOriented emits the trailing data-background loop (the paper's
+	// instruction 8), repeating the algorithm per background pattern.
+	WordOriented bool
+	// Multiport emits the trailing port loop (the paper's instruction
+	// 9), repeating the whole test per port; it terminates the test at
+	// the last port.
+	Multiport bool
+	// DisableFold suppresses the Repeat/reference-register symmetry
+	// folding even when the algorithm is symmetric.
+	DisableFold bool
+}
+
+// Assemble compiles a march algorithm into a microcode program.
+//
+// When the algorithm has a symmetric block starting at element 1 and the
+// leading element compiles to a single instruction, the assembler folds
+// the block with a Repeat instruction whose address-order/data/compare
+// fields carry the fold mask — exactly the paper's Fig. 2 March C
+// encoding (9 instructions with both word-oriented and multiport loops).
+func Assemble(a march.Algorithm, opts AssembleOpts) (*Program, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{Name: a.Name}
+
+	elems := a.Elements
+	var fold march.Fold
+	folded := false
+	if !opts.DisableFold {
+		if reduced, f, ok := a.Folded(); ok && foldEncodable(a, f) {
+			elems = reduced.Elements
+			fold = f
+			folded = true
+		}
+	}
+
+	for ei, e := range elems {
+		srcElem := sourceElement(ei, fold, folded)
+		emitElement(p, e, srcElem)
+		if folded && ei == fold.Start+fold.Len-1 {
+			// Close the folded block with the Repeat instruction
+			// carrying the reference-register mask.
+			p.emit(Instruction{
+				AddrDown: fold.Mask.Order,
+				DataInv:  fold.Mask.Data,
+				CmpInv:   fold.Mask.Compare,
+				Cond:     CondRepeat,
+			}, SourceRef{Element: -1, Op: -1})
+		}
+	}
+	p.Folded = folded
+	if folded {
+		p.FoldLen = fold.Len
+	}
+
+	if opts.WordOriented {
+		p.emit(Instruction{DataInc: true, Cond: CondLoopData}, SourceRef{Element: -1, Op: -1})
+	}
+	if opts.Multiport {
+		p.emit(Instruction{Cond: CondLoopPort}, SourceRef{Element: -1, Op: -1})
+	} else {
+		p.emit(Instruction{Cond: CondTerminate}, SourceRef{Element: -1, Op: -1})
+	}
+
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// foldEncodable reports whether the fold fits the Repeat instruction's
+// hardwired branch target (instruction 1): the folded block must start
+// at element 1 and element 0 must compile to exactly one instruction
+// (single-op, no pause).
+func foldEncodable(a march.Algorithm, f march.Fold) bool {
+	return f.Start == 1 && len(a.Elements[0].Ops) == 1 && !a.Elements[0].PauseBefore
+}
+
+// sourceElement maps an element index of the folded program back to the
+// original algorithm's element index.
+func sourceElement(ei int, fold march.Fold, folded bool) int {
+	if !folded || ei < fold.Start+fold.Len {
+		return ei
+	}
+	return ei + fold.Len
+}
+
+func emitElement(p *Program, e march.Element, srcElem int) {
+	down := e.Order == march.Down
+	if e.PauseBefore {
+		// A no-operation instruction models the retention delay phase.
+		p.emit(Instruction{Cond: CondNop}, SourceRef{Element: srcElem, Op: -1})
+	}
+	if len(e.Ops) == 1 {
+		in := opInstruction(e.Ops[0], down)
+		in.AddrInc = true
+		in.Cond = CondHold
+		p.emit(in, SourceRef{Element: srcElem, Op: 0})
+		return
+	}
+	for oi, op := range e.Ops {
+		in := opInstruction(op, down)
+		switch oi {
+		case 0:
+			in.Cond = CondSave
+		case len(e.Ops) - 1:
+			in.AddrInc = true
+			in.Cond = CondLoopBack
+		default:
+			in.Cond = CondNop
+		}
+		p.emit(in, SourceRef{Element: srcElem, Op: oi})
+	}
+}
+
+func opInstruction(op march.Op, down bool) Instruction {
+	in := Instruction{AddrDown: down}
+	if op.Kind == march.Read {
+		in.Read = true
+		in.CmpInv = op.Data
+	} else {
+		in.Write = true
+		in.DataInv = op.Data
+	}
+	return in
+}
+
+func (p *Program) emit(in Instruction, src SourceRef) {
+	p.Instructions = append(p.Instructions, in)
+	p.Source = append(p.Source, src)
+}
+
+// check verifies internal consistency of the assembled program.
+func (p *Program) check() error {
+	if len(p.Instructions) != len(p.Source) {
+		return fmt.Errorf("microbist: program %s source map out of sync", p.Name)
+	}
+	if len(p.Instructions) == 0 {
+		return fmt.Errorf("microbist: program %s is empty", p.Name)
+	}
+	last := p.Instructions[len(p.Instructions)-1].Cond
+	if last != CondTerminate && last != CondLoopPort {
+		return fmt.Errorf("microbist: program %s does not end in terminate or port loop", p.Name)
+	}
+	for i, in := range p.Instructions {
+		if in.Read && in.Write {
+			return fmt.Errorf("microbist: instruction %d reads and writes simultaneously", i)
+		}
+		if in.Cond == CondRepeat && i < 2 {
+			return fmt.Errorf("microbist: repeat instruction %d has no block to repeat", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package microbist
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// ExecOpts tunes the behavioural executor.
+type ExecOpts struct {
+	// MaxFails caps the fail log (0 = unlimited).
+	MaxFails int
+	// MaxCycles overrides the runaway-protection cycle budget
+	// (0 = computed from the program and memory geometry).
+	MaxCycles int
+	// Trace, when non-nil, receives one entry per executed cycle — the
+	// controller-visible state and control outputs. The gate-level
+	// equivalence test replays a trace against the synthesised netlist.
+	Trace func(TraceEntry)
+}
+
+// TraceEntry is the per-cycle architectural state of the controller:
+// what the instruction decoder saw and what control outputs it drove.
+type TraceEntry struct {
+	PC int
+	// Condition inputs as sampled by the decoder this cycle.
+	LastAddr, LastData, LastPort bool
+	// Effective (reference-register-adjusted) control outputs.
+	Read, Write       bool
+	AddrInc, AddrDown bool
+	DataInv, CmpInv   bool
+	Repeat            bool // repeat-loop bit before this cycle
+	Terminated        bool // this cycle ended the test
+}
+
+// ExecResult is the outcome of executing a microcode program.
+type ExecResult struct {
+	Fails      []march.Fail
+	Cycles     int
+	Operations int // memory reads + writes issued
+	PauseCount int
+	Signature  uint16
+	// Terminated is true when the program ended through its terminate
+	// path rather than the cycle budget.
+	Terminated bool
+}
+
+// Detected reports whether any miscompare occurred.
+func (r *ExecResult) Detected() bool { return len(r.Fails) > 0 }
+
+// controller is the architectural state of the microcode-based BIST
+// controller (Fig. 1): instruction counter, branch register, reference
+// register (repeat bit + auxiliary order/data/compare) and the shared
+// datapath components.
+type controller struct {
+	pc        int
+	branchReg int
+	repeat    bool
+	refOrder  bool
+	refData   bool
+	refCmp    bool
+
+	addrGen  *bist.AddressGenerator
+	dataGen  *bist.DataGenerator
+	portSel  *bist.PortSelector
+	analyzer *bist.ResponseAnalyzer
+
+	needAddrReset bool
+}
+
+// Run executes the program cycle-accurately against the memory under
+// test: one instruction per clock cycle, matching the storage-unit /
+// instruction-counter / branch-register / reference-register
+// architecture of the paper's Fig. 1.
+func (p *Program) Run(mem memory.Memory, opts ExecOpts) (*ExecResult, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	c := &controller{
+		addrGen:       bist.NewAddressGenerator(mem.Size()),
+		dataGen:       bist.NewDataGenerator(mem.Width()),
+		portSel:       bist.NewPortSelector(mem.Ports()),
+		analyzer:      bist.NewResponseAnalyzer(opts.MaxFails),
+		needAddrReset: true,
+	}
+	res := &ExecResult{}
+
+	budget := opts.MaxCycles
+	if budget == 0 {
+		perPass := 0
+		for _, in := range p.Instructions {
+			if in.Read || in.Write {
+				perPass += mem.Size()
+			}
+			perPass += 4
+		}
+		// Two passes per background (Repeat), per background, per port,
+		// plus generous slack.
+		budget = (perPass*2+16)*c.dataGen.Count()*mem.Ports() + 256
+	}
+
+	for res.Cycles = 0; res.Cycles < budget; {
+		res.Cycles++
+		in := p.Instructions[c.pc]
+		src := p.Source[c.pc]
+
+		effDown := in.AddrDown != c.refOrder
+		effDataInv := in.DataInv != c.refData
+		effCmpInv := in.CmpInv != c.refCmp
+
+		if (in.Read || in.Write) && c.needAddrReset {
+			c.addrGen.Reset(effDown)
+			c.needAddrReset = false
+		}
+
+		switch {
+		case in.Read:
+			expected := c.dataGen.Pattern(effCmpInv)
+			got := mem.Read(c.portSel.Port(), c.addrGen.Addr())
+			res.Operations++
+			elem := src.Element
+			if c.repeat && elem >= 1 {
+				// During the Repeat pass the instructions implement the
+				// mirrored elements of the original algorithm.
+				elem += p.FoldLen
+			}
+			c.analyzer.Compare(got, expected, march.Fail{
+				Port:       c.portSel.Port(),
+				Background: c.dataGen.Background(),
+				Element:    elem,
+				OpIndex:    src.Op,
+				Addr:       c.addrGen.Addr(),
+			})
+			if opts.MaxFails > 0 && len(c.analyzer.Fails()) >= opts.MaxFails {
+				res.Fails = c.analyzer.Fails()
+				res.Signature = c.analyzer.Signature()
+				res.Terminated = true
+				return res, nil
+			}
+		case in.Write:
+			mem.Write(c.portSel.Port(), c.addrGen.Addr(), c.dataGen.Pattern(effDataInv))
+			res.Operations++
+		case in.Cond == CondNop:
+			// Pure no-op models the retention delay phase.
+			mem.Pause()
+			res.PauseCount++
+		}
+
+		lastAddr := c.addrGen.Last()
+		lastData := c.dataGen.Last()
+		lastPort := c.portSel.Last()
+		trace := TraceEntry{
+			PC:       c.pc,
+			LastAddr: lastAddr, LastData: lastData, LastPort: lastPort,
+			Read: in.Read, Write: in.Write,
+			AddrInc: in.AddrInc, AddrDown: effDown,
+			DataInv: effDataInv, CmpInv: effCmpInv,
+			Repeat: c.repeat,
+		}
+		if in.AddrInc {
+			c.addrGen.Step()
+		}
+
+		done := false
+		switch in.Cond {
+		case CondNop:
+			c.pc++
+		case CondSave:
+			c.branchReg = c.pc
+			c.pc++
+		case CondHold:
+			if lastAddr {
+				c.pc++
+				c.needAddrReset = true
+			}
+			// else: hold at the same instruction
+		case CondLoopBack:
+			if lastAddr {
+				c.pc++
+				c.needAddrReset = true
+			} else {
+				c.pc = c.branchReg
+			}
+		case CondRepeat:
+			if !c.repeat {
+				c.repeat = true
+				c.refOrder = in.AddrDown
+				c.refData = in.DataInv
+				c.refCmp = in.CmpInv
+				c.pc = 1
+				c.needAddrReset = true
+			} else {
+				c.repeat = false
+				c.refOrder, c.refData, c.refCmp = false, false, false
+				c.pc++
+			}
+		case CondLoopData:
+			if c.dataGen.Last() {
+				c.dataGen.Reset()
+				c.pc++
+			} else {
+				c.dataGen.Step()
+				c.pc = 0
+				c.needAddrReset = true
+			}
+		case CondLoopPort:
+			if c.portSel.Last() {
+				done = true
+			} else {
+				c.portSel.Step()
+				c.dataGen.Reset()
+				c.pc = 0
+				c.needAddrReset = true
+			}
+		case CondTerminate:
+			done = true
+		default:
+			return nil, fmt.Errorf("microbist: undefined condition %d at pc %d", in.Cond, c.pc)
+		}
+
+		if done || c.pc >= len(p.Instructions) {
+			res.Terminated = true
+		}
+		if opts.Trace != nil {
+			trace.Terminated = res.Terminated
+			opts.Trace(trace)
+		}
+		if res.Terminated {
+			break
+		}
+	}
+
+	res.Fails = c.analyzer.Fails()
+	res.Signature = c.analyzer.Signature()
+	return res, nil
+}

@@ -1,0 +1,231 @@
+package microbist
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// execVsOracle runs the same algorithm through the microcode executor
+// and the march reference runner on two identically faulty memories and
+// requires byte-identical fail logs.
+func execVsOracle(t *testing.T, alg march.Algorithm, size, width, ports int, fs ...faults.Fault) {
+	t.Helper()
+	opts := AssembleOpts{WordOriented: width > 1, Multiport: ports > 1}
+	p, err := Assemble(alg, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name, err)
+	}
+
+	memA := faults.NewInjected(size, width, ports, fs...)
+	got, err := p.Run(memA, ExecOpts{})
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name, err)
+	}
+	if !got.Terminated {
+		t.Fatalf("%s: executor hit the cycle budget", alg.Name)
+	}
+
+	memB := faults.NewInjected(size, width, ports, fs...)
+	want, err := march.Run(alg, memB, march.RunOpts{
+		SinglePort:       ports == 1,
+		SingleBackground: width == 1,
+	})
+	if err != nil {
+		t.Fatalf("%s oracle: %v", alg.Name, err)
+	}
+
+	if len(got.Fails) != len(want.Fails) {
+		t.Fatalf("%s with %v: executor logged %d fails, oracle %d\nexec: %v\noracle: %v",
+			alg.Name, fs, len(got.Fails), len(want.Fails), got.Fails, want.Fails)
+	}
+	for i := range got.Fails {
+		if got.Fails[i] != want.Fails[i] {
+			t.Fatalf("%s with %v: fail %d differs\nexec:   %v\noracle: %v",
+				alg.Name, fs, i, got.Fails[i], want.Fails[i])
+		}
+	}
+	if got.Operations != want.Operations {
+		t.Errorf("%s: executor issued %d memory ops, oracle %d", alg.Name, got.Operations, want.Operations)
+	}
+	if got.PauseCount != want.PauseCount {
+		t.Errorf("%s: executor paused %d times, oracle %d", alg.Name, got.PauseCount, want.PauseCount)
+	}
+}
+
+func TestExecutorMatchesOracleCleanMemory(t *testing.T) {
+	for name, f := range march.Library() {
+		t.Run(name, func(t *testing.T) {
+			execVsOracle(t, f(), 16, 1, 1)
+		})
+	}
+}
+
+func TestExecutorMatchesOracleUnderFaults(t *testing.T) {
+	universe := faults.Universe(8, 1, faults.UniverseOpts{})
+	algs := []march.Algorithm{
+		march.MATSPlus(), march.MarchC(), march.MarchA(),
+		march.MarchCPlus(), march.MarchCPlusPlus(), march.MarchB(),
+	}
+	for _, alg := range algs {
+		for _, f := range universe {
+			execVsOracle(t, alg, 8, 1, 1, f)
+		}
+	}
+}
+
+func TestExecutorMatchesOracleWordOriented(t *testing.T) {
+	universe := faults.Universe(8, 4, faults.UniverseOpts{CellSample: 6, CouplingPairs: 8, AddrSample: 2, Seed: 3})
+	for _, f := range universe {
+		execVsOracle(t, march.MarchC(), 8, 4, 1, f)
+	}
+}
+
+func TestExecutorMatchesOracleMultiport(t *testing.T) {
+	universe := faults.Universe(8, 2, faults.UniverseOpts{CellSample: 4, CouplingPairs: 4, AddrSample: 2, Ports: 2, Seed: 5})
+	for _, f := range universe {
+		execVsOracle(t, march.MarchC(), 8, 2, 2, f)
+	}
+}
+
+func TestExecutorMatchesOracleMultipleFaults(t *testing.T) {
+	// Two simultaneous faults; the single-fault assumption of the
+	// models still yields deterministic behaviour both sides share.
+	fs := []faults.Fault{
+		{Kind: faults.SA, Cell: 2, Value: true, Port: faults.AnyPort},
+		{Kind: faults.TF, Cell: 9, Value: true, Port: faults.AnyPort},
+	}
+	execVsOracle(t, march.MarchC(), 16, 1, 1, fs...)
+}
+
+func TestExecutorFoldIrrelevantToBehaviour(t *testing.T) {
+	// Folded and unfolded programs must produce identical fail logs.
+	f := faults.Fault{Kind: faults.CFid, Aggressor: 3, Cell: 11, AggVal: true, Value: true, Port: faults.AnyPort}
+	for _, alg := range []march.Algorithm{march.MarchC(), march.MarchA()} {
+		pFold, _ := Assemble(alg, AssembleOpts{})
+		pFlat, _ := Assemble(alg, AssembleOpts{DisableFold: true})
+		if !pFold.Folded || pFlat.Folded {
+			t.Fatalf("%s: fold flags wrong", alg.Name)
+		}
+		mA := faults.NewInjected(16, 1, 1, f)
+		rA, err := pFold.Run(mA, ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mB := faults.NewInjected(16, 1, 1, f)
+		rB, err := pFlat.Run(mB, ExecOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rA.Fails) != len(rB.Fails) {
+			t.Fatalf("%s: folded %d fails, flat %d", alg.Name, len(rA.Fails), len(rB.Fails))
+		}
+		for i := range rA.Fails {
+			if rA.Fails[i] != rB.Fails[i] {
+				t.Errorf("%s fail %d: folded %v, flat %v", alg.Name, i, rA.Fails[i], rB.Fails[i])
+			}
+		}
+		if rA.Operations != rB.Operations {
+			t.Errorf("%s: folded %d ops, flat %d", alg.Name, rA.Operations, rB.Operations)
+		}
+	}
+}
+
+func TestExecutorDetectsDRFViaPauseInstruction(t *testing.T) {
+	p, err := Assemble(march.MarchCPlus(), AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := faults.NewInjected(16, 1, 1, faults.Fault{
+		Kind: faults.DRF, Cell: 7, Value: true, Port: faults.AnyPort,
+	})
+	res, err := p.Run(mem, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Error("microcode March C+ missed a DRF")
+	}
+	if res.PauseCount != 2 {
+		t.Errorf("pauses = %d, want 2", res.PauseCount)
+	}
+}
+
+func TestExecutorMaxFailsStopsEarly(t *testing.T) {
+	var fs []faults.Fault
+	for c := 0; c < 16; c++ {
+		fs = append(fs, faults.Fault{Kind: faults.SA, Cell: c, Value: true, Port: faults.AnyPort})
+	}
+	p, _ := Assemble(march.MarchC(), AssembleOpts{})
+	mem := faults.NewInjected(16, 1, 1, fs...)
+	res, err := p.Run(mem, ExecOpts{MaxFails: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Fails) != 3 {
+		t.Errorf("fails = %d, want 3", len(res.Fails))
+	}
+}
+
+func TestExecutorCycleBudgetTripsOnRunaway(t *testing.T) {
+	// A hand-built program that never terminates: loopdata forever is
+	// impossible (it resets), so use hold with AddrInc false.
+	p := &Program{
+		Name: "runaway",
+		Instructions: []Instruction{
+			{Write: true, AddrInc: false, Cond: CondHold}, // never reaches last address
+			{Cond: CondTerminate},
+		},
+		Source: []SourceRef{{0, 0}, {-1, -1}},
+	}
+	mem := memory.NewSRAM(8, 1, 1)
+	res, err := p.Run(mem, ExecOpts{MaxCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terminated {
+		t.Error("runaway program reported clean termination")
+	}
+	if res.Cycles != 100 {
+		t.Errorf("cycles = %d, want budget 100", res.Cycles)
+	}
+}
+
+func TestExecutorCycleCountBitOriented(t *testing.T) {
+	// For a bit-oriented single-port memory, March C (10N ops) over N=32
+	// takes 10*32 memory-op cycles plus a pass of flow overhead:
+	// the Repeat instruction executes twice and terminate once.
+	p, _ := Assemble(march.MarchC(), AssembleOpts{})
+	mem := memory.NewSRAM(32, 1, 1)
+	res, err := p.Run(mem, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := 10 * 32
+	if res.Operations != wantOps {
+		t.Errorf("operations = %d, want %d", res.Operations, wantOps)
+	}
+	overhead := res.Cycles - wantOps
+	if overhead < 1 || overhead > 8 {
+		t.Errorf("flow overhead = %d cycles, want small (1..8)", overhead)
+	}
+}
+
+func TestExecutorSignatureStable(t *testing.T) {
+	p, _ := Assemble(march.MarchC(), AssembleOpts{})
+	m1 := memory.NewSRAM(16, 1, 1)
+	r1, _ := p.Run(m1, ExecOpts{})
+	m2 := memory.NewSRAM(16, 1, 1)
+	r2, _ := p.Run(m2, ExecOpts{})
+	if r1.Signature != r2.Signature {
+		t.Error("signatures differ across identical runs")
+	}
+	// Faulty memory changes the signature.
+	m3 := faults.NewInjected(16, 1, 1, faults.Fault{Kind: faults.SA, Cell: 3, Value: true, Port: faults.AnyPort})
+	r3, _ := p.Run(m3, ExecOpts{})
+	if r3.Signature == r1.Signature {
+		t.Error("fault did not change the MISR signature")
+	}
+}

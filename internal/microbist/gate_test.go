@@ -1,0 +1,163 @@
+package microbist
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gatesim"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// buildUnit assembles the algorithm and generates the full BIST unit
+// netlist (controller + datapath) for a size×width single-port memory.
+func buildUnit(t *testing.T, alg march.Algorithm, addrBits, width int) *Hardware {
+	t.Helper()
+	p, err := Assemble(alg, AssembleOpts{WordOriented: width > 1, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := BuildHardware(p, HWConfig{
+		Slots: p.Len(), AddrBits: addrBits, Width: width, Ports: 1,
+		IncludeDatapath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hw
+}
+
+// TestGateLevelClosedLoop runs the complete microcode BIST unit — every
+// gate of the controller, address generator, background generator and
+// comparator — closed-loop against a behavioural memory, and requires
+// the observed memory-operation stream to equal the march algorithm's
+// canonical stream exactly.
+func TestGateLevelClosedLoop(t *testing.T) {
+	cases := []struct {
+		alg   march.Algorithm
+		width int
+	}{
+		{march.MATSPlus(), 1},
+		{march.MarchC(), 1},
+		{march.MarchA(), 1},
+		{march.MarchC(), 4}, // word-oriented: exercises the background loop
+	}
+	const addrBits = 3
+	size := 1 << addrBits
+	for _, c := range cases {
+		t.Run(c.alg.Name, func(t *testing.T) {
+			hw := buildUnit(t, c.alg, addrBits, c.width)
+			mem := memory.NewSRAM(size, c.width, 1)
+			want := march.OpStream(c.alg, size, c.width)
+
+			res, err := gatesim.RunBISTUnit(hw.Netlist, mem, 20*len(want)+200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Ended {
+				t.Fatalf("gate-level unit did not raise test_end in %d cycles (%d ops)", res.Cycles, len(res.Ops))
+			}
+			if res.Detected() {
+				t.Fatalf("comparator flagged a clean memory at %v", res.MismatchAddrs)
+			}
+			if len(res.Ops) != len(want) {
+				t.Fatalf("gate-level unit issued %d ops, want %d", len(res.Ops), len(want))
+			}
+			for i := range want {
+				got := res.Ops[i]
+				if got.Write != want[i].Write || got.Addr != want[i].Addr || got.Data != want[i].Data {
+					t.Fatalf("op %d: gate %+v, golden %+v", i, got, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGateLevelMultiport runs the unit against a dual-port 2-bit
+// memory: the port loop, background loop and port-specific fault
+// detection all at gate level.
+func TestGateLevelMultiport(t *testing.T) {
+	const addrBits, width, ports = 3, 2, 2
+	size := 1 << addrBits
+	alg := march.MarchC()
+	p, err := Assemble(alg, AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := BuildHardware(p, HWConfig{
+		Slots: p.Len(), AddrBits: addrBits, Width: width, Ports: ports,
+		IncludeDatapath: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem := memory.NewSRAM(size, width, ports)
+	want := march.OpStreamPorts(alg, size, width, ports)
+	res, err := gatesim.RunBISTUnit(hw.Netlist, mem, 20*len(want)+500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended || res.Detected() {
+		t.Fatalf("clean multiport run: ended=%v mismatches=%v", res.Ended, res.MismatchAddrs)
+	}
+	if len(res.Ops) != len(want) {
+		t.Fatalf("unit issued %d ops, want %d", len(res.Ops), len(want))
+	}
+	for i := range want {
+		got := res.Ops[i]
+		if got.Write != want[i].Write || got.Port != want[i].Port ||
+			got.Addr != want[i].Addr || got.Data != want[i].Data {
+			t.Fatalf("op %d: gate %+v, golden %+v", i, got, want[i])
+		}
+	}
+
+	// A port-1-only read fault must be flagged.
+	fmem := faults.NewInjected(size, width, ports, faults.Fault{
+		Kind: faults.SA, Cell: 3 * width, Value: true, Port: 1,
+	})
+	res2, err := gatesim.RunBISTUnit(hw.Netlist, fmem, 20*len(want)+500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Detected() {
+		t.Error("gate-level unit missed a port-1 fault")
+	}
+}
+
+// TestGateLevelDetectsFault injects a stuck-at fault and checks the
+// gate-level comparator flags it at the same first address the
+// reference runner reports.
+func TestGateLevelDetectsFault(t *testing.T) {
+	const addrBits = 3
+	size := 1 << addrBits
+	alg := march.MarchC()
+	f := faults.Fault{Kind: faults.SA, Cell: 5, Value: true, Port: faults.AnyPort}
+
+	hw := buildUnit(t, alg, addrBits, 1)
+	mem := faults.NewInjected(size, 1, 1, f)
+	res, err := gatesim.RunBISTUnit(hw.Netlist, mem, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ended {
+		t.Fatal("unit did not finish")
+	}
+	if !res.Detected() {
+		t.Fatal("gate-level comparator missed the fault")
+	}
+
+	oracle := faults.NewInjected(size, 1, 1, f)
+	want, err := march.Run(alg, oracle, march.RunOpts{SinglePort: true, SingleBackground: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MismatchAddrs) != len(want.Fails) {
+		t.Fatalf("gate mismatches %d, oracle fails %d", len(res.MismatchAddrs), len(want.Fails))
+	}
+	for i, addr := range res.MismatchAddrs {
+		if addr != want.Fails[i].Addr {
+			t.Errorf("mismatch %d at addr %d, oracle at %d", i, addr, want.Fails[i].Addr)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package microbist
+
+import (
+	"fmt"
+
+	"repro/internal/bist"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// HWConfig sizes the structural model of the microcode-based controller.
+type HWConfig struct {
+	// Slots is the storage-unit capacity Z in instructions. A program
+	// longer than Slots grows the storage to fit.
+	Slots int
+	// AddrBits is the address-generator width (log2 of the memory size).
+	AddrBits int
+	// Width is the memory word width (1 = bit-oriented).
+	Width int
+	// Ports is the memory port count (1 = single port).
+	Ports int
+	// ScanOnlyStorage selects the Table 3 re-design: the storage unit
+	// uses scan-only cells (≈4.5× smaller than full-scan registers)
+	// because the microcode has no functional-clock data path.
+	ScanOnlyStorage bool
+	// IncludeDatapath adds the shared BIST datapath (address generator,
+	// data-background generator, comparator, port counter) so the full
+	// unit can be sized; false sizes the controller alone, matching the
+	// paper's tables.
+	IncludeDatapath bool
+	// DelayTimerBits adds a retention delay timer of the given width
+	// (needed when the programmed algorithms use pause phases).
+	DelayTimerBits int
+}
+
+// DefaultHWConfig matches the paper's first experiment: bit-oriented
+// single-port memory, 16-slot storage, 10-bit addresses (1K memory).
+func DefaultHWConfig() HWConfig {
+	return HWConfig{Slots: 16, AddrBits: 10, Width: 1, Ports: 1}
+}
+
+// Hardware couples the generated netlist with its interface nets.
+type Hardware struct {
+	Netlist *netlist.Netlist
+	Config  HWConfig
+
+	// PC is the instruction counter (log2(Z)+1 bits; the MSB is the
+	// paper's test-end flag).
+	PC []netlist.NetID
+	// Word is the selected microcode word.
+	Word []netlist.NetID
+	// Control outputs toward the datapath.
+	ReadEn, WriteEn, AddrInc, AddrDown, DataInv, CmpInv netlist.NetID
+	Terminate                                           netlist.NetID
+}
+
+// storageKind returns the register cell used for the storage unit.
+func (cfg HWConfig) storageKind() netlist.CellKind {
+	if cfg.ScanOnlyStorage {
+		return netlist.CellSODFF
+	}
+	return netlist.CellSDFF
+}
+
+// BuildHardware generates the structural netlist of the microcode-based
+// BIST controller of Fig. 1: storage unit, instruction counter,
+// instruction selector, branch register, instruction decoder and
+// reference register. The storage unit is initialised with the program
+// (loaded through the scan chain in silicon; the paper's 2-bit
+// initialisation selects default or custom microcode).
+func BuildHardware(p *Program, cfg HWConfig) (*Hardware, error) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 16
+	}
+	if p != nil && p.Len() > cfg.Slots {
+		cfg.Slots = p.Len()
+	}
+	if cfg.AddrBits <= 0 {
+		return nil, fmt.Errorf("microbist: AddrBits must be positive")
+	}
+	z := cfg.Slots
+	selBits := logic.Log2Ceil(z)
+	if selBits == 0 {
+		selBits = 1
+	}
+	pcBits := selBits + 1 // MSB is the test-end flag
+
+	nl := netlist.New("microcode-bist")
+	hw := &Hardware{Netlist: nl, Config: cfg}
+
+	// Condition inputs; replaced by datapath nets when included.
+	lastAddr := nl.AddInput("last_address")
+	lastData := nl.AddInput("last_data")
+	lastPort := nl.AddInput("last_port")
+	delayDone := netlist.NetID(0)
+	if cfg.DelayTimerBits > 0 {
+		// Retention delay timer: free-running counter whose terminal
+		// count gates the pause state.
+		en := nl.Const1()
+		timer := nl.BuildCounter("delay", cfg.DelayTimerBits, en, netlist.Invalid, netlist.Invalid)
+		delayDone = timer.Terminal
+	}
+
+	// Storage unit: Z words of 10 bits, scan-loaded.
+	words := make([][]netlist.NetID, z)
+	for i := range words {
+		var init []bool
+		if p != nil && i < p.Len() {
+			enc := p.Instructions[i].Encode()
+			init = make([]bool, WordBits)
+			for b := 0; b < WordBits; b++ {
+				init[b] = enc>>uint(b)&1 == 1
+			}
+		}
+		words[i] = nl.StorageRegister(fmt.Sprintf("ucode%d", i), cfg.storageKind(), WordBits, init)
+	}
+
+	// Instruction counter.
+	pc := make([]netlist.NetID, pcBits)
+	for i := range pc {
+		pc[i] = nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+		nl.SetNetName(pc[i], fmt.Sprintf("pc[%d]", i))
+	}
+	hw.PC = pc
+
+	// Instruction selector: Y parallel Z:1 multiplexers.
+	word := make([]netlist.NetID, WordBits)
+	for b := 0; b < WordBits; b++ {
+		data := make([]netlist.NetID, z)
+		for i := 0; i < z; i++ {
+			data[i] = words[i][b]
+		}
+		word[b] = nl.MuxN(pc[:selBits], data)
+	}
+	hw.Word = word
+
+	// Field split.
+	addrInc, addrDown := word[0], word[1]
+	dataGenInc := word[2]
+	dataInv, cmpInv := word[3], word[4]
+	readEn, writeEn := word[5], word[6]
+	cond := word[7:10]
+
+	// Branch register.
+	breg := make([]netlist.NetID, selBits)
+	for i := range breg {
+		breg[i] = nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+		nl.SetNetName(breg[i], fmt.Sprintf("breg[%d]", i))
+	}
+
+	// Reference register: repeat bit + auxiliary order/data/compare.
+	repeatQ := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	refOrder := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	refData := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	refCmp := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	nl.SetNetName(repeatQ, "ref_repeat")
+	nl.SetNetName(refOrder, "ref_order")
+	nl.SetNetName(refData, "ref_data")
+	nl.SetNetName(refCmp, "ref_cmp")
+
+	// Instruction decoder: two-level logic over cond + conditions. The
+	// word's Hold/Inc-Data-Gen field gates the background step (the
+	// assembler always sets it on the background-loop instruction).
+	dec := buildDecoder(nl, cond, lastAddr, lastData, lastPort, repeatQ)
+	dec.stepData = nl.And2(dec.stepData, dataGenInc)
+	if delayDone != netlist.Invalid {
+		// A pause instruction additionally waits for the delay timer;
+		// approximated by gating the PC advance.
+		dec.hold = nl.Or2(dec.hold, nl.And2(dec.pauseGate, nl.Inv(delayDone)))
+	}
+
+	// Next-PC datapath.
+	inc, _ := nl.Incrementer(pc, nl.Const1())
+	one := make([]netlist.NetID, pcBits)
+	zero := make([]netlist.NetID, pcBits)
+	for i := range one {
+		zero[i] = nl.Const0()
+		if i == 0 {
+			one[i] = nl.Const1()
+		} else {
+			one[i] = nl.Const0()
+		}
+	}
+	bregExt := make([]netlist.NetID, pcBits)
+	for i := range bregExt {
+		if i < selBits {
+			bregExt[i] = breg[i]
+		} else {
+			bregExt[i] = nl.Const0()
+		}
+	}
+	for i := 0; i < pcBits; i++ {
+		next := inc[i]
+		next = nl.Mux2(dec.hold, next, pc[i])
+		next = nl.Mux2(dec.load0, next, zero[i])
+		next = nl.Mux2(dec.load1, next, one[i])
+		next = nl.Mux2(dec.loadBreg, next, bregExt[i])
+		// Once the end flag (MSB) is set the counter freezes.
+		next = nl.Mux2(pc[pcBits-1], next, pc[i])
+		// Terminate forces the end flag.
+		if i == pcBits-1 {
+			next = nl.Or2(next, dec.terminate)
+		}
+		nl.SetFFInput(pc[i], next)
+	}
+
+	// Branch register load.
+	for i := range breg {
+		nl.SetFFInput(breg[i], nl.Mux2(dec.saveBreg, breg[i], pc[i]))
+	}
+
+	// Reference register update.
+	repeatNext := nl.Or2(nl.And2(repeatQ, nl.Inv(dec.clrRepeat)), dec.setRepeat)
+	nl.SetFFInput(repeatQ, repeatNext)
+	nl.SetFFInput(refOrder, refBit(nl, refOrder, addrDown, dec))
+	nl.SetFFInput(refData, refBit(nl, refData, dataInv, dec))
+	nl.SetFFInput(refCmp, refBit(nl, refCmp, cmpInv, dec))
+
+	// Effective field polarities (XOR with the reference register).
+	hw.AddrDown = nl.Xor2(addrDown, refOrder)
+	hw.DataInv = nl.Xor2(dataInv, refData)
+	hw.CmpInv = nl.Xor2(cmpInv, refCmp)
+	hw.AddrInc = addrInc
+	hw.ReadEn = readEn
+	hw.WriteEn = writeEn
+	hw.Terminate = pc[pcBits-1]
+
+	nl.AddOutput("read_en", hw.ReadEn)
+	nl.AddOutput("write_en", hw.WriteEn)
+	nl.AddOutput("addr_inc", hw.AddrInc)
+	nl.AddOutput("addr_down", hw.AddrDown)
+	nl.AddOutput("data_inv", hw.DataInv)
+	nl.AddOutput("cmp_inv", hw.CmpInv)
+	nl.AddOutput("test_end", hw.Terminate)
+	// The remaining decoder controls are part of the controller's
+	// datapath interface even when the datapath is not instantiated.
+	nl.AddOutput("step_data", dec.stepData)
+	nl.AddOutput("clr_data", dec.clrData)
+	nl.AddOutput("step_port", dec.stepPort)
+	nl.AddOutput("addr_clr", dec.addrClr)
+	nl.AddOutput("pause", dec.pauseGate)
+
+	if cfg.IncludeDatapath {
+		attachDatapath(nl, hw, lastAddr, lastData, lastPort, dec)
+	}
+
+	nl.SweepDead()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return hw, nil
+}
+
+// decoderNets are the instruction decoder's control outputs.
+type decoderNets struct {
+	hold      netlist.NetID
+	load0     netlist.NetID
+	load1     netlist.NetID
+	loadBreg  netlist.NetID
+	saveBreg  netlist.NetID
+	setRepeat netlist.NetID
+	clrRepeat netlist.NetID
+	stepData  netlist.NetID
+	clrData   netlist.NetID
+	stepPort  netlist.NetID
+	terminate netlist.NetID
+	addrClr   netlist.NetID
+	pauseGate netlist.NetID
+}
+
+// decoderSpec computes the behavioural decoder outputs for one input
+// assignment; it is the single source of truth shared by the netlist
+// synthesis and the gate-level equivalence test.
+func decoderSpec(cond Cond, lastAddr, lastData, lastPort, repeat bool) map[string]bool {
+	out := map[string]bool{}
+	out["hold"] = cond == CondHold && !lastAddr
+	out["load0"] = (cond == CondLoopData && !lastData) || (cond == CondLoopPort && !lastPort)
+	out["load1"] = cond == CondRepeat && !repeat
+	out["loadBreg"] = cond == CondLoopBack && !lastAddr
+	out["saveBreg"] = cond == CondSave
+	out["setRepeat"] = cond == CondRepeat && !repeat
+	out["clrRepeat"] = cond == CondRepeat && repeat
+	out["stepData"] = cond == CondLoopData && !lastData
+	out["clrData"] = (cond == CondLoopData && lastData) || (cond == CondLoopPort && !lastPort)
+	out["stepPort"] = cond == CondLoopPort && !lastPort
+	out["terminate"] = cond == CondTerminate || (cond == CondLoopPort && lastPort)
+	out["addrClr"] = ((cond == CondHold || cond == CondLoopBack) && lastAddr) ||
+		(cond == CondRepeat && !repeat) ||
+		(cond == CondLoopData && !lastData) ||
+		(cond == CondLoopPort && !lastPort)
+	out["pauseGate"] = cond == CondNop
+	return out
+}
+
+var decoderOutputs = []string{
+	"hold", "load0", "load1", "loadBreg", "saveBreg", "setRepeat",
+	"clrRepeat", "stepData", "clrData", "stepPort", "terminate",
+	"addrClr", "pauseGate",
+}
+
+func buildDecoder(nl *netlist.Netlist, cond []netlist.NetID, lastAddr, lastData, lastPort, repeat netlist.NetID) decoderNets {
+	vars := []netlist.NetID{cond[0], cond[1], cond[2], lastAddr, lastData, lastPort, repeat}
+	nets := make(map[string]netlist.NetID, len(decoderOutputs))
+	for _, name := range decoderOutputs {
+		tt := logic.NewTruthTable(7)
+		for row := 0; row < tt.NumRows(); row++ {
+			c := Cond(row & 7)
+			la := row>>3&1 == 1
+			ld := row>>4&1 == 1
+			lp := row>>5&1 == 1
+			rp := row>>6&1 == 1
+			tt.SetBool(row, decoderSpec(c, la, ld, lp, rp)[name])
+		}
+		nets[name] = nl.FromTruthTable(tt, vars)
+	}
+	return decoderNets{
+		hold:      nets["hold"],
+		load0:     nets["load0"],
+		load1:     nets["load1"],
+		loadBreg:  nets["loadBreg"],
+		saveBreg:  nets["saveBreg"],
+		setRepeat: nets["setRepeat"],
+		clrRepeat: nets["clrRepeat"],
+		stepData:  nets["stepData"],
+		clrData:   nets["clrData"],
+		stepPort:  nets["stepPort"],
+		terminate: nets["terminate"],
+		addrClr:   nets["addrClr"],
+		pauseGate: nets["pauseGate"],
+	}
+}
+
+func refBit(nl *netlist.Netlist, q, field netlist.NetID, dec decoderNets) netlist.NetID {
+	// Load the field on setRepeat, clear on clrRepeat, else hold.
+	v := nl.Mux2(dec.setRepeat, q, field)
+	return nl.And2(v, nl.Inv(dec.clrRepeat))
+}
+
+// attachDatapath replaces the condition primary inputs with a real
+// datapath: address generator, data-background generator, comparator
+// and port counter.
+func attachDatapath(nl *netlist.Netlist, hw *Hardware, lastAddr, lastData, lastPort netlist.NetID, dec decoderNets) {
+	cfg := hw.Config
+	ag := bist.BuildAddressGen(nl, cfg.AddrBits, hw.AddrInc, hw.AddrDown, dec.addrClr)
+	// The pattern polarity is the write-data field on write cycles and
+	// the compare field on read cycles (they are distinct microcode
+	// fields, unlike the FSM architectures' single relative polarity).
+	inv := nl.Mux2(hw.ReadEn, hw.DataInv, hw.CmpInv)
+	dg := bist.BuildDataGen(nl, cfg.Width, dec.stepData, dec.clrData, inv)
+	read := make([]netlist.NetID, cfg.Width)
+	for i := range read {
+		read[i] = nl.AddInput(fmt.Sprintf("mem_q[%d]", i))
+	}
+	mismatch := bist.BuildComparator(nl, read, dg.Pattern, hw.ReadEn)
+	nl.AddOutput("mismatch", mismatch)
+	for i, q := range ag.Q {
+		nl.AddOutput(fmt.Sprintf("mem_addr[%d]", i), q)
+	}
+	for i, d := range dg.Pattern {
+		nl.AddOutput(fmt.Sprintf("mem_d[%d]", i), d)
+	}
+	// Feed the condition inputs from the datapath through buffers; the
+	// primary inputs remain as tie-off points for controller-only mode.
+	_ = lastAddr
+	_ = lastData
+	_ = lastPort
+	nl.AddOutput("dp_last_address", ag.Last)
+	nl.AddOutput("dp_last_data", dg.Last)
+	if cfg.Ports > 1 {
+		pq, plast := bist.BuildPortCounter(nl, cfg.Ports, dec.stepPort, netlist.Invalid)
+		for i, q := range pq {
+			nl.AddOutput(fmt.Sprintf("mem_port[%d]", i), q)
+		}
+		nl.AddOutput("dp_last_port", plast)
+	}
+}

@@ -1,0 +1,190 @@
+package microbist
+
+import (
+	"testing"
+
+	"repro/internal/gatesim"
+	"repro/internal/march"
+	"repro/internal/netlist"
+)
+
+func mustProgram(t *testing.T, alg march.Algorithm) *Program {
+	t.Helper()
+	p, err := Assemble(alg, AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildHardwareValidates(t *testing.T) {
+	p := mustProgram(t, march.MarchC())
+	for _, cfg := range []HWConfig{
+		DefaultHWConfig(),
+		{Slots: 16, AddrBits: 10, Width: 8, Ports: 1},
+		{Slots: 16, AddrBits: 10, Width: 8, Ports: 2, IncludeDatapath: true},
+		{Slots: 16, AddrBits: 10, Width: 1, Ports: 1, ScanOnlyStorage: true},
+		{Slots: 16, AddrBits: 10, Width: 1, Ports: 1, DelayTimerBits: 8},
+	} {
+		hw, err := BuildHardware(p, cfg)
+		if err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if err := hw.Netlist.Validate(); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+	}
+}
+
+func TestScanOnlyStorageShrinksController(t *testing.T) {
+	// The Table 3 observation: re-designing the storage unit with
+	// scan-only cells cuts the controller area by roughly 60%.
+	p := mustProgram(t, march.MarchC())
+	full, err := BuildHardware(p, HWConfig{Slots: 16, AddrBits: 10, Width: 1, Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := BuildHardware(p, HWConfig{Slots: 16, AddrBits: 10, Width: 1, Ports: 1, ScanOnlyStorage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := &netlist.CMOS5SLike
+	fullArea := full.Netlist.StatsFor(lib).AreaUm2
+	scanArea := scan.Netlist.StatsFor(lib).AreaUm2
+	reduction := 1 - scanArea/fullArea
+	if reduction < 0.40 || reduction > 0.75 {
+		t.Errorf("scan-only re-design reduces area by %.0f%%, want roughly 60%%", reduction*100)
+	}
+}
+
+func TestStorageDominatesArea(t *testing.T) {
+	// The paper observes that storage-unit area reduction has the
+	// largest effect — i.e. storage dominates the controller.
+	p := mustProgram(t, march.MarchC())
+	hw, err := BuildHardware(p, HWConfig{Slots: 16, AddrBits: 10, Width: 1, Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hw.Netlist.StatsFor(&netlist.CMOS5SLike)
+	storageArea := float64(s.CellCount[netlist.CellSDFF]) * netlist.CMOS5SLike.Area[netlist.CellSDFF]
+	if storageArea < s.AreaUm2/2 {
+		t.Errorf("storage = %.0f of %.0f um2; expected storage-dominated", storageArea, s.AreaUm2)
+	}
+}
+
+func TestSlotsGrowToFitProgram(t *testing.T) {
+	p := mustProgram(t, march.MarchCPlusPlus()) // long program
+	hw, err := BuildHardware(p, HWConfig{Slots: 4, AddrBits: 6, Width: 1, Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Config.Slots < p.Len() {
+		t.Errorf("slots = %d < program %d", hw.Config.Slots, p.Len())
+	}
+}
+
+func TestMorePortsAndWidthGrowDatapath(t *testing.T) {
+	p := mustProgram(t, march.MarchC())
+	lib := &netlist.CMOS5SLike
+	area := func(cfg HWConfig) float64 {
+		hw, err := BuildHardware(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hw.Netlist.StatsFor(lib).AreaUm2
+	}
+	bit := area(HWConfig{Slots: 16, AddrBits: 10, Width: 1, Ports: 1, IncludeDatapath: true})
+	word := area(HWConfig{Slots: 16, AddrBits: 10, Width: 8, Ports: 1, IncludeDatapath: true})
+	multi := area(HWConfig{Slots: 16, AddrBits: 10, Width: 8, Ports: 2, IncludeDatapath: true})
+	if !(bit < word && word < multi) {
+		t.Errorf("areas not monotone: bit %.0f, word %.0f, multiport %.0f", bit, word, multi)
+	}
+}
+
+func TestControllerAreaIndependentOfAlgorithm(t *testing.T) {
+	// The whole point of programmability: the same hardware runs March C
+	// and March A++; only storage contents (not area) change, as long as
+	// the program fits the slots.
+	lib := &netlist.CMOS5SLike
+	var areas []float64
+	for _, alg := range []march.Algorithm{march.MarchC(), march.MarchA(), march.MarchCPlus()} {
+		p, err := Assemble(alg, AssembleOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, err := BuildHardware(p, HWConfig{Slots: 24, AddrBits: 10, Width: 1, Ports: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		areas = append(areas, hw.Netlist.StatsFor(lib).AreaUm2)
+	}
+	for i := 1; i < len(areas); i++ {
+		if areas[i] != areas[0] {
+			t.Errorf("area changed with algorithm: %v", areas)
+		}
+	}
+}
+
+// TestDecoderGateEquivalence proves the synthesised instruction decoder
+// matches decoderSpec for every input assignment.
+func TestDecoderGateEquivalence(t *testing.T) {
+	nl := netlist.New("decoder")
+	cond := []netlist.NetID{nl.AddInput("c0"), nl.AddInput("c1"), nl.AddInput("c2")}
+	la := nl.AddInput("last_addr")
+	ld := nl.AddInput("last_data")
+	lp := nl.AddInput("last_port")
+	rp := nl.AddInput("repeat")
+	dec := buildDecoder(nl, cond, la, ld, lp, rp)
+	outs := map[string]netlist.NetID{
+		"hold": dec.hold, "load0": dec.load0, "load1": dec.load1,
+		"loadBreg": dec.loadBreg, "saveBreg": dec.saveBreg,
+		"setRepeat": dec.setRepeat, "clrRepeat": dec.clrRepeat,
+		"stepData": dec.stepData, "clrData": dec.clrData,
+		"stepPort": dec.stepPort, "terminate": dec.terminate,
+		"addrClr": dec.addrClr, "pauseGate": dec.pauseGate,
+	}
+	for name, id := range outs {
+		nl.AddOutput(name, id)
+	}
+	sim, err := gatesim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 128; row++ {
+		c := Cond(row & 7)
+		lav := row>>3&1 == 1
+		ldv := row>>4&1 == 1
+		lpv := row>>5&1 == 1
+		rpv := row>>6&1 == 1
+		sim.SetBus(cond, uint64(c))
+		sim.Set(la, lav)
+		sim.Set(ld, ldv)
+		sim.Set(lp, lpv)
+		sim.Set(rp, rpv)
+		sim.Eval()
+		want := decoderSpec(c, lav, ldv, lpv, rpv)
+		for name, id := range outs {
+			if got := sim.Get(id); got != want[name] {
+				t.Errorf("cond %v la=%v ld=%v lp=%v rp=%v: %s = %v, want %v",
+					c, lav, ldv, lpv, rpv, name, got, want[name])
+			}
+		}
+	}
+}
+
+func TestHardwareStatsBreakdown(t *testing.T) {
+	p := mustProgram(t, march.MarchC())
+	hw, err := BuildHardware(p, DefaultHWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := hw.Netlist.StatsFor(&netlist.CMOS5SLike)
+	// Storage alone is Z*10 = 160 scan FFs.
+	if got := s.CellCount[netlist.CellSDFF]; got != 160 {
+		t.Errorf("storage cells = %d, want 160", got)
+	}
+	// PC is log2(16)+1 = 5 bits, branch reg 4, reference 4: >= 13 DFFs.
+	if got := s.CellCount[netlist.CellDFF]; got < 13 {
+		t.Errorf("control DFFs = %d, want >= 13", got)
+	}
+}

@@ -1,0 +1,90 @@
+package microbist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Program storage images. In silicon the storage unit is written
+// through its scan chain (the paper's 2-bit initialisation selects the
+// default or a custom microcode); these helpers produce and parse the
+// corresponding bit streams and Verilog $readmemb memory files, so an
+// assembled algorithm can be handed to a DFT insertion flow.
+
+// ScanImage returns the storage-unit scan bitstream for a storage of
+// the given capacity: slot 0 first, each word LSB-first, unused slots
+// zero-filled. slots must hold the program.
+func (p *Program) ScanImage(slots int) ([]bool, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	if p.Len() > slots {
+		return nil, fmt.Errorf("microbist: program %s (%d words) exceeds %d slots", p.Name, p.Len(), slots)
+	}
+	bits := make([]bool, slots*WordBits)
+	for i, in := range p.Instructions {
+		enc := in.Encode()
+		for b := 0; b < WordBits; b++ {
+			bits[i*WordBits+b] = enc>>uint(b)&1 == 1
+		}
+	}
+	return bits, nil
+}
+
+// ProgramFromScanImage decodes a scan bitstream back into a program.
+// Trailing all-zero words beyond the last terminate/port-loop word are
+// dropped. The source map is unavailable (fail records from the decoded
+// program attribute to element -1).
+func ProgramFromScanImage(name string, bits []bool) (*Program, error) {
+	if len(bits)%WordBits != 0 {
+		return nil, fmt.Errorf("microbist: scan image length %d is not a multiple of %d", len(bits), WordBits)
+	}
+	p := &Program{Name: name}
+	for i := 0; i+WordBits <= len(bits); i += WordBits {
+		var enc uint16
+		for b := 0; b < WordBits; b++ {
+			if bits[i+b] {
+				enc |= 1 << uint(b)
+			}
+		}
+		p.Instructions = append(p.Instructions, Decode(enc))
+		p.Source = append(p.Source, SourceRef{Element: -1, Op: -1})
+	}
+	// Trim zero padding: keep up to the last terminating instruction.
+	last := -1
+	for i, in := range p.Instructions {
+		if in.Cond == CondTerminate || in.Cond == CondLoopPort {
+			last = i
+		}
+	}
+	if last < 0 {
+		return nil, fmt.Errorf("microbist: scan image has no terminating instruction")
+	}
+	p.Instructions = p.Instructions[:last+1]
+	p.Source = p.Source[:last+1]
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteMemb writes the storage contents in Verilog $readmemb format
+// (one 10-bit binary word per line, slot 0 first), suitable for
+// initialising the generated RTL's storage in simulation.
+func (p *Program) WriteMemb(w io.Writer, slots int) error {
+	if p.Len() > slots {
+		return fmt.Errorf("microbist: program %s (%d words) exceeds %d slots", p.Name, p.Len(), slots)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s — %d instructions in %d slots\n", p.Name, p.Len(), slots)
+	for i := 0; i < slots; i++ {
+		var enc uint16
+		if i < p.Len() {
+			enc = p.Instructions[i].Encode()
+		}
+		fmt.Fprintf(&b, "%010b\n", enc)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,113 @@
+package microbist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+func TestScanImageRoundTrip(t *testing.T) {
+	for _, algf := range []func() march.Algorithm{march.MarchC, march.MarchAPlusPlus, march.MATSPlus} {
+		alg := algf()
+		p, err := Assemble(alg, AssembleOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits, err := p.ScanImage(32)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if len(bits) != 32*WordBits {
+			t.Fatalf("%s: image length %d", alg.Name, len(bits))
+		}
+		back, err := ProgramFromScanImage(alg.Name, bits)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		if back.Len() != p.Len() {
+			t.Fatalf("%s: round trip %d instructions, want %d", alg.Name, back.Len(), p.Len())
+		}
+		for i := range p.Instructions {
+			if back.Instructions[i] != p.Instructions[i] {
+				t.Errorf("%s instruction %d: %v vs %v", alg.Name, i, back.Instructions[i], p.Instructions[i])
+			}
+		}
+	}
+}
+
+func TestDecodedProgramBehavesIdentically(t *testing.T) {
+	alg := march.MarchC()
+	p, err := Assemble(alg, AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := p.ScanImage(p.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ProgramFromScanImage(alg.Name, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := faults.Fault{Kind: faults.SA, Cell: 9, Value: true, Port: faults.AnyPort}
+
+	memA := faults.NewInjected(16, 1, 1, f)
+	ra, err := p.Run(memA, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memB := faults.NewInjected(16, 1, 1, f)
+	rb, err := back.Run(memB, ExecOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Cycles != rb.Cycles || ra.Operations != rb.Operations || ra.Signature != rb.Signature {
+		t.Errorf("decoded program diverged: cycles %d/%d ops %d/%d sig %04x/%04x",
+			ra.Cycles, rb.Cycles, ra.Operations, rb.Operations, ra.Signature, rb.Signature)
+	}
+	if len(ra.Fails) != len(rb.Fails) {
+		t.Errorf("fail counts differ: %d vs %d", len(ra.Fails), len(rb.Fails))
+	}
+}
+
+func TestScanImageTooSmall(t *testing.T) {
+	p, _ := Assemble(march.MarchAPlusPlus(), AssembleOpts{WordOriented: true, Multiport: true})
+	if _, err := p.ScanImage(8); err == nil {
+		t.Error("oversized program accepted")
+	}
+}
+
+func TestProgramFromScanImageErrors(t *testing.T) {
+	if _, err := ProgramFromScanImage("bad", make([]bool, 7)); err == nil {
+		t.Error("misaligned image accepted")
+	}
+	if _, err := ProgramFromScanImage("empty", make([]bool, 3*WordBits)); err == nil {
+		t.Error("image with no terminator accepted")
+	}
+}
+
+func TestWriteMemb(t *testing.T) {
+	p, err := Assemble(march.MarchC(), AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := p.WriteMemb(&sb, 16); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 17 { // comment + 16 words
+		t.Fatalf("memb has %d lines, want 17", len(lines))
+	}
+	// First data line is instruction 1: w0 up inc hold.
+	want := "1001000001"
+	if lines[1] != want {
+		t.Errorf("word 0 = %s, want %s", lines[1], want)
+	}
+	// Padding rows are zero.
+	if lines[16] != "0000000000" {
+		t.Errorf("padding = %s", lines[16])
+	}
+}

@@ -1,0 +1,216 @@
+// Package microbist implements the paper's primary contribution: the
+// microcode-based programmable memory BIST controller (§2.1, Figs 1-2).
+//
+// The controller consists of a storage unit (Z instructions of Y=10
+// bits), an instruction counter, an instruction selector, a branch
+// register, an instruction decoder and a 4-bit reference register
+// (repeat-loop bit plus auxiliary address-order/data/compare bits).
+// A march algorithm is assembled into the 10-bit microcode ISA; the
+// Repeat mechanism folds symmetric algorithm halves through the
+// reference register, and the trailing data-background and port loops
+// support word-oriented and multiport memories.
+//
+// The package provides the ISA with binary encode/decode, an assembler
+// from march algorithms (including automatic symmetry folding), a
+// cycle-accurate behavioural executor validated against the march
+// reference runner, and a structural netlist generator used by the
+// paper's area evaluation (Tables 1-3), including the Table 3 scan-only
+// storage-cell re-design.
+package microbist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cond is the 3-bit condition/flow field of a microcode instruction.
+// The eight opcodes correspond to the paper's Fig. 2 list; the branch
+// conditions (Last Address, Last Data, Last Port, Repeat Loop bit) are
+// bound per opcode as documented on each constant.
+type Cond uint8
+
+const (
+	// CondNop takes no flow action: the instruction counter advances.
+	// An instruction with no read and no write under CondNop models the
+	// retention delay phase (the executor issues a memory Pause).
+	CondNop Cond = iota
+	// CondLoopBack is "Cond. Branch to branch reg.": while Last Address
+	// is not reached, branch to the instruction saved in the branch
+	// register (the current march element's first instruction).
+	CondLoopBack
+	// CondRepeat is "Cond. Branch to specified inst." with the paper's
+	// reference-register side effects: on first execution it loads the
+	// auxiliary address-order/data/compare bits from this instruction's
+	// fields, sets the repeat-loop bit and branches to instruction 1;
+	// on re-execution it is a no-operation that clears the repeat bit
+	// and the reference register.
+	CondRepeat
+	// CondLoopData is "Cond. Branch to top": while Last Data is not
+	// reached, step the data-background generator and branch to
+	// instruction 0; at the last background, reset the generator and
+	// advance.
+	CondLoopData
+	// CondHold is "Cond. hold": while Last Address is not reached, stay
+	// on this instruction (single-operation march elements).
+	CondHold
+	// CondLoopPort is "Cond. Inc. Port": while Last Port is not
+	// reached, activate the next port and branch to instruction 0; at
+	// the last port, terminate the test.
+	CondLoopPort
+	// CondSave is "Save Current Address": copy the instruction counter
+	// into the branch register (marking a march element's first
+	// instruction), then advance.
+	CondSave
+	// CondTerminate is "Unconditional terminate".
+	CondTerminate
+)
+
+var condNames = [...]string{
+	"nop", "loopback", "repeat", "loopdata", "hold", "loopport", "save", "term",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", int(c))
+}
+
+// Instruction is one 10-bit microcode word. Field layout (LSB first):
+//
+//	bit 0   AddrInc  — advance the address generator after the operation
+//	bit 1   AddrDown — descending address order (XORed with the
+//	                   reference register's auxiliary order bit)
+//	bit 2   DataInc  — step the data-background generator
+//	bit 3   DataInv  — inverted test data (XORed with auxiliary data bit)
+//	bit 4   CmpInv   — inverted compare polarity (XORed with auxiliary
+//	                   compare bit)
+//	bit 5   Read     — read enable
+//	bit 6   Write    — write enable
+//	bits 7-9 Cond    — condition/flow field
+type Instruction struct {
+	AddrInc  bool
+	AddrDown bool
+	DataInc  bool
+	DataInv  bool
+	CmpInv   bool
+	Read     bool
+	Write    bool
+	Cond     Cond
+}
+
+// WordBits is the microcode word width (the paper's Y).
+const WordBits = 10
+
+// Encode packs the instruction into its 10-bit binary form.
+func (in Instruction) Encode() uint16 {
+	var w uint16
+	set := func(bit int, v bool) {
+		if v {
+			w |= 1 << uint(bit)
+		}
+	}
+	set(0, in.AddrInc)
+	set(1, in.AddrDown)
+	set(2, in.DataInc)
+	set(3, in.DataInv)
+	set(4, in.CmpInv)
+	set(5, in.Read)
+	set(6, in.Write)
+	w |= uint16(in.Cond&7) << 7
+	return w
+}
+
+// Decode unpacks a 10-bit word into an instruction.
+func Decode(w uint16) Instruction {
+	get := func(bit int) bool { return w>>uint(bit)&1 == 1 }
+	return Instruction{
+		AddrInc:  get(0),
+		AddrDown: get(1),
+		DataInc:  get(2),
+		DataInv:  get(3),
+		CmpInv:   get(4),
+		Read:     get(5),
+		Write:    get(6),
+		Cond:     Cond(w >> 7 & 7),
+	}
+}
+
+// String renders the instruction as a compact mnemonic, e.g.
+// "r0 up hold" or "w1 up inc loopback".
+func (in Instruction) String() string {
+	var parts []string
+	switch {
+	case in.Read && in.Write:
+		parts = append(parts, "rw?")
+	case in.Read:
+		parts = append(parts, "r"+b01(in.CmpInv))
+	case in.Write:
+		parts = append(parts, "w"+b01(in.DataInv))
+	default:
+		parts = append(parts, "--")
+	}
+	if in.AddrDown {
+		parts = append(parts, "down")
+	} else {
+		parts = append(parts, "up")
+	}
+	if in.AddrInc {
+		parts = append(parts, "inc")
+	}
+	if in.DataInc {
+		parts = append(parts, "bg+")
+	}
+	parts = append(parts, in.Cond.String())
+	return strings.Join(parts, " ")
+}
+
+func b01(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}
+
+// Program is an assembled microcode program plus its source map.
+type Program struct {
+	Name         string
+	Instructions []Instruction
+	// Source maps each instruction to the (element, op) of the original
+	// march algorithm it implements; flow-only instructions carry
+	// Element = -1.
+	Source []SourceRef
+	// Folded records whether the assembler used the Repeat mechanism.
+	Folded bool
+	// FoldLen is the folded block's length in elements (0 when not
+	// folded). During the Repeat pass, fail records attribute
+	// operations to the mirrored elements by adding this offset.
+	FoldLen int
+}
+
+// SourceRef locates an instruction's origin in the march algorithm.
+type SourceRef struct {
+	Element int
+	Op      int
+}
+
+// Len returns the instruction count (the paper's Z requirement).
+func (p *Program) Len() int { return len(p.Instructions) }
+
+// Listing renders the program one instruction per line, numbered from 1
+// like the paper's Fig. 2.
+func (p *Program) Listing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d instructions%s)\n", p.Name, p.Len(), foldNote(p.Folded))
+	for i, in := range p.Instructions {
+		fmt.Fprintf(&b, "%2d: %-24s ; %010b\n", i+1, in.String(), in.Encode())
+	}
+	return b.String()
+}
+
+func foldNote(folded bool) string {
+	if folded {
+		return ", folded"
+	}
+	return ""
+}

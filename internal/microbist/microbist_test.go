@@ -1,0 +1,182 @@
+package microbist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/march"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(w uint16) bool {
+		w &= 1<<WordBits - 1
+		return Decode(w).Encode() == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFieldPlacement(t *testing.T) {
+	in := Instruction{AddrInc: true, Read: true, Cond: CondHold}
+	w := in.Encode()
+	if w != 1|1<<5|uint16(CondHold)<<7 {
+		t.Errorf("encoding = %010b", w)
+	}
+	back := Decode(w)
+	if back != in {
+		t.Errorf("round trip: %+v vs %+v", back, in)
+	}
+}
+
+func TestAssembleMarchCMatchesFig2(t *testing.T) {
+	// The paper's Fig. 2: March C with word-oriented and multiport
+	// support assembles to 9 instructions using the Repeat fold.
+	p, err := Assemble(march.MarchC(), AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Folded {
+		t.Error("March C did not fold")
+	}
+	if p.Len() != 9 {
+		t.Fatalf("March C assembles to %d instructions, want 9 (Fig. 2):\n%s", p.Len(), p.Listing())
+	}
+	ins := p.Instructions
+	// 1: w0 up inc hold
+	if !ins[0].Write || ins[0].DataInv || !ins[0].AddrInc || ins[0].Cond != CondHold {
+		t.Errorf("instr 1 = %v", ins[0])
+	}
+	// 2: r0 save / 3: w1 inc loopback
+	if !ins[1].Read || ins[1].CmpInv || ins[1].Cond != CondSave {
+		t.Errorf("instr 2 = %v", ins[1])
+	}
+	if !ins[2].Write || !ins[2].DataInv || !ins[2].AddrInc || ins[2].Cond != CondLoopBack {
+		t.Errorf("instr 3 = %v", ins[2])
+	}
+	// 4: r1 save / 5: w0 inc loopback
+	if !ins[3].Read || !ins[3].CmpInv || ins[3].Cond != CondSave {
+		t.Errorf("instr 4 = %v", ins[3])
+	}
+	// 6: repeat with order-only mask (March C's fold).
+	if ins[5].Cond != CondRepeat || !ins[5].AddrDown || ins[5].DataInv || ins[5].CmpInv {
+		t.Errorf("instr 6 = %v, want repeat with order-only mask", ins[5])
+	}
+	// 7: final verify r0 hold
+	if !ins[6].Read || ins[6].CmpInv || ins[6].Cond != CondHold {
+		t.Errorf("instr 7 = %v", ins[6])
+	}
+	// 8: loopdata, 9: loopport
+	if ins[7].Cond != CondLoopData || !ins[7].DataInc {
+		t.Errorf("instr 8 = %v", ins[7])
+	}
+	if ins[8].Cond != CondLoopPort {
+		t.Errorf("instr 9 = %v", ins[8])
+	}
+}
+
+func TestAssembleMarchAFoldMask(t *testing.T) {
+	p, err := Assemble(march.MarchA(), AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Folded {
+		t.Fatal("March A did not fold")
+	}
+	var rep *Instruction
+	for i := range p.Instructions {
+		if p.Instructions[i].Cond == CondRepeat {
+			rep = &p.Instructions[i]
+		}
+	}
+	if rep == nil {
+		t.Fatal("no repeat instruction")
+	}
+	if !rep.AddrDown || !rep.DataInv || !rep.CmpInv {
+		t.Errorf("March A repeat mask = %v, want full complement", *rep)
+	}
+}
+
+func TestAssembleNoFoldGrowsProgram(t *testing.T) {
+	folded, err := Assemble(march.MarchC(), AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Assemble(march.MarchC(), AssembleOpts{DisableFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Folded {
+		t.Error("DisableFold ignored")
+	}
+	if flat.Len() <= folded.Len() {
+		t.Errorf("flat %d <= folded %d instructions", flat.Len(), folded.Len())
+	}
+}
+
+func TestAssembleRetentionEmitsPause(t *testing.T) {
+	p, err := Assemble(march.MarchCPlus(), AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pauses := 0
+	for _, in := range p.Instructions {
+		if !in.Read && !in.Write && in.Cond == CondNop {
+			pauses++
+		}
+	}
+	if pauses != 2 {
+		t.Errorf("March C+ program has %d pause instructions, want 2\n%s", pauses, p.Listing())
+	}
+}
+
+func TestAssembleAllLibraryAlgorithms(t *testing.T) {
+	for name, f := range march.Library() {
+		for _, opts := range []AssembleOpts{
+			{},
+			{WordOriented: true},
+			{WordOriented: true, Multiport: true},
+			{DisableFold: true},
+		} {
+			p, err := Assemble(f(), opts)
+			if err != nil {
+				t.Errorf("%s %+v: %v", name, opts, err)
+				continue
+			}
+			if p.Len() == 0 {
+				t.Errorf("%s: empty program", name)
+			}
+		}
+	}
+}
+
+func TestListingReadable(t *testing.T) {
+	p, err := Assemble(march.MarchC(), AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Listing()
+	for _, frag := range []string{"March C", "folded", "repeat", "loopdata", "loopport", "hold"} {
+		if !strings.Contains(l, frag) {
+			t.Errorf("listing missing %q:\n%s", frag, l)
+		}
+	}
+}
+
+func TestRejectsInvalidAlgorithm(t *testing.T) {
+	bad := march.Algorithm{Name: "bad", Elements: []march.Element{
+		{Order: march.Up, Ops: []march.Op{march.R(true)}},
+	}}
+	if _, err := Assemble(bad, AssembleOpts{}); err == nil {
+		t.Error("invalid algorithm assembled")
+	}
+}
+
+func TestCondStrings(t *testing.T) {
+	for c := CondNop; c <= CondTerminate; c++ {
+		if s := c.String(); s == "" || strings.HasPrefix(s, "cond(") {
+			t.Errorf("cond %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package microbist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+)
+
+// TestRandomAlgorithmEquivalenceProperty fuzzes the full pipeline:
+// random valid march algorithms are assembled (with folding when the
+// generator happens to produce symmetry), executed against a memory
+// with one random fault, and the fail log must equal the reference
+// runner's byte for byte.
+func TestRandomAlgorithmEquivalenceProperty(t *testing.T) {
+	universe := faults.Universe(8, 1, faults.UniverseOpts{})
+	f := func(seed int64, faultIdx uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := march.Random(rng)
+		fault := universe[int(faultIdx)%len(universe)]
+
+		p, err := Assemble(alg, AssembleOpts{})
+		if err != nil {
+			return false
+		}
+		memA := faults.NewInjected(8, 1, 1, fault)
+		got, err := p.Run(memA, ExecOpts{})
+		if err != nil || !got.Terminated {
+			return false
+		}
+
+		memB := faults.NewInjected(8, 1, 1, fault)
+		want, err := march.Run(alg, memB, march.RunOpts{SinglePort: true, SingleBackground: true})
+		if err != nil {
+			return false
+		}
+		if len(got.Fails) != len(want.Fails) || got.Operations != want.Operations {
+			return false
+		}
+		for i := range got.Fails {
+			if got.Fails[i] != want.Fails[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomAlgorithmScanImageProperty: assembling, imaging and
+// decoding a random algorithm preserves the instruction sequence.
+func TestRandomAlgorithmScanImageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := march.Random(rng)
+		p, err := Assemble(alg, AssembleOpts{WordOriented: true, Multiport: true})
+		if err != nil {
+			return false
+		}
+		bits, err := p.ScanImage(p.Len())
+		if err != nil {
+			return false
+		}
+		back, err := ProgramFromScanImage("x", bits)
+		if err != nil || back.Len() != p.Len() {
+			return false
+		}
+		for i := range p.Instructions {
+			if back.Instructions[i] != p.Instructions[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

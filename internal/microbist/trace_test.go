@@ -1,0 +1,142 @@
+package microbist
+
+import (
+	"testing"
+
+	"repro/internal/gatesim"
+	"repro/internal/logic"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// TestControllerNetlistMatchesExecutor is the strongest structural
+// check in the package: the behavioural executor emits a per-cycle
+// trace of decoder conditions and control outputs, and the synthesised
+// controller netlist — storage unit, instruction counter, selector,
+// branch register, reference register and decoder — is clocked through
+// the same condition stream in the gate-level simulator. Instruction
+// counter value and every control output must agree on every cycle of
+// the whole test, including the Repeat fold, the background loop and
+// the port loop.
+func TestControllerNetlistMatchesExecutor(t *testing.T) {
+	algs := []march.Algorithm{
+		march.MATSPlus(), march.MarchC(), march.MarchA(), march.MarchY(),
+	}
+	for _, alg := range algs {
+		t.Run(alg.Name, func(t *testing.T) {
+			p, err := Assemble(alg, AssembleOpts{WordOriented: true, Multiport: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Small geometry keeps the trace short but still exercises
+			// both loops: 4 addresses, 2-bit words, 2 ports.
+			mem := memory.NewSRAM(4, 2, 2)
+			var entries []TraceEntry
+			res, err := p.Run(mem, ExecOpts{Trace: func(e TraceEntry) {
+				entries = append(entries, e)
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Terminated {
+				t.Fatal("executor did not terminate")
+			}
+			if len(entries) != res.Cycles {
+				t.Fatalf("trace has %d entries for %d cycles", len(entries), res.Cycles)
+			}
+
+			hw, err := BuildHardware(p, HWConfig{Slots: p.Len(), AddrBits: 2, Width: 2, Ports: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := gatesim.New(hw.Netlist)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			selBits := logic.Log2Ceil(hw.Config.Slots)
+			if selBits == 0 {
+				selBits = 1
+			}
+			for ci, e := range entries {
+				sim.SetByName("last_address", e.LastAddr)
+				sim.SetByName("last_data", e.LastData)
+				sim.SetByName("last_port", e.LastPort)
+				sim.Eval()
+
+				if got := int(sim.GetBus(hw.PC[:selBits])); got != e.PC {
+					t.Fatalf("cycle %d: netlist pc %d, executor pc %d", ci, got, e.PC)
+				}
+				if sim.Get(hw.Terminate) {
+					t.Fatalf("cycle %d: netlist already terminated", ci)
+				}
+				checks := []struct {
+					name string
+					got  bool
+					want bool
+				}{
+					{"read_en", sim.Get(hw.ReadEn), e.Read},
+					{"write_en", sim.Get(hw.WriteEn), e.Write},
+					{"addr_inc", sim.Get(hw.AddrInc), e.AddrInc},
+					{"addr_down", sim.Get(hw.AddrDown), e.AddrDown},
+					{"data_inv", sim.Get(hw.DataInv), e.DataInv},
+					{"cmp_inv", sim.Get(hw.CmpInv), e.CmpInv},
+				}
+				for _, c := range checks {
+					if c.got != c.want {
+						t.Fatalf("cycle %d pc %d: %s = %v, executor %v", ci, e.PC, c.name, c.got, c.want)
+					}
+				}
+				sim.Step()
+			}
+
+			// After the final traced cycle the end flag must be set.
+			sim.Eval()
+			if !sim.Get(hw.Terminate) {
+				t.Error("netlist test_end not asserted after the final cycle")
+			}
+			// And the counter must stay frozen.
+			endPC := sim.GetBus(hw.PC)
+			sim.StepN(3)
+			if sim.GetBus(hw.PC) != endPC {
+				t.Error("instruction counter moved after test end")
+			}
+		})
+	}
+}
+
+// TestControllerNetlistScanOnlyBehavesIdentically re-runs a shortened
+// trace against the Table 3 scan-only storage variant: the re-design
+// changes area, never behaviour.
+func TestControllerNetlistScanOnlyBehavesIdentically(t *testing.T) {
+	p, err := Assemble(march.MarchC(), AssembleOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.NewSRAM(4, 1, 1)
+	var entries []TraceEntry
+	if _, err := p.Run(mem, ExecOpts{Trace: func(e TraceEntry) { entries = append(entries, e) }}); err != nil {
+		t.Fatal(err)
+	}
+	for _, scan := range []bool{false, true} {
+		hw, err := BuildHardware(p, HWConfig{Slots: p.Len(), AddrBits: 2, Width: 1, Ports: 1, ScanOnlyStorage: scan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := gatesim.New(hw.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci, e := range entries {
+			sim.SetByName("last_address", e.LastAddr)
+			sim.SetByName("last_data", e.LastData)
+			sim.SetByName("last_port", e.LastPort)
+			sim.Eval()
+			if sim.Get(hw.ReadEn) != e.Read || sim.Get(hw.WriteEn) != e.Write {
+				t.Fatalf("scan=%v cycle %d: control mismatch", scan, ci)
+			}
+			sim.Step()
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package netlist
+
+import "fmt"
+
+// CellKind identifies a standard cell.
+type CellKind uint8
+
+// The cell library. All cells have a single output. Sequential cells
+// (the DFF variants) are clocked by an implicit global clock and carry an
+// implicit asynchronous reset to their Init value.
+const (
+	CellInv CellKind = iota
+	CellBuf
+	CellNand2
+	CellNor2
+	CellAnd2
+	CellOr2
+	CellXor2
+	CellXnor2
+	CellMux2 // inputs: sel, d0, d1; out = sel ? d1 : d0
+	CellDFF  // plain D flip-flop, input: D
+	CellSDFF // full-scan D flip-flop (mux-D scan), input: D
+	// CellSODFF is a scan-only storage cell: writable only through the
+	// scan chain, no functional-clock data path. IBM ASIC libraries
+	// provide these at roughly 1/4.5 the area of a full-scan register;
+	// the paper's Table 3 re-design of the microcode storage unit is
+	// built from them.
+	CellSODFF
+	numCellKinds
+)
+
+var cellNames = [numCellKinds]string{
+	"INV", "BUF", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "XNOR2",
+	"MUX2", "DFF", "SDFF", "SODFF",
+}
+
+var cellInputs = [numCellKinds]int{
+	1, 1, 2, 2, 2, 2, 2, 2, 3, 1, 1, 1,
+}
+
+func (k CellKind) String() string {
+	if int(k) < len(cellNames) {
+		return cellNames[k]
+	}
+	return fmt.Sprintf("CellKind(%d)", int(k))
+}
+
+// NumInputs returns the number of input pins of the cell.
+func (k CellKind) NumInputs() int { return cellInputs[k] }
+
+// IsSequential reports whether the cell is a flip-flop.
+func (k CellKind) IsSequential() bool {
+	return k == CellDFF || k == CellSDFF || k == CellSODFF
+}
+
+// Eval computes the combinational function of the cell on inputs in.
+// Calling Eval on a sequential cell panics.
+func (k CellKind) Eval(in []bool) bool {
+	switch k {
+	case CellInv:
+		return !in[0]
+	case CellBuf:
+		return in[0]
+	case CellNand2:
+		return !(in[0] && in[1])
+	case CellNor2:
+		return !(in[0] || in[1])
+	case CellAnd2:
+		return in[0] && in[1]
+	case CellOr2:
+		return in[0] || in[1]
+	case CellXor2:
+		return in[0] != in[1]
+	case CellXnor2:
+		return in[0] == in[1]
+	case CellMux2:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	default:
+		panic("netlist: Eval on sequential cell " + k.String())
+	}
+}
+
+// Library maps each cell to a gate-equivalent weight (2-input NAND = 1.0)
+// and a physical area in µm².
+type Library struct {
+	Name string
+	GE   [numCellKinds]float64
+	Area [numCellKinds]float64 // µm²
+}
+
+// CMOS5SLike is a synthetic 0.35µm standard-cell library calibrated to
+// published footprints of that generation (NAND2 ≈ 50µm², standard cell
+// height ≈ 13µm). It substitutes for the IBM CMOS5S library the paper
+// sized its controllers with; Tables 1-3 compare relative areas, which
+// any internally consistent library preserves.
+// CMOS6SLike is a second synthetic library modelled on the next
+// process generation (0.25µm-class): smaller absolute areas and
+// slightly different cell-area ratios. The evaluation's qualitative
+// observations must hold under any internally consistent library; the
+// test suite re-checks them against this one.
+var CMOS6SLike = Library{
+	Name: "cmos6s-like-0.25um",
+	GE: [numCellKinds]float64{
+		CellInv:   0.5,
+		CellBuf:   1.0,
+		CellNand2: 1.0,
+		CellNor2:  1.0,
+		CellAnd2:  1.25,
+		CellOr2:   1.25,
+		CellXor2:  2.25,
+		CellXnor2: 2.25,
+		CellMux2:  1.75,
+		CellDFF:   4.5,
+		CellSDFF:  6.0,
+		CellSODFF: 1.5,
+	},
+	Area: [numCellKinds]float64{
+		CellInv:   11,
+		CellBuf:   18,
+		CellNand2: 20,
+		CellNor2:  20,
+		CellAnd2:  25,
+		CellOr2:   25,
+		CellXor2:  45,
+		CellXnor2: 45,
+		CellMux2:  35,
+		CellDFF:   90,
+		CellSDFF:  116,
+		CellSODFF: 29, // 116 / 4.0
+	},
+}
+
+var CMOS5SLike = Library{
+	Name: "cmos5s-like-0.35um",
+	GE: [numCellKinds]float64{
+		CellInv:   0.5,
+		CellBuf:   1.0,
+		CellNand2: 1.0,
+		CellNor2:  1.0,
+		CellAnd2:  1.5,
+		CellOr2:   1.5,
+		CellXor2:  2.5,
+		CellXnor2: 2.5,
+		CellMux2:  2.0,
+		CellDFF:   5.0,
+		CellSDFF:  6.5,
+		CellSODFF: 1.5, // scan-only cell, ~1/4.5 of a full-scan register
+	},
+	Area: [numCellKinds]float64{
+		CellInv:   27,
+		CellBuf:   43,
+		CellNand2: 50,
+		CellNor2:  50,
+		CellAnd2:  66,
+		CellOr2:   66,
+		CellXor2:  116,
+		CellXnor2: 116,
+		CellMux2:  93,
+		CellDFF:   233,
+		CellSDFF:  293,
+		CellSODFF: 65, // 293 / 4.5
+	},
+}

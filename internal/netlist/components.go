@@ -1,0 +1,207 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Register builds a width-bit register of the given flip-flop kind with a
+// synchronous load enable: q' = en ? d : q. It returns the Q nets.
+// init supplies per-bit reset values (nil means all-zero).
+func (n *Netlist) Register(prefix string, kind CellKind, width int, d []NetID, en NetID, init []bool) []NetID {
+	if len(d) != width {
+		panic(fmt.Sprintf("netlist: register %s: %d data nets for width %d", prefix, len(d), width))
+	}
+	q := make([]NetID, width)
+	for i := 0; i < width; i++ {
+		iv := false
+		if init != nil {
+			iv = init[i]
+		}
+		// Placeholder D; rewired below once Q exists.
+		q[i] = n.AddFF(kind, n.Const0(), iv)
+		n.names[q[i]] = fmt.Sprintf("%s[%d]", prefix, i)
+		n.SetFFInput(q[i], n.Mux2(en, q[i], d[i]))
+	}
+	return q
+}
+
+// StorageRegister builds a width-bit register with no functional-data
+// path at all: its contents are assumed loaded through the scan chain
+// (kind CellSODFF) or tied at initialisation. Returns the Q nets.
+// This models the microcode storage unit's scan-only re-design.
+func (n *Netlist) StorageRegister(prefix string, kind CellKind, width int, init []bool) []NetID {
+	q := make([]NetID, width)
+	for i := 0; i < width; i++ {
+		iv := false
+		if init != nil {
+			iv = init[i]
+		}
+		q[i] = n.AddFF(kind, n.Const0(), iv)
+		n.names[q[i]] = fmt.Sprintf("%s[%d]", prefix, i)
+		// Scan-only cells hold their value on the functional clock.
+		n.SetFFInput(q[i], q[i])
+	}
+	return q
+}
+
+// Incrementer builds a width-bit incrementer: sum = a + 1 when en, else a.
+// It returns the sum nets and the carry-out (asserted when a is all ones
+// and en is high), using a ripple half-adder chain.
+func (n *Netlist) Incrementer(a []NetID, en NetID) (sum []NetID, carry NetID) {
+	carry = en
+	sum = make([]NetID, len(a))
+	for i := range a {
+		sum[i] = n.Xor2(a[i], carry)
+		carry = n.And2(a[i], carry)
+	}
+	return sum, carry
+}
+
+// Decrementer builds a width-bit decrementer: dif = a - 1 when en, else a.
+// borrow is asserted when a is zero and en is high.
+func (n *Netlist) Decrementer(a []NetID, en NetID) (dif []NetID, borrow NetID) {
+	borrow = en
+	dif = make([]NetID, len(a))
+	for i := range a {
+		dif[i] = n.Xor2(a[i], borrow)
+		borrow = n.And2(n.Inv(a[i]), borrow)
+	}
+	return dif, borrow
+}
+
+// Counter is the result of BuildCounter: an up (or up/down) binary
+// counter with enable and optional direction control.
+type Counter struct {
+	Q        []NetID // state bits, LSB first
+	Terminal NetID   // asserted when the counter is at its final value for the current direction
+}
+
+// BuildCounter builds a width-bit binary counter.
+//
+//	en   — count enable
+//	down — count direction (Invalid for an up-only counter)
+//	clr  — synchronous clear to zero (Invalid if unused)
+//
+// Terminal is all-ones when counting up and all-zeros when counting down.
+func (n *Netlist) BuildCounter(prefix string, width int, en, down, clr NetID) Counter {
+	q := make([]NetID, width)
+	for i := range q {
+		q[i] = n.AddFF(CellDFF, n.Const0(), false)
+		n.names[q[i]] = fmt.Sprintf("%s[%d]", prefix, i)
+	}
+
+	inc, _ := n.Incrementer(q, n.Const1())
+	var next []NetID
+	if down == Invalid {
+		next = inc
+	} else {
+		dec, _ := n.Decrementer(q, n.Const1())
+		next = make([]NetID, width)
+		for i := range next {
+			next[i] = n.Mux2(down, inc[i], dec[i])
+		}
+	}
+
+	for i := range q {
+		d := n.Mux2(en, q[i], next[i])
+		if clr != Invalid {
+			d = n.And2(d, n.Inv(clr))
+		}
+		n.SetFFInput(q[i], d)
+	}
+
+	allOnes := n.AndN(q...)
+	if down == Invalid {
+		return Counter{Q: q, Terminal: allOnes}
+	}
+	inv := make([]NetID, width)
+	for i := range q {
+		inv[i] = n.Inv(q[i])
+	}
+	allZero := n.AndN(inv...)
+	return Counter{Q: q, Terminal: n.Mux2(down, allOnes, allZero)}
+}
+
+// EqualsConst builds a comparator asserting when bus a equals constant k.
+func (n *Netlist) EqualsConst(a []NetID, k uint64) NetID {
+	terms := make([]NetID, len(a))
+	for i := range a {
+		if k>>uint(i)&1 == 1 {
+			terms[i] = a[i]
+		} else {
+			terms[i] = n.Inv(a[i])
+		}
+	}
+	return n.AndN(terms...)
+}
+
+// EqualsBus builds an equality comparator between two buses.
+func (n *Netlist) EqualsBus(a, b []NetID) NetID {
+	if len(a) != len(b) {
+		panic("netlist: EqualsBus width mismatch")
+	}
+	terms := make([]NetID, len(a))
+	for i := range a {
+		terms[i] = n.Xnor2(a[i], b[i])
+	}
+	return n.AndN(terms...)
+}
+
+// Decoder builds a full binary decoder of the select bus: output i is
+// asserted when the bus value is i. outputs is capped at 2^len(sel).
+func (n *Netlist) Decoder(sel []NetID, outputs int) []NetID {
+	max := 1 << uint(len(sel))
+	if outputs > max {
+		panic("netlist: decoder outputs exceed select range")
+	}
+	out := make([]NetID, outputs)
+	for i := range out {
+		out[i] = n.EqualsConst(sel, uint64(i))
+	}
+	return out
+}
+
+// FromCover synthesises a sum-of-products cover over the given variable
+// nets as AND/OR trees with shared input inverters, returning the output
+// net. A nil cover is constant zero; the empty cube is constant one.
+func (n *Netlist) FromCover(cv logic.Cover, vars []NetID) NetID {
+	if len(cv) == 0 {
+		return n.Const0()
+	}
+	invCache := make(map[NetID]NetID)
+	inv := func(a NetID) NetID {
+		if v, ok := invCache[a]; ok {
+			return v
+		}
+		v := n.Inv(a)
+		invCache[a] = v
+		return v
+	}
+	terms := make([]NetID, 0, len(cv))
+	for _, cube := range cv {
+		var lits []NetID
+		for k := 0; k < len(vars); k++ {
+			bit := uint64(1) << uint(k)
+			if cube.Mask&bit == 0 {
+				continue
+			}
+			if cube.Value&bit != 0 {
+				lits = append(lits, vars[k])
+			} else {
+				lits = append(lits, inv(vars[k]))
+			}
+		}
+		terms = append(terms, n.AndN(lits...))
+	}
+	return n.OrN(terms...)
+}
+
+// FromTruthTable minimises the table and synthesises it over vars.
+func (n *Netlist) FromTruthTable(t *logic.TruthTable, vars []NetID) NetID {
+	if len(vars) != t.NumInputs() {
+		panic("netlist: FromTruthTable variable count mismatch")
+	}
+	return n.FromCover(logic.Minimize(t), vars)
+}

@@ -1,0 +1,11 @@
+// Package netlist provides a gate-level structural hardware model: a
+// standard-cell library, a flat netlist of cell instances over boolean
+// nets, convenience builders (gate trees, registers, counters,
+// multiplexers, decoders) and an area model that reports both 2-input-NAND
+// gate equivalents and µm² under a selectable technology library.
+//
+// The paper's Tables 1-3 report controller sizes as "internal area
+// (2x2-input NAND gates)" and µm² in IBM CMOS5S (0.35µm); this package is
+// the substrate that regenerates those columns for every BIST
+// architecture in the repository.
+package netlist

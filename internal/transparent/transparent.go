@@ -1,0 +1,267 @@
+// Package transparent implements transparent memory BIST (Nicolaidis,
+// ITC 1992) — the on-line testing application the paper's conclusion
+// cites as the payoff of programmable BIST: because the microcode
+// controller can be reloaded in the field, the same hardware that runs
+// March tests at production can run content-preserving transparent
+// tests periodically in the system.
+//
+// A transparent march test re-expresses every operation relative to the
+// memory's current content c: "0" means c, "1" means c̄. The
+// initialisation element is dropped. In the signature-prediction phase
+// the test's reads execute with writes suppressed, each read value
+// XORed with its relative polarity before entering the MISR — which
+// predicts exactly the read stream of the test phase. In the test phase
+// writes derive their data from the last value read at the cell (a
+// read-modify-write), so the hardware needs only a word-wide data
+// register, no reference data and no comparator. The two signatures
+// disagree exactly when a fault disturbed the test-phase read stream.
+package transparent
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bist"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// Test is a transparent march test: the embedded elements' data
+// polarities are relative to the initial cell content ("0" = c,
+// "1" = c̄).
+type Test struct {
+	Name string
+	// Elements of the transparent test, polarity-relative. Every write
+	// is preceded by a read in the same element (the read-modify-write
+	// constraint of the transparent implementation).
+	Elements []march.Element
+	// RestoreAppended is true when a trailing read+write-back element
+	// had to be added because the source algorithm would otherwise
+	// leave the memory complemented.
+	RestoreAppended bool
+}
+
+// Transform derives the transparent version of a march algorithm:
+// leading write-only (initialisation) elements are removed, the rest is
+// reinterpreted content-relative, and a restore element ⇕(rc̄,wc) is
+// appended if the algorithm ends with cells complemented. Algorithms
+// with a non-leading write-only element cannot be made transparent
+// (their writes have no same-element read to derive data from).
+func Transform(a march.Algorithm) (*Test, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Test{Name: a.Name + " (transparent)"}
+
+	start := 0
+	for start < len(a.Elements) && writeOnly(a.Elements[start]) {
+		start++
+	}
+	if start == len(a.Elements) {
+		return nil, fmt.Errorf("transparent: %s has only initialisation writes", a.Name)
+	}
+	if start == 0 {
+		return nil, fmt.Errorf("transparent: %s reads before any state is established", a.Name)
+	}
+	for ei, e := range a.Elements[start:] {
+		if err := checkReadBeforeWrite(e); err != nil {
+			return nil, fmt.Errorf("transparent: %s element %d: %w", a.Name, start+ei, err)
+		}
+		t.Elements = append(t.Elements, e)
+	}
+
+	// Relative state after the test (Validate guarantees consistency).
+	state := false
+	for _, e := range t.Elements {
+		for _, op := range e.Ops {
+			if op.Kind == march.Write {
+				state = op.Data
+			}
+		}
+	}
+	if state {
+		t.Elements = append(t.Elements, march.Element{
+			Order: march.Any,
+			Ops:   []march.Op{march.R(true), march.W(false)},
+		})
+		t.RestoreAppended = true
+	}
+	return t, nil
+}
+
+func writeOnly(e march.Element) bool {
+	for _, op := range e.Ops {
+		if op.Kind != march.Write {
+			return false
+		}
+	}
+	return true
+}
+
+func checkReadBeforeWrite(e march.Element) error {
+	seenRead := false
+	for _, op := range e.Ops {
+		switch op.Kind {
+		case march.Read:
+			seenRead = true
+		case march.Write:
+			if !seenRead {
+				return fmt.Errorf("write with no preceding read in %v", e)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the test in content-relative notation, e.g.
+// "{⇑(rc,wc̄); ⇑(rc̄,wc); ...}".
+func (t *Test) String() string {
+	var parts []string
+	for _, e := range t.Elements {
+		var ops []string
+		for _, op := range e.Ops {
+			k := "r"
+			if op.Kind == march.Write {
+				k = "w"
+			}
+			d := "c"
+			if op.Data {
+				d = "c̄"
+			}
+			ops = append(ops, k+d)
+		}
+		s := ""
+		if e.PauseBefore {
+			s = "Del "
+		}
+		parts = append(parts, s+e.Order.String()+"("+strings.Join(ops, ",")+")")
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// OpCount returns test-phase operations per cell; the prediction phase
+// additionally performs every read once.
+func (t *Test) OpCount() int {
+	n := 0
+	for _, e := range t.Elements {
+		n += len(e.Ops)
+	}
+	return n
+}
+
+// Result is the outcome of one transparent test run.
+type Result struct {
+	// SignaturePredicted and SignatureObserved are the phase-1 and
+	// phase-2 MISR signatures; the test fails when they differ.
+	SignaturePredicted uint16
+	SignatureObserved  uint16
+	// Reads and Writes count test-phase operations; PredictionReads
+	// counts phase-1 reads.
+	Reads, Writes   int
+	PredictionReads int
+	// ContentPreserved reports whether the memory content after the
+	// test equals the content before it (harness check; the BIST
+	// hardware itself never stores the content).
+	ContentPreserved bool
+}
+
+// Detected reports whether the signatures disagree.
+func (r *Result) Detected() bool {
+	return r.SignaturePredicted != r.SignatureObserved
+}
+
+// Run executes the transparent test through one port.
+func (t *Test) Run(mem memory.Memory, port int) (*Result, error) {
+	if port < 0 || port >= mem.Ports() {
+		return nil, fmt.Errorf("transparent: port %d out of range", port)
+	}
+	n := mem.Size()
+	mask := ^uint64(0)
+	if mem.Width() < 64 {
+		mask = uint64(1)<<uint(mem.Width()) - 1
+	}
+	pol := func(q bool) uint64 {
+		if q {
+			return mask
+		}
+		return 0
+	}
+	res := &Result{}
+
+	// Harness snapshot for the preservation check only.
+	before := make([]uint64, n)
+	for a := 0; a < n; a++ {
+		before[a] = mem.Read(port, a)
+	}
+
+	// Phase 1 — signature prediction: reads only, polarity-corrected.
+	// The memory content is untouched, so a read with relative polarity
+	// q must deliver c; XORing q in predicts the test-phase value c⊕q.
+	var pred bist.MISR
+	t.sweep(n, func(addr int, op march.Op) {
+		if op.Kind != march.Read {
+			return
+		}
+		v := mem.Read(port, addr) ^ pol(op.Data)
+		pred.Shift(v & mask)
+		res.PredictionReads++
+	}, func() { mem.Pause() })
+
+	// Phase 2 — the test: reads feed the MISR raw; each write derives
+	// its data from the last value read at this cell in this element
+	// visit (read-modify-write with a single word register).
+	var obs bist.MISR
+	t.sweep2(n, func(addr int, ops []march.Op) {
+		var dataReg uint64
+		var lastReadPol bool
+		for _, op := range ops {
+			if op.Kind == march.Read {
+				dataReg = mem.Read(port, addr)
+				lastReadPol = op.Data
+				obs.Shift(dataReg)
+				res.Reads++
+			} else {
+				v := dataReg ^ pol(lastReadPol != op.Data)
+				mem.Write(port, addr, v&mask)
+				res.Writes++
+			}
+		}
+	}, func() { mem.Pause() })
+
+	res.SignaturePredicted = pred.Signature()
+	res.SignatureObserved = obs.Signature()
+
+	res.ContentPreserved = true
+	for a := 0; a < n; a++ {
+		if mem.Read(port, a) != before[a] {
+			res.ContentPreserved = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// sweep walks elements op by op.
+func (t *Test) sweep(n int, visit func(addr int, op march.Op), pause func()) {
+	t.sweep2(n, func(addr int, ops []march.Op) {
+		for _, op := range ops {
+			visit(addr, op)
+		}
+	}, pause)
+}
+
+// sweep2 walks elements cell visit by cell visit.
+func (t *Test) sweep2(n int, visit func(addr int, ops []march.Op), pause func()) {
+	for _, e := range t.Elements {
+		if e.PauseBefore && pause != nil {
+			pause()
+		}
+		for k := 0; k < n; k++ {
+			addr := k
+			if e.Order == march.Down {
+				addr = n - 1 - k
+			}
+			visit(addr, e.Ops)
+		}
+	}
+}

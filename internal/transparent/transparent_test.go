@@ -1,0 +1,231 @@
+package transparent
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+func TestTransformMarchC(t *testing.T) {
+	tr, err := Transform(march.MarchC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initialisation element dropped: 5 elements remain; March C ends
+	// at relative state 0, so no restore element.
+	if len(tr.Elements) != 5 {
+		t.Fatalf("transparent March C has %d elements, want 5: %s", len(tr.Elements), tr)
+	}
+	if tr.RestoreAppended {
+		t.Error("March C needed a restore element")
+	}
+	want := "{⇑(rc,wc̄); ⇑(rc̄,wc); ⇓(rc,wc̄); ⇓(rc̄,wc); ⇕(rc)}"
+	if got := tr.String(); got != want {
+		t.Errorf("notation = %s, want %s", got, want)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	onlyInit := march.Algorithm{Name: "init", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(false)}},
+	}}
+	if _, err := Transform(onlyInit); err == nil {
+		t.Error("write-only algorithm transformed")
+	}
+	// A mid-algorithm write-only element has no read to derive data
+	// from.
+	midWrite := march.MustParse("midw", "b(w0); u(r0,w1); b(w0); u(r0)")
+	if _, err := Transform(midWrite); err == nil {
+		t.Error("mid-algorithm write-only element transformed")
+	}
+}
+
+func TestContentPreservedOnFaultFreeMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, algf := range []func() march.Algorithm{march.MarchC, march.MarchA, march.MarchY, march.MarchCPlus, march.MATSPlus} {
+		alg := algf()
+		tr, err := Transform(alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			mem := memory.NewSRAM(32, 8, 1)
+			want := make([]uint64, 32)
+			for a := range want {
+				want[a] = rng.Uint64() & 0xFF
+				mem.Write(0, a, want[a])
+			}
+			res, err := tr.Run(mem, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Detected() {
+				t.Fatalf("%s: false positive on fault-free memory (pred %04x obs %04x)",
+					alg.Name, res.SignaturePredicted, res.SignatureObserved)
+			}
+			if !res.ContentPreserved {
+				t.Fatalf("%s: content not preserved", alg.Name)
+			}
+			for a := range want {
+				if got := mem.Read(0, a); got != want[a] {
+					t.Fatalf("%s: word %d = %x, want %x", alg.Name, a, got, want[a])
+				}
+			}
+		}
+	}
+}
+
+func TestRestoreAppendedWhenComplemented(t *testing.T) {
+	// An algorithm ending with cells complemented.
+	alg := march.MustParse("inv-final", "b(w0); u(r0,w1); b(r1)")
+	tr, err := Transform(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.RestoreAppended {
+		t.Fatal("restore element not appended")
+	}
+	mem := memory.NewSRAM(16, 4, 1)
+	for a := 0; a < 16; a++ {
+		mem.Write(0, a, uint64(a))
+	}
+	res, err := tr.Run(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContentPreserved || res.Detected() {
+		t.Errorf("restore run: preserved=%v detected=%v", res.ContentPreserved, res.Detected())
+	}
+}
+
+// transparentDetects runs the transparent March variant against a fault
+// and reports detection.
+func transparentDetects(t *testing.T, alg march.Algorithm, content []uint64, f faults.Fault) bool {
+	t.Helper()
+	tr, err := Transform(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := faults.NewInjected(16, 1, 1, f)
+	for a, v := range content {
+		mem.Write(0, a, v)
+	}
+	res, err := tr.Run(mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Detected()
+}
+
+func TestDetectsStuckAtAnyContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		content := make([]uint64, 16)
+		for a := range content {
+			content[a] = uint64(rng.Intn(2))
+		}
+		for _, v := range []bool{false, true} {
+			f := faults.Fault{Kind: faults.SA, Cell: 6, Value: v, Port: faults.AnyPort}
+			if !transparentDetects(t, march.MarchC(), content, f) {
+				t.Errorf("trial %d: transparent March C missed SA%v with content %v", trial, v, content)
+			}
+		}
+	}
+}
+
+func TestDetectsTransitionAndCoupling(t *testing.T) {
+	content := make([]uint64, 16) // all zero
+	cases := []faults.Fault{
+		{Kind: faults.TF, Cell: 3, Value: true, Port: faults.AnyPort},
+		{Kind: faults.TF, Cell: 3, Value: false, Port: faults.AnyPort},
+		{Kind: faults.CFin, Aggressor: 2, Cell: 9, AggVal: true, Port: faults.AnyPort},
+		{Kind: faults.CFid, Aggressor: 9, Cell: 2, AggVal: false, Value: true, Port: faults.AnyPort},
+		{Kind: faults.AFMap, Addr: 4, AggAddr: 5, Port: faults.AnyPort},
+	}
+	for _, f := range cases {
+		if !transparentDetects(t, march.MarchC(), content, f) {
+			t.Errorf("transparent March C missed %v", f)
+		}
+	}
+}
+
+func TestDetectsRetentionWithPlusVariant(t *testing.T) {
+	content := make([]uint64, 16)
+	for _, v := range []bool{false, true} {
+		f := faults.Fault{Kind: faults.DRF, Cell: 8, Value: v, Port: faults.AnyPort}
+		if !transparentDetects(t, march.MarchCPlus(), content, f) {
+			t.Errorf("transparent March C+ missed DRF%v", v)
+		}
+		if transparentDetects(t, march.MarchC(), content, f) {
+			t.Errorf("transparent March C (no pause) detected DRF%v; model broken", v)
+		}
+	}
+}
+
+// TestCoverageCloseToNonTransparent quantifies the classical result
+// that transparent BIST loses little coverage versus the original
+// march test.
+func TestCoverageCloseToNonTransparent(t *testing.T) {
+	tr, err := Transform(march.MarchC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := faults.Universe(16, 1, faults.UniverseOpts{})
+	detected, total := 0, 0
+	refDetected := 0
+	for _, f := range universe {
+		if f.Kind == faults.DRF || f.Kind == faults.RDF {
+			continue // out of March C's reach in either form
+		}
+		total++
+
+		mem := faults.NewInjected(16, 1, 1, f)
+		res, err := tr.Run(mem, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected() {
+			detected++
+		}
+
+		mem2 := faults.NewInjected(16, 1, 1, f)
+		ref, err := march.Run(march.MarchC(), mem2, march.RunOpts{MaxFails: 1, SinglePort: true, SingleBackground: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Detected() {
+			refDetected++
+		}
+	}
+	tCov := float64(detected) / float64(total)
+	rCov := float64(refDetected) / float64(total)
+	t.Logf("transparent March C coverage %.1f%%, standard %.1f%% (%d faults)", tCov*100, rCov*100, total)
+	if tCov < rCov-0.10 {
+		t.Errorf("transparent coverage %.1f%% more than 10 points below standard %.1f%%", tCov*100, rCov*100)
+	}
+}
+
+func TestOpCountAndNotation(t *testing.T) {
+	tr, err := Transform(march.MarchA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// March A is 15N; dropping the 1-op initialisation leaves 14 ops.
+	if got := tr.OpCount(); got != 14 {
+		t.Errorf("OpCount = %d, want 14", got)
+	}
+	if !strings.Contains(tr.String(), "wc̄") {
+		t.Errorf("notation missing relative polarity: %s", tr)
+	}
+}
+
+func TestRunRejectsBadPort(t *testing.T) {
+	tr, _ := Transform(march.MarchC())
+	if _, err := tr.Run(memory.NewSRAM(8, 1, 1), 2); err == nil {
+		t.Error("bad port accepted")
+	}
+}

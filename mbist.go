@@ -1,0 +1,173 @@
+package mbist
+
+import (
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/faults"
+	"repro/internal/fsmbist"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/memory"
+	"repro/internal/microbist"
+	"repro/internal/netlist"
+)
+
+// Re-exported core types. The facade aliases the internal packages'
+// types so callers can stay within this package for common flows.
+type (
+	// Algorithm is a march test algorithm.
+	Algorithm = march.Algorithm
+	// Element is one march element.
+	Element = march.Element
+	// Fail is one logged miscompare.
+	Fail = march.Fail
+	// Memory is the memory-under-test interface.
+	Memory = memory.Memory
+	// Fault is an injectable functional fault.
+	Fault = faults.Fault
+	// Architecture selects a BIST controller architecture.
+	Architecture = coverage.Architecture
+)
+
+// Architectures.
+const (
+	// Reference runs the algorithm directly (no controller model).
+	Reference = coverage.Reference
+	// Microcode is the paper's microcode-based programmable controller.
+	Microcode = coverage.Microcode
+	// ProgFSM is the paper's programmable FSM-based controller.
+	ProgFSM = coverage.ProgFSM
+	// Hardwired is a generated non-programmable controller.
+	Hardwired = coverage.Hardwired
+)
+
+// Algorithms returns the built-in march algorithm library keyed by
+// canonical name (marchc, marchc+, marcha++, mats+, ...).
+func Algorithms() map[string]func() Algorithm { return march.Library() }
+
+// AlgorithmByName looks up a library algorithm.
+func AlgorithmByName(name string) (Algorithm, bool) { return march.ByName(name) }
+
+// ParseAlgorithm parses the ASCII march notation, e.g.
+// "b(w0); u(r0,w1); d(r1,w0)".
+func ParseAlgorithm(name, text string) (Algorithm, error) { return march.Parse(name, text) }
+
+// NewSRAM returns a fault-free memory of the given geometry.
+func NewSRAM(size, width, ports int) Memory { return memory.NewSRAM(size, width, ports) }
+
+// NewFaultyMemory returns a memory with the given faults injected.
+func NewFaultyMemory(size, width, ports int, fs ...Fault) Memory {
+	return faults.NewInjected(size, width, ports, fs...)
+}
+
+// Result is the unified outcome of a BIST run.
+type Result struct {
+	// Pass is true when no miscompare occurred.
+	Pass bool
+	// Fails are the logged miscompares (diagnostic mode).
+	Fails []Fail
+	// Cycles is the controller cycle count (0 for Reference).
+	Cycles int
+	// Operations is the number of memory operations issued.
+	Operations int
+	// Signature is the MISR signature of the read stream (0 for
+	// Reference).
+	Signature uint16
+}
+
+// RunOptions tunes a Run.
+type RunOptions struct {
+	// MaxFails caps the fail log; 0 keeps every record (diagnosis).
+	MaxFails int
+}
+
+// Run executes a march algorithm on a memory through the selected BIST
+// architecture. Word-oriented memories are tested under every data
+// background; multiport memories on every port.
+func Run(arch Architecture, alg Algorithm, mem Memory, opts RunOptions) (*Result, error) {
+	word := mem.Width() > 1
+	multi := mem.Ports() > 1
+	switch arch {
+	case Reference:
+		res, err := march.Run(alg, mem, march.RunOpts{
+			MaxFails: opts.MaxFails, SinglePort: !multi, SingleBackground: !word,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Pass:       !res.Detected(),
+			Fails:      res.Fails,
+			Operations: res.Operations,
+		}, nil
+	case Microcode:
+		p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Run(mem, microbist.ExecOpts{MaxFails: opts.MaxFails})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Terminated {
+			return nil, fmt.Errorf("mbist: microcode run exceeded its cycle budget")
+		}
+		return &Result{
+			Pass: !res.Detected(), Fails: res.Fails,
+			Cycles: res.Cycles, Operations: res.Operations, Signature: res.Signature,
+		}, nil
+	case ProgFSM:
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Run(mem, fsmbist.ExecOpts{MaxFails: opts.MaxFails})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Terminated {
+			return nil, fmt.Errorf("mbist: prog-fsm run exceeded its cycle budget")
+		}
+		return &Result{
+			Pass: !res.Detected(), Fails: res.Fails,
+			Cycles: res.Cycles, Operations: res.Operations, Signature: res.Signature,
+		}, nil
+	case Hardwired:
+		c, err := hardbist.Generate(alg, hardbist.Config{
+			WordOriented: word, Multiport: multi,
+			AddrBits: addrBits(mem.Size()), Width: mem.Width(), Ports: mem.Ports(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.Run(mem, hardbist.ExecOpts{MaxFails: opts.MaxFails})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Terminated {
+			return nil, fmt.Errorf("mbist: hardwired run exceeded its cycle budget")
+		}
+		return &Result{
+			Pass: !res.Detected(), Fails: res.Fails,
+			Cycles: res.Cycles, Operations: res.Operations, Signature: res.Signature,
+		}, nil
+	default:
+		return nil, fmt.Errorf("mbist: unknown architecture %v", arch)
+	}
+}
+
+func addrBits(size int) int {
+	b := 0
+	for 1<<uint(b) < size {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// TechLibrary returns the CMOS5S-like 0.35µm cell library used by the
+// area evaluation.
+func TechLibrary() *netlist.Library { return &netlist.CMOS5SLike }

@@ -1,0 +1,181 @@
+package mbist
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestRunAllArchitecturesCleanMemory(t *testing.T) {
+	alg, ok := AlgorithmByName("marchc")
+	if !ok {
+		t.Fatal("marchc missing from library")
+	}
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		mem := NewSRAM(64, 1, 1)
+		res, err := Run(arch, alg, mem, RunOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if !res.Pass {
+			t.Errorf("%v: clean memory failed: %v", arch, res.Fails)
+		}
+		if res.Operations != 10*64 {
+			t.Errorf("%v: operations = %d, want %d", arch, res.Operations, 640)
+		}
+	}
+}
+
+func TestRunDetectsInjectedFault(t *testing.T) {
+	alg, _ := AlgorithmByName("marchc")
+	f := Fault{Kind: faults.SA, Cell: 17, Value: true, Port: faults.AnyPort}
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		mem := NewFaultyMemory(64, 1, 1, f)
+		res, err := Run(arch, alg, mem, RunOptions{MaxFails: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		if res.Pass {
+			t.Errorf("%v missed %v", arch, f)
+		}
+		if len(res.Fails) == 0 || res.Fails[0].Addr != 17 {
+			t.Errorf("%v: fail log %v", arch, res.Fails)
+		}
+	}
+}
+
+func TestRunWordOrientedMultiport(t *testing.T) {
+	alg, _ := AlgorithmByName("marchc")
+	f := Fault{Kind: faults.SA, Cell: 3*8 + 5, Value: false, Port: 1}
+	mem := NewFaultyMemory(16, 8, 2, f)
+	res, err := Run(Microcode, alg, mem, RunOptions{MaxFails: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Error("port-specific fault missed")
+	}
+	if res.Fails[0].Port != 1 {
+		t.Errorf("fail attributed to port %d, want 1", res.Fails[0].Port)
+	}
+}
+
+func TestParseAlgorithmFacade(t *testing.T) {
+	alg, err := ParseAlgorithm("custom", "b(w1); u(r1,w0); d(r0,w1); b(r1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewSRAM(16, 1, 1)
+	res, err := Run(Microcode, alg, mem, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Errorf("custom algorithm failed on clean memory: %v", res.Fails)
+	}
+}
+
+func TestAlgorithmsLibraryComplete(t *testing.T) {
+	lib := Algorithms()
+	for _, name := range []string{"mats+", "marchx", "marchy", "marchc", "marchc+", "marchc++", "marcha", "marcha+", "marcha++", "marchb"} {
+		if _, ok := lib[name]; !ok {
+			t.Errorf("library missing %q", name)
+		}
+	}
+}
+
+// Observations are expensive to measure (full synthesis of every
+// controller); measure once and share across the observation tests.
+var (
+	obsOnce sync.Once
+	obsVal  *Observations
+	obsErr  error
+)
+
+func measuredObservations(t *testing.T) *Observations {
+	t.Helper()
+	obsOnce.Do(func() { obsVal, obsErr = MeasureObservations() })
+	if obsErr != nil {
+		t.Fatal(obsErr)
+	}
+	return obsVal
+}
+
+func TestObservation1ScanOnlyReduction(t *testing.T) {
+	o := measuredObservations(t)
+	if o.ScanOnlyReduction < 0.40 || o.ScanOnlyReduction > 0.75 {
+		t.Errorf("scan-only re-design saves %.0f%%, paper reports ≈60%%", o.ScanOnlyReduction*100)
+	}
+}
+
+func TestObservation2MicrocodeSmallerThanProgFSM(t *testing.T) {
+	o := measuredObservations(t)
+	if o.MicroGE >= o.ProgFSMGE {
+		t.Errorf("microcode %.1f GE not below programmable FSM %.1f GE", o.MicroGE, o.ProgFSMGE)
+	}
+}
+
+func TestObservation3EnhancementGrowsBaselines(t *testing.T) {
+	o := measuredObservations(t)
+	for _, fam := range [][]string{
+		{"March C", "March C+", "March C++"},
+		{"March A", "March A+", "March A++"},
+	} {
+		for i := 1; i < len(fam); i++ {
+			if o.BaselineGrowth[fam[i]] <= o.BaselineGrowth[fam[i-1]] {
+				t.Errorf("%s (%.1f GE) not larger than %s (%.1f GE)",
+					fam[i], o.BaselineGrowth[fam[i]], fam[i-1], o.BaselineGrowth[fam[i-1]])
+			}
+		}
+	}
+}
+
+func TestObservation4GapNarrows(t *testing.T) {
+	o := measuredObservations(t)
+	if o.GapEnhanced >= o.GapPlain {
+		t.Errorf("microcode/baseline ratio %.2f (March C) should exceed %.2f (March A++)",
+			o.GapPlain, o.GapEnhanced)
+	}
+}
+
+func TestCoverageMatrixFacade(t *testing.T) {
+	algs := []Algorithm{}
+	for _, name := range []string{"mats+", "marchc", "marchc++"} {
+		a, _ := AlgorithmByName(name)
+		algs = append(algs, a)
+	}
+	out, err := CoverageMatrix(algs, Reference, CoverageOptions{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "overall") || !strings.Contains(out, "March C++") {
+		t.Errorf("matrix rendering:\n%s", out)
+	}
+}
+
+func TestTechLibrary(t *testing.T) {
+	lib := TechLibrary()
+	if lib.Name == "" {
+		t.Error("library has no name")
+	}
+}
+
+func TestMicrocodeLoadCostFacade(t *testing.T) {
+	alg, _ := AlgorithmByName("marcha++")
+	lc, err := MicrocodeLoadCost(alg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Loads < 2 {
+		t.Errorf("March A++ in 8 slots: loads = %d, want multiple", lc.Loads)
+	}
+	lc2, err := MicrocodeLoadCost(alg, lc.ProgramWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc2.Loads != 1 {
+		t.Errorf("exact-fit storage still needs %d loads", lc2.Loads)
+	}
+}
