@@ -28,13 +28,14 @@ func main() {
 	width := flag.Int("width", 1, "word width in bits")
 	ports := flag.Int("ports", 1, "memory ports")
 	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
+	workers := flag.Int("workers", 0, "concurrent grading workers (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	arch, err := parseArch(*archName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := mbist.CoverageOptions{Size: *size, Width: *width, Ports: *ports}
+	opts := mbist.CoverageOptions{Size: *size, Width: *width, Ports: *ports, Workers: *workers}
 
 	if *detail != "" {
 		alg, ok := mbist.AlgorithmByName(*detail)

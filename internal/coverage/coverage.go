@@ -7,8 +7,11 @@ package coverage
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/fsmbist"
@@ -48,6 +51,10 @@ type Options struct {
 	Ports int
 	// Universe tunes fault enumeration; the zero value is exhaustive.
 	Universe faults.UniverseOpts
+	// Workers sets the number of concurrent grading workers; 0 means
+	// runtime.GOMAXPROCS(0), 1 forces the serial path. The report is
+	// byte-identical at any worker count.
+	Workers int
 }
 
 func (o *Options) normalise() {
@@ -59,6 +66,9 @@ func (o *Options) normalise() {
 	}
 	if o.Ports <= 0 {
 		o.Ports = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	o.Universe.Ports = o.Ports
 }
@@ -91,29 +101,48 @@ type Report struct {
 }
 
 // Grade runs the algorithm against every fault in the universe on the
-// selected architecture.
+// selected architecture. Faults are graded concurrently by
+// opts.Workers goroutines, each owning a private runner (the compiled
+// programs and generated controllers carry per-run execution state, so
+// a runner is not safe for concurrent reuse); detection results are
+// aggregated in universe order, so the Report — including the Missed
+// ordering — is byte-identical to a serial run.
 func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
 	opts.normalise()
-	runner, err := buildRunner(alg, arch, opts)
-	if err != nil {
+	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
+
+	detected := make([]bool, len(universe))
+	workers := opts.Workers
+	if workers > len(universe) {
+		workers = len(universe)
+	}
+	if workers <= 1 {
+		runner, err := buildRunner(alg, arch, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range universe {
+			mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
+			d, err := runner(mem)
+			if err != nil {
+				return nil, fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
+			}
+			detected[i] = d
+		}
+	} else if err := gradeParallel(alg, arch, opts, universe, detected, workers); err != nil {
 		return nil, err
 	}
-	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
+
 	rep := &Report{
 		Algorithm:    alg.Name,
 		Architecture: arch,
 		ByKind:       make(map[faults.Kind]Ratio),
 	}
-	for _, f := range universe {
-		mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
-		detected, err := runner(mem)
-		if err != nil {
-			return nil, fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
-		}
+	for i, f := range universe {
 		r := rep.ByKind[f.Kind]
 		r.Total++
 		rep.Overall.Total++
-		if detected {
+		if detected[i] {
 			r.Detected++
 			rep.Overall.Detected++
 		} else {
@@ -122,6 +151,64 @@ func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error
 		rep.ByKind[f.Kind] = r
 	}
 	return rep, nil
+}
+
+// gradeParallel fans the fault universe out over a worker pool, filling
+// detected[i] for universe[i]. Each worker builds its own runner; work
+// is claimed dynamically through an atomic cursor so uneven per-fault
+// run times balance out. On error the workers drain and the error for
+// the lowest-indexed failing fault is returned, keeping failures as
+// deterministic as the serial path.
+func gradeParallel(alg march.Algorithm, arch Architecture, opts Options,
+	universe []faults.Fault, detected []bool, workers int) error {
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+	)
+	errIndex := len(universe)
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner, err := buildRunner(alg, arch, opts)
+			if err != nil {
+				// A compile failure precedes any fault in the serial
+				// path, so it outranks per-fault errors.
+				mu.Lock()
+				if errIndex > -1 {
+					errIndex, firstErr = -1, err
+				}
+				mu.Unlock()
+				failed.Store(true)
+				return
+			}
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(universe) || failed.Load() {
+					return
+				}
+				f := universe[i]
+				mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
+				d, err := runner(mem)
+				if err != nil {
+					mu.Lock()
+					if i < errIndex {
+						errIndex = i
+						firstErr = fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+				detected[i] = d
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // runner executes one test and reports detection.

@@ -1,6 +1,7 @@
 package coverage
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -203,5 +204,44 @@ func TestRatioPercentEdge(t *testing.T) {
 func TestGradeUnknownArchitecture(t *testing.T) {
 	if _, err := Grade(march.MarchC(), Architecture(99), Options{Size: 4}); err == nil {
 		t.Error("unknown architecture graded")
+	}
+}
+
+// TestGradeParallelDeterminism pins the worker-pool contract: any
+// worker count produces a Report byte-identical to the serial path —
+// same per-kind ratios, same overall ratio, and the same Missed slice
+// in the same (universe) order.
+func TestGradeParallelDeterminism(t *testing.T) {
+	algs := []func() march.Algorithm{march.MarchC, march.MarchCPlus, march.MarchCPlusPlus}
+	for _, algf := range algs {
+		alg := algf()
+		for _, arch := range []Architecture{Reference, Microcode} {
+			serial, err := Grade(alg, arch, Options{Size: 8, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s on %s serial: %v", alg.Name, arch, err)
+			}
+			for _, workers := range []int{2, 8} {
+				par, err := Grade(alg, arch, Options{Size: 8, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s on %s with %d workers: %v", alg.Name, arch, workers, err)
+				}
+				if !reflect.DeepEqual(par, serial) {
+					t.Errorf("%s on %s: %d-worker report differs from serial", alg.Name, arch, workers)
+				}
+				if par.String() != serial.String() {
+					t.Errorf("%s on %s: %d-worker rendering differs from serial", alg.Name, arch, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestGradeDefaultsToParallel checks the zero Options value opts into
+// the worker pool (Workers defaults to the CPU count, never zero).
+func TestGradeDefaultsToParallel(t *testing.T) {
+	var o Options
+	o.normalise()
+	if o.Workers < 1 {
+		t.Errorf("normalised Workers = %d, want >= 1", o.Workers)
 	}
 }

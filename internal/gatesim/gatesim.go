@@ -24,17 +24,14 @@ type Simulator struct {
 	forced map[netlist.NetID]bool
 }
 
-// New levelises the netlist and returns a simulator in the post-reset
-// state. It fails on combinational loops or structural errors.
-func New(nl *netlist.Netlist) (*Simulator, error) {
+// levelise validates the netlist and computes the evaluation structures
+// shared by Simulator and WordSimulator: the combinational instance
+// indices in topological order and the sequential instance indices. It
+// fails on combinational loops or structural errors.
+func levelise(nl *netlist.Netlist) (order, ffs []int, err error) {
 	if err := nl.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s := &Simulator{
-		nl:     nl,
-		values: make([]bool, nl.NumNets()+1),
-	}
-
 	insts := nl.Instances()
 	// Kahn levelisation over combinational instances. FF outputs,
 	// primary inputs and constants are sources.
@@ -42,7 +39,7 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 	fanout := make(map[netlist.NetID][]int)
 	for i, inst := range insts {
 		if inst.Kind.IsSequential() {
-			s.ffs = append(s.ffs, i)
+			ffs = append(ffs, i)
 			continue
 		}
 		for _, in := range inst.In {
@@ -62,7 +59,7 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
-		s.order = append(s.order, i)
+		order = append(order, i)
 		for _, j := range fanout[insts[i].Out] {
 			indeg[j]--
 			if indeg[j] == 0 {
@@ -76,8 +73,24 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 			combCount++
 		}
 	}
-	if len(s.order) != combCount {
-		return nil, fmt.Errorf("gatesim: netlist %s has a combinational loop", nl.Name)
+	if len(order) != combCount {
+		return nil, nil, fmt.Errorf("gatesim: netlist %s has a combinational loop", nl.Name)
+	}
+	return order, ffs, nil
+}
+
+// New levelises the netlist and returns a simulator in the post-reset
+// state. It fails on combinational loops or structural errors.
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	order, ffs, err := levelise(nl)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		nl:     nl,
+		values: make([]bool, nl.NumNets()+1),
+		order:  order,
+		ffs:    ffs,
 	}
 	s.const1 = s.constNet(true)
 	s.Reset()
@@ -174,8 +187,18 @@ func (s *Simulator) GetByName(name string) bool {
 	return s.Get(id)
 }
 
-// GetBus reads a bus of nets as an unsigned integer, LSB first.
+// checkBusWidth rejects buses that cannot be represented in a uint64;
+// wider buses would silently alias onto the low 64 bits.
+func checkBusWidth(ids []netlist.NetID) {
+	if len(ids) > 64 {
+		panic(fmt.Sprintf("gatesim: bus of %d nets exceeds the 64-bit word", len(ids)))
+	}
+}
+
+// GetBus reads a bus of nets as an unsigned integer, LSB first. Buses
+// wider than 64 nets panic.
 func (s *Simulator) GetBus(ids []netlist.NetID) uint64 {
+	checkBusWidth(ids)
 	var v uint64
 	for i, id := range ids {
 		if s.values[id] {
@@ -185,8 +208,10 @@ func (s *Simulator) GetBus(ids []netlist.NetID) uint64 {
 	return v
 }
 
-// SetBus drives a bus of input nets from an unsigned integer, LSB first.
+// SetBus drives a bus of input nets from an unsigned integer, LSB
+// first. Buses wider than 64 nets panic.
 func (s *Simulator) SetBus(ids []netlist.NetID, v uint64) {
+	checkBusWidth(ids)
 	for i, id := range ids {
 		s.Set(id, v>>uint(i)&1 == 1)
 	}

@@ -1,6 +1,7 @@
 package gatesim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -304,6 +305,36 @@ func TestCombinationalLoopDetected(t *testing.T) {
 	vals = append(vals, s.Get(q))
 	if vals[0] != false || vals[1] != true || vals[2] != false {
 		t.Errorf("toggle FF sequence = %v", vals)
+	}
+}
+
+// TestBusWiderThan64Rejected guards the uint64 bus accessors: a bus
+// wider than the machine word used to alias silently onto the low 64
+// bits; it must panic instead.
+func TestBusWiderThan64Rejected(t *testing.T) {
+	n := netlist.New("wide")
+	ids := make([]netlist.NetID, 65)
+	for i := range ids {
+		ids[i] = n.AddInput(fmt.Sprintf("w%d", i))
+	}
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a 65-net bus did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("GetBus", func() { s.GetBus(ids) })
+	mustPanic("SetBus", func() { s.SetBus(ids, 1) })
+	// Exactly 64 nets is the widest legal bus.
+	s.SetBus(ids[:64], 1<<63|1)
+	if got := s.GetBus(ids[:64]); got != 1<<63|1 {
+		t.Errorf("64-net bus round-trip = %#x", got)
 	}
 }
 

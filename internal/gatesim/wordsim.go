@@ -1,0 +1,238 @@
+package gatesim
+
+import (
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// Lanes is the machine-word parallelism of the WordSimulator: one settle
+// pass evaluates this many independent copies of the netlist.
+const Lanes = 64
+
+// WordSimulator is the bit-parallel counterpart of Simulator: every net
+// holds a 64-bit word whose bit L is the net's value in machine (lane)
+// L, so one settle pass evaluates 64 independent copies of the netlist.
+// The intended use is PPSFP-style fault simulation — lane 0 carries the
+// good machine and lanes 1..63 carry faulty machines distinguished only
+// by per-lane forced nets — but nothing in the simulator itself assumes
+// that layout.
+//
+// Evaluation semantics match Simulator exactly, lane by lane: the same
+// levelised two-phase model (settle combinational logic, clock
+// flip-flops), the same forced-net override order, the same reset
+// behaviour. A lane with no forces always computes the same values the
+// scalar Simulator would.
+type WordSimulator struct {
+	nl     *netlist.Netlist
+	values []uint64 // indexed by NetID; bit L = value in lane L
+	order  []int    // combinational instance indices in topological order
+	ffs    []int    // sequential instance indices
+	next   []uint64 // Step scratch, one word per flip-flop
+	const1 netlist.NetID
+	cycles int
+	// Per-net force masks: where forceMask has a bit set, the net is
+	// pinned to the corresponding forceVal bit during settling — the
+	// per-lane stuck-at injection mechanism. Nets with a zero mask are
+	// unforced; forcedNets lists the nets with a non-zero mask so
+	// ClearForces is O(active forces).
+	forceMask  []uint64
+	forceVal   []uint64
+	forcedNets []netlist.NetID
+}
+
+// NewWord levelises the netlist and returns a word simulator in the
+// post-reset state. It fails on combinational loops or structural
+// errors.
+func NewWord(nl *netlist.Netlist) (*WordSimulator, error) {
+	order, ffs, err := levelise(nl)
+	if err != nil {
+		return nil, err
+	}
+	s := &WordSimulator{
+		nl:        nl,
+		values:    make([]uint64, nl.NumNets()+1),
+		order:     order,
+		ffs:       ffs,
+		next:      make([]uint64, len(ffs)),
+		forceMask: make([]uint64, nl.NumNets()+1),
+		forceVal:  make([]uint64, nl.NumNets()+1),
+	}
+	for id := netlist.NetID(1); id <= netlist.NetID(nl.NumNets()); id++ {
+		if c, v := nl.IsConst(id); c && v {
+			s.const1 = id
+			break
+		}
+	}
+	s.Reset()
+	return s, nil
+}
+
+// Reset applies the asynchronous reset in every lane: each flip-flop
+// takes its Init value and the combinational logic settles. Primary
+// inputs keep their current values. The cycle counter restarts at zero.
+func (s *WordSimulator) Reset() {
+	insts := s.nl.Instances()
+	for _, i := range s.ffs {
+		if insts[i].Init {
+			s.values[insts[i].Out] = ^uint64(0)
+		} else {
+			s.values[insts[i].Out] = 0
+		}
+	}
+	s.settle()
+	s.cycles = 0
+}
+
+func (s *WordSimulator) settle() {
+	if s.const1 != netlist.Invalid {
+		s.values[s.const1] = ^uint64(0)
+	}
+	for _, id := range s.forcedNets {
+		m := s.forceMask[id]
+		s.values[id] = s.values[id]&^m | s.forceVal[id]&m
+	}
+	insts := s.nl.Instances()
+	for _, i := range s.order {
+		inst := &insts[i]
+		var v uint64
+		switch inst.Kind {
+		case netlist.CellInv:
+			v = ^s.values[inst.In[0]]
+		case netlist.CellBuf:
+			v = s.values[inst.In[0]]
+		case netlist.CellNand2:
+			v = ^(s.values[inst.In[0]] & s.values[inst.In[1]])
+		case netlist.CellNor2:
+			v = ^(s.values[inst.In[0]] | s.values[inst.In[1]])
+		case netlist.CellAnd2:
+			v = s.values[inst.In[0]] & s.values[inst.In[1]]
+		case netlist.CellOr2:
+			v = s.values[inst.In[0]] | s.values[inst.In[1]]
+		case netlist.CellXor2:
+			v = s.values[inst.In[0]] ^ s.values[inst.In[1]]
+		case netlist.CellXnor2:
+			v = ^(s.values[inst.In[0]] ^ s.values[inst.In[1]])
+		case netlist.CellMux2:
+			sel := s.values[inst.In[0]]
+			v = sel&s.values[inst.In[2]] | ^sel&s.values[inst.In[1]]
+		default:
+			panic("gatesim: word eval on sequential cell " + inst.Kind.String())
+		}
+		if m := s.forceMask[inst.Out]; m != 0 {
+			v = v&^m | s.forceVal[inst.Out]&m
+		}
+		s.values[inst.Out] = v
+	}
+}
+
+// ForceLane pins a net to a value in one lane during settling regardless
+// of its driver — per-lane stuck-at fault injection. Forcing also
+// applies to primary inputs and flip-flop outputs. Lane 0 is
+// conventionally kept unforced as the good machine, but the simulator
+// does not enforce that.
+func (s *WordSimulator) ForceLane(id netlist.NetID, lane int, v bool) {
+	if lane < 0 || lane >= Lanes {
+		panic("gatesim: force lane out of range")
+	}
+	if s.forceMask[id] == 0 {
+		s.forcedNets = append(s.forcedNets, id)
+	}
+	bit := uint64(1) << uint(lane)
+	s.forceMask[id] |= bit
+	if v {
+		s.forceVal[id] |= bit
+	} else {
+		s.forceVal[id] &^= bit
+	}
+	s.values[id] = s.values[id]&^bit | s.forceVal[id]&bit
+}
+
+// Unforce releases every forced lane of a net. Like the scalar
+// simulator's Unforce, it does not restore the net's pre-force value:
+// driven nets recover on the next settle, while primary inputs and
+// flip-flop outputs keep the forced bits until re-Set.
+func (s *WordSimulator) Unforce(id netlist.NetID) {
+	if s.forceMask[id] == 0 {
+		return
+	}
+	s.forceMask[id] = 0
+	s.forceVal[id] = 0
+	for i, fid := range s.forcedNets {
+		if fid == id {
+			s.forcedNets = append(s.forcedNets[:i], s.forcedNets[i+1:]...)
+			break
+		}
+	}
+}
+
+// ClearForces releases every forced net in O(active forces).
+func (s *WordSimulator) ClearForces() {
+	for _, id := range s.forcedNets {
+		s.forceMask[id] = 0
+		s.forceVal[id] = 0
+	}
+	s.forcedNets = s.forcedNets[:0]
+}
+
+// ForcedLanes returns the number of distinct lanes with at least one
+// active force — a sanity probe for batching layers.
+func (s *WordSimulator) ForcedLanes() int {
+	var m uint64
+	for _, id := range s.forcedNets {
+		m |= s.forceMask[id]
+	}
+	return bits.OnesCount64(m)
+}
+
+// Set drives a primary input net to the same value in every lane.
+func (s *WordSimulator) Set(id netlist.NetID, v bool) {
+	if v {
+		s.values[id] = ^uint64(0)
+	} else {
+		s.values[id] = 0
+	}
+}
+
+// SetWord drives a primary input net with an arbitrary per-lane word.
+func (s *WordSimulator) SetWord(id netlist.NetID, w uint64) {
+	s.values[id] = w
+}
+
+// Get returns the settled per-lane word of a net.
+func (s *WordSimulator) Get(id netlist.NetID) uint64 {
+	return s.values[id]
+}
+
+// GetLane returns the settled value of a net in one lane.
+func (s *WordSimulator) GetLane(id netlist.NetID, lane int) bool {
+	return s.values[id]>>uint(lane)&1 == 1
+}
+
+// Eval settles combinational logic in every lane without clocking.
+func (s *WordSimulator) Eval() { s.settle() }
+
+// Step advances one clock cycle in every lane: settle, capture every
+// flip-flop's D word, update Qs, settle again.
+func (s *WordSimulator) Step() {
+	s.settle()
+	insts := s.nl.Instances()
+	for k, i := range s.ffs {
+		s.next[k] = s.values[insts[i].In[0]]
+	}
+	for k, i := range s.ffs {
+		s.values[insts[i].Out] = s.next[k]
+	}
+	s.settle()
+	s.cycles++
+}
+
+// StepN advances n clock cycles.
+func (s *WordSimulator) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Cycles returns the number of Step calls since the last Reset.
+func (s *WordSimulator) Cycles() int { return s.cycles }

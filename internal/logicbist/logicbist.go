@@ -11,7 +11,14 @@
 // pattern assigns all primary inputs and flip-flop outputs
 // (pseudo-inputs) and observes all primary outputs and flip-flop D
 // inputs (pseudo-outputs). Faults are single stuck-at-0/1 on every
-// driven net, simulated serially against the good machine.
+// driven net.
+//
+// Two fault-simulation engines grade the same model: the bit-parallel
+// default packs the good machine and up to 63 faulty machines into the
+// lanes of a gatesim.WordSimulator (PPSFP), while the serial engine
+// re-settles the netlist once per fault per pattern. Both produce
+// identical Results for the same seed; the serial engine remains as the
+// cross-check oracle and benchmark baseline.
 package logicbist
 
 import (
@@ -68,20 +75,11 @@ func (r *Result) String() string {
 		r.Detected, r.Faults, 100*r.Coverage(), r.Patterns)
 }
 
-// RandomPatternCoverage grades the netlist's combinational logic under
-// full-scan random-pattern BIST: patterns random patterns are applied
-// to primary inputs and flip-flop outputs, and fault effects are
-// observed at primary outputs and flip-flop D inputs.
-func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Result, error) {
-	sim, err := gatesim.New(nl)
-	if err != nil {
-		return nil, err
-	}
-
-	// Controllable and observable net sets under full scan.
-	var controls []netlist.NetID
+// scanAccess computes the controllable and observable net sets under
+// full scan: primary inputs and flip-flop outputs are controllable,
+// primary outputs and flip-flop D inputs are observable.
+func scanAccess(nl *netlist.Netlist) (controls, observes []netlist.NetID, err error) {
 	controls = append(controls, nl.Inputs()...)
-	var observes []netlist.NetID
 	observes = append(observes, nl.Outputs()...)
 	for _, inst := range nl.Instances() {
 		if inst.Kind.IsSequential() {
@@ -90,18 +88,136 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 		}
 	}
 	if len(controls) == 0 || len(observes) == 0 {
-		return nil, fmt.Errorf("logicbist: netlist %s has no scan test access", nl.Name)
+		return nil, nil, fmt.Errorf("logicbist: netlist %s has no scan test access", nl.Name)
+	}
+	return controls, observes, nil
+}
+
+// RandomPatternCoverage grades the netlist's combinational logic under
+// full-scan random-pattern BIST: patterns random patterns are applied
+// to primary inputs and flip-flop outputs, and fault effects are
+// observed at primary outputs and flip-flop D inputs.
+//
+// Faults are simulated 63 at a time on a bit-parallel WordSimulator:
+// lane 0 carries the good machine and each remaining lane a faulty
+// machine with its fault net force-masked to the stuck value. One
+// settle pass therefore replaces up to 63 serial re-settles. The result
+// is bit-identical to RandomPatternCoverageSerial for the same seed.
+func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Result, error) {
+	sim, err := gatesim.NewWord(nl)
+	if err != nil {
+		return nil, err
+	}
+	controls, observes, err := scanAccess(nl)
+	if err != nil {
+		return nil, err
 	}
 
 	faults := EnumerateFaults(nl)
 	res := &Result{Faults: len(faults), Patterns: patterns}
 	detected := make([]bool, len(faults))
 
+	// Forcing a controllable net corrupts its stored word in the forced
+	// lanes; ctrlIdx maps those nets back to their pattern value for the
+	// post-batch restore.
+	ctrlIdx := make(map[netlist.NetID]int, len(controls))
+	for i, id := range controls {
+		ctrlIdx[id] = i
+	}
+
+	// pending holds the indices of still-undetected faults in
+	// enumeration order, compacted in place as faults drop out.
+	pending := make([]int, len(faults))
+	for i := range pending {
+		pending[i] = i
+	}
+
+	const faultLanes = gatesim.Lanes - 1 // lane 0 is the good machine
+
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]bool, len(controls))
+	for p := 0; p < patterns; p++ {
+		// Apply one random pattern, broadcast across all lanes. The RNG
+		// draw order matches the serial engine exactly.
+		for i, id := range controls {
+			vals[i] = rng.Intn(2) == 1
+			sim.Set(id, vals[i])
+		}
+
+		for start := 0; start < len(pending); start += faultLanes {
+			end := start + faultLanes
+			if end > len(pending) {
+				end = len(pending)
+			}
+			batch := pending[start:end]
+			for k, fi := range batch {
+				sim.ForceLane(faults[fi].Net, k+1, faults[fi].StuckAt)
+			}
+			sim.Eval()
+			// A lane detects its fault when any observable differs from
+			// the good machine in lane 0.
+			var diff uint64
+			for _, id := range observes {
+				w := sim.Get(id)
+				diff |= w ^ -(w & 1) // -(w&1) replicates lane 0 into all lanes
+			}
+			for k, fi := range batch {
+				if diff>>uint(k+1)&1 == 1 {
+					detected[fi] = true
+					res.Detected++
+				}
+			}
+			sim.ClearForces()
+			// Restore controllable words corrupted by forcing; driven
+			// nets recover on the next settle by themselves.
+			for _, fi := range batch {
+				if ci, ok := ctrlIdx[faults[fi].Net]; ok {
+					sim.Set(faults[fi].Net, vals[ci])
+				}
+			}
+		}
+
+		live := pending[:0]
+		for _, fi := range pending {
+			if !detected[fi] {
+				live = append(live, fi)
+			}
+		}
+		pending = live
+		res.CumulativeDetected = append(res.CumulativeDetected, res.Detected)
+	}
+	return res, nil
+}
+
+// RandomPatternCoverageSerial is the one-fault-at-a-time reference
+// engine: the whole netlist is re-settled per fault per pattern. It
+// exists as the oracle the bit-parallel engine is cross-checked against
+// and as the benchmark baseline; results are bit-identical to
+// RandomPatternCoverage for the same seed.
+func RandomPatternCoverageSerial(nl *netlist.Netlist, patterns int, seed int64) (*Result, error) {
+	sim, err := gatesim.New(nl)
+	if err != nil {
+		return nil, err
+	}
+	controls, observes, err := scanAccess(nl)
+	if err != nil {
+		return nil, err
+	}
+
+	faults := EnumerateFaults(nl)
+	res := &Result{Faults: len(faults), Patterns: patterns}
+	detected := make([]bool, len(faults))
+
+	ctrlIdx := make(map[netlist.NetID]int, len(controls))
+	for i, id := range controls {
+		ctrlIdx[id] = i
+	}
+
 	rng := rand.New(rand.NewSource(seed))
 	good := make([]bool, len(observes))
+	vals := make([]bool, len(controls))
 	for p := 0; p < patterns; p++ {
 		// Apply one random pattern.
-		vals := make([]bool, len(controls))
 		for i, id := range controls {
 			vals[i] = rng.Intn(2) == 1
 			sim.Set(id, vals[i])
@@ -126,10 +242,10 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 				}
 			}
 			sim.Unforce(f.Net)
-			// Restore controllable values clobbered by forcing a
-			// controllable net.
-			for i, id := range controls {
-				sim.Set(id, vals[i])
+			// Only a forced controllable keeps its clobbered value past
+			// the next settle; driven nets recover by themselves.
+			if ci, ok := ctrlIdx[f.Net]; ok {
+				sim.Set(f.Net, vals[ci])
 			}
 		}
 		res.CumulativeDetected = append(res.CumulativeDetected, res.Detected)

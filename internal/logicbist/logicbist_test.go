@@ -1,9 +1,11 @@
 package logicbist
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/fsmbist"
 	"repro/internal/march"
 	"repro/internal/microbist"
 	"repro/internal/netlist"
@@ -98,6 +100,64 @@ func TestControllerLogicTestability(t *testing.T) {
 	}
 	if !strings.Contains(res.String(), "stuck-at") {
 		t.Error("report rendering broken")
+	}
+}
+
+// TestWordParallelMatchesSerial is the engine cross-check the
+// bit-parallel rewrite promises: for the same seed, the 64-way engine
+// and the one-fault-at-a-time oracle produce bit-identical Results —
+// including the per-pattern CumulativeDetected curve — on both
+// synthesised programmable-controller netlists and a small
+// combinational block with redundant (undetectable) faults.
+func TestWordParallelMatchesSerial(t *testing.T) {
+	redundant := netlist.New("redundant")
+	a := redundant.AddInput("a")
+	b := redundant.AddInput("b")
+	redundant.AddOutput("y", redundant.Or2(a, redundant.And2(a, b)))
+
+	mp, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhw, err := microbist.BuildHardware(mp, microbist.HWConfig{
+		Slots: mp.Len(), AddrBits: 4, Width: 1, Ports: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := fsmbist.Compile(march.MarchC(), fsmbist.CompileOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhw, err := fsmbist.BuildHardware(fp, fsmbist.HWConfig{
+		Slots: fp.Len(), AddrBits: 4, Width: 1, Ports: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		nl       *netlist.Netlist
+		patterns int
+		seed     int64
+	}{
+		{redundant, 128, 1},
+		{mhw.Netlist, 48, 3},
+		{mhw.Netlist, 48, 11},
+		{fhw.Netlist, 48, 3},
+	}
+	for _, c := range cases {
+		word, err := RandomPatternCoverage(c.nl, c.patterns, c.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := RandomPatternCoverageSerial(c.nl, c.patterns, c.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(word, serial) {
+			t.Errorf("%s seed %d: word engine %+v, serial engine %+v", c.nl.Name, c.seed, word, serial)
+		}
 	}
 }
 
