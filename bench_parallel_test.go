@@ -3,90 +3,39 @@ package mbist
 // Paired benchmarks for the two fault-simulation fast paths: the
 // bit-parallel (64-lane PPSFP) logic-BIST engine versus the serial
 // oracle, and the worker-pool functional-fault grading versus the
-// serial path. Run with
+// serial path. The bodies live in internal/benchsuite so that
+// cmd/mbistbench — the CI regression gate — measures exactly the same
+// workloads. Run with
 //
 //	go test -bench='LogicBIST|Grade' -benchtime=1x
 //
-// to measure the speedups recorded in CHANGES.md / BENCH_pr1.json.
+// or regenerate the machine-readable snapshot with
+//
+//	go run ./cmd/mbistbench -out BENCH_pr2.json
 
 import (
-	"runtime"
 	"testing"
 
-	"repro/internal/coverage"
-	"repro/internal/logicbist"
-	"repro/internal/march"
-	"repro/internal/microbist"
-	"repro/internal/netlist"
+	"repro/internal/benchsuite"
+	"repro/internal/obs"
 )
 
-// microcodeControllerNetlist synthesises the netlist both logic-BIST
-// engines are benchmarked on — the same controller the §3 testability
-// measurements grade.
-func microcodeControllerNetlist(b *testing.B) *netlist.Netlist {
-	b.Helper()
-	p, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{WordOriented: true, Multiport: true})
-	if err != nil {
-		b.Fatal(err)
-	}
-	hw, err := microbist.BuildHardware(p, microbist.HWConfig{
-		Slots: p.Len(), AddrBits: 4, Width: 1, Ports: 1,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	return hw.Netlist
+func BenchmarkLogicBISTSerial(b *testing.B)       { benchsuite.LogicBISTSerial(b) }
+func BenchmarkLogicBISTWordParallel(b *testing.B) { benchsuite.LogicBISTWordParallel(b) }
+func BenchmarkGradeSerial(b *testing.B)           { benchsuite.GradeSerial(b) }
+func BenchmarkGradeParallel(b *testing.B)         { benchsuite.GradeParallel(b) }
+
+// MetricsOn variants quantify the observability overhead budget: with
+// the obs registry enabled, the parallel engines must stay within 2%
+// of their uninstrumented counterparts (DESIGN.md "Observability").
+func BenchmarkLogicBISTWordParallelMetricsOn(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	benchsuite.LogicBISTWordParallel(b)
 }
 
-const logicBISTBenchPatterns = 64
-
-func BenchmarkLogicBISTSerial(b *testing.B) {
-	nl := microcodeControllerNetlist(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	var res *logicbist.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = logicbist.RandomPatternCoverageSerial(nl, logicBISTBenchPatterns, 11)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(100*res.Coverage(), "coverage%")
-}
-
-func BenchmarkLogicBISTWordParallel(b *testing.B) {
-	nl := microcodeControllerNetlist(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	var res *logicbist.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = logicbist.RandomPatternCoverage(nl, logicBISTBenchPatterns, 11)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(100*res.Coverage(), "coverage%")
-}
-
-func benchGrade(b *testing.B, workers int) {
-	alg, _ := AlgorithmByName("marchc")
-	b.ReportAllocs()
-	var rep *coverage.Report
-	for i := 0; i < b.N; i++ {
-		var err error
-		rep, err = coverage.Grade(alg, coverage.Microcode, coverage.Options{Size: 16, Workers: workers})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(rep.Overall.Percent(), "coverage%")
-}
-
-func BenchmarkGradeSerial(b *testing.B) { benchGrade(b, 1) }
-
-func BenchmarkGradeParallel(b *testing.B) {
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
-	benchGrade(b, 0)
+func BenchmarkGradeParallelMetricsOn(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	benchsuite.GradeParallel(b)
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+)
+
+// Schema identifies the machine-readable benchmark report format. Bump
+// on incompatible changes; the loader keeps accepting older snapshots
+// as long as they carry benchmarks.{name}.ns_per_op (the hand-rolled
+// pre-schema BENCH_pr1.json already does).
+const Schema = "mbist-bench/2"
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Iterations  int                `json:"iterations,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the schema-versioned benchmark snapshot BENCH_pr*.json
+// files carry from PR 2 on.
+type Report struct {
+	Schema     string             `json:"schema"`
+	Generated  string             `json:"generated"`
+	Go         string             `json:"go"`
+	Host       string             `json:"host"`
+	Benchtime  string             `json:"benchtime"`
+	Benchmarks map[string]Entry   `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+// AddResult records one testing.Benchmark result.
+func (r *Report) AddResult(name string, br testing.BenchmarkResult) {
+	e := Entry{
+		NsPerOp:     float64(br.NsPerOp()),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		Iterations:  br.N,
+	}
+	if len(br.Extra) > 0 {
+		e.Extra = make(map[string]float64, len(br.Extra))
+		for k, v := range br.Extra {
+			e.Extra[k] = v
+		}
+	}
+	r.Benchmarks[name] = e
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads the benchmarks map of a BENCH_*.json in either
+// the schema-versioned format or the PR-1 hand-rolled one — both carry
+// benchmarks.{name}.ns_per_op, which is all the gate compares.
+func LoadBaseline(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline %s carries no benchmarks", path)
+	}
+	return rep.Benchmarks, nil
+}
+
+// Regression is one benchmark that exceeded the tolerated slowdown.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	Ratio      float64
+}
+
+// Gate compares current measurements against a baseline: a benchmark
+// regresses when current/baseline ns/op exceeds tolerance. Benchmarks
+// missing from either side are skipped (baselines predating a new
+// benchmark stay usable). Returns the regressions and the names
+// compared, both sorted by name for deterministic output.
+func Gate(current, baseline map[string]Entry, tolerance float64) (regressions []Regression, compared []string) {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		compared = append(compared, name)
+		ratio := current[name].NsPerOp / base.NsPerOp
+		if ratio > tolerance {
+			regressions = append(regressions, Regression{
+				Name:       name,
+				BaselineNs: base.NsPerOp,
+				CurrentNs:  current[name].NsPerOp,
+				Ratio:      ratio,
+			})
+		}
+	}
+	return regressions, compared
+}

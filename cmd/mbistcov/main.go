@@ -7,6 +7,12 @@
 //	mbistcov
 //	mbistcov -algs marchc,marchc+,marchc++ -arch microcode -size 16
 //	mbistcov -detail marchc
+//	mbistcov -arch microcode -workers 4 -cpuprofile grade.pprof -metrics
+//
+// The observability flags -cpuprofile, -memprofile, -trace and
+// -metrics profile a grading run; -metrics dumps the obs counter
+// snapshot (per-worker fault throughput, settle counts, ...) to stderr
+// at exit.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 
 	mbist "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,22 +36,38 @@ func main() {
 	ports := flag.Int("ports", 1, "memory ports")
 	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
 	workers := flag.Int("workers", 0, "concurrent grading workers (0 = all CPUs, 1 = serial)")
+	var prof obs.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	arch, err := parseArch(*archName)
+	stop, err := prof.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := mbist.CoverageOptions{Size: *size, Width: *width, Ports: *ports, Workers: *workers}
+	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers)
+	if err := stop(); err != nil {
+		log.Print(err)
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
 
-	if *detail != "" {
-		alg, ok := mbist.AlgorithmByName(*detail)
+func run(algList, archName string, size, width, ports int, detail string, workers int) error {
+	arch, err := parseArch(archName)
+	if err != nil {
+		return err
+	}
+	opts := mbist.CoverageOptions{Size: size, Width: width, Ports: ports, Workers: workers}
+
+	if detail != "" {
+		alg, ok := mbist.AlgorithmByName(detail)
 		if !ok {
-			log.Fatalf("unknown algorithm %q", *detail)
+			return fmt.Errorf("unknown algorithm %q", detail)
 		}
 		rep, err := mbist.GradeCoverage(alg, arch, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Print(rep)
 		if len(rep.Missed) > 0 {
@@ -57,23 +80,24 @@ func main() {
 				fmt.Printf("  %v\n", f)
 			}
 		}
-		return
+		return nil
 	}
 
 	var algs []mbist.Algorithm
-	for _, name := range strings.Split(*algList, ",") {
+	for _, name := range strings.Split(algList, ",") {
 		alg, ok := mbist.AlgorithmByName(strings.TrimSpace(name))
 		if !ok {
-			log.Fatalf("unknown algorithm %q", name)
+			return fmt.Errorf("unknown algorithm %q", name)
 		}
 		algs = append(algs, alg)
 	}
 	out, err := mbist.CoverageMatrix(algs, arch, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Printf("fault coverage on %v (%d x %d bits, %d ports):\n\n%s",
-		arch, *size, *width, *ports, out)
+		arch, size, width, ports, out)
+	return nil
 }
 
 func parseArch(s string) (mbist.Architecture, error) {

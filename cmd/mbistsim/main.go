@@ -24,6 +24,10 @@
 //	afnone@ADDR      address selects no cell
 //	afmap:A:B        address A selects B's cells
 //	afmulti:A:B      address A also selects B's cells
+//
+// The observability flags -cpuprofile, -memprofile, -trace and
+// -metrics profile a run; -metrics dumps the obs counter snapshot
+// (march operation counts, settle events, ...) to stderr at exit.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	mbist "repro"
 	"repro/internal/diag"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -51,34 +56,50 @@ func main() {
 	locate := flag.Bool("locate", false, "probe for coupling aggressors when a single victim is implicated")
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "inject a fault (repeatable)")
+	var prof obs.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 
-	alg, ok := mbist.AlgorithmByName(*algName)
-	if !ok {
-		log.Fatalf("unknown algorithm %q", *algName)
-	}
-	arch, err := parseArch(*archName)
+	stop, err := prof.Start()
 	if err != nil {
 		log.Fatal(err)
+	}
+	runErr := run(*algName, *archName, *size, *width, *ports, *maxFails, *bitmap, *locate, faultSpecs)
+	if err := stop(); err != nil {
+		log.Print(err)
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+func run(algName, archName string, size, width, ports, maxFails int, bitmap, locate bool, faultSpecs multiFlag) error {
+	alg, ok := mbist.AlgorithmByName(algName)
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", algName)
+	}
+	arch, err := parseArch(archName)
+	if err != nil {
+		return err
 	}
 
 	var fs []mbist.Fault
 	for _, spec := range faultSpecs {
 		f, err := parseFault(spec)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fs = append(fs, f)
 	}
-	mem := mbist.NewFaultyMemory(*size, *width, *ports, fs...)
+	mem := mbist.NewFaultyMemory(size, width, ports, fs...)
 
-	res, err := mbist.Run(arch, alg, mem, mbist.RunOptions{MaxFails: *maxFails})
+	res, err := mbist.Run(arch, alg, mem, mbist.RunOptions{MaxFails: maxFails})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	fmt.Printf("algorithm: %s = %s\n", alg.Name, alg)
-	fmt.Printf("memory:    %d x %d bits, %d port(s)\n", *size, *width, *ports)
+	fmt.Printf("memory:    %d x %d bits, %d port(s)\n", size, width, ports)
 	fmt.Printf("arch:      %v\n", arch)
 	for _, f := range fs {
 		fmt.Printf("injected:  %v\n", f)
@@ -90,7 +111,7 @@ func main() {
 	fmt.Println()
 	if res.Pass {
 		fmt.Println("verdict:   PASS")
-		return
+		return nil
 	}
 	fmt.Printf("verdict:   FAIL (%d miscompares, signature %04x)\n", len(res.Fails), res.Signature)
 	for i, f := range res.Fails {
@@ -101,7 +122,7 @@ func main() {
 		fmt.Printf("  %v\n", f)
 	}
 
-	d := diag.Classify(res.Fails, alg, *size, *width)
+	d := diag.Classify(res.Fails, alg, size, width)
 	fmt.Printf("diagnosis: %v", d.Class)
 	if d.PortSpecific {
 		fmt.Printf(", port-specific (port %d)", d.Port)
@@ -111,12 +132,12 @@ func main() {
 	}
 	fmt.Printf(", cells %v\n", d.Cells)
 
-	if *bitmap {
+	if bitmap {
 		fmt.Println("fail bitmap (addr rows, bit columns):")
-		fmt.Print(diag.BuildBitmap(res.Fails, *size, *width))
+		fmt.Print(diag.BuildBitmap(res.Fails, size, width))
 	}
-	if *locate && d.Class == diag.ClassSingleCell {
-		probe := mbist.NewFaultyMemory(*size, *width, *ports, fs...)
+	if locate && d.Class == diag.ClassSingleCell {
+		probe := mbist.NewFaultyMemory(size, width, ports, fs...)
 		suspects := diag.LocateAggressor(probe, 0, d.Cells[0])
 		cells := diag.AggressorCells(suspects)
 		switch {
@@ -128,6 +149,7 @@ func main() {
 			fmt.Printf("aggressor:  %d cells implicated — not a coupling defect\n", len(cells))
 		}
 	}
+	return nil
 }
 
 type multiFlag []string

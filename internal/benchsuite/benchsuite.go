@@ -1,0 +1,125 @@
+// Package benchsuite defines the tracked benchmark suite: the paired
+// Serial/Parallel measurements of the two fault-simulation fast paths.
+// The root package's Benchmark* functions and cmd/mbistbench (the CI
+// regression gate) both execute these definitions, so "what CI gates
+// on" and "what go test -bench measures" cannot drift apart.
+//
+// Importing testing from a non-test package is deliberate: the suite
+// must be callable both from *_test.go wrappers and from the
+// mbistbench binary via testing.Benchmark.
+package benchsuite
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/coverage"
+	"repro/internal/logicbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+	"repro/internal/netlist"
+)
+
+// LogicBISTPatterns and LogicBISTSeed fix the random-pattern workload
+// both logic-BIST engines are measured on.
+const (
+	LogicBISTPatterns = 64
+	LogicBISTSeed     = 11
+)
+
+// ControllerNetlist synthesises the netlist both logic-BIST engines
+// are benchmarked on — the March C microcode controller, the same unit
+// the §3 testability measurements grade.
+func ControllerNetlist(tb testing.TB) *netlist.Netlist {
+	tb.Helper()
+	p, err := microbist.Assemble(march.MarchC(), microbist.AssembleOpts{WordOriented: true, Multiport: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hw, err := microbist.BuildHardware(p, microbist.HWConfig{
+		Slots: p.Len(), AddrBits: 4, Width: 1, Ports: 1,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return hw.Netlist
+}
+
+// LogicBISTSerial measures the one-fault-at-a-time oracle engine.
+func LogicBISTSerial(b *testing.B) {
+	nl := ControllerNetlist(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *logicbist.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = logicbist.RandomPatternCoverageSerial(nl, LogicBISTPatterns, LogicBISTSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Coverage(), "coverage%")
+}
+
+// LogicBISTWordParallel measures the 64-lane PPSFP engine.
+func LogicBISTWordParallel(b *testing.B) {
+	nl := ControllerNetlist(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *logicbist.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = logicbist.RandomPatternCoverage(nl, LogicBISTPatterns, LogicBISTSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Coverage(), "coverage%")
+}
+
+func grade(b *testing.B, workers int) {
+	alg, ok := march.ByName("marchc")
+	if !ok {
+		b.Fatal("march library lost marchc")
+	}
+	b.ReportAllocs()
+	var rep *coverage.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = coverage.Grade(alg, coverage.Microcode, coverage.Options{Size: 16, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Overall.Percent(), "coverage%")
+}
+
+// GradeSerial measures functional-fault grading on one worker.
+func GradeSerial(b *testing.B) { grade(b, 1) }
+
+// GradeParallel measures the GOMAXPROCS worker pool.
+func GradeParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	grade(b, 0)
+}
+
+// Case is one tracked benchmark. Serial names the paired serial
+// baseline a parallel case's speedup is computed against ("" for the
+// serial cases themselves).
+type Case struct {
+	Name   string
+	Serial string
+	F      func(*testing.B)
+}
+
+// Suite returns the tracked benchmarks in execution order. Names match
+// the root package's go-test benchmark names so BENCH_*.json baselines
+// and -bench output line up.
+func Suite() []Case {
+	return []Case{
+		{Name: "BenchmarkLogicBISTSerial", F: LogicBISTSerial},
+		{Name: "BenchmarkLogicBISTWordParallel", Serial: "BenchmarkLogicBISTSerial", F: LogicBISTWordParallel},
+		{Name: "BenchmarkGradeSerial", F: GradeSerial},
+		{Name: "BenchmarkGradeParallel", Serial: "BenchmarkGradeSerial", F: GradeParallel},
+	}
+}

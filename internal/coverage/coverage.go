@@ -18,6 +18,7 @@ import (
 	"repro/internal/hardbist"
 	"repro/internal/march"
 	"repro/internal/microbist"
+	"repro/internal/obs"
 )
 
 // Architecture selects the execution engine.
@@ -116,18 +117,27 @@ func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error
 	if workers > len(universe) {
 		workers = len(universe)
 	}
+	reg := obs.Active()
+	reg.Gauge("coverage.workers").Set(int64(workers))
+	mFaults := reg.Counter("coverage.faults_graded")
+	mFault := reg.Span("coverage.fault_ns")
 	if workers <= 1 {
 		runner, err := buildRunner(alg, arch, opts)
 		if err != nil {
 			return nil, err
 		}
+		mWorker := reg.Counter("coverage.worker.00.faults")
 		for i, f := range universe {
+			start := mFault.Start()
 			mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
 			d, err := runner(mem)
 			if err != nil {
 				return nil, fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
 			}
 			detected[i] = d
+			mFault.ObserveSince(start)
+			mFaults.Add(1)
+			mWorker.Add(1)
 		}
 	} else if err := gradeParallel(alg, arch, opts, universe, detected, workers); err != nil {
 		return nil, err
@@ -150,6 +160,7 @@ func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error
 		}
 		rep.ByKind[f.Kind] = r
 	}
+	reg.Counter("coverage.detected").Add(int64(rep.Overall.Detected))
 	return rep, nil
 }
 
@@ -169,10 +180,20 @@ func gradeParallel(alg march.Algorithm, arch Architecture, opts Options,
 	)
 	errIndex := len(universe)
 	var firstErr error
+	// Metrics: per-worker fault throughput plus the wait from pool
+	// launch to each worker's first claim (runner compilation latency —
+	// the pool's equivalent of queue wait). Nil no-op instruments when
+	// metrics are off.
+	reg := obs.Active()
+	mFaults := reg.Counter("coverage.faults_graded")
+	mFault := reg.Span("coverage.fault_ns")
+	mWait := reg.Span("coverage.worker_start_wait_ns")
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		mWorker := reg.Counter(fmt.Sprintf("coverage.worker.%02d.faults", w))
 		go func() {
 			defer wg.Done()
+			launched := mWait.Start()
 			runner, err := buildRunner(alg, arch, opts)
 			if err != nil {
 				// A compile failure precedes any fault in the serial
@@ -185,11 +206,17 @@ func gradeParallel(alg march.Algorithm, arch Architecture, opts Options,
 				failed.Store(true)
 				return
 			}
+			first := true
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(universe) || failed.Load() {
 					return
 				}
+				if first {
+					mWait.ObserveSince(launched)
+					first = false
+				}
+				start := mFault.Start()
 				f := universe[i]
 				mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
 				d, err := runner(mem)
@@ -204,6 +231,9 @@ func gradeParallel(alg march.Algorithm, arch Architecture, opts Options,
 					return
 				}
 				detected[i] = d
+				mFault.ObserveSince(start)
+				mFaults.Add(1)
+				mWorker.Add(1)
 			}
 		}()
 	}

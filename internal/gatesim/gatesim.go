@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Simulator executes one netlist. The zero value is not usable; call New.
@@ -22,6 +23,10 @@ type Simulator struct {
 	// the stuck-at fault injection mechanism of the logic-BIST fault
 	// simulator.
 	forced map[netlist.NetID]bool
+	// Metrics are bound once at construction from the registry active
+	// at that time; nil (the no-op instrument) when metrics are off.
+	mSettles *obs.Counter
+	mGates   *obs.Counter
 }
 
 // levelise validates the netlist and computes the evaluation structures
@@ -86,11 +91,14 @@ func New(nl *netlist.Netlist) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.Active()
 	s := &Simulator{
-		nl:     nl,
-		values: make([]bool, nl.NumNets()+1),
-		order:  order,
-		ffs:    ffs,
+		nl:       nl,
+		values:   make([]bool, nl.NumNets()+1),
+		order:    order,
+		ffs:      ffs,
+		mSettles: reg.Counter("gatesim.settles"),
+		mGates:   reg.Counter("gatesim.gates_evaluated"),
 	}
 	s.const1 = s.constNet(true)
 	s.Reset()
@@ -129,6 +137,8 @@ func (s *Simulator) settle() {
 		}
 		s.values[inst.Out] = v
 	}
+	s.mSettles.Add(1)
+	s.mGates.Add(int64(len(s.order)))
 }
 
 // Force pins a net to a value during settling regardless of its driver

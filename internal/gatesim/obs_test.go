@@ -1,0 +1,107 @@
+package gatesim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+func instrumentedWorkloadSnapshot(t *testing.T) []obs.Metric {
+	t.Helper()
+	reg := obs.Enable()
+	defer obs.Disable()
+
+	n := netlist.New("obs")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.Xor2(a, b)
+	n.AddOutput("x", x)
+	n.AddOutput("y", n.And2(a, x))
+
+	s, err := New(n) // New settles once via Reset
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eval()
+	s.Step() // two settles
+
+	w, err := NewWord(n) // one settle
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ForceLane(x, 3, true)
+	w.ForceLane(x, 7, false)
+	w.Eval()
+	w.ClearForces()
+	w.Eval()
+	return reg.Snapshot()
+}
+
+// TestInstrumentedCountsAreExact pins the settle/gate/lane metrics to
+// the workload's known event counts.
+func TestInstrumentedCountsAreExact(t *testing.T) {
+	snap := instrumentedWorkloadSnapshot(t)
+	byName := make(map[string]obs.Metric, len(snap))
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+
+	// Scalar: Reset settle + Eval + Step's two settles = 4, over the
+	// netlist's 2 gates (XOR, AND).
+	if got := byName["gatesim.settles"].Value; got != 4 {
+		t.Errorf("gatesim.settles = %d, want 4", got)
+	}
+	if got := byName["gatesim.gates_evaluated"].Value; got != 4*2 {
+		t.Errorf("gatesim.gates_evaluated = %d, want 8", got)
+	}
+	// Word: Reset settle + two Evals = 3 settles.
+	if got := byName["gatesim.word.settles"].Value; got != 3 {
+		t.Errorf("gatesim.word.settles = %d, want 3", got)
+	}
+	if got := byName["gatesim.word.gates_evaluated"].Value; got != 3*2 {
+		t.Errorf("gatesim.word.gates_evaluated = %d, want 6", got)
+	}
+	// Lane occupancy samples: 0 (reset), 2 (forced Eval), 0 (cleared).
+	lanes := byName["gatesim.word.forced_lanes"]
+	if lanes.Count != 3 || lanes.Sum != 2 || lanes.Min != 0 || lanes.Max != 2 {
+		t.Errorf("forced_lanes = count %d sum %d min %d max %d, want 3/2/0/2",
+			lanes.Count, lanes.Sum, lanes.Min, lanes.Max)
+	}
+}
+
+// TestInstrumentedSnapshotDeterministic runs the identical workload
+// twice and requires identical snapshots.
+func TestInstrumentedSnapshotDeterministic(t *testing.T) {
+	first := instrumentedWorkloadSnapshot(t)
+	second := instrumentedWorkloadSnapshot(t)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("snapshots differ:\n%v\n%v", first, second)
+	}
+}
+
+// TestDisabledMetricsLeaveSimulatorUninstrumented checks the no-op
+// binding: simulators built with metrics off hold nil instruments.
+func TestDisabledMetricsLeaveSimulatorUninstrumented(t *testing.T) {
+	obs.Disable()
+	n := netlist.New("plain")
+	a := n.AddInput("a")
+	n.AddOutput("q", n.Inv(a))
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWord(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.mSettles != nil || s.mGates != nil {
+		t.Error("scalar simulator bound live instruments with metrics disabled")
+	}
+	if w.mSettles != nil || w.mGates != nil || w.mLanes != nil {
+		t.Error("word simulator bound live instruments with metrics disabled")
+	}
+	s.Eval()
+	w.Eval()
+}

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Lanes is the machine-word parallelism of the WordSimulator: one settle
@@ -39,6 +40,13 @@ type WordSimulator struct {
 	forceMask  []uint64
 	forceVal   []uint64
 	forcedNets []netlist.NetID
+	// Metrics are bound once at construction from the registry active
+	// at that time; nil (the no-op instrument) when metrics are off.
+	// mLanes samples the forced-lane occupancy at every settle — how
+	// full the PPSFP batches keep the 64-lane word.
+	mSettles *obs.Counter
+	mGates   *obs.Counter
+	mLanes   *obs.Span
 }
 
 // NewWord levelises the netlist and returns a word simulator in the
@@ -49,6 +57,7 @@ func NewWord(nl *netlist.Netlist) (*WordSimulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.Active()
 	s := &WordSimulator{
 		nl:        nl,
 		values:    make([]uint64, nl.NumNets()+1),
@@ -57,6 +66,9 @@ func NewWord(nl *netlist.Netlist) (*WordSimulator, error) {
 		next:      make([]uint64, len(ffs)),
 		forceMask: make([]uint64, nl.NumNets()+1),
 		forceVal:  make([]uint64, nl.NumNets()+1),
+		mSettles:  reg.Counter("gatesim.word.settles"),
+		mGates:    reg.Counter("gatesim.word.gates_evaluated"),
+		mLanes:    reg.Span("gatesim.word.forced_lanes"),
 	}
 	for id := netlist.NetID(1); id <= netlist.NetID(nl.NumNets()); id++ {
 		if c, v := nl.IsConst(id); c && v {
@@ -123,6 +135,11 @@ func (s *WordSimulator) settle() {
 			v = v&^m | s.forceVal[inst.Out]&m
 		}
 		s.values[inst.Out] = v
+	}
+	s.mSettles.Add(1)
+	s.mGates.Add(int64(len(s.order)))
+	if s.mLanes != nil { // skip the popcount walk when metrics are off
+		s.mLanes.Observe(int64(s.ForcedLanes()))
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/gatesim"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Fault is a single stuck-at fault on a net.
@@ -134,6 +135,15 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 
 	const faultLanes = gatesim.Lanes - 1 // lane 0 is the good machine
 
+	// Metrics: pattern and batch counts plus the faults-per-batch
+	// distribution, which shows how well detection drop-out keeps the
+	// 63 fault lanes occupied. Nil no-op instruments when disabled.
+	reg := obs.Active()
+	mPatterns := reg.Counter("logicbist.patterns")
+	mBatches := reg.Counter("logicbist.batches")
+	mBatchFaults := reg.Span("logicbist.batch_faults")
+	mDetected := reg.Counter("logicbist.detected")
+
 	rng := rand.New(rand.NewSource(seed))
 	vals := make([]bool, len(controls))
 	for p := 0; p < patterns; p++ {
@@ -143,6 +153,7 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 			vals[i] = rng.Intn(2) == 1
 			sim.Set(id, vals[i])
 		}
+		mPatterns.Add(1)
 
 		for start := 0; start < len(pending); start += faultLanes {
 			end := start + faultLanes
@@ -150,6 +161,8 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 				end = len(pending)
 			}
 			batch := pending[start:end]
+			mBatches.Add(1)
+			mBatchFaults.Observe(int64(len(batch)))
 			for k, fi := range batch {
 				sim.ForceLane(faults[fi].Net, k+1, faults[fi].StuckAt)
 			}
@@ -186,6 +199,7 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 		pending = live
 		res.CumulativeDetected = append(res.CumulativeDetected, res.Detected)
 	}
+	mDetected.Add(int64(res.Detected))
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 )
 
 // Backgrounds returns the data-background patterns for a word width:
@@ -85,13 +86,28 @@ func Run(a Algorithm, mem memory.Memory, opts RunOpts) (*Result, error) {
 	}
 	n := mem.Size()
 
+	// Metrics: total reads/writes plus the per-element operation-count
+	// distribution. Reads and writes accumulate in locals and flush per
+	// element so the memory loop stays free of atomics; nil no-op
+	// instruments when metrics are off.
+	reg := obs.Active()
+	mRuns := reg.Counter("march.runs")
+	mReads := reg.Counter("march.reads")
+	mWrites := reg.Counter("march.writes")
+	mPauses := reg.Counter("march.pauses")
+	mElemOps := reg.Span("march.element_ops")
+	mRuns.Add(1)
+	var reads, writes int64
+
 	for port := 0; port < ports; port++ {
 		for bgIdx, bg := range bgs {
 			for ei, e := range a.Elements {
 				if e.PauseBefore {
 					mem.Pause()
 					res.PauseCount++
+					mPauses.Add(1)
 				}
+				elemStart := res.Operations
 				for k := 0; k < n; k++ {
 					addr := k
 					if e.Order == Down {
@@ -106,9 +122,11 @@ func Run(a Algorithm, mem memory.Memory, opts RunOpts) (*Result, error) {
 						case Write:
 							mem.Write(port, addr, data)
 							res.Operations++
+							writes++
 						case Read:
 							got := mem.Read(port, addr)
 							res.Operations++
+							reads++
 							if got != data {
 								res.Fails = append(res.Fails, Fail{
 									Port: port, Background: bgIdx,
@@ -116,15 +134,21 @@ func Run(a Algorithm, mem memory.Memory, opts RunOpts) (*Result, error) {
 									Expected: data, Got: got,
 								})
 								if opts.MaxFails > 0 && len(res.Fails) >= opts.MaxFails {
+									mElemOps.Observe(int64(res.Operations - elemStart))
+									mReads.Add(reads)
+									mWrites.Add(writes)
 									return res, nil
 								}
 							}
 						}
 					}
 				}
+				mElemOps.Observe(int64(res.Operations - elemStart))
 			}
 		}
 	}
+	mReads.Add(reads)
+	mWrites.Add(writes)
 	return res, nil
 }
 

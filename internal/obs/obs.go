@@ -1,0 +1,317 @@
+// Package obs is the repo's zero-dependency observability substrate:
+// named atomic counters, gauges and span (value/latency distribution)
+// accumulators collected in a Registry, with deterministic snapshots
+// for dumping and testing.
+//
+// The package is built so that instrumented hot paths cost nothing
+// when metrics are disabled: Registry lookups on a nil registry return
+// nil instruments, and every instrument method is a nil-receiver
+// no-op. Instrumented code therefore holds *Counter/*Gauge/*Span
+// fields unconditionally and calls them unconditionally; with no
+// active registry each call is a predicted-not-taken branch and zero
+// allocations (asserted by TestNoopInstrumentsDoNotAllocate).
+//
+// The global registry is process-wide: Enable installs a fresh one
+// (commands do this for their -metrics flag), Active returns it (nil
+// when disabled), Disable removes it. Code that wants isolated
+// collection — tests, the benchmark harness — can use NewRegistry
+// directly and never touch the global.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil
+// Counter is a valid no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins atomic gauge. The nil Gauge is a valid
+// no-op instrument.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Raise lifts the gauge to n if n exceeds the current value — a
+// high-water mark. No-op on a nil receiver.
+func (g *Gauge) Raise(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Span accumulates a distribution of int64 samples — batch sizes,
+// lane occupancies, or durations in nanoseconds — as count/sum/min/max.
+// The nil Span is a valid no-op instrument.
+type Span struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64 // initialised to MaxInt64
+	max   atomic.Int64 // initialised to MinInt64
+}
+
+func newSpan() *Span {
+	s := &Span{}
+	s.min.Store(math.MaxInt64)
+	s.max.Store(math.MinInt64)
+	return s
+}
+
+// Observe records one sample. No-op on a nil receiver.
+func (s *Span) Observe(v int64) {
+	if s == nil {
+		return
+	}
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		m := s.min.Load()
+		if v >= m || s.min.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := s.max.Load()
+		if v <= m || s.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// Start returns the current time for a later ObserveSince, or the zero
+// time on a nil receiver — so disabled timing skips the clock read.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the nanoseconds elapsed since start. No-op on a
+// nil receiver or a zero start (the disabled-path value from Start).
+func (s *Span) ObserveSince(start time.Time) {
+	if s == nil || start.IsZero() {
+		return
+	}
+	s.Observe(time.Since(start).Nanoseconds())
+}
+
+// Stats returns the accumulated distribution. Min and max are 0 when
+// no samples were observed. All zeros on a nil receiver.
+func (s *Span) Stats() (count, sum, min, max int64) {
+	if s == nil {
+		return 0, 0, 0, 0
+	}
+	count = s.count.Load()
+	if count == 0 {
+		return 0, s.sum.Load(), 0, 0
+	}
+	return count, s.sum.Load(), s.min.Load(), s.max.Load()
+}
+
+// Registry holds named instruments. The nil Registry hands out nil
+// instruments, so a disabled metrics path needs no branching at the
+// lookup sites either.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	spans    map[string]*Span
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		spans:    make(map[string]*Span),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Span returns the named span, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Span(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = newSpan()
+		r.spans[name] = s
+	}
+	return s
+}
+
+// Metric is one snapshotted instrument. Counter and gauge metrics use
+// Value; span metrics use Count/Sum/Min/Max.
+type Metric struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"` // "counter", "gauge" or "span"
+	Value int64  `json:"value,omitempty"`
+	Count int64  `json:"count,omitempty"`
+	Sum   int64  `json:"sum,omitempty"`
+	Min   int64  `json:"min,omitempty"`
+	Max   int64  `json:"max,omitempty"`
+}
+
+// Snapshot returns every instrument's current state sorted by name —
+// deterministic for a fixed workload regardless of collection order.
+// Returns nil on a nil registry.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.spans))
+	for name, c := range r.counters {
+		ms = append(ms, Metric{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		ms = append(ms, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, s := range r.spans {
+		count, sum, min, max := s.Stats()
+		ms = append(ms, Metric{Name: name, Kind: "span", Count: count, Sum: sum, Min: min, Max: max})
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	return ms
+}
+
+// WriteText renders a snapshot as an aligned human-readable table.
+func WriteText(w io.Writer, ms []Metric) {
+	width := 0
+	for _, m := range ms {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	for _, m := range ms {
+		switch m.Kind {
+		case "span":
+			avg := float64(0)
+			if m.Count > 0 {
+				avg = float64(m.Sum) / float64(m.Count)
+			}
+			fmt.Fprintf(w, "%-*s  count=%d sum=%d avg=%.1f min=%d max=%d\n",
+				width, m.Name, m.Count, m.Sum, avg, m.Min, m.Max)
+		default:
+			fmt.Fprintf(w, "%-*s  %d\n", width, m.Name, m.Value)
+		}
+	}
+}
+
+// WriteJSON renders a snapshot as an indented JSON array.
+func WriteJSON(w io.Writer, ms []Metric) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ms)
+}
+
+// active is the process-wide registry; nil means metrics are disabled
+// (the default).
+var active atomic.Pointer[Registry]
+
+// Enable installs a fresh global registry and returns it.
+func Enable() *Registry {
+	r := NewRegistry()
+	active.Store(r)
+	return r
+}
+
+// Disable removes the global registry; subsequent Active calls return
+// nil and instruments already handed out keep accumulating unobserved.
+func Disable() {
+	active.Store(nil)
+}
+
+// Active returns the global registry, or nil when metrics are
+// disabled. Instrumented code calls this once per construction or run,
+// not per event.
+func Active() *Registry {
+	return active.Load()
+}

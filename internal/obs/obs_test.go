@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeSpanBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if r.Counter("c") != c {
+		t.Error("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(5)
+	g.Raise(3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge after Raise(3) = %d, want 5", got)
+	}
+	g.Raise(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("gauge after Raise(9) = %d, want 9", got)
+	}
+
+	s := r.Span("s")
+	for _, v := range []int64{4, 2, 9} {
+		s.Observe(v)
+	}
+	count, sum, min, max := s.Stats()
+	if count != 3 || sum != 15 || min != 2 || max != 9 {
+		t.Errorf("span stats = (%d,%d,%d,%d), want (3,15,2,9)", count, sum, min, max)
+	}
+}
+
+func TestEmptySpanStats(t *testing.T) {
+	s := NewRegistry().Span("s")
+	if count, sum, min, max := s.Stats(); count != 0 || sum != 0 || min != 0 || max != 0 {
+		t.Errorf("empty span stats = (%d,%d,%d,%d), want zeros", count, sum, min, max)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c, g, s := r.Counter("c"), r.Gauge("g"), r.Span("s")
+	if c != nil || g != nil || s != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	c.Add(1)
+	g.Set(1)
+	g.Raise(1)
+	s.Observe(1)
+	s.ObserveSince(s.Start())
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil instruments reported non-zero values")
+	}
+	if !s.Start().IsZero() {
+		t.Error("nil span Start read the clock")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+}
+
+// TestNoopInstrumentsDoNotAllocate is the disabled-path contract: with
+// no active registry, instrumented hot paths must not allocate.
+func TestNoopInstrumentsDoNotAllocate(t *testing.T) {
+	Disable()
+	if n := testing.AllocsPerRun(100, func() {
+		r := Active()
+		c := r.Counter("x")
+		c.Add(1)
+		r.Gauge("y").Set(2)
+		sp := r.Span("z")
+		sp.Observe(3)
+		sp.ObserveSince(sp.Start())
+	}); n != 0 {
+		t.Errorf("disabled instrument path allocates %.1f objects per run, want 0", n)
+	}
+}
+
+func TestEnableDisableGlobal(t *testing.T) {
+	defer Disable()
+	if Active() != nil {
+		t.Fatal("registry active before Enable")
+	}
+	r := Enable()
+	if Active() != r {
+		t.Fatal("Active does not return the enabled registry")
+	}
+	r.Counter("evt").Add(1)
+	Disable()
+	if Active() != nil {
+		t.Fatal("registry still active after Disable")
+	}
+}
+
+// TestConcurrentAccumulationIsExact hammers one counter, gauge and
+// span from many goroutines (run under -race in CI) and checks the
+// totals are exact.
+func TestConcurrentAccumulationIsExact(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Lookups race with other goroutines' lookups on purpose.
+			c := r.Counter("ops")
+			g := r.Gauge("hwm")
+			s := r.Span("dist")
+			for i := 0; i < each; i++ {
+				c.Add(1)
+				g.Raise(int64(w*each + i))
+				s.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops").Value(); got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+	if got := r.Gauge("hwm").Value(); got != workers*each-1 {
+		t.Errorf("gauge high-water mark = %d, want %d", got, workers*each-1)
+	}
+	count, sum, min, max := r.Span("dist").Stats()
+	wantSum := int64(workers) * each * (each - 1) / 2
+	if count != workers*each || sum != wantSum || min != 0 || max != each-1 {
+		t.Errorf("span stats = (%d,%d,%d,%d), want (%d,%d,0,%d)",
+			count, sum, min, max, workers*each, wantSum, each-1)
+	}
+}
+
+// TestSnapshotDeterministic runs the same fixed workload on two fresh
+// registries — with concurrency, so accumulation order differs — and
+// requires byte-identical snapshots.
+func TestSnapshotDeterministic(t *testing.T) {
+	workload := func() []Metric {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					r.Counter("a.ops").Add(1)
+					r.Counter("b.ops").Add(2)
+					r.Span("batch").Observe(int64(i % 63))
+				}
+				r.Gauge("workers").Set(4)
+			}(w)
+		}
+		wg.Wait()
+		return r.Snapshot()
+	}
+	first, second := workload(), workload()
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("snapshots differ:\n%v\n%v", first, second)
+	}
+	var b1, b2 bytes.Buffer
+	if err := WriteJSON(&b1, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b2, second); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("JSON renderings differ for identical workloads")
+	}
+}
+
+func TestSnapshotSortedAndRenders(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Span("m.mid").Observe(7)
+	r.Gauge("a.first").Set(2)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	for i, want := range []string{"a.first", "m.mid", "z.last"} {
+		if snap[i].Name != want {
+			t.Errorf("snapshot[%d] = %s, want %s", i, snap[i].Name, want)
+		}
+	}
+	var text bytes.Buffer
+	WriteText(&text, snap)
+	if text.Len() == 0 {
+		t.Error("WriteText produced nothing")
+	}
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, snap); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Metric
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+}
+
+func TestSpanObserveSince(t *testing.T) {
+	s := NewRegistry().Span("t")
+	start := s.Start()
+	if start.IsZero() {
+		t.Fatal("enabled span Start returned the zero time")
+	}
+	time.Sleep(time.Millisecond)
+	s.ObserveSince(start)
+	count, sum, _, _ := s.Stats()
+	if count != 1 || sum < int64(time.Millisecond) {
+		t.Errorf("timed span stats = (count %d, sum %dns), want 1 sample >= 1ms", count, sum)
+	}
+}

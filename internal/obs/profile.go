@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags bundles the standard observability command-line flags shared
+// by the cmd binaries: CPU/heap profiling, execution tracing, and the
+// metrics snapshot dump.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	Metrics    bool
+}
+
+// Register declares the flags on fs (use flag.CommandLine in a main).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.BoolVar(&f.Metrics, "metrics", false, "collect metrics and dump the snapshot to stderr at exit")
+}
+
+// Start begins whatever the flags request: CPU profiling, execution
+// tracing, and global metrics collection. The returned stop function
+// must be called exactly once before the process exits (including on
+// error paths — keep the work in a run() that returns instead of
+// calling log.Fatal); it flushes the profiles, writes the heap
+// profile, and dumps the metrics snapshot to stderr.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		traceFile, err = os.Create(f.Trace)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	if f.Metrics {
+		Enable()
+	}
+	return func() error {
+		cleanup()
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				return fmt.Errorf("obs: memprofile: %w", err)
+			}
+			runtime.GC() // settle live heap before the snapshot
+			err = pprof.WriteHeapProfile(mf)
+			if cerr := mf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("obs: memprofile: %w", err)
+			}
+		}
+		if f.Metrics {
+			if r := Active(); r != nil {
+				fmt.Fprintln(os.Stderr, "metrics snapshot:")
+				WriteText(os.Stderr, r.Snapshot())
+			}
+			Disable()
+		}
+		return nil
+	}, nil
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/microbist"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Re-exported core types. The facade aliases the internal packages'
@@ -86,6 +87,21 @@ type RunOptions struct {
 // architecture. Word-oriented memories are tested under every data
 // background; multiport memories on every port.
 func Run(arch Architecture, alg Algorithm, mem Memory, opts RunOptions) (*Result, error) {
+	res, err := runArch(arch, alg, mem, opts)
+	if err != nil {
+		return nil, err
+	}
+	if reg := obs.Active(); reg != nil {
+		prefix := "run." + arch.String() + "."
+		reg.Counter(prefix + "runs").Add(1)
+		reg.Counter(prefix + "operations").Add(int64(res.Operations))
+		reg.Counter(prefix + "cycles").Add(int64(res.Cycles))
+		reg.Counter(prefix + "fails").Add(int64(len(res.Fails)))
+	}
+	return res, nil
+}
+
+func runArch(arch Architecture, alg Algorithm, mem Memory, opts RunOptions) (*Result, error) {
 	word := mem.Width() > 1
 	multi := mem.Ports() > 1
 	switch arch {
