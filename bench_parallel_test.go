@@ -11,7 +11,7 @@ package mbist
 //
 // or regenerate the machine-readable snapshot with
 //
-//	go run ./cmd/mbistbench -out BENCH_pr2.json
+//	go run ./cmd/mbistbench -out BENCH_pr3.json
 
 import (
 	"testing"
@@ -24,6 +24,8 @@ func BenchmarkLogicBISTSerial(b *testing.B)       { benchsuite.LogicBISTSerial(b
 func BenchmarkLogicBISTWordParallel(b *testing.B) { benchsuite.LogicBISTWordParallel(b) }
 func BenchmarkGradeSerial(b *testing.B)           { benchsuite.GradeSerial(b) }
 func BenchmarkGradeParallel(b *testing.B)         { benchsuite.GradeParallel(b) }
+func BenchmarkGradeLane(b *testing.B)             { benchsuite.GradeLane(b) }
+func BenchmarkGradeLaneParallel(b *testing.B)     { benchsuite.GradeLaneParallel(b) }
 
 // MetricsOn variants quantify the observability overhead budget: with
 // the obs registry enabled, the parallel engines must stay within 2%
@@ -38,4 +40,8 @@ func BenchmarkGradeParallelMetricsOn(b *testing.B) {
 	obs.Enable()
 	defer obs.Disable()
 	benchsuite.GradeParallel(b)
+}
+
+func BenchmarkGradeLaneMetricsOn(b *testing.B) {
+	benchsuite.GradeLaneMetricsOn(b)
 }

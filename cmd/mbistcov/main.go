@@ -8,6 +8,7 @@
 //	mbistcov -algs marchc,marchc+,marchc++ -arch microcode -size 16
 //	mbistcov -detail marchc
 //	mbistcov -arch microcode -workers 4 -cpuprofile grade.pprof -metrics
+//	mbistcov -engine scalar -detail marchc
 //
 // The observability flags -cpuprofile, -memprofile, -trace and
 // -metrics profile a grading run; -metrics dumps the obs counter
@@ -36,6 +37,7 @@ func main() {
 	ports := flag.Int("ports", 1, "memory ports")
 	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
 	workers := flag.Int("workers", 0, "concurrent grading workers (0 = all CPUs, 1 = serial)")
+	engineName := flag.String("engine", "auto", "fault-simulation engine: auto (lane-parallel stream replay with scalar fallback) or scalar (one fault at a time)")
 	var prof obs.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -44,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers)
+	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers, *engineName)
 	if err := stop(); err != nil {
 		log.Print(err)
 	}
@@ -53,12 +55,16 @@ func main() {
 	}
 }
 
-func run(algList, archName string, size, width, ports int, detail string, workers int) error {
+func run(algList, archName string, size, width, ports int, detail string, workers int, engineName string) error {
 	arch, err := parseArch(archName)
 	if err != nil {
 		return err
 	}
-	opts := mbist.CoverageOptions{Size: size, Width: width, Ports: ports, Workers: workers}
+	engine, err := parseEngine(engineName)
+	if err != nil {
+		return err
+	}
+	opts := mbist.CoverageOptions{Size: size, Width: width, Ports: ports, Workers: workers, Engine: engine}
 
 	if detail != "" {
 		alg, ok := mbist.AlgorithmByName(detail)
@@ -112,4 +118,14 @@ func parseArch(s string) (mbist.Architecture, error) {
 		return mbist.Hardwired, nil
 	}
 	return 0, fmt.Errorf("unknown architecture %q", s)
+}
+
+func parseEngine(s string) (mbist.CoverageEngine, error) {
+	switch s {
+	case "auto":
+		return mbist.CoverageEngineAuto, nil
+	case "scalar":
+		return mbist.CoverageEngineScalar, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q", s)
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/march"
 	"repro/internal/microbist"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // LogicBISTPatterns and LogicBISTSeed fix the random-pattern workload
@@ -77,7 +78,7 @@ func LogicBISTWordParallel(b *testing.B) {
 	b.ReportMetric(100*res.Coverage(), "coverage%")
 }
 
-func grade(b *testing.B, workers int) {
+func grade(b *testing.B, workers int, engine coverage.Engine) {
 	alg, ok := march.ByName("marchc")
 	if !ok {
 		b.Fatal("march library lost marchc")
@@ -86,7 +87,9 @@ func grade(b *testing.B, workers int) {
 	var rep *coverage.Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = coverage.Grade(alg, coverage.Microcode, coverage.Options{Size: 16, Workers: workers})
+		rep, err = coverage.Grade(alg, coverage.Microcode, coverage.Options{
+			Size: 16, Workers: workers, Engine: engine,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,13 +97,33 @@ func grade(b *testing.B, workers int) {
 	b.ReportMetric(rep.Overall.Percent(), "coverage%")
 }
 
-// GradeSerial measures functional-fault grading on one worker.
-func GradeSerial(b *testing.B) { grade(b, 1) }
+// GradeSerial measures scalar functional-fault grading on one worker
+// (one injected memory and one full test execution per fault).
+func GradeSerial(b *testing.B) { grade(b, 1, coverage.EngineScalar) }
 
-// GradeParallel measures the GOMAXPROCS worker pool.
+// GradeParallel measures the scalar engine's GOMAXPROCS worker pool.
 func GradeParallel(b *testing.B) {
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
-	grade(b, 0)
+	grade(b, 0, coverage.EngineScalar)
+}
+
+// GradeLane measures the 63-fault lane-batched stream-replay engine on
+// one worker; its speedup is tracked against GradeSerial.
+func GradeLane(b *testing.B) { grade(b, 1, coverage.EngineAuto) }
+
+// GradeLaneParallel measures the lane engine's batch worker pool.
+func GradeLaneParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	grade(b, 0, coverage.EngineAuto)
+}
+
+// GradeLaneMetricsOn measures the lane engine with the obs registry
+// enabled. Tracked against GradeLane, it pins the <2% observability
+// overhead budget on the batched path (DESIGN.md "Observability").
+func GradeLaneMetricsOn(b *testing.B) {
+	obs.Enable()
+	defer obs.Disable()
+	grade(b, 1, coverage.EngineAuto)
 }
 
 // Case is one tracked benchmark. Serial names the paired serial
@@ -121,5 +144,8 @@ func Suite() []Case {
 		{Name: "BenchmarkLogicBISTWordParallel", Serial: "BenchmarkLogicBISTSerial", F: LogicBISTWordParallel},
 		{Name: "BenchmarkGradeSerial", F: GradeSerial},
 		{Name: "BenchmarkGradeParallel", Serial: "BenchmarkGradeSerial", F: GradeParallel},
+		{Name: "BenchmarkGradeLane", Serial: "BenchmarkGradeSerial", F: GradeLane},
+		{Name: "BenchmarkGradeLaneParallel", Serial: "BenchmarkGradeSerial", F: GradeLaneParallel},
+		{Name: "BenchmarkGradeLaneMetricsOn", Serial: "BenchmarkGradeLane", F: GradeLaneMetricsOn},
 	}
 }

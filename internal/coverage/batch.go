@@ -1,0 +1,186 @@
+package coverage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+	"repro/internal/memory"
+	"repro/internal/obs"
+)
+
+// The lane-parallel grading engine (PPSFP applied to the behavioural
+// memory model). All four architectures emit the same canonical
+// operation stream on a fault-free memory, and with MaxFails:1 their
+// control flow is data-independent up to the first failing read — a
+// faulty run is a prefix of the clean run's stream ending at that read.
+// Detection is therefore equivalent to "any read mismatches its
+// expected value when the full clean stream is replayed". That lets
+// one replay of the captured stream grade 63 faults at once: lane 0 of
+// a faults.LaneInjected is the good machine and lanes 1..63 each carry
+// one fault; every read compares all lanes against the expected value
+// in parallel and accumulates a per-lane fail mask.
+
+// captureStream builds the architecture's runner, executes it once over
+// a Recorder-wrapped fault-free memory and returns the captured
+// operation stream. ok reports whether the capture matches the
+// canonical reference stream (march.FullStream on the same geometry) —
+// the guard the batched engine requires; a divergent capture (e.g. a
+// decomposed prog-FSM program) returns ok=false so the caller falls
+// back to the scalar oracle.
+func captureStream(alg march.Algorithm, arch Architecture, opts Options) ([]march.StreamOp, bool, error) {
+	run, err := buildRunner(alg, arch, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	rec := &march.Recorder{Mem: memory.NewSRAM(opts.Size, opts.Width, opts.Ports)}
+	detected, err := run(rec)
+	if err != nil {
+		return nil, false, fmt.Errorf("coverage: %s on %s stream capture: %w", alg.Name, arch, err)
+	}
+	if detected {
+		return nil, false, fmt.Errorf("coverage: %s on %s detected a fail on fault-free memory", alg.Name, arch)
+	}
+	want := march.FullStream(alg, opts.Size, opts.Width, opts.Ports, opts.Width == 1)
+	if !streamsEqual(rec.Ops, want) {
+		return nil, false, nil
+	}
+	return rec.Ops, true, nil
+}
+
+func streamsEqual(a, b []march.StreamOp) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gradeBatched fills detected[] by replaying the captured stream over
+// 63-fault lane batches. Batch b grades universe[b*MaxLanes:...] in
+// universe order, so detected[] — and with it the Report's Missed
+// ordering — is byte-identical to the scalar oracle at any worker
+// count.
+func gradeBatched(opts Options, universe []faults.Fault, stream []march.StreamOp, detected []bool) error {
+	batches := (len(universe) + faults.MaxLanes - 1) / faults.MaxLanes
+	workers := opts.Workers
+	if workers > batches {
+		workers = batches
+	}
+	reg := obs.Active()
+	reg.Gauge("coverage.workers").Set(int64(workers))
+	mBatches := reg.Counter("coverage.batches_replayed")
+	mLanes := reg.Span("coverage.batch_lanes")
+	mBatch := reg.Span("coverage.batch_ns")
+	mFaults := reg.Counter("coverage.faults_graded")
+
+	gradeOne := func(b int, planes []uint64) ([]uint64, error) {
+		start := b * faults.MaxLanes
+		end := start + faults.MaxLanes
+		if end > len(universe) {
+			end = len(universe)
+		}
+		batch := universe[start:end]
+		t0 := mBatch.Start()
+		mem := faults.NewLaneInjected(opts.Size, opts.Width, opts.Ports, batch)
+		failMask, planes, err := replayStream(mem, stream, planes)
+		if err != nil {
+			return planes, fmt.Errorf("coverage: batch %d (faults %d..%d): %w", b, start, end-1, err)
+		}
+		for i := range batch {
+			detected[start+i] = failMask>>uint(i+1)&1 == 1
+		}
+		mBatch.ObserveSince(t0)
+		mBatches.Add(1)
+		mLanes.Observe(int64(len(batch)))
+		mFaults.Add(int64(len(batch)))
+		return planes, nil
+	}
+
+	if workers <= 1 {
+		var planes []uint64
+		var err error
+		for b := 0; b < batches; b++ {
+			if planes, err = gradeOne(b, planes); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+	)
+	errBatch := batches
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var planes []uint64
+			for {
+				b := int(cursor.Add(1)) - 1
+				if b >= batches || failed.Load() {
+					return
+				}
+				var err error
+				if planes, err = gradeOne(b, planes); err != nil {
+					mu.Lock()
+					if b < errBatch {
+						errBatch, firstErr = b, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// replayStream drives the captured stream through a lane memory and
+// returns the accumulated per-lane fail mask: bit k set means lane k's
+// value diverged from the expected (fault-free) value on some read.
+// planes is a scratch buffer threaded through for reuse. The replay
+// exits early once every occupied lane has failed; lane 0 failing
+// means the good machine diverged from the recorded clean run, which
+// would break the engine's equivalence argument, so it is an error.
+func replayStream(mem *faults.LaneInjected, stream []march.StreamOp, planes []uint64) (uint64, []uint64, error) {
+	occupied := mem.FaultMask()
+	var failMask uint64
+	for _, op := range stream {
+		switch {
+		case op.Pause:
+			mem.Pause()
+		case op.Write:
+			mem.Write(op.Port, op.Addr, op.Data)
+		default:
+			planes = mem.ReadLanes(op.Port, op.Addr, planes[:0])
+			for bit, plane := range planes {
+				var exp uint64
+				if op.Data>>uint(bit)&1 == 1 {
+					exp = ^uint64(0)
+				}
+				failMask |= plane ^ exp
+			}
+			if failMask&1 != 0 {
+				return failMask, planes, fmt.Errorf("good machine (lane 0) failed at read port %d addr %d", op.Port, op.Addr)
+			}
+			if failMask&occupied == occupied {
+				return failMask, planes, nil
+			}
+		}
+	}
+	return failMask, planes, nil
+}

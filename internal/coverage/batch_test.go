@@ -1,0 +1,180 @@
+package coverage
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/fsmbist"
+	"repro/internal/march"
+	"repro/internal/obs"
+)
+
+// TestBatchedEngineMatchesScalarOracle is the acceptance gate for the
+// lane-parallel engine: for every architecture and every algorithm in
+// the march library, Grade (EngineAuto) must produce a byte-identical
+// Report — including the Missed ordering — to the scalar GradeSerial
+// oracle, at worker counts 1, 2 and GOMAXPROCS (Workers: 0).
+func TestBatchedEngineMatchesScalarOracle(t *testing.T) {
+	names := make([]string, 0, len(march.Library()))
+	for name := range march.Library() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		for _, name := range names {
+			alg, _ := march.ByName(name)
+			want, err := GradeSerial(alg, arch, Options{Size: 8})
+			if err != nil {
+				t.Fatalf("%s on %s: oracle: %v", name, arch, err)
+			}
+			for _, workers := range []int{1, 2, 0} {
+				got, err := Grade(alg, arch, Options{Size: 8, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s on %s workers=%d: %v", name, arch, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s on %s workers=%d: batched report differs from scalar oracle:\ngot  %v\nwant %v",
+						name, arch, workers, got, want)
+				}
+				if got.String() != want.String() {
+					t.Errorf("%s on %s workers=%d: rendered report differs", name, arch, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedEngineMatchesScalarOracleWordMultiport repeats the
+// equivalence check on a word-oriented multiport geometry so the lane
+// engine's per-bit planes and port handling are exercised end to end.
+func TestBatchedEngineMatchesScalarOracleWordMultiport(t *testing.T) {
+	opts := Options{Size: 4, Width: 2, Ports: 2}
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		for _, name := range []string{"marchc+", "marchss", "marchlr"} {
+			alg, _ := march.ByName(name)
+			want, err := GradeSerial(alg, arch, opts)
+			if err != nil {
+				t.Fatalf("%s on %s: oracle: %v", name, arch, err)
+			}
+			for _, workers := range []int{1, 0} {
+				o := opts
+				o.Workers = workers
+				got, err := Grade(alg, arch, o)
+				if err != nil {
+					t.Fatalf("%s on %s workers=%d: %v", name, arch, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s on %s workers=%d: batched report differs from scalar oracle", name, arch, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedEngineEngaged pins that the default Grade path actually
+// replays lane batches (rather than silently falling back) for the
+// canonical microcode configuration, and that every fault goes through
+// a batch whose occupancy is at most MaxLanes.
+func TestBatchedEngineEngaged(t *testing.T) {
+	reg := obs.Enable()
+	defer obs.Disable()
+	alg, _ := march.ByName("marchc")
+	rep, err := Grade(alg, Microcode, Options{Size: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := reg.Counter("coverage.batches_replayed").Value()
+	if batches == 0 {
+		t.Fatal("batched engine not engaged for marchc on microcode")
+	}
+	if fb := reg.Counter("coverage.stream_fallbacks").Value(); fb != 0 {
+		t.Errorf("unexpected stream fallbacks: %d", fb)
+	}
+	count, sum, _, max := reg.Span("coverage.batch_lanes").Stats()
+	if count != batches {
+		t.Errorf("batch_lanes count %d, batches %d", count, batches)
+	}
+	if int(sum) != rep.Overall.Total {
+		t.Errorf("lane occupancy sum %d, universe size %d", sum, rep.Overall.Total)
+	}
+	if max > 63 {
+		t.Errorf("batch occupancy %d exceeds MaxLanes", max)
+	}
+	if graded := reg.Counter("coverage.faults_graded").Value(); int(graded) != rep.Overall.Total {
+		t.Errorf("faults_graded %d, universe size %d", graded, rep.Overall.Total)
+	}
+}
+
+// TestStreamFallbackOnDecomposedProgram pins the automatic fallback:
+// a prog-FSM program whose realised algorithm was decomposed emits an
+// operation stream that diverges from the reference stream, so Grade
+// must take the scalar path — and still match the oracle (already
+// guaranteed by sharing the scalar engine, checked again here on one
+// instance for the fallback specifically).
+func TestStreamFallbackOnDecomposedProgram(t *testing.T) {
+	var decomposed march.Algorithm
+	found := false
+	for name := range march.Library() {
+		alg, _ := march.ByName(name)
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{})
+		if err == nil && p.Decomposed {
+			decomposed, found = alg, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no library algorithm decomposes under the prog-FSM compiler")
+	}
+	reg := obs.Enable()
+	defer obs.Disable()
+	got, err := Grade(decomposed, ProgFSM, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb := reg.Counter("coverage.stream_fallbacks").Value(); fb == 0 {
+		t.Fatalf("%s on prog-fsm: expected a stream-capture fallback", decomposed.Name)
+	}
+	if reg.Counter("coverage.batches_replayed").Value() != 0 {
+		t.Errorf("%s on prog-fsm: batches replayed despite fallback", decomposed.Name)
+	}
+	want, err := GradeSerial(decomposed, ProgFSM, Options{Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s on prog-fsm: fallback report differs from oracle", decomposed.Name)
+	}
+}
+
+// TestStreamsEqual pins the guard helper.
+func TestStreamsEqual(t *testing.T) {
+	a := []march.StreamOp{{Write: true, Addr: 1, Data: 1}, {Addr: 1, Data: 1}}
+	if !streamsEqual(a, a) {
+		t.Error("identical streams compared unequal")
+	}
+	if streamsEqual(a, a[:1]) {
+		t.Error("length mismatch compared equal")
+	}
+	b := []march.StreamOp{{Write: true, Addr: 1, Data: 1}, {Addr: 2, Data: 1}}
+	if streamsEqual(a, b) {
+		t.Error("differing streams compared equal")
+	}
+}
+
+// TestGradeSerialForcesScalarEngine pins that the oracle entry point
+// never touches the lane engine.
+func TestGradeSerialForcesScalarEngine(t *testing.T) {
+	reg := obs.Enable()
+	defer obs.Disable()
+	alg, _ := march.ByName("marchc")
+	if _, err := GradeSerial(alg, Reference, Options{Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("coverage.batches_replayed").Value(); n != 0 {
+		t.Errorf("GradeSerial replayed %d batches, want 0", n)
+	}
+	if n := reg.Counter("coverage.faults_graded").Value(); n == 0 {
+		t.Error("GradeSerial graded no faults")
+	}
+}

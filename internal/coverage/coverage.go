@@ -1,8 +1,12 @@
 // Package coverage grades march algorithms and BIST architectures
-// against the functional fault universe: for every fault, a fresh
-// memory is built, the fault injected, the test executed, and detection
-// recorded. It cross-checks that all three controller architectures
-// achieve the fault coverage of the reference runner.
+// against the functional fault universe. Two engines exist: the scalar
+// oracle builds a fresh memory per fault, injects it and executes the
+// full test (one complete run per fault); the lane-parallel engine
+// captures the architecture's canonical operation stream once and
+// replays it over 63-fault batches packed into uint64 bit-planes
+// (PPSFP applied to the behavioural memory model). Both produce
+// byte-identical Reports; the lane engine is used automatically
+// whenever the captured stream matches the reference stream.
 package coverage
 
 import (
@@ -17,6 +21,7 @@ import (
 	"repro/internal/fsmbist"
 	"repro/internal/hardbist"
 	"repro/internal/march"
+	"repro/internal/memory"
 	"repro/internal/microbist"
 	"repro/internal/obs"
 )
@@ -44,6 +49,21 @@ func (a Architecture) String() string {
 	return fmt.Sprintf("arch(%d)", int(a))
 }
 
+// Engine selects the fault-simulation engine.
+type Engine uint8
+
+const (
+	// EngineAuto captures the architecture's operation stream on a
+	// fault-free memory and, when it matches the canonical reference
+	// stream, replays it over 63-fault lane batches; otherwise it falls
+	// back to EngineScalar. Reports are byte-identical either way.
+	EngineAuto Engine = iota
+	// EngineScalar simulates one fault at a time: a fresh injected
+	// memory and one complete test execution per fault — the oracle the
+	// lane engine is checked against.
+	EngineScalar
+)
+
 // Options configures a grading run.
 type Options struct {
 	// Size, Width, Ports set the memory geometry (defaults 16×1, 1 port).
@@ -56,6 +76,8 @@ type Options struct {
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. The report is
 	// byte-identical at any worker count.
 	Workers int
+	// Engine selects the fault-simulation engine (default EngineAuto).
+	Engine Engine
 }
 
 func (o *Options) normalise() {
@@ -102,47 +124,55 @@ type Report struct {
 }
 
 // Grade runs the algorithm against every fault in the universe on the
-// selected architecture. Faults are graded concurrently by
-// opts.Workers goroutines, each owning a private runner (the compiled
-// programs and generated controllers carry per-run execution state, so
-// a runner is not safe for concurrent reuse); detection results are
-// aggregated in universe order, so the Report — including the Missed
-// ordering — is byte-identical to a serial run.
+// selected architecture, using the engine Options selects (lane-batched
+// stream replay by default, with automatic fallback to the scalar
+// oracle). The Report — including the Missed ordering — is
+// byte-identical across engines and worker counts.
 func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
 	opts.normalise()
 	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
+	return gradeUniverse(alg, arch, opts, universe)
+}
 
+// GradeSerial grades with the scalar per-fault engine: one injected
+// memory and one complete test execution per fault. It is the oracle
+// Grade's lane-parallel engine is validated against ("serial" means
+// one fault at a time, matching logicbist.RandomPatternCoverageSerial;
+// the per-fault work still fans out over opts.Workers).
+func GradeSerial(alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
+	opts.Engine = EngineScalar
+	return Grade(alg, arch, opts)
+}
+
+// gradeUniverse grades a pre-enumerated universe; opts must be
+// normalised and the universe enumerated with opts.Universe on the
+// opts geometry. Matrix and Select use it to enumerate the fault
+// universe once per geometry and share it across Grade calls.
+func gradeUniverse(alg march.Algorithm, arch Architecture, opts Options, universe []faults.Fault) (*Report, error) {
 	detected := make([]bool, len(universe))
-	workers := opts.Workers
-	if workers > len(universe) {
-		workers = len(universe)
-	}
 	reg := obs.Active()
-	reg.Gauge("coverage.workers").Set(int64(workers))
-	mFaults := reg.Counter("coverage.faults_graded")
-	mFault := reg.Span("coverage.fault_ns")
-	if workers <= 1 {
-		runner, err := buildRunner(alg, arch, opts)
+	if opts.Engine == EngineAuto {
+		stream, ok, err := captureStream(alg, arch, opts)
 		if err != nil {
 			return nil, err
 		}
-		mWorker := reg.Counter("coverage.worker.00.faults")
-		for i, f := range universe {
-			start := mFault.Start()
-			mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
-			d, err := runner(mem)
-			if err != nil {
-				return nil, fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
+		if ok {
+			if err := gradeBatched(opts, universe, stream, detected); err != nil {
+				return nil, err
 			}
-			detected[i] = d
-			mFault.ObserveSince(start)
-			mFaults.Add(1)
-			mWorker.Add(1)
+			return buildReport(alg, arch, universe, detected), nil
 		}
-	} else if err := gradeParallel(alg, arch, opts, universe, detected, workers); err != nil {
+		// The captured stream diverged from the reference stream (e.g.
+		// a decomposed prog-FSM program): grade with the scalar oracle.
+		reg.Counter("coverage.stream_fallbacks").Add(1)
+	}
+	if err := gradeScalar(alg, arch, opts, universe, detected); err != nil {
 		return nil, err
 	}
+	return buildReport(alg, arch, universe, detected), nil
+}
 
+func buildReport(alg march.Algorithm, arch Architecture, universe []faults.Fault, detected []bool) *Report {
 	rep := &Report{
 		Algorithm:    alg.Name,
 		Architecture: arch,
@@ -160,8 +190,43 @@ func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error
 		}
 		rep.ByKind[f.Kind] = r
 	}
-	reg.Counter("coverage.detected").Add(int64(rep.Overall.Detected))
-	return rep, nil
+	obs.Active().Counter("coverage.detected").Add(int64(rep.Overall.Detected))
+	return rep
+}
+
+// gradeScalar fills detected[] with the per-fault oracle: universe[i]
+// is injected into a fresh memory and the test executed to its first
+// fail.
+func gradeScalar(alg march.Algorithm, arch Architecture, opts Options, universe []faults.Fault, detected []bool) error {
+	workers := opts.Workers
+	if workers > len(universe) {
+		workers = len(universe)
+	}
+	reg := obs.Active()
+	reg.Gauge("coverage.workers").Set(int64(workers))
+	mFaults := reg.Counter("coverage.faults_graded")
+	mFault := reg.Span("coverage.fault_ns")
+	if workers <= 1 {
+		runner, err := buildRunner(alg, arch, opts)
+		if err != nil {
+			return err
+		}
+		mWorker := reg.Counter("coverage.worker.00.faults")
+		for i, f := range universe {
+			start := mFault.Start()
+			mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
+			d, err := runner(mem)
+			if err != nil {
+				return fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
+			}
+			detected[i] = d
+			mFault.ObserveSince(start)
+			mFaults.Add(1)
+			mWorker.Add(1)
+		}
+		return nil
+	}
+	return gradeParallel(alg, arch, opts, universe, detected, workers)
 }
 
 // gradeParallel fans the fault universe out over a worker pool, filling
@@ -242,14 +307,14 @@ func gradeParallel(alg march.Algorithm, arch Architecture, opts Options,
 }
 
 // runner executes one test and reports detection.
-type runner func(mem *faults.Injected) (bool, error)
+type runner func(mem memory.Memory) (bool, error)
 
 func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, error) {
 	word := opts.Width > 1
 	multi := opts.Ports > 1
 	switch arch {
 	case Reference:
-		return func(mem *faults.Injected) (bool, error) {
+		return func(mem memory.Memory) (bool, error) {
 			res, err := march.Run(alg, mem, march.RunOpts{
 				MaxFails: 1, SinglePort: !multi, SingleBackground: !word,
 			})
@@ -263,7 +328,7 @@ func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, 
 		if err != nil {
 			return nil, err
 		}
-		return func(mem *faults.Injected) (bool, error) {
+		return func(mem memory.Memory) (bool, error) {
 			res, err := p.Run(mem, microbist.ExecOpts{MaxFails: 1})
 			if err != nil {
 				return false, err
@@ -275,7 +340,7 @@ func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, 
 		if err != nil {
 			return nil, err
 		}
-		return func(mem *faults.Injected) (bool, error) {
+		return func(mem memory.Memory) (bool, error) {
 			res, err := p.Run(mem, fsmbist.ExecOpts{MaxFails: 1})
 			if err != nil {
 				return false, err
@@ -291,7 +356,7 @@ func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, 
 		if err != nil {
 			return nil, err
 		}
-		return func(mem *faults.Injected) (bool, error) {
+		return func(mem memory.Memory) (bool, error) {
 			res, err := c.Run(mem, hardbist.ExecOpts{MaxFails: 1})
 			if err != nil {
 				return false, err
@@ -319,12 +384,15 @@ func (rep *Report) String() string {
 }
 
 // Matrix grades several algorithms on one architecture and renders a
-// kind-by-algorithm coverage table.
+// kind-by-algorithm coverage table. The fault universe is enumerated
+// once for the geometry and shared across all Grade calls.
 func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, error) {
+	opts.normalise()
+	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
 	var reports []*Report
 	kindSet := map[faults.Kind]bool{}
 	for _, alg := range algs {
-		rep, err := Grade(alg, arch, opts)
+		rep, err := gradeUniverse(alg, arch, opts, universe)
 		if err != nil {
 			return "", err
 		}

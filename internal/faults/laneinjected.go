@@ -1,0 +1,494 @@
+package faults
+
+import "fmt"
+
+// MaxLanes is the number of fault lanes a LaneInjected carries: 64
+// uint64 bit-positions minus lane 0, which is reserved for the
+// fault-free (good) machine.
+const MaxLanes = 63
+
+// LaneInjected packs one good machine and up to 63 single-fault
+// machines into uint64 bit-planes, one plane per bit cell: bit k of
+// planes[cell] is the cell value of lane k's machine. Lane 0 carries no
+// fault; lane k (k >= 1) carries exactly faults[k-1] of the batch. All
+// fault behaviour of the scalar Injected model — stuck-at, transition,
+// write-disturb, stuck-open, retention, read-disturb, incorrect-read,
+// deceptive-read, coupling and address-decoder faults, with per-port
+// visibility — becomes lane-masked bitwise operations, so one replayed
+// operation stream grades a whole batch at once (the PPSFP idea of
+// parallel-pattern single-fault propagation applied to the behavioural
+// memory model).
+//
+// Because every lane holds at most ONE fault, fault interactions within
+// a lane cannot occur and the per-kind mask applications are
+// order-independent; lane k is bit-identical to a scalar Injected
+// carrying only fault k (asserted by TestLaneInjectedMatchesScalar).
+type LaneInjected struct {
+	size  int
+	width int
+	ports int
+
+	planes []uint64 // size*width cell planes, bit k = lane k's cell
+
+	// Write-path victim masks, per port (AnyPort faults set every port).
+	sa0, sa1     portCellMask
+	tfUp, tfDown portCellMask // cannot rise / cannot fall
+	wdf0, wdf1   portCellMask // non-transition w0 / w1 flips
+
+	// Read-path victim masks.
+	sof          portCellMask
+	rdf0, rdf1   portCellMask // 3rd+ consecutive read returns 0 / 1
+	irf0, irf1   portCellMask // reading a 0 / 1 returns the complement
+	drdf0, drdf1 portCellMask // reading a 0 / 1 flips the cell
+
+	drf []drfEntry // retention leaks, applied on Pause (port-agnostic)
+
+	cfTrig  [][]cfEntry // aggressor cell -> CFin/CFid entries
+	cfState []cfEntry   // CFst entries, re-applied after writes/pauses
+
+	afNone  portAddrMask // lanes whose address selects no cell
+	afRedir [][]afEntry  // addr -> AFMap/AFMulti redirections
+
+	faults []Fault // the batch, lane k = faults[k-1]
+
+	senseLatch  [][]uint64 // [port][bit lane] previous sensed planes
+	consecReads []int32    // per cell: consecutive reads since last write
+}
+
+// portCellMask is a lane mask per (port, cell), allocated lazily on the
+// first fault of its kind; the nil mask reads as zero everywhere so
+// absent fault kinds cost one branch per access.
+type portCellMask struct {
+	byPort [][]uint64
+}
+
+func (m *portCellMask) add(ports, cells, port, cell int, lane uint64) {
+	if m.byPort == nil {
+		m.byPort = make([][]uint64, ports)
+		for p := range m.byPort {
+			m.byPort[p] = make([]uint64, cells)
+		}
+	}
+	if port == AnyPort {
+		for p := range m.byPort {
+			m.byPort[p][cell] |= lane
+		}
+		return
+	}
+	m.byPort[port][cell] |= lane
+}
+
+func (m *portCellMask) at(port, cell int) uint64 {
+	if m.byPort == nil {
+		return 0
+	}
+	return m.byPort[port][cell]
+}
+
+// portAddrMask is portCellMask indexed by word address.
+type portAddrMask struct {
+	byPort [][]uint64
+}
+
+func (m *portAddrMask) add(ports, size, port, addr int, lane uint64) {
+	if m.byPort == nil {
+		m.byPort = make([][]uint64, ports)
+		for p := range m.byPort {
+			m.byPort[p] = make([]uint64, size)
+		}
+	}
+	if port == AnyPort {
+		for p := range m.byPort {
+			m.byPort[p][addr] |= lane
+		}
+		return
+	}
+	m.byPort[port][addr] |= lane
+}
+
+func (m *portAddrMask) at(port, addr int) uint64 {
+	if m.byPort == nil {
+		return 0
+	}
+	return m.byPort[port][addr]
+}
+
+// cfEntry is one coupling fault: lane is the single lane bit carrying
+// it.
+type cfEntry struct {
+	agg    int
+	victim int
+	lane   uint64
+	kind   Kind
+	aggVal bool
+	value  bool
+}
+
+// drfEntry is one retention leak.
+type drfEntry struct {
+	cell  int
+	lane  uint64
+	value bool
+}
+
+// afEntry is one AFMap/AFMulti redirection at its faulty address.
+type afEntry struct {
+	lane    uint64
+	aggAddr int
+	multi   bool
+	port    int
+}
+
+func (e afEntry) appliesTo(port int) bool {
+	return e.port == AnyPort || e.port == port
+}
+
+// NewLaneInjected returns a lane-parallel memory of the given geometry
+// with batch[i] injected into lane i+1 (lane 0 stays fault-free). The
+// batch holds at most MaxLanes faults; fault validation matches the
+// scalar NewInjected. All cells start at zero.
+func NewLaneInjected(size, width, ports int, batch []Fault) *LaneInjected {
+	if size <= 0 || width < 1 || width > 64 || ports <= 0 {
+		panic(fmt.Sprintf("faults: bad geometry %dx%d, %d ports", size, width, ports))
+	}
+	if len(batch) > MaxLanes {
+		panic(fmt.Sprintf("faults: batch of %d exceeds %d lanes", len(batch), MaxLanes))
+	}
+	m := &LaneInjected{
+		size:        size,
+		width:       width,
+		ports:       ports,
+		planes:      make([]uint64, size*width),
+		cfTrig:      make([][]cfEntry, size*width),
+		afRedir:     make([][]afEntry, size),
+		faults:      batch,
+		consecReads: make([]int32, size*width),
+	}
+	m.senseLatch = make([][]uint64, ports)
+	for p := range m.senseLatch {
+		m.senseLatch[p] = make([]uint64, width)
+	}
+	for i, f := range batch {
+		m.inject(f, uint64(1)<<uint(i+1))
+	}
+	return m
+}
+
+func (m *LaneInjected) inject(f Fault, lane uint64) {
+	cells := len(m.planes)
+	checkCell := func(c int) {
+		if c < 0 || c >= cells {
+			panic(fmt.Sprintf("faults: victim cell %d out of range", c))
+		}
+	}
+	switch f.Kind {
+	case SA:
+		checkCell(f.Cell)
+		if f.Value {
+			m.sa1.add(m.ports, cells, f.Port, f.Cell, lane)
+		} else {
+			m.sa0.add(m.ports, cells, f.Port, f.Cell, lane)
+		}
+	case TF:
+		checkCell(f.Cell)
+		if f.Value {
+			m.tfUp.add(m.ports, cells, f.Port, f.Cell, lane)
+		} else {
+			m.tfDown.add(m.ports, cells, f.Port, f.Cell, lane)
+		}
+	case WDF:
+		checkCell(f.Cell)
+		if f.Value {
+			m.wdf1.add(m.ports, cells, f.Port, f.Cell, lane)
+		} else {
+			m.wdf0.add(m.ports, cells, f.Port, f.Cell, lane)
+		}
+	case SOF:
+		checkCell(f.Cell)
+		m.sof.add(m.ports, cells, f.Port, f.Cell, lane)
+	case RDF:
+		checkCell(f.Cell)
+		if f.Value {
+			m.rdf1.add(m.ports, cells, f.Port, f.Cell, lane)
+		} else {
+			m.rdf0.add(m.ports, cells, f.Port, f.Cell, lane)
+		}
+	case IRF:
+		checkCell(f.Cell)
+		if f.Value {
+			m.irf1.add(m.ports, cells, f.Port, f.Cell, lane)
+		} else {
+			m.irf0.add(m.ports, cells, f.Port, f.Cell, lane)
+		}
+	case DRDF:
+		checkCell(f.Cell)
+		if f.Value {
+			m.drdf1.add(m.ports, cells, f.Port, f.Cell, lane)
+		} else {
+			m.drdf0.add(m.ports, cells, f.Port, f.Cell, lane)
+		}
+	case DRF:
+		checkCell(f.Cell)
+		m.drf = append(m.drf, drfEntry{cell: f.Cell, lane: lane, value: f.Value})
+	case CFin, CFid:
+		if f.Cell < 0 || f.Cell >= cells || f.Aggressor < 0 || f.Aggressor >= cells {
+			panic("faults: coupling fault cell out of range")
+		}
+		if f.Cell == f.Aggressor {
+			panic("faults: coupling fault victim == aggressor")
+		}
+		m.cfTrig[f.Aggressor] = append(m.cfTrig[f.Aggressor], cfEntry{
+			agg: f.Aggressor, victim: f.Cell, lane: lane,
+			kind: f.Kind, aggVal: f.AggVal, value: f.Value,
+		})
+	case CFst:
+		if f.Cell == f.Aggressor {
+			panic("faults: coupling fault victim == aggressor")
+		}
+		m.cfState = append(m.cfState, cfEntry{
+			agg: f.Aggressor, victim: f.Cell, lane: lane,
+			kind: f.Kind, aggVal: f.AggVal, value: f.Value,
+		})
+	case AFNone, AFMap, AFMulti:
+		if f.Addr < 0 || f.Addr >= m.size {
+			panic("faults: AF address out of range")
+		}
+		if f.Kind == AFNone {
+			m.afNone.add(m.ports, m.size, f.Port, f.Addr, lane)
+		} else {
+			m.afRedir[f.Addr] = append(m.afRedir[f.Addr], afEntry{
+				lane: lane, aggAddr: f.AggAddr, multi: f.Kind == AFMulti, port: f.Port,
+			})
+		}
+	default:
+		panic("faults: unknown fault kind")
+	}
+}
+
+// Size returns the number of word addresses.
+func (m *LaneInjected) Size() int { return m.size }
+
+// Width returns the bits per word.
+func (m *LaneInjected) Width() int { return m.width }
+
+// Ports returns the number of access ports.
+func (m *LaneInjected) Ports() int { return m.ports }
+
+// Lanes returns the number of occupied fault lanes (the batch size).
+func (m *LaneInjected) Lanes() int { return len(m.faults) }
+
+// FaultMask returns the lane mask covering the occupied fault lanes
+// (bits 1..Lanes()).
+func (m *LaneInjected) FaultMask() uint64 {
+	if len(m.faults) == 63 {
+		return ^uint64(0) &^ 1
+	}
+	return (uint64(1)<<uint(len(m.faults)+1) - 1) &^ 1
+}
+
+func (m *LaneInjected) checkAccess(port, addr int) {
+	if port < 0 || port >= m.ports {
+		panic(fmt.Sprintf("faults: port %d out of [0,%d)", port, m.ports))
+	}
+	if addr < 0 || addr >= m.size {
+		panic(fmt.Sprintf("faults: address %d out of [0,%d)", addr, m.size))
+	}
+}
+
+// Write stores data at addr through port in every lane at once,
+// applying each lane's fault behaviour.
+func (m *LaneInjected) Write(port, addr int, data uint64) {
+	m.checkAccess(port, addr)
+	noneLanes := m.afNone.at(port, addr)
+	redir := m.afRedir[addr]
+	var mapLanes uint64
+	for _, e := range redir {
+		if !e.multi && e.appliesTo(port) {
+			mapLanes |= e.lane
+		}
+	}
+	// Lanes whose decoder drops the write (AFNone) or redirects it
+	// entirely (AFMap) skip the normal cells; AFMulti lanes write both.
+	defLanes := ^uint64(0) &^ (noneLanes | mapLanes)
+	for bit := 0; bit < m.width; bit++ {
+		cell := addr*m.width + bit
+		var vplane uint64
+		if data>>uint(bit)&1 == 1 {
+			vplane = ^uint64(0)
+		}
+		m.writeCell(port, cell, vplane, defLanes)
+		// Writes reset read-disturb accumulation. The shared counter
+		// tracks the default-decode access sequence, which is exact for
+		// every lane that can carry an RDF fault (an RDF lane never has
+		// a decoder fault of its own).
+		m.consecReads[cell] = 0
+		for _, e := range redir {
+			if !e.appliesTo(port) {
+				continue
+			}
+			m.writeCell(port, e.aggAddr*m.width+bit, vplane, e.lane)
+		}
+	}
+	m.applyStateCFs()
+}
+
+// writeCell updates one cell plane within laneMask, applying write-path
+// faults and firing coupling triggers for lanes whose cell transitioned.
+func (m *LaneInjected) writeCell(port, cell int, vplane, laneMask uint64) {
+	old := m.planes[cell]
+	eff := vplane
+	// Stuck-at lanes hold their value regardless of the write.
+	eff = (eff &^ m.sa0.at(port, cell)) | m.sa1.at(port, cell)
+	// Transition faults: ⟨↑⟩ lanes cannot rise, ⟨↓⟩ lanes cannot fall.
+	eff &^= m.tfUp.at(port, cell) & ^old
+	eff |= m.tfDown.at(port, cell) & old
+	// Write-disturb: a non-transition write flips the cell.
+	eff |= m.wdf0.at(port, cell) & ^old & ^vplane
+	eff &^= m.wdf1.at(port, cell) & old & vplane
+
+	next := (old &^ laneMask) | (eff & laneMask)
+	m.planes[cell] = next
+
+	changed := old ^ next
+	if changed == 0 {
+		return
+	}
+	if trig := m.cfTrig[cell]; trig != nil {
+		rose := changed & next
+		fell := changed & old
+		for _, e := range trig {
+			var fire uint64
+			if e.aggVal {
+				fire = rose & e.lane
+			} else {
+				fire = fell & e.lane
+			}
+			if fire == 0 {
+				continue
+			}
+			// Victim updates are direct (non-cascading), the standard
+			// single-fault simulation semantics.
+			if e.kind == CFin {
+				m.planes[e.victim] ^= fire
+			} else if e.value {
+				m.planes[e.victim] |= fire
+			} else {
+				m.planes[e.victim] &^= fire
+			}
+		}
+	}
+}
+
+func (m *LaneInjected) applyStateCFs() {
+	for _, e := range m.cfState {
+		cond := m.planes[e.agg]
+		if !e.aggVal {
+			cond = ^cond
+		}
+		cond &= e.lane
+		if e.value {
+			m.planes[e.victim] |= cond
+		} else {
+			m.planes[e.victim] &^= cond
+		}
+	}
+}
+
+// ReadLanes reads the word at addr through port in every lane at once
+// and appends the width per-bit result planes to dst (bit k of
+// dst[bit] is lane k's read value of that bit). It applies read-path
+// fault behaviour — including its side effects on cell state, sense
+// latches and read-disturb counters — lane-exactly.
+func (m *LaneInjected) ReadLanes(port, addr int, dst []uint64) []uint64 {
+	m.checkAccess(port, addr)
+	noneLanes := m.afNone.at(port, addr)
+	redir := m.afRedir[addr]
+	var mapLanes uint64
+	for _, e := range redir {
+		if !e.multi && e.appliesTo(port) {
+			mapLanes |= e.lane
+		}
+	}
+	defLanes := ^uint64(0) &^ (noneLanes | mapLanes)
+	for bit := 0; bit < m.width; bit++ {
+		cell := addr*m.width + bit
+		v := m.readCell(port, cell, bit, defLanes, true)
+		if noneLanes != 0 {
+			// No cell selected: the data bus floats; model as
+			// all-zeros and reset the sense latch on those lanes.
+			v &^= noneLanes
+			m.senseLatch[port][bit] &^= noneLanes
+		}
+		for _, e := range redir {
+			if !e.appliesTo(port) {
+				continue
+			}
+			av := m.readCell(port, e.aggAddr*m.width+bit, bit, e.lane, false)
+			if e.multi {
+				// Multi-select reads see the wired-AND of both cells.
+				v &^= e.lane &^ av
+			} else {
+				v = (v &^ e.lane) | (av & e.lane)
+			}
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// readCell senses one cell plane within laneMask, applying read-path
+// faults. countRead marks default-decode accesses, which drive the
+// shared consecutive-read counter (exact for RDF lanes; see Write).
+func (m *LaneInjected) readCell(port, cell, bit int, laneMask uint64, countRead bool) uint64 {
+	raw := m.planes[cell]
+	v := (raw &^ m.sa0.at(port, cell)) | m.sa1.at(port, cell)
+	if countRead {
+		m.consecReads[cell]++
+	}
+	if m.consecReads[cell] >= 3 {
+		// Disconnected pull-up/down: the 3rd+ consecutive read decays
+		// to the fault value.
+		v = (v &^ m.rdf0.at(port, cell)) | m.rdf1.at(port, cell)
+	}
+	// Incorrect-read: the complement is returned, the cell unchanged.
+	v |= m.irf0.at(port, cell) & ^raw
+	v &^= m.irf1.at(port, cell) & raw
+	// Deceptive read-destructive: the read returns the correct value
+	// but flips the cell.
+	set := m.drdf0.at(port, cell) & ^raw & laneMask
+	clear := m.drdf1.at(port, cell) & raw & laneMask
+	if set|clear != 0 {
+		m.planes[cell] = (raw | set) &^ clear
+	}
+	// Stuck-open lanes re-deliver the sense amplifier's previous value
+	// and do not refresh it; every other lane latches what it sensed.
+	sofLanes := m.sof.at(port, cell) & laneMask
+	latch := m.senseLatch[port][bit]
+	out := (v &^ sofLanes) | (latch & sofLanes)
+	update := laneMask &^ sofLanes
+	m.senseLatch[port][bit] = (latch &^ update) | (v & update)
+	return out
+}
+
+// Pause models a retention delay: every DRF victim leaks to its value
+// in its lane.
+func (m *LaneInjected) Pause() {
+	for _, e := range m.drf {
+		if e.value {
+			m.planes[e.cell] |= e.lane
+		} else {
+			m.planes[e.cell] &^= e.lane
+		}
+	}
+	m.applyStateCFs()
+}
+
+// CellPlane returns the raw stored lane plane of a cell (test
+// introspection).
+func (m *LaneInjected) CellPlane(cell int) uint64 { return m.planes[cell] }
+
+// LaneCellState returns lane k's stored value of a cell (test
+// introspection; lane 0 is the good machine).
+func (m *LaneInjected) LaneCellState(lane, cell int) bool {
+	return m.planes[cell]>>uint(lane)&1 == 1
+}

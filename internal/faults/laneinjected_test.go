@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laneWord extracts lane k's word from the per-bit planes ReadLanes
+// returned.
+func laneWord(planes []uint64, lane int) uint64 {
+	var w uint64
+	for bit, p := range planes {
+		w |= (p >> uint(lane) & 1) << uint(bit)
+	}
+	return w
+}
+
+// TestLaneInjectedMatchesScalar is the lane-equivalence property test:
+// a random operation sequence (reads, writes and pauses over random
+// ports and addresses) driven through a LaneInjected must leave every
+// lane k bit-identical — every read value and every final cell state —
+// to a scalar Injected carrying only fault k, across every fault kind
+// in the universe. Lane 0 must match a fault-free Injected.
+func TestLaneInjectedMatchesScalar(t *testing.T) {
+	geometries := []struct {
+		size, width, ports int
+	}{
+		{8, 1, 1},
+		{4, 2, 2},
+		{5, 3, 1},
+	}
+	for _, g := range geometries {
+		universe := Universe(g.size, g.width, UniverseOpts{Ports: g.ports})
+		rng := rand.New(rand.NewSource(int64(g.size*1000 + g.width*10 + g.ports)))
+		mask := uint64(1)<<uint(g.width) - 1
+		for start := 0; start < len(universe); start += MaxLanes {
+			end := start + MaxLanes
+			if end > len(universe) {
+				end = len(universe)
+			}
+			batch := universe[start:end]
+			lanes := NewLaneInjected(g.size, g.width, g.ports, batch)
+			// scalars[0] is the fault-free machine (lane 0), scalars[k]
+			// carries batch[k-1].
+			scalars := make([]*Injected, len(batch)+1)
+			scalars[0] = NewInjected(g.size, g.width, g.ports)
+			for i, f := range batch {
+				scalars[i+1] = NewInjected(g.size, g.width, g.ports, f)
+			}
+
+			var planes []uint64
+			for step := 0; step < 400; step++ {
+				port := rng.Intn(g.ports)
+				addr := rng.Intn(g.size)
+				switch r := rng.Float64(); {
+				case r < 0.45:
+					data := rng.Uint64() & mask
+					lanes.Write(port, addr, data)
+					for _, s := range scalars {
+						s.Write(port, addr, data)
+					}
+				case r < 0.9:
+					planes = lanes.ReadLanes(port, addr, planes[:0])
+					for k, s := range scalars {
+						want := s.Read(port, addr)
+						if got := laneWord(planes, k); got != want {
+							fault := "none (good machine)"
+							if k > 0 {
+								fault = batch[k-1].String()
+							}
+							t.Fatalf("%dx%d/%dp step %d: read(p%d,a%d) lane %d = %0*b, scalar %0*b (fault %s)",
+								g.size, g.width, g.ports, step, port, addr, k,
+								g.width, got, g.width, want, fault)
+						}
+					}
+				default:
+					lanes.Pause()
+					for _, s := range scalars {
+						s.Pause()
+					}
+				}
+			}
+
+			for cell := 0; cell < g.size*g.width; cell++ {
+				for k, s := range scalars {
+					if lanes.LaneCellState(k, cell) != s.CellState(cell) {
+						fault := "none (good machine)"
+						if k > 0 {
+							fault = batch[k-1].String()
+						}
+						t.Fatalf("%dx%d/%dp: final cell %d lane %d = %v, scalar %v (fault %s)",
+							g.size, g.width, g.ports, cell, k,
+							lanes.LaneCellState(k, cell), s.CellState(cell), fault)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLaneInjectedMarchSequence drives a march-like deterministic
+// sequence (solid write sweep, read sweeps up and down, pause) so the
+// consecutive-read and retention paths are hit with certainty rather
+// than by random luck.
+func TestLaneInjectedMarchSequence(t *testing.T) {
+	size, width, ports := 6, 1, 1
+	universe := Universe(size, width, UniverseOpts{})
+	for start := 0; start < len(universe); start += MaxLanes {
+		end := start + MaxLanes
+		if end > len(universe) {
+			end = len(universe)
+		}
+		batch := universe[start:end]
+		lanes := NewLaneInjected(size, width, ports, batch)
+		scalars := make([]*Injected, len(batch)+1)
+		scalars[0] = NewInjected(size, width, ports)
+		for i, f := range batch {
+			scalars[i+1] = NewInjected(size, width, ports, f)
+		}
+
+		var planes []uint64
+		check := func(what string, addr int) {
+			t.Helper()
+			planes = lanes.ReadLanes(0, addr, planes[:0])
+			for k, s := range scalars {
+				want := s.Read(0, addr)
+				if got := laneWord(planes, k); got != want {
+					fault := "none"
+					if k > 0 {
+						fault = batch[k-1].String()
+					}
+					t.Fatalf("%s a%d lane %d = %b, scalar %b (fault %s)", what, addr, k, got, want, fault)
+				}
+			}
+		}
+		write := func(addr int, data uint64) {
+			lanes.Write(0, addr, data)
+			for _, s := range scalars {
+				s.Write(0, addr, data)
+			}
+		}
+		pause := func() {
+			lanes.Pause()
+			for _, s := range scalars {
+				s.Pause()
+			}
+		}
+
+		for a := 0; a < size; a++ {
+			write(a, 0)
+		}
+		for a := 0; a < size; a++ {
+			check("r0", a)
+			write(a, 1)
+			check("r1", a)
+		}
+		pause()
+		for a := size - 1; a >= 0; a-- {
+			// Triple consecutive reads excite RDF and DRDF lanes.
+			check("r1a", a)
+			check("r1b", a)
+			check("r1c", a)
+			write(a, 0)
+		}
+		pause()
+		for a := 0; a < size; a++ {
+			check("r0-final", a)
+		}
+	}
+}
+
+// TestLaneInjectedPanics pins the constructor's validation, matching
+// the scalar model.
+func TestLaneInjectedPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad geometry", func() { NewLaneInjected(0, 1, 1, nil) })
+	expectPanic("oversized batch", func() {
+		NewLaneInjected(128, 1, 1, Universe(128, 1, UniverseOpts{}))
+	})
+	expectPanic("victim out of range", func() {
+		NewLaneInjected(4, 1, 1, []Fault{{Kind: SA, Cell: 99, Port: AnyPort}})
+	})
+	expectPanic("victim == aggressor", func() {
+		NewLaneInjected(4, 1, 1, []Fault{{Kind: CFin, Cell: 1, Aggressor: 1, Port: AnyPort}})
+	})
+}
+
+// TestLaneInjectedFaultMask pins the occupied-lane mask.
+func TestLaneInjectedFaultMask(t *testing.T) {
+	m := NewLaneInjected(4, 1, 1, []Fault{
+		{Kind: SA, Cell: 0, Port: AnyPort},
+		{Kind: SA, Cell: 1, Value: true, Port: AnyPort},
+	})
+	if got, want := m.FaultMask(), uint64(0b110); got != want {
+		t.Errorf("FaultMask() = %b, want %b", got, want)
+	}
+	if m.Lanes() != 2 {
+		t.Errorf("Lanes() = %d, want 2", m.Lanes())
+	}
+	full := NewLaneInjected(128, 1, 1, Universe(128, 1, UniverseOpts{})[:63])
+	if got, want := full.FaultMask(), ^uint64(0)&^1; got != want {
+		t.Errorf("full FaultMask() = %x, want %x", got, want)
+	}
+}

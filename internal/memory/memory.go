@@ -105,7 +105,7 @@ func Fill(m Memory, data uint64) {
 // Equal reports whether two memories have identical geometry and
 // contents (as observed through port 0).
 func Equal(a, b Memory) bool {
-	if a.Size() != b.Size() || a.Width() != b.Width() {
+	if a.Size() != b.Size() || a.Width() != b.Width() || a.Ports() != b.Ports() {
 		return false
 	}
 	for i := 0; i < a.Size(); i++ {

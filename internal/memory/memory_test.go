@@ -89,6 +89,24 @@ func TestFillAndEqual(t *testing.T) {
 	}
 }
 
+// TestEqualChecksPorts pins the port count as part of the geometry:
+// two memories with identical contents but different port counts are
+// not interchangeable under a multiport march pass.
+func TestEqualChecksPorts(t *testing.T) {
+	a := NewSRAM(8, 2, 1)
+	b := NewSRAM(8, 2, 2)
+	Fill(a, 0b01)
+	Fill(b, 0b01)
+	if Equal(a, b) {
+		t.Error("memories with different port counts compare equal")
+	}
+	c := NewSRAM(8, 2, 2)
+	Fill(c, 0b01)
+	if !Equal(b, c) {
+		t.Error("same-geometry identically filled memories compare unequal")
+	}
+}
+
 // Property: a write is durable and independent of other addresses.
 func TestWriteReadProperty(t *testing.T) {
 	m := NewSRAM(64, 16, 1)

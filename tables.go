@@ -56,10 +56,29 @@ type CoverageReport = coverage.Report
 // CoverageOptions configures fault-coverage grading.
 type CoverageOptions = coverage.Options
 
+// CoverageEngine selects the fault-simulation engine.
+type CoverageEngine = coverage.Engine
+
+// Coverage engines.
+const (
+	// CoverageEngineAuto uses lane-parallel stream replay when the
+	// architecture's operation stream matches the reference stream,
+	// falling back to the scalar oracle otherwise.
+	CoverageEngineAuto = coverage.EngineAuto
+	// CoverageEngineScalar simulates one fault at a time.
+	CoverageEngineScalar = coverage.EngineScalar
+)
+
 // GradeCoverage runs the algorithm against the functional fault
 // universe on the selected architecture.
 func GradeCoverage(alg Algorithm, arch Architecture, opts CoverageOptions) (*CoverageReport, error) {
 	return coverage.Grade(alg, arch, opts)
+}
+
+// GradeCoverageSerial grades with the scalar one-fault-at-a-time
+// oracle the lane-parallel engine is validated against.
+func GradeCoverageSerial(alg Algorithm, arch Architecture, opts CoverageOptions) (*CoverageReport, error) {
+	return coverage.GradeSerial(alg, arch, opts)
 }
 
 // CoverageMatrix renders a fault-kind × algorithm coverage table.
