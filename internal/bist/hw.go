@@ -48,10 +48,22 @@ type DataGenNets struct {
 // pattern, XORed with the invert polarity input.
 func BuildDataGen(nl *netlist.Netlist, width int, step, clr, invert netlist.NetID) DataGenNets {
 	bgs := march.Backgrounds(width)
-	bgBits := logic.Log2Ceil(len(bgs))
-	if bgBits == 0 {
-		bgBits = 1
+	if len(bgs) == 1 {
+		// A single background (bit-oriented memories) needs no counter:
+		// the generator degenerates to the polarity XOR and a tied-high
+		// last-background flag. Building the counter anyway would leave
+		// a flip-flop that can never leave its reset value.
+		pattern := make([]netlist.NetID, width)
+		for lane := 0; lane < width; lane++ {
+			bit := nl.Const0()
+			if bgs[0]>>uint(lane)&1 == 1 {
+				bit = nl.Const1()
+			}
+			pattern[lane] = nl.Xor2(bit, invert)
+		}
+		return DataGenNets{Last: nl.Const1(), Pattern: pattern}
 	}
+	bgBits := logic.Log2Ceil(len(bgs))
 	c := nl.BuildCounter("bg", bgBits, step, netlist.Invalid, clr)
 	last := nl.EqualsConst(c.Q, uint64(len(bgs)-1))
 

@@ -50,6 +50,12 @@ func (s *InputSet) Names() []string { return s.names }
 // Len returns the number of inputs.
 func (s *InputSet) Len() int { return len(s.names) }
 
+// Has reports whether the set declares the named input.
+func (s *InputSet) Has(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
 // Bit returns the bit position of a named input.
 func (s *InputSet) Bit(name string) int {
 	i, ok := s.index[name]

@@ -68,14 +68,10 @@ func RunBISTUnit(nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTRe
 			return nil, err
 		}
 	}
-	lastDataIn, err := need(in, "last_data")
-	if err != nil {
-		return nil, err
-	}
-	lastPortIn, err := need(in, "last_port")
-	if err != nil {
-		return nil, err
-	}
+	// Controllers generated for simpler memories may have no data or
+	// port condition pin at all; the feedback loop skips absent inputs.
+	lastDataIn, hasLastData := in("last_data")
+	lastPortIn, hasLastPort := in("last_port")
 	readEn, ok := out("read_en")
 	if !ok {
 		if readEn, err = need(out, "read"); err != nil {
@@ -149,11 +145,15 @@ func RunBISTUnit(nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTRe
 		// Feed the datapath's condition flags back to the controller.
 		sim.Eval()
 		sim.Set(lastAddrIn, sim.Get(dpLastAddr))
-		sim.Set(lastDataIn, sim.Get(dpLastData))
-		if hasPortLoop {
-			sim.Set(lastPortIn, sim.Get(dpLastPort))
-		} else {
-			sim.Set(lastPortIn, true)
+		if hasLastData {
+			sim.Set(lastDataIn, sim.Get(dpLastData))
+		}
+		if hasLastPort {
+			if hasPortLoop {
+				sim.Set(lastPortIn, sim.Get(dpLastPort))
+			} else {
+				sim.Set(lastPortIn, true)
+			}
 		}
 		sim.Eval()
 

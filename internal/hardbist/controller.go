@@ -94,7 +94,20 @@ func Generate(a march.Algorithm, cfg Config) (*Controller, error) {
 		cfg.Ports = 1
 	}
 
-	inputs := fsm.NewInputSet("start", "last_addr", "last_data", "last_port", "delay_done")
+	// Declare only the condition inputs this configuration's guards can
+	// use; a hardwired controller for a simpler memory has no last_data
+	// or last_port pin at all (the linter flags inputs nothing reads).
+	names := []string{"start", "last_addr"}
+	if cfg.WordOriented {
+		names = append(names, "last_data")
+	}
+	if cfg.Multiport {
+		names = append(names, "last_port")
+	}
+	if a.Pauses() > 0 {
+		names = append(names, "delay_done")
+	}
+	inputs := fsm.NewInputSet(names...)
 	c := &Controller{Algorithm: a, Config: cfg}
 	sp := &fsm.Spec{
 		Name:    "hardwired-" + a.Name,
@@ -248,7 +261,7 @@ func (c *Controller) Synthesise() (*netlist.Netlist, error) {
 	}
 	nl := netlist.New(c.Spec.Name)
 	var bind map[string]netlist.NetID
-	if cfg.DelayTimerBits > 0 {
+	if cfg.DelayTimerBits > 0 && c.Spec.Inputs.Has("delay_done") {
 		timer := nl.BuildCounter("delay", cfg.DelayTimerBits, nl.Const1(), netlist.Invalid, netlist.Invalid)
 		bind = map[string]netlist.NetID{"delay_done": timer.Terminal}
 	}

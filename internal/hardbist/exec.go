@@ -92,7 +92,7 @@ func (c *Controller) Run(mem memory.Memory, opts ExecOpts) (*ExecResult, error) 
 		// Sample conditions before stepping the generators.
 		var inputs uint64
 		setBit := func(name string, v bool) {
-			if v {
+			if v && in.Has(name) {
 				inputs |= 1 << uint(in.Bit(name))
 			}
 		}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is deliberately added out of order: the reporters must
+// sort before rendering so output is byte-stable run to run.
+func goldenReport() *Report {
+	r := &Report{Artifacts: 5}
+	r.Add(
+		finding(Warning, "unused-input", "netlist:hardwired/marchc/bit/ctrl", "primary input delay_done drives nothing"),
+		finding(Error, "comb-loop", "netlist:fsm/marchx/word/unit", "combinational loop through 2 gates: a(AND2), b(OR2)"),
+		finding(Error, "non-termination", "ucode:marchy/bit", "hold at instruction 3 never advances the address generator (AddrInc clear)"),
+		finding(Info, "single-polarity", "march:demo", "all 2 writes use polarity 0: the complement cell state is never established"),
+		finding(Warning, "dead-logic", "netlist:fsm/marchx/word/unit", "1 instances outside every output cone: n9(INV)"),
+	)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s does not match golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTextReportGolden(t *testing.T) {
+	checkGolden(t, "report.txt", []byte(goldenReport().Text()))
+}
+
+func TestJSONReportGolden(t *testing.T) {
+	b, err := goldenReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report.json", b)
+}
+
+// TestReportersAreByteStable renders twice from independently built
+// reports and demands identical bytes — the property CI diffs rely on.
+func TestReportersAreByteStable(t *testing.T) {
+	if goldenReport().Text() != goldenReport().Text() {
+		t.Error("Text() is not deterministic")
+	}
+	a, err := goldenReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := goldenReport().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("JSON() is not deterministic")
+	}
+}

@@ -1,0 +1,161 @@
+// Package lint is the static verification layer: design-rule checks
+// over the three artifact kinds the reproduction generates — gate-level
+// netlists, microcode programs and march algorithms. Classic DFT flows
+// run design-rule checking before any simulation; this package does the
+// same for every synthesised controller, turning "the tests happened to
+// pass" into "every generated artifact is provably well-formed".
+//
+// All passes are purely structural: no gate-level simulation and no
+// march execution happens here (enforced by an import-graph test). The
+// bounded-termination check on microcode programs is an abstract
+// interpretation of the loop structure, not a run.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a finding. Error findings mean the artifact is broken
+// (a simulation would hang, misbehave or read undefined nets); Warning
+// findings are wasteful or suspicious but functionally harmless; Info
+// findings are observations.
+type Severity int
+
+// Severity levels, ordered.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+var severityNames = [...]string{"info", "warning", "error"}
+
+func (s Severity) String() string {
+	if s >= 0 && int(s) < len(severityNames) {
+		return severityNames[s]
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// MarshalJSON encodes the severity as its lowercase name so reports are
+// self-describing.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range severityNames {
+		if n == name {
+			*s = Severity(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("lint: unknown severity %q", name)
+}
+
+// Finding is one design-rule violation.
+type Finding struct {
+	Severity Severity `json:"severity"`
+	// Check is the rule's stable slug, e.g. "comb-loop" or
+	// "non-termination".
+	Check string `json:"check"`
+	// Artifact identifies what was checked, e.g.
+	// "netlist:hardwired/marchc/bit/unit" or "ucode:marchc/word".
+	Artifact string `json:"artifact"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%-7s %-18s %-40s %s", f.Severity, f.Check, f.Artifact, f.Message)
+}
+
+// Report collects the findings of a lint run.
+type Report struct {
+	// Artifacts counts the artifacts examined (clean ones included).
+	Artifacts int       `json:"artifacts"`
+	Findings  []Finding `json:"findings"`
+}
+
+// Add appends findings to the report.
+func (r *Report) Add(fs ...Finding) { r.Findings = append(r.Findings, fs...) }
+
+// Sort orders findings deterministically: by artifact, then check, then
+// message, then severity. Reporters rely on this for byte-stable output.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Artifact != b.Artifact {
+			return a.Artifact < b.Artifact
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Severity > b.Severity
+	})
+}
+
+// Count returns the number of findings at the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any finding is Error severity.
+func (r *Report) HasErrors() bool { return r.Count(Error) > 0 }
+
+// Text renders the report for terminals: one line per finding (sorted)
+// and a trailing summary line.
+func (r *Report) Text() string {
+	var b strings.Builder
+	r.Sort()
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d artifacts checked: %d errors, %d warnings, %d notes\n",
+		r.Artifacts, r.Count(Error), r.Count(Warning), r.Count(Info))
+	return b.String()
+}
+
+// JSON renders the report as stable, indented JSON (findings sorted).
+func (r *Report) JSON() ([]byte, error) {
+	r.Sort()
+	out := *r
+	if out.Findings == nil {
+		out.Findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// finding builds a Finding tersely.
+func finding(sev Severity, check, artifact, format string, args ...interface{}) Finding {
+	return Finding{Severity: sev, Check: check, Artifact: artifact, Message: fmt.Sprintf(format, args...)}
+}
+
+// nameList joins up to max names for a message, eliding the rest.
+func nameList(names []string, max int) string {
+	if len(names) <= max {
+		return strings.Join(names, ", ")
+	}
+	return fmt.Sprintf("%s, ... (%d more)", strings.Join(names[:max], ", "), len(names)-max)
+}

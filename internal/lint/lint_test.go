@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSeverityStrings(t *testing.T) {
+	cases := []struct {
+		s    Severity
+		want string
+	}{
+		{Info, "info"},
+		{Warning, "warning"},
+		{Error, "error"},
+		{Severity(9), "severity(9)"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(c.s), got, c.want)
+		}
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Error} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unmarshal of unknown severity succeeded")
+	}
+}
+
+func TestReportCountsAndSort(t *testing.T) {
+	r := &Report{Artifacts: 2}
+	r.Add(
+		finding(Warning, "z-check", "b:artifact", "later"),
+		finding(Error, "a-check", "b:artifact", "mid"),
+		finding(Info, "a-check", "a:artifact", "first"),
+	)
+	if r.Count(Error) != 1 || r.Count(Warning) != 1 || r.Count(Info) != 1 {
+		t.Fatalf("counts = %d/%d/%d, want 1/1/1", r.Count(Error), r.Count(Warning), r.Count(Info))
+	}
+	if !r.HasErrors() {
+		t.Fatal("HasErrors = false with one error finding")
+	}
+	r.Sort()
+	order := []string{"a:artifact", "b:artifact", "b:artifact"}
+	for i, f := range r.Findings {
+		if f.Artifact != order[i] {
+			t.Errorf("finding %d artifact = %s, want %s", i, f.Artifact, order[i])
+		}
+	}
+	if r.Findings[1].Check != "a-check" || r.Findings[2].Check != "z-check" {
+		t.Errorf("secondary sort by check broken: %v", r.Findings)
+	}
+}
+
+func TestEmptyReportJSONHasFindingsArray(t *testing.T) {
+	r := &Report{Artifacts: 1}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Findings []Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Findings == nil {
+		t.Errorf("empty report serialises findings as null, want []: %s", b)
+	}
+}
+
+// checks returns the set of check slugs present in the findings.
+func checks(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Check]++
+	}
+	return m
+}
+
+// wantCheck fails the test unless exactly want findings carry the slug.
+func wantCheck(t *testing.T, fs []Finding, slug string, want int) {
+	t.Helper()
+	if got := checks(fs)[slug]; got != want {
+		t.Errorf("%d findings for check %s, want %d; all: %v", got, slug, want, fs)
+	}
+}

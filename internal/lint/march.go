@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"repro/internal/march"
+)
+
+// CheckMarch runs well-formedness checks on a march algorithm beyond
+// Algorithm.Validate:
+//
+//	march-invalid      Validate failed (read-before-write, polarity
+//	                   mismatch, empty element)
+//	duplicate-element  two adjacent identical elements — the second
+//	                   re-reads or re-writes the same uniform state and
+//	                   detects nothing new (identical elements that are
+//	                   NOT adjacent are normal: e.g. March C's ⇕(r0))
+//	single-polarity    every write uses one polarity, so the complement
+//	                   data background is never established
+func CheckMarch(artifact string, a march.Algorithm) []Finding {
+	var fs []Finding
+	if err := a.Validate(); err != nil {
+		fs = append(fs, finding(Error, "march-invalid", artifact, "%v", err))
+	}
+
+	for i := 1; i < len(a.Elements); i++ {
+		if a.Elements[i].Equal(a.Elements[i-1]) {
+			fs = append(fs, finding(Warning, "duplicate-element", artifact,
+				"elements %d and %d are identical (%s): the repeat adds no coverage", i-1, i, a.Elements[i]))
+		}
+	}
+
+	wrote0, wrote1 := false, false
+	writes := 0
+	for _, e := range a.Elements {
+		for _, op := range e.Ops {
+			if op.Kind == march.Write {
+				writes++
+				if op.Data {
+					wrote1 = true
+				} else {
+					wrote0 = true
+				}
+			}
+		}
+	}
+	if writes > 0 && (!wrote0 || !wrote1) {
+		pol := "0"
+		if wrote1 {
+			pol = "1"
+		}
+		fs = append(fs, finding(Warning, "single-polarity", artifact,
+			"all %d writes use polarity %s: the complement cell state is never established", writes, pol))
+	}
+
+	return fs
+}
+
+// CheckFold verifies a fold descriptor against the algorithm it claims
+// to compress: the block [Start+Len, Start+2*Len) must be exactly the
+// block [Start, Start+Len) transformed by the mask, element for
+// element. The microcode architecture encodes the second block as one
+// Repeat instruction, so an inconsistent mask silently runs the wrong
+// operations — an Error.
+func CheckFold(artifact string, a march.Algorithm, fold march.Fold) []Finding {
+	var fs []Finding
+	if fold.Start < 0 || fold.Len <= 0 || fold.Start+2*fold.Len > len(a.Elements) {
+		return []Finding{finding(Error, "fold-range", artifact,
+			"fold [%d,+%d) x2 exceeds the %d-element algorithm", fold.Start, fold.Len, len(a.Elements))}
+	}
+	for i := 0; i < fold.Len; i++ {
+		want := a.Elements[fold.Start+i].Transform(fold.Mask)
+		got := a.Elements[fold.Start+fold.Len+i]
+		if !got.Equal(want) {
+			fs = append(fs, finding(Error, "fold-mask", artifact,
+				"element %d is %s but the %s mask maps element %d to %s",
+				fold.Start+fold.Len+i, got, fold.Mask, fold.Start+i, want))
+		}
+	}
+	return fs
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/march"
+)
+
+func TestMarchInvalid(t *testing.T) {
+	bad := march.Algorithm{Name: "bad", Elements: []march.Element{
+		{Order: march.Any},
+	}}
+	wantCheck(t, CheckMarch("test", bad), "march-invalid", 1)
+}
+
+func TestDuplicateAdjacentElement(t *testing.T) {
+	a := march.Algorithm{Name: "dup", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(false)}},
+		{Order: march.Up, Ops: []march.Op{march.R(false)}},
+		{Order: march.Up, Ops: []march.Op{march.R(false)}},
+	}}
+	wantCheck(t, CheckMarch("test", a), "duplicate-element", 1)
+}
+
+func TestNonAdjacentRepeatsAreNormal(t *testing.T) {
+	// March C (11N) legitimately runs ⇕(r0) twice, separated by other
+	// work; only back-to-back repeats are suspicious.
+	a := march.MarchCOriginal()
+	wantCheck(t, CheckMarch("test", a), "duplicate-element", 0)
+}
+
+func TestSinglePolarity(t *testing.T) {
+	a := march.Algorithm{Name: "mono", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(false)}},
+		{Order: march.Up, Ops: []march.Op{march.R(false), march.W(false)}},
+	}}
+	wantCheck(t, CheckMarch("test", a), "single-polarity", 1)
+}
+
+func TestFoldRange(t *testing.T) {
+	a := march.Algorithm{Name: "short", Elements: []march.Element{
+		{Order: march.Any, Ops: []march.Op{march.W(false)}},
+		{Order: march.Up, Ops: []march.Op{march.R(false)}},
+	}}
+	fs := CheckFold("test", a, march.Fold{Start: 0, Len: 5, Mask: march.Mask{Data: true}})
+	wantCheck(t, fs, "fold-range", 1)
+}
+
+func TestFoldMaskMismatch(t *testing.T) {
+	a := march.Algorithm{Name: "fold", Elements: []march.Element{
+		{Order: march.Up, Ops: []march.Op{march.W(false)}},
+		{Order: march.Up, Ops: []march.Op{march.W(true)}},
+	}}
+	good := march.Fold{Start: 0, Len: 1, Mask: march.Mask{Data: true}}
+	if fs := CheckFold("test", a, good); len(fs) != 0 {
+		t.Fatalf("consistent fold has findings: %v", fs)
+	}
+	// A doctored mask maps element 0 to ⇓(w0), which element 1 is not.
+	bad := march.Fold{Start: 0, Len: 1, Mask: march.Mask{Order: true}}
+	wantCheck(t, CheckFold("test", a, bad), "fold-mask", 1)
+}
+
+func TestLibraryMarchesAndFoldsAreClean(t *testing.T) {
+	for name, mk := range march.Library() {
+		a := mk()
+		if fs := CheckMarch(name, a); len(fs) != 0 {
+			t.Errorf("%s: library algorithm has findings: %v", name, fs)
+		}
+		if _, fold, ok := a.Folded(); ok {
+			if fs := CheckFold(name, a, fold); len(fs) != 0 {
+				t.Errorf("%s: detected fold fails verification: %v", name, fs)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fsmbist"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+	"repro/internal/netlist"
+)
+
+// Arch selects one synthesised controller family for the matrix.
+type Arch int
+
+// The four synthesised architecture variants the matrix covers: the
+// microcode-based controller, its Table 3 scan-only storage re-design,
+// the programmable FSM-based unit and the hardwired Moore machines.
+const (
+	Microcode Arch = iota
+	MicrocodeScan
+	ProgFSM
+	Hardwired
+)
+
+var archNames = [...]string{"microcode", "microcode-scan", "fsm", "hardwired"}
+
+func (a Arch) String() string {
+	if a >= 0 && int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return fmt.Sprintf("arch(%d)", int(a))
+}
+
+// Architectures returns the synthesised matrix axes in order.
+func Architectures() []Arch {
+	return []Arch{Microcode, MicrocodeScan, ProgFSM, Hardwired}
+}
+
+// geometry is a memory configuration of the matrix. The three entries
+// mirror the paper's evaluation set (1K addresses; bit-oriented,
+// word-oriented and dual-port word-oriented).
+type geometry struct {
+	name     string
+	addrBits int
+	width    int
+	ports    int
+}
+
+var geometries = []geometry{
+	{name: "bit", addrBits: 10, width: 1, ports: 1},
+	{name: "word", addrBits: 10, width: 8, ports: 1},
+	{name: "multiport", addrBits: 10, width: 8, ports: 2},
+}
+
+// MatrixOpts tunes what the full-matrix lint covers.
+type MatrixOpts struct {
+	// Algorithms restricts the march library entries (nil = all).
+	Algorithms []string
+	// Archs restricts the architecture variants (nil = all four).
+	Archs []Arch
+	// DelayTimerBits sizes the retention timer for algorithms with
+	// pauses (0 selects the evaluation default of 8).
+	DelayTimerBits int
+}
+
+// Matrix lints the full synthesised matrix: every march library
+// algorithm as a march artifact, its microcode program (with fold
+// verification) per word/multiport configuration, and the gate-level
+// netlist of every architecture variant at every geometry (controller
+// alone and full unit with datapath). It returns the aggregate report;
+// the error is non-nil only when an artifact cannot be built at all.
+func Matrix(opts MatrixOpts) (*Report, error) {
+	lib := march.Library()
+	names := opts.Algorithms
+	if names == nil {
+		for name := range lib {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	archs := opts.Archs
+	if archs == nil {
+		archs = Architectures()
+	}
+	timerBits := opts.DelayTimerBits
+	if timerBits == 0 {
+		timerBits = 8
+	}
+
+	rep := &Report{}
+	for _, name := range names {
+		mk, ok := lib[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown algorithm %q", name)
+		}
+		alg := mk()
+
+		rep.Artifacts++
+		rep.Add(CheckMarch("march:"+name, alg)...)
+		if _, fold, ok := alg.Folded(); ok {
+			rep.Artifacts++
+			rep.Add(CheckFold("fold:"+name, alg, fold)...)
+		}
+
+		timer := 0
+		if alg.Pauses() > 0 {
+			timer = timerBits
+		}
+
+		for _, g := range geometries {
+			word, multi := g.width > 1, g.ports > 1
+
+			// Programs are a function of (algorithm, word, multiport)
+			// only; lint them at the geometry where each combination
+			// first appears to avoid duplicate artifacts.
+			prog, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+			if err != nil {
+				return nil, fmt.Errorf("lint: assemble %s/%s: %w", name, g.name, err)
+			}
+			rep.Artifacts++
+			rep.Add(CheckProgram(fmt.Sprintf("ucode:%s/%s", name, g.name), prog)...)
+
+			for _, arch := range archs {
+				for _, unit := range []bool{false, true} {
+					nl, err := buildNetlist(arch, alg, prog, g, unit, timer)
+					if err != nil {
+						return nil, fmt.Errorf("lint: build %v/%s/%s: %w", arch, name, g.name, err)
+					}
+					mode := "ctrl"
+					if unit {
+						mode = "unit"
+					}
+					artifact := fmt.Sprintf("netlist:%v/%s/%s/%s", arch, name, g.name, mode)
+					rep.Artifacts++
+					rep.Add(CheckNetlist(artifact, nl)...)
+				}
+			}
+		}
+	}
+	rep.Sort()
+	return rep, nil
+}
+
+// buildNetlist synthesises one matrix cell.
+func buildNetlist(arch Arch, alg march.Algorithm, prog *microbist.Program, g geometry, datapath bool, timer int) (*netlist.Netlist, error) {
+	switch arch {
+	case Microcode, MicrocodeScan:
+		hw, err := microbist.BuildHardware(prog, microbist.HWConfig{
+			AddrBits: g.addrBits, Width: g.width, Ports: g.ports,
+			ScanOnlyStorage: arch == MicrocodeScan,
+			IncludeDatapath: datapath, DelayTimerBits: timer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return hw.Netlist, nil
+	case ProgFSM:
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: g.width > 1, Multiport: g.ports > 1})
+		if err != nil {
+			return nil, err
+		}
+		hw, err := fsmbist.BuildHardware(p, fsmbist.HWConfig{
+			AddrBits: g.addrBits, Width: g.width, Ports: g.ports,
+			IncludeDatapath: datapath, DelayTimerBits: timer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return hw.Netlist, nil
+	case Hardwired:
+		c, err := hardbist.Generate(alg, hardbist.Config{
+			WordOriented: g.width > 1, Multiport: g.ports > 1,
+			AddrBits: g.addrBits, Width: g.width, Ports: g.ports,
+			IncludeDatapath: datapath, DelayTimerBits: timer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c.Synthesise()
+	}
+	return nil, fmt.Errorf("lint: unknown architecture %v", arch)
+}

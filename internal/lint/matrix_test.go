@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMatrixIsClean is the PR's headline acceptance check: every
+// artifact of the full synthesised matrix — all four architectures, the
+// whole march library, all three geometries, controller and full unit —
+// passes every design rule with zero findings.
+func TestMatrixIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix lint is slow")
+	}
+	rep, err := Matrix(MatrixOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("matrix has findings:\n%s", rep.Text())
+	}
+	// 4 archs x 3 geometries x {ctrl, unit} = 24 netlists per algorithm,
+	// plus marches, folds and per-geometry programs; anything below a few
+	// hundred artifacts means an axis silently dropped out.
+	if rep.Artifacts < 300 {
+		t.Errorf("matrix examined only %d artifacts", rep.Artifacts)
+	}
+}
+
+func TestMatrixFilters(t *testing.T) {
+	rep, err := Matrix(MatrixOpts{Algorithms: []string{"marchc"}, Archs: []Arch{Hardwired}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("filtered matrix has findings:\n%s", rep.Text())
+	}
+	// 1 march + 1 fold (March C folds) + 3 programs + 3 geometries x
+	// {ctrl, unit} netlists.
+	if want := 1 + 1 + 3 + 6; rep.Artifacts != want {
+		t.Errorf("filtered matrix examined %d artifacts, want %d", rep.Artifacts, want)
+	}
+}
+
+func TestMatrixUnknownAlgorithm(t *testing.T) {
+	if _, err := Matrix(MatrixOpts{Algorithms: []string{"no-such-march"}}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestArchNames(t *testing.T) {
+	for _, a := range Architectures() {
+		if s := a.String(); s == "" || strings.HasPrefix(s, "arch(") {
+			t.Errorf("Arch %d has no name", int(a))
+		}
+	}
+	if s := Arch(99).String(); s != "arch(99)" {
+		t.Errorf("out-of-range Arch renders as %q", s)
+	}
+}

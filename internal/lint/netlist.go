@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// CheckNetlist runs the netlist design-rule checks and returns the
+// findings, tagged with the given artifact label. The checks are purely
+// structural:
+//
+//	construction     errors collected during CollectErrors-mode build
+//	multi-driven     a net driven by an instance and an input/constant
+//	undriven-net     an instance input or output port with no driver
+//	comb-loop        a combinational cycle (SCC excluding flip-flops)
+//	dead-logic       instances outside every output's fanin cone
+//	unused-input     a primary input nothing reads
+//	dangling-net     a named net with no driver and no readers
+//	frozen-flop      a DFF whose D is its own Q or a constant — the
+//	                 state can never leave its reset value (scan-loaded
+//	                 SDFF/SODFF cells are exempt: they change through
+//	                 the scan chain, not the functional clock)
+func CheckNetlist(artifact string, nl *netlist.Netlist) []Finding {
+	var fs []Finding
+
+	for _, err := range nl.ConstructionErrors() {
+		fs = append(fs, finding(Error, "construction", artifact, "%v", err))
+	}
+
+	insts := nl.Instances()
+	fan := nl.FanoutMap()
+
+	// Driven-net map shared by several checks.
+	driven := make(map[netlist.NetID]bool)
+	for _, id := range nl.Inputs() {
+		driven[id] = true
+	}
+	outNames, outIDs := nl.OutputBindings()
+	isOutput := make(map[netlist.NetID]bool, len(outIDs))
+	for _, id := range outIDs {
+		isOutput[id] = true
+	}
+	constNet := func(id netlist.NetID) bool { c, _ := nl.IsConst(id); return c }
+	for i, inst := range insts {
+		if driven[inst.Out] || constNet(inst.Out) {
+			fs = append(fs, finding(Error, "multi-driven", artifact,
+				"net %s driven by instance %d (%s) and another driver", nl.NetName(inst.Out), i, inst.Kind))
+		}
+		driven[inst.Out] = true
+	}
+	if c0, ok := constDriven(nl); ok {
+		driven[c0] = true
+	}
+	if c1, ok := constDriven1(nl); ok {
+		driven[c1] = true
+	}
+
+	// Undriven nets read by instances or bound to outputs.
+	undriven := map[string]bool{}
+	for i, inst := range insts {
+		for pin, in := range inst.In {
+			if !driven[in] {
+				fs = append(fs, finding(Error, "undriven-net", artifact,
+					"instance %d (%s) pin %d reads undriven net %s", i, inst.Kind, pin, nl.NetName(in)))
+				undriven[nl.NetName(in)] = true
+			}
+		}
+	}
+	for i, id := range outIDs {
+		if !driven[id] {
+			fs = append(fs, finding(Error, "undriven-net", artifact,
+				"output %s bound to undriven net %s", outNames[i], nl.NetName(id)))
+		}
+	}
+
+	fs = append(fs, combLoops(artifact, nl)...)
+
+	// Dead logic: backward reachability from the primary outputs — the
+	// same cone SweepDead keeps, so generated netlists are clean.
+	live := make(map[netlist.NetID]bool)
+	var stack []netlist.NetID
+	for _, id := range outIDs {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d := nl.Driver(id); d >= 0 {
+			for _, in := range insts[d].In {
+				if !live[in] {
+					live[in] = true
+					stack = append(stack, in)
+				}
+			}
+		}
+	}
+	var deadNames []string
+	for _, inst := range insts {
+		if !live[inst.Out] {
+			deadNames = append(deadNames, fmt.Sprintf("%s(%s)", nl.NetName(inst.Out), inst.Kind))
+		}
+	}
+	if len(deadNames) > 0 {
+		sort.Strings(deadNames)
+		fs = append(fs, finding(Warning, "dead-logic", artifact,
+			"%d instances outside every output cone: %s", len(deadNames), nameList(deadNames, 6)))
+	}
+
+	// Unused primary inputs.
+	for _, id := range nl.Inputs() {
+		if len(fan[id]) == 0 && !isOutput[id] {
+			fs = append(fs, finding(Warning, "unused-input", artifact,
+				"primary input %s drives nothing", nl.NetName(id)))
+		}
+	}
+
+	// Dangling named nets: carry a debug name yet have no driver and no
+	// readers — typically a net someone allocated and forgot to wire.
+	// Ports and constants are exempt (constants are tie cells).
+	for _, id := range nl.NamedNets() {
+		if driven[id] || constNet(id) || isOutput[id] || nl.IsInput(id) {
+			continue
+		}
+		if len(fan[id]) > 0 {
+			continue // read but undriven: already an undriven-net error
+		}
+		name, _ := nl.NameOf(id)
+		fs = append(fs, finding(Warning, "dangling-net", artifact,
+			"named net %s has no driver and no readers", name))
+	}
+
+	// Frozen flip-flops.
+	for i, inst := range insts {
+		if inst.Kind != netlist.CellDFF {
+			continue // combinational, or scan-loaded storage
+		}
+		d := inst.In[0]
+		switch {
+		case d == inst.Out:
+			fs = append(fs, finding(Warning, "frozen-flop", artifact,
+				"DFF %d output %s feeds back to its own D: state frozen at reset value", i, nl.NetName(inst.Out)))
+		case constNet(d):
+			fs = append(fs, finding(Warning, "frozen-flop", artifact,
+				"DFF %d output %s has constant D input: state fixed after one cycle", i, nl.NetName(inst.Out)))
+		}
+	}
+
+	return fs
+}
+
+// combLoops finds combinational cycles: strongly connected components of
+// the gate graph restricted to combinational instances (flip-flops cut
+// the graph). Each SCC with more than one node, or with a self edge,
+// becomes one Error finding.
+func combLoops(artifact string, nl *netlist.Netlist) []Finding {
+	insts := nl.Instances()
+
+	// adjacency over combinational instance indices
+	comb := make([]bool, len(insts))
+	for i, inst := range insts {
+		comb[i] = !inst.Kind.IsSequential()
+	}
+	succ := make([][]int, len(insts))
+	selfEdge := make([]bool, len(insts))
+	for i, inst := range insts {
+		if !comb[i] {
+			continue
+		}
+		for _, in := range inst.In {
+			d := nl.Driver(in)
+			if d < 0 || !comb[d] {
+				continue
+			}
+			if d == i {
+				selfEdge[i] = true
+			}
+			succ[d] = append(succ[d], i)
+		}
+	}
+
+	// Iterative Tarjan SCC.
+	const unvisited = -1
+	index := make([]int, len(insts))
+	low := make([]int, len(insts))
+	onStack := make([]bool, len(insts))
+	for i := range index {
+		index[i] = unvisited
+	}
+	var sccStack []int
+	counter := 0
+	var fs []Finding
+
+	report := func(scc []int) {
+		if len(scc) == 1 && !selfEdge[scc[0]] {
+			return
+		}
+		names := make([]string, len(scc))
+		for i, v := range scc {
+			names[i] = fmt.Sprintf("%s(%s)", nl.NetName(insts[v].Out), insts[v].Kind)
+		}
+		sort.Strings(names)
+		fs = append(fs, finding(Error, "comb-loop", artifact,
+			"combinational loop through %d gates: %s", len(scc), nameList(names, 8)))
+	}
+
+	type frame struct {
+		v, next int
+	}
+	for start := range insts {
+		if !comb[start] || index[start] != unvisited {
+			continue
+		}
+		stack := []frame{{v: start}}
+		index[start], low[start] = counter, counter
+		counter++
+		sccStack = append(sccStack, start)
+		onStack[start] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(succ[f.v]) {
+				w := succ[f.v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w], low[w] = counter, counter
+					counter++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					stack = append(stack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// post-order: pop
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				report(scc)
+			}
+		}
+	}
+	return fs
+}
+
+// constDriven reports the const-0 net when it has been materialised.
+func constDriven(nl *netlist.Netlist) (netlist.NetID, bool) {
+	for id := netlist.NetID(1); int(id) <= nl.NumNets(); id++ {
+		if c, v := nl.IsConst(id); c && !v {
+			return id, true
+		}
+	}
+	return netlist.Invalid, false
+}
+
+func constDriven1(nl *netlist.Netlist) (netlist.NetID, bool) {
+	for id := netlist.NetID(1); int(id) <= nl.NumNets(); id++ {
+		if c, v := nl.IsConst(id); c && v {
+			return id, true
+		}
+	}
+	return netlist.Invalid, false
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestCombLoopDetected(t *testing.T) {
+	nl := netlist.New("loop")
+	a := nl.AddInput("a")
+	x := nl.Add(netlist.CellAnd2, a, a)
+	y := nl.Add(netlist.CellOr2, x, a)
+	nl.SetGateInput(x, 1, y) // close the cycle x -> y -> x
+	nl.AddOutput("out", y)
+
+	fs := CheckNetlist("test", nl)
+	wantCheck(t, fs, "comb-loop", 1)
+	for _, f := range fs {
+		if f.Check == "comb-loop" && f.Severity != Error {
+			t.Errorf("comb-loop severity = %v, want Error", f.Severity)
+		}
+	}
+}
+
+func TestCombLoopSelfEdge(t *testing.T) {
+	nl := netlist.New("self")
+	a := nl.AddInput("a")
+	x := nl.Add(netlist.CellAnd2, a, a)
+	nl.SetGateInput(x, 1, x) // gate feeds itself
+	nl.AddOutput("out", x)
+
+	wantCheck(t, CheckNetlist("test", nl), "comb-loop", 1)
+}
+
+func TestFlipFlopBreaksLoop(t *testing.T) {
+	// A feedback path through a DFF is sequential, not a comb loop.
+	nl := netlist.New("seq")
+	q := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	nl.SetFFInput(q, nl.Add(netlist.CellInv, q))
+	nl.AddOutput("out", q)
+
+	wantCheck(t, CheckNetlist("test", nl), "comb-loop", 0)
+}
+
+func TestDanglingNet(t *testing.T) {
+	nl := netlist.New("dangle")
+	a := nl.AddInput("a")
+	nl.AddOutput("out", nl.Add(netlist.CellBuf, a))
+	orphan := nl.NewNet()
+	nl.SetNetName(orphan, "forgotten")
+
+	wantCheck(t, CheckNetlist("test", nl), "dangling-net", 1)
+}
+
+func TestUndrivenNet(t *testing.T) {
+	nl := netlist.New("undriven")
+	a := nl.AddInput("a")
+	hole := nl.NewNet()
+	nl.AddOutput("out", nl.Add(netlist.CellAnd2, a, hole))
+
+	wantCheck(t, CheckNetlist("test", nl), "undriven-net", 1)
+}
+
+func TestUndrivenOutputBinding(t *testing.T) {
+	nl := netlist.New("undriven-out")
+	nl.AddOutput("out", nl.NewNet())
+
+	wantCheck(t, CheckNetlist("test", nl), "undriven-net", 1)
+}
+
+func TestUnusedInput(t *testing.T) {
+	nl := netlist.New("unused")
+	a := nl.AddInput("a")
+	nl.AddInput("b") // never read
+	nl.AddOutput("out", nl.Add(netlist.CellBuf, a))
+
+	fs := CheckNetlist("test", nl)
+	wantCheck(t, fs, "unused-input", 1)
+}
+
+func TestInputBoundToOutputNotUnused(t *testing.T) {
+	// A feed-through input (bound straight to an output) is used.
+	nl := netlist.New("feedthrough")
+	a := nl.AddInput("a")
+	nl.AddOutput("out", a)
+
+	wantCheck(t, CheckNetlist("test", nl), "unused-input", 0)
+}
+
+func TestDeadLogic(t *testing.T) {
+	nl := netlist.New("dead")
+	a := nl.AddInput("a")
+	nl.AddOutput("out", nl.Add(netlist.CellBuf, a))
+	nl.Add(netlist.CellInv, a) // outside every output cone
+
+	wantCheck(t, CheckNetlist("test", nl), "dead-logic", 1)
+}
+
+func TestFrozenFlopIdentity(t *testing.T) {
+	nl := netlist.New("frozen")
+	q := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	nl.SetFFInput(q, q)
+	nl.AddOutput("out", q)
+
+	wantCheck(t, CheckNetlist("test", nl), "frozen-flop", 1)
+}
+
+func TestFrozenFlopConstD(t *testing.T) {
+	nl := netlist.New("const-d")
+	q := nl.AddFF(netlist.CellDFF, nl.Const1(), false)
+	nl.AddOutput("out", q)
+
+	wantCheck(t, CheckNetlist("test", nl), "frozen-flop", 1)
+}
+
+func TestScanCellSelfLoopExempt(t *testing.T) {
+	// Scan-only storage intentionally holds its value on the functional
+	// clock (it changes through the scan chain), so D == Q is fine.
+	nl := netlist.New("scan")
+	q := nl.AddFF(netlist.CellSODFF, nl.Const0(), false)
+	nl.SetFFInput(q, q)
+	nl.AddOutput("out", q)
+
+	wantCheck(t, CheckNetlist("test", nl), "frozen-flop", 0)
+}
+
+func TestCounterBitNotFrozen(t *testing.T) {
+	// Free-running counter bit: D = Inv(Q) is live toggling, not frozen.
+	nl := netlist.New("toggle")
+	q := nl.AddFF(netlist.CellDFF, nl.Const0(), false)
+	nl.SetFFInput(q, nl.Add(netlist.CellInv, q))
+	nl.AddOutput("out", q)
+
+	wantCheck(t, CheckNetlist("test", nl), "frozen-flop", 0)
+}
+
+func TestConstructionErrorsReported(t *testing.T) {
+	nl := netlist.New("bad-build")
+	nl.CollectErrors(true)
+	a := nl.AddInput("a")
+	x := nl.Add(netlist.CellBuf, a)
+	nl.AddInto(x, netlist.CellInv, a) // duplicate driver
+	nl.Add(netlist.CellAnd2, a)       // arity violation
+	nl.AddOutput("out", x)
+
+	fs := CheckNetlist("test", nl)
+	if got := checks(fs)["construction"]; got < 2 {
+		t.Errorf("%d construction findings, want >= 2; all: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Check == "construction" && f.Severity != Error {
+			t.Errorf("construction severity = %v, want Error", f.Severity)
+		}
+	}
+}
+
+func TestCleanNetlistHasNoFindings(t *testing.T) {
+	nl := netlist.New("clean")
+	en := nl.AddInput("en")
+	c := nl.BuildCounter("cnt", 3, en, netlist.Invalid, netlist.Invalid)
+	nl.AddOutput("terminal", c.Terminal)
+	for i, q := range c.Q {
+		nl.AddOutput(fmt.Sprintf("q[%d]", i), q)
+	}
+	nl.SweepDead()
+
+	if fs := CheckNetlist("test", nl); len(fs) != 0 {
+		t.Errorf("clean counter netlist has findings: %v", fs)
+	}
+}

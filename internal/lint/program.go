@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"repro/internal/microbist"
+)
+
+// CheckProgram statically analyses a microcode program: control-flow
+// sanity (targets in range, reachability), field-encoding legality, and
+// a bounded-termination proof by abstract interpretation of the loop
+// structure — no instruction is ever executed here.
+//
+// The termination argument is a lexicographic ranking over the
+// controller's counters (port > data background > repeat bit > address
+// > pc). Every backward edge of the control-flow graph strictly
+// decreases one component while leaving the higher ones unchanged:
+//
+//   - a Hold self-loop or a LoopBack-to-Save loop advances the address
+//     generator, provided some instruction in the loop sets AddrInc —
+//     the address sweep is finite, so the loop exits at Last Address;
+//   - a Repeat branch is guarded by the repeat-loop bit: the first pass
+//     sets it, the re-execution clears it and falls through, so the
+//     branch is taken at most once per outer iteration;
+//   - a LoopData branch steps the background generator (its DataInc
+//     field gates the step in hardware), and the background sequence is
+//     finite;
+//   - a LoopPort branch steps the port selector, and ports are finite.
+//
+// A loop that fails its side of the argument (Hold without AddrInc, a
+// LoopBack interval with no AddrInc, LoopData without DataInc) can
+// never leave the loop and is reported as a non-termination error.
+func CheckProgram(artifact string, p *microbist.Program) []Finding {
+	var fs []Finding
+	n := len(p.Instructions)
+	if n == 0 {
+		return []Finding{finding(Error, "empty-program", artifact, "program has no instructions")}
+	}
+	if p.Source != nil && len(p.Source) != n {
+		fs = append(fs, finding(Error, "source-map", artifact,
+			"source map has %d entries for %d instructions", len(p.Source), n))
+	}
+
+	// Per-instruction encoding legality.
+	for i, in := range p.Instructions {
+		if in.Read && in.Write {
+			fs = append(fs, finding(Error, "illegal-encoding", artifact,
+				"instruction %d reads and writes simultaneously", i))
+		}
+		if in.Cond > microbist.CondTerminate {
+			fs = append(fs, finding(Error, "illegal-encoding", artifact,
+				"instruction %d has undefined condition field %d", i, int(in.Cond)))
+		}
+	}
+
+	// nearestSave[i] is the index of the closest CondSave before i, or
+	// -1. It statically resolves the branch register a LoopBack at i
+	// reads (the register is loaded by the Save that opened the current
+	// march element).
+	nearestSave := make([]int, n)
+	save := -1
+	for i, in := range p.Instructions {
+		nearestSave[i] = save
+		if in.Cond == microbist.CondSave {
+			save = i
+		}
+	}
+
+	// Control-flow successors; pcEnd marks a fall-through past the last
+	// instruction (the hardware instruction counter would leave the
+	// program, so it is an error unless the path is unreachable).
+	succ := func(i int) (targets []int, fallsOff bool) {
+		step := func(t int) {
+			if t >= n {
+				fallsOff = true
+				return
+			}
+			targets = append(targets, t)
+		}
+		in := p.Instructions[i]
+		switch in.Cond {
+		case microbist.CondNop, microbist.CondSave:
+			step(i + 1)
+		case microbist.CondHold:
+			step(i)
+			step(i + 1)
+		case microbist.CondLoopBack:
+			if s := nearestSave[i]; s >= 0 {
+				step(s)
+			}
+			step(i + 1)
+		case microbist.CondRepeat:
+			step(1)
+			step(i + 1)
+		case microbist.CondLoopData:
+			step(0)
+			step(i + 1)
+		case microbist.CondLoopPort:
+			step(0) // terminate at last port
+		case microbist.CondTerminate:
+			// no successors
+		default:
+			// undefined condition already reported; treat as advance
+			step(i + 1)
+		}
+		return targets, fallsOff
+	}
+
+	// Reachability from instruction 0.
+	reach := make([]bool, n)
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		ts, _ := succ(i)
+		for _, t := range ts {
+			if !reach[t] {
+				reach[t] = true
+				work = append(work, t)
+			}
+		}
+	}
+	for i := range p.Instructions {
+		if !reach[i] {
+			fs = append(fs, finding(Warning, "unreachable-code", artifact,
+				"instruction %d is unreachable from instruction 0", i))
+		}
+	}
+
+	// Jump-target and termination checks on the reachable part.
+	for i, in := range p.Instructions {
+		if !reach[i] {
+			continue
+		}
+		if _, fallsOff := succ(i); fallsOff {
+			fs = append(fs, finding(Error, "fall-off-end", artifact,
+				"instruction %d (%s) can advance past the last instruction", i, in.Cond))
+		}
+		switch in.Cond {
+		case microbist.CondHold:
+			if !in.AddrInc {
+				fs = append(fs, finding(Error, "non-termination", artifact,
+					"hold at instruction %d never advances the address generator (AddrInc clear)", i))
+			}
+		case microbist.CondLoopBack:
+			s := nearestSave[i]
+			if s < 0 {
+				fs = append(fs, finding(Error, "loopback-no-save", artifact,
+					"loopback at instruction %d has no preceding save: branch register undefined", i))
+				break
+			}
+			inc := false
+			for j := s; j <= i; j++ {
+				if p.Instructions[j].AddrInc {
+					inc = true
+					break
+				}
+			}
+			if !inc {
+				fs = append(fs, finding(Error, "non-termination", artifact,
+					"loop %d..%d never advances the address generator (no AddrInc in the element)", s, i))
+			}
+		case microbist.CondRepeat:
+			if i < 2 {
+				fs = append(fs, finding(Error, "jump-out-of-range", artifact,
+					"repeat at instruction %d branches to instruction 1: no block to repeat", i))
+			}
+		case microbist.CondLoopData:
+			if !in.DataInc {
+				fs = append(fs, finding(Error, "non-termination", artifact,
+					"data loop at instruction %d never steps the background generator (DataInc clear)", i))
+			}
+		}
+
+		// Field hygiene: flag fields the hardware would act on (or
+		// silently ignore) outside their intended instruction.
+		if in.DataInc && in.Cond != microbist.CondLoopData {
+			fs = append(fs, finding(Warning, "ineffective-field", artifact,
+				"instruction %d sets DataInc outside a data loop: the decoder never steps the generator there", i))
+		}
+		switch in.Cond {
+		case microbist.CondRepeat, microbist.CondLoopData, microbist.CondLoopPort, microbist.CondTerminate:
+			if in.AddrInc {
+				fs = append(fs, finding(Warning, "ineffective-field", artifact,
+					"instruction %d sets AddrInc on a flow instruction (%s)", i, in.Cond))
+			}
+		}
+	}
+
+	return fs
+}

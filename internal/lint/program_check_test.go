@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/microbist"
+)
+
+func prog(ins ...microbist.Instruction) *microbist.Program {
+	return &microbist.Program{Name: "test", Instructions: ins}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	wantCheck(t, CheckProgram("test", prog()), "empty-program", 1)
+}
+
+func TestIllegalEncodings(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Read: true, Write: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Cond: microbist.Cond(9)},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "illegal-encoding", 2)
+}
+
+func TestJumpOutOfRange(t *testing.T) {
+	// A Repeat before instruction 2 branches to instruction 1, but there
+	// is no completed block in front of it to repeat.
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, Cond: microbist.CondRepeat},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "jump-out-of-range", 1)
+}
+
+func TestRepeatAfterBlockIsLegal(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Read: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Cond: microbist.CondRepeat},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "jump-out-of-range", 0)
+	wantCheck(t, fs, "non-termination", 0)
+}
+
+func TestNonTerminatingHold(t *testing.T) {
+	// Hold without AddrInc waits forever for a last-address flag that
+	// never advances.
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, Cond: microbist.CondHold},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "non-termination", 1)
+}
+
+func TestNonTerminatingLoopBack(t *testing.T) {
+	// A Save..LoopBack element in which no instruction steps the address
+	// generator can never reach the terminal address.
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Cond: microbist.CondSave},
+		microbist.Instruction{Write: true, Cond: microbist.CondNop},
+		microbist.Instruction{Read: true, Cond: microbist.CondLoopBack},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "non-termination", 1)
+}
+
+func TestLoopBackWithoutSave(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, AddrInc: true, Cond: microbist.CondLoopBack},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "loopback-no-save", 1)
+}
+
+func TestNonTerminatingLoopData(t *testing.T) {
+	// LoopData branches until the last background, but with DataInc clear
+	// the decoder never steps the background generator.
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Cond: microbist.CondLoopData},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "non-termination", 1)
+}
+
+func TestUnreachableCode(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+		microbist.Instruction{Read: true, AddrInc: true, Cond: microbist.CondHold}, // dead
+		microbist.Instruction{Cond: microbist.CondTerminate},                       // dead
+	))
+	wantCheck(t, fs, "unreachable-code", 2)
+}
+
+func TestFallOffEnd(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Write: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Read: true, Cond: microbist.CondNop}, // advances past the end
+	))
+	wantCheck(t, fs, "fall-off-end", 1)
+}
+
+func TestFallOffEndOnUnreachablePathIgnored(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		microbist.Instruction{Cond: microbist.CondTerminate},
+		microbist.Instruction{Read: true, Cond: microbist.CondNop}, // unreachable
+	))
+	wantCheck(t, fs, "fall-off-end", 0)
+	wantCheck(t, fs, "unreachable-code", 1)
+}
+
+func TestSourceMapMismatch(t *testing.T) {
+	p := prog(
+		microbist.Instruction{Write: true, AddrInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{Cond: microbist.CondTerminate},
+	)
+	p.Source = []microbist.SourceRef{{Element: 0, Op: 0}}
+	wantCheck(t, CheckProgram("test", p), "source-map", 1)
+}
+
+func TestIneffectiveFields(t *testing.T) {
+	fs := CheckProgram("test", prog(
+		// DataInc outside a data loop, AddrInc on Terminate.
+		microbist.Instruction{Write: true, AddrInc: true, DataInc: true, Cond: microbist.CondHold},
+		microbist.Instruction{AddrInc: true, Cond: microbist.CondTerminate},
+	))
+	wantCheck(t, fs, "ineffective-field", 2)
+}
+
+func TestAssembledProgramsAreClean(t *testing.T) {
+	lib := march.Library()
+	for name, mk := range lib {
+		for _, cfg := range []microbist.AssembleOpts{
+			{},
+			{WordOriented: true},
+			{WordOriented: true, Multiport: true},
+		} {
+			p, err := microbist.Assemble(mk(), cfg)
+			if err != nil {
+				t.Fatalf("assemble %s %+v: %v", name, cfg, err)
+			}
+			if fs := CheckProgram(name, p); len(fs) != 0 {
+				t.Errorf("%s %+v: assembler output has findings: %v", name, cfg, fs)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLintIsStaticOnly enforces the package's core contract: the lint
+// layer never simulates. It parses every non-test source file and
+// rejects (a) imports of the simulation and execution packages, and
+// (b) any call to a method named Run — the march, microbist, fsmbist
+// and hardbist packages all expose behavioural executors through Run
+// methods, so even with their packages imported for type definitions,
+// calling Run would turn a static check into a simulation.
+func TestLintIsStaticOnly(t *testing.T) {
+	forbiddenImports := []string{
+		"repro/internal/gatesim",
+		"repro/internal/coverage",
+		"repro/internal/logicbist",
+		"repro/internal/faults",
+		"repro/internal/memory",
+	}
+
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, file, src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			for _, bad := range forbiddenImports {
+				if path == bad {
+					t.Errorf("%s imports %s: the lint layer must stay static", file, path)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Run" {
+				pos := fset.Position(call.Pos())
+				t.Errorf("%s: call to a Run method — lint analyses artifacts, it does not execute them", pos)
+			}
+			return true
+		})
+	}
+}

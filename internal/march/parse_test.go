@@ -1,0 +1,104 @@
+package march
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPaths pins each failure mode of the ASCII parser to its
+// diagnostic, so a future grammar change cannot silently swallow one
+// class of mistake into another.
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the returned error
+	}{
+		{"empty text", "", "no elements"},
+		{"only separators", " ; ;; ", "no elements"},
+		{"unknown order", "x(w0)", "unknown address order"},
+		{"unicode garbage order", "⇗(w0)", "unknown address order"},
+		{"missing open paren", "u w0", "want ORDER(ops)"},
+		{"missing close paren", "u(w0", "want ORDER(ops)"},
+		{"empty ops", "u()", "bad op"},
+		{"blank op", "b(w0); u(r0,)", "bad op"},
+		{"one-char op", "u(w)", "bad op"},
+		{"three-char op", "u(w01)", "bad op"},
+		{"bad op kind", "u(q0)", "bad op kind"},
+		{"bad op data", "u(w2)", "bad op data"},
+		{"word op", "b(w0); u(read)", "bad op"},
+		{"read before write", "u(r0)", "reads before any write"},
+		{"polarity mismatch", "b(w0); u(r1)", "expects true but cells hold false"},
+		{"stale state across elements", "b(w0); u(r0,w1); d(r0)", "expects false but cells hold true"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("bad", c.text)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted", c.text)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Parse(%q) error = %q, want substring %q", c.text, err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseErrorLocatesElement checks the error wraps the failing
+// element's index and text, the part a user needs to find the typo.
+func TestParseErrorLocatesElement(t *testing.T) {
+	_, err := Parse("bad", "b(w0); u(r0,w1); u(oops)")
+	if err == nil {
+		t.Fatal("bad element accepted")
+	}
+	for _, want := range []string{"element 2", `"u(oops)"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+// TestParseAcceptsNotationVariants covers the tolerant parts of the
+// grammar: order aliases, arrow glyphs, case and whitespace.
+func TestParseAcceptsNotationVariants(t *testing.T) {
+	cases := []struct {
+		text  string
+		order Order
+	}{
+		{"b(w0); u(r0)", Up},
+		{"b(w0); up(r0)", Up},
+		{"b(w0); ⇑(r0)", Up},
+		{"b(w0); d(r0)", Down},
+		{"b(w0); down(r0)", Down},
+		{"b(w0); ⇓(r0)", Down},
+		{"b(w0); b(r0)", Any},
+		{"b(w0); any(r0)", Any},
+		{"b(w0); both(r0)", Any},
+		{"b(w0); ⇕(r0)", Any},
+		{"b(w0); U( r0 )", Up},
+		{"  b(w0) ;\tu(r0)  ", Up},
+	}
+	for _, c := range cases {
+		a, err := Parse("variant", c.text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.text, err)
+			continue
+		}
+		if len(a.Elements) != 2 || a.Elements[1].Order != c.order {
+			t.Errorf("Parse(%q) = %v, want second element order %v", c.text, a, c.order)
+		}
+	}
+}
+
+func TestParseDelCaseInsensitive(t *testing.T) {
+	a, err := Parse("ret", "b(w0); DEL b(r0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Elements[1].PauseBefore {
+		t.Error("upper-case DEL prefix not recognised")
+	}
+	if a.Elements[0].PauseBefore {
+		t.Error("pause leaked onto the first element")
+	}
+}

@@ -36,6 +36,11 @@ type Netlist struct {
 	const0, const1 NetID
 
 	driver map[NetID]int // net -> instance index driving it
+
+	// collect switches structural errors from panics to a collected
+	// list the linter can report (see CollectErrors).
+	collect bool
+	cerrs   []error
 }
 
 // New returns an empty netlist with the given design name.
@@ -46,6 +51,32 @@ func New(name string) *Netlist {
 		driver: make(map[NetID]int),
 	}
 	return n
+}
+
+// CollectErrors switches the netlist between the default panic-on-bug
+// construction mode and a collected-error mode: structural errors
+// (bad cell arity, invalid input nets, duplicate drivers, rewiring a
+// non-existent instance) are recorded instead of panicking, the
+// offending construction call becomes a no-op that still allocates its
+// result net, and the accumulated errors are available through
+// ConstructionErrors. Generators keep the panic default — a structural
+// error there is a programming bug — while the linter builds suspect
+// netlists in collected mode and reports every error as a finding.
+func (n *Netlist) CollectErrors(on bool) { n.collect = on }
+
+// ConstructionErrors returns the structural errors recorded while the
+// netlist was in collected-error mode, in occurrence order.
+func (n *Netlist) ConstructionErrors() []error { return n.cerrs }
+
+// fail reports a structural construction error: collected when
+// CollectErrors mode is on, a panic otherwise.
+func (n *Netlist) fail(format string, args ...interface{}) {
+	err := fmt.Errorf("netlist %s: "+format, append([]interface{}{n.Name}, args...)...)
+	if n.collect {
+		n.cerrs = append(n.cerrs, err)
+		return
+	}
+	panic(err.Error())
 }
 
 // NewNet allocates a fresh unnamed net.
@@ -166,31 +197,77 @@ func (n *Netlist) IsConst(id NetID) (isConst, value bool) {
 	return false, false
 }
 
-// Add places a cell instance driving a fresh net and returns that net.
-func (n *Netlist) Add(kind CellKind, in ...NetID) NetID {
+// checkCell validates the arity and input nets of a prospective
+// instance; it reports each violation through fail and returns whether
+// the instance is safe to place.
+func (n *Netlist) checkCell(kind CellKind, in []NetID) bool {
+	ok := true
 	if len(in) != kind.NumInputs() {
-		panic(fmt.Sprintf("netlist: %s expects %d inputs, got %d", kind, kind.NumInputs(), len(in)))
+		n.fail("%s expects %d inputs, got %d", kind, kind.NumInputs(), len(in))
+		ok = false
 	}
 	for _, i := range in {
 		if i == Invalid {
-			panic("netlist: invalid input net on " + kind.String())
+			n.fail("invalid input net on %s", kind)
+			ok = false
 		}
 	}
+	return ok
+}
+
+// Add places a cell instance driving a fresh net and returns that net.
+func (n *Netlist) Add(kind CellKind, in ...NetID) NetID {
 	out := n.NewNet()
+	if !n.checkCell(kind, in) {
+		return out
+	}
 	n.insts = append(n.insts, Instance{Kind: kind, In: append([]NetID(nil), in...), Out: out})
 	n.driver[out] = len(n.insts) - 1
 	return out
 }
 
+// AddInto places a cell instance driving the pre-allocated net out —
+// the two-phase pattern for structures whose nets must exist before
+// their logic. Driving a net that already has a driver (an instance, a
+// primary input or a constant) is a structural error: a panic, or a
+// collected error under CollectErrors mode.
+func (n *Netlist) AddInto(out NetID, kind CellKind, in ...NetID) {
+	if out == Invalid || int(out) > n.numNets {
+		n.fail("AddInto target %d is not an allocated net", int(out))
+		return
+	}
+	if _, driven := n.driver[out]; driven {
+		n.fail("net %s has multiple drivers (%s)", n.NetName(out), kind)
+		return
+	}
+	for _, id := range n.inputs {
+		if id == out {
+			n.fail("net %s has multiple drivers (primary input and %s)", n.NetName(out), kind)
+			return
+		}
+	}
+	if c, _ := n.IsConst(out); c {
+		n.fail("net %s has multiple drivers (constant and %s)", n.NetName(out), kind)
+		return
+	}
+	if !n.checkCell(kind, in) {
+		return
+	}
+	n.insts = append(n.insts, Instance{Kind: kind, In: append([]NetID(nil), in...), Out: out})
+	n.driver[out] = len(n.insts) - 1
+}
+
 // AddFF places a flip-flop of the given kind with reset value init.
 func (n *Netlist) AddFF(kind CellKind, d NetID, init bool) NetID {
+	out := n.NewNet()
 	if !kind.IsSequential() {
-		panic("netlist: AddFF on combinational cell " + kind.String())
+		n.fail("AddFF on combinational cell %s", kind)
+		return out
 	}
 	if d == Invalid {
-		panic("netlist: invalid D input")
+		n.fail("invalid D input")
+		return out
 	}
-	out := n.NewNet()
 	n.insts = append(n.insts, Instance{Kind: kind, In: []NetID{d}, Out: out, Init: init})
 	n.driver[out] = len(n.insts) - 1
 	return out
@@ -202,12 +279,34 @@ func (n *Netlist) AddFF(kind CellKind, d NetID, init bool) NetID {
 func (n *Netlist) SetFFInput(q, d NetID) {
 	idx, ok := n.driver[q]
 	if !ok || !n.insts[idx].Kind.IsSequential() {
-		panic("netlist: SetFFInput target is not a flip-flop output")
+		n.fail("SetFFInput target %s is not a flip-flop output", n.NetName(q))
+		return
 	}
 	if d == Invalid {
-		panic("netlist: invalid D input")
+		n.fail("invalid D input")
+		return
 	}
 	n.insts[idx].In[0] = d
+}
+
+// SetGateInput rewires input pin of the instance driving net out. It is
+// the combinational counterpart of SetFFInput; rewiring can create
+// combinational cycles, which the lint layer detects.
+func (n *Netlist) SetGateInput(out NetID, pin int, d NetID) {
+	idx, ok := n.driver[out]
+	if !ok {
+		n.fail("SetGateInput target %s has no driving instance", n.NetName(out))
+		return
+	}
+	if pin < 0 || pin >= len(n.insts[idx].In) {
+		n.fail("SetGateInput pin %d out of range on %s", pin, n.insts[idx].Kind)
+		return
+	}
+	if d == Invalid {
+		n.fail("invalid input net on %s", n.insts[idx].Kind)
+		return
+	}
+	n.insts[idx].In[pin] = d
 }
 
 // Instances returns the placed instances. The returned slice is owned by
@@ -221,6 +320,49 @@ func (n *Netlist) Driver(id NetID) int {
 		return idx
 	}
 	return -1
+}
+
+// NumInstances returns the number of placed instances.
+func (n *Netlist) NumInstances() int { return len(n.insts) }
+
+// FanoutMap returns, for every net, the indices of the instances that
+// read it, in instance order. Nets with no readers are absent.
+func (n *Netlist) FanoutMap() map[NetID][]int {
+	fan := make(map[NetID][]int)
+	for i, inst := range n.insts {
+		for _, in := range inst.In {
+			fan[in] = append(fan[in], i)
+		}
+	}
+	return fan
+}
+
+// NamedNets returns every net carrying a debug name, in ascending net
+// order.
+func (n *Netlist) NamedNets() []NetID {
+	ids := make([]NetID, 0, len(n.names))
+	for id := range n.names {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NameOf returns the debug name of a net and whether one was assigned
+// (NetName, by contrast, synthesises an "n<id>" fallback).
+func (n *Netlist) NameOf(id NetID) (string, bool) {
+	s, ok := n.names[id]
+	return s, ok
+}
+
+// IsInput reports whether id is a declared primary input.
+func (n *Netlist) IsInput(id NetID) bool {
+	for _, in := range n.inputs {
+		if in == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Validate checks structural sanity: every instance input is driven by an
@@ -284,6 +426,10 @@ func (n *Netlist) SweepDead() int {
 	for _, inst := range n.insts {
 		if live[inst.Out] {
 			kept = append(kept, inst)
+		} else {
+			// The swept instance's output net becomes an orphan; drop
+			// its debug name so it does not read as a dangling net.
+			delete(n.names, inst.Out)
 		}
 	}
 	removed := len(n.insts) - len(kept)

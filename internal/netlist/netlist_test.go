@@ -216,3 +216,147 @@ func TestDoubleDriverRejected(t *testing.T) {
 		t.Fatalf("Validate: %v", err)
 	}
 }
+
+func TestAddIntoDrivesPreallocatedNet(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	o := n.NewNet()
+	n.AddInto(o, CellInv, a)
+	n.AddOutput("o", o)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d := n.Driver(o); d != 0 {
+		t.Errorf("Driver(o) = %d, want 0", d)
+	}
+}
+
+func TestAddIntoPanicsOnDoubleDriver(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	o := n.Add(CellInv, a)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddInto onto a driven net did not panic")
+		}
+	}()
+	n.AddInto(o, CellBuf, a)
+}
+
+func TestCollectErrorsMode(t *testing.T) {
+	n := New("t")
+	n.CollectErrors(true)
+	a := n.AddInput("a")
+
+	o := n.Add(CellInv, a)    // fine
+	bad := n.Add(CellAnd2, a) // arity error, still returns a fresh net
+	if bad == Invalid {
+		t.Error("failed Add returned Invalid, want a fresh net")
+	}
+	n.AddInto(o, CellBuf, a)         // duplicate instance driver
+	n.AddInto(a, CellBuf, o)         // duplicate driver on a primary input
+	n.Add(CellInv, Invalid)          // invalid input net
+	n.AddFF(CellAnd2, a, false)      // AddFF on a combinational cell
+	n.SetFFInput(o, a)               // not a flip-flop output
+	n.SetGateInput(o, 3, a)          // pin out of range
+	n.SetGateInput(n.NewNet(), 0, a) // no driving instance
+
+	errs := n.ConstructionErrors()
+	if len(errs) != 8 {
+		for _, e := range errs {
+			t.Log(e)
+		}
+		t.Fatalf("collected %d errors, want 8", len(errs))
+	}
+	for _, e := range errs {
+		if !strings.Contains(e.Error(), "netlist t:") {
+			t.Errorf("error missing design name: %v", e)
+		}
+	}
+	// Failed constructions were skipped: only the one good INV placed.
+	if got := n.NumInstances(); got != 1 {
+		t.Errorf("instances = %d, want 1", got)
+	}
+
+	// Switching collection off restores panics.
+	n.CollectErrors(false)
+	defer func() {
+		if recover() == nil {
+			t.Error("structural error did not panic with collection off")
+		}
+	}()
+	n.Add(CellAnd2, a)
+}
+
+func TestTraversalAccessors(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	x := n.Add(CellAnd2, a, b)
+	y := n.Add(CellOr2, a, x)
+	n.AddOutput("y", y)
+
+	if !n.IsInput(a) || !n.IsInput(b) {
+		t.Error("IsInput false for a primary input")
+	}
+	if n.IsInput(x) {
+		t.Error("IsInput true for a gate output")
+	}
+	if got := n.NumInstances(); got != 2 {
+		t.Errorf("NumInstances = %d, want 2", got)
+	}
+
+	fan := n.FanoutMap()
+	if got := fan[a]; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("fanout(a) = %v, want [0 1]", got)
+	}
+	if got := fan[x]; len(got) != 1 || got[0] != 1 {
+		t.Errorf("fanout(x) = %v, want [1]", got)
+	}
+	if _, ok := fan[y]; ok {
+		t.Error("output net y has no instance readers, but appears in FanoutMap")
+	}
+
+	named := n.NamedNets()
+	if len(named) != 3 { // a, b, y
+		t.Fatalf("NamedNets = %v, want 3 entries", named)
+	}
+	for i := 1; i < len(named); i++ {
+		if named[i-1] >= named[i] {
+			t.Errorf("NamedNets not sorted: %v", named)
+		}
+	}
+	if s, ok := n.NameOf(y); !ok || s != "y" {
+		t.Errorf("NameOf(y) = %q,%v", s, ok)
+	}
+	if _, ok := n.NameOf(x); ok {
+		t.Error("NameOf reported a name for an unnamed net")
+	}
+}
+
+func TestSetGateInputRewires(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	o := n.Add(CellAnd2, a, a)
+	n.SetGateInput(o, 1, b)
+	inst := n.Instances()[n.Driver(o)]
+	if inst.In[1] != b {
+		t.Errorf("pin 1 = %v, want %v", inst.In[1], b)
+	}
+}
+
+func TestSweepDeadPrunesOrphanNames(t *testing.T) {
+	n := New("t")
+	a := n.AddInput("a")
+	dead := n.Add(CellInv, a)
+	n.SetNetName(dead, "dead_inv")
+	live := n.Add(CellBuf, a)
+	n.AddOutput("y", live)
+	if removed := n.SweepDead(); removed != 1 {
+		t.Fatalf("swept %d, want 1", removed)
+	}
+	if _, ok := n.NameOf(dead); ok {
+		t.Error("swept net kept its debug name")
+	}
+}

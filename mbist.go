@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fsmbist"
 	"repro/internal/hardbist"
+	"repro/internal/lint"
 	"repro/internal/march"
 	"repro/internal/memory"
 	"repro/internal/microbist"
@@ -187,3 +188,37 @@ func addrBits(size int) int {
 // TechLibrary returns the CMOS5S-like 0.35µm cell library used by the
 // area evaluation.
 func TechLibrary() *netlist.Library { return &netlist.CMOS5SLike }
+
+// Static verification (design-rule checking) re-exports.
+type (
+	// LintReport aggregates the findings of a lint run.
+	LintReport = lint.Report
+	// LintFinding is one design-rule violation.
+	LintFinding = lint.Finding
+	// LintSeverity ranks a finding.
+	LintSeverity = lint.Severity
+	// LintOptions tunes what the full-matrix lint covers.
+	LintOptions = lint.MatrixOpts
+	// LintArch selects a synthesised architecture for the lint matrix
+	// (unlike Architecture it has no behavioural Reference entry, and it
+	// distinguishes the microcode controller's scan-storage re-design).
+	LintArch = lint.Arch
+)
+
+// Lint severities and matrix architectures.
+const (
+	LintInfo    = lint.Info
+	LintWarning = lint.Warning
+	LintError   = lint.Error
+
+	LintMicrocode     = lint.Microcode
+	LintMicrocodeScan = lint.MicrocodeScan
+	LintProgFSM       = lint.ProgFSM
+	LintHardwired     = lint.Hardwired
+)
+
+// Lint statically verifies the synthesised matrix: netlist design-rule
+// checks, microcode control-flow and termination analysis, and march
+// well-formedness for every selected algorithm, architecture and memory
+// geometry. No simulation is involved.
+func Lint(opts LintOptions) (*LintReport, error) { return lint.Matrix(opts) }
