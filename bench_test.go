@@ -123,7 +123,7 @@ func BenchmarkTestTime(b *testing.B) {
 				b.Run(fmt.Sprintf("%s/%v/N=%d", name, arch, n), func(b *testing.B) {
 					var cycles int
 					for i := 0; i < b.N; i++ {
-						mem := NewSRAM(n, 1, 1)
+						mem := mustMem(NewSRAM(n, 1, 1))
 						res, err := Run(arch, alg, mem, RunOptions{})
 						if err != nil {
 							b.Fatal(err)
@@ -202,7 +202,7 @@ func BenchmarkExecutorThroughput(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		mem := NewSRAM(1024, 1, 1)
+		mem := mustMem(NewSRAM(1024, 1, 1))
 		if _, err := p.Run(mem, microbist.ExecOpts{}); err != nil {
 			b.Fatal(err)
 		}

@@ -9,22 +9,60 @@
 //	mbistcov -detail marchc
 //	mbistcov -arch microcode -workers 4 -cpuprofile grade.pprof -metrics
 //	mbistcov -engine scalar -detail marchc
+//	mbistcov -size 1024 -width 8 -checkpoint state.json
+//	mbistcov -size 1024 -width 8 -checkpoint state.json -resume
 //
 // The observability flags -cpuprofile, -memprofile, -trace and
 // -metrics profile a grading run; -metrics dumps the obs counter
 // snapshot (per-worker fault throughput, settle counts, ...) to stderr
 // at exit.
+//
+// Matrix-scale runs are interruptible: with -checkpoint, grading state
+// is persisted atomically every -checkpoint-every faults and once more
+// on SIGINT/SIGTERM, and -resume continues from the saved state to a
+// report byte-identical to an uninterrupted run. The checkpoint file
+// is versioned, checksummed and bound to the workload (algorithms,
+// architecture, geometry, universe options), so a stale or tampered
+// file is rejected instead of silently mis-resumed.
+//
+// Exit codes:
+//
+//	0  success
+//	1  grading or configuration error
+//	2  flag parse error
+//	3  interrupted by SIGINT/SIGTERM (final checkpoint written when
+//	   -checkpoint is set)
+//	4  -resume checkpoint is corrupt or belongs to a different workload
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/crc32"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	mbist "repro"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
+
+// Exit codes. 2 is taken by flag parsing.
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitInterrupted = 3
+	exitBadResume   = 4
+)
+
+// errInterrupted marks a run stopped by SIGINT/SIGTERM after writing
+// its final checkpoint.
+var errInterrupted = errors.New("interrupted")
 
 func main() {
 	log.SetFlags(0)
@@ -38,24 +76,60 @@ func main() {
 	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
 	workers := flag.Int("workers", 0, "concurrent grading workers (0 = all CPUs, 1 = serial)")
 	engineName := flag.String("engine", "auto", "fault-simulation engine: auto (lane-parallel stream replay with scalar fallback) or scalar (one fault at a time)")
+	ckptPath := flag.String("checkpoint", "", "persist grading state to this file (atomic rename-on-write)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in graded faults (0 = default)")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
 	var prof obs.Flags
 	prof.Register(flag.CommandLine)
+	defaultUsage := flag.Usage
+	flag.Usage = func() {
+		defaultUsage()
+		fmt.Fprint(flag.CommandLine.Output(), `
+exit codes:
+  0  success
+  1  grading or configuration error
+  2  flag parse error
+  3  interrupted by SIGINT/SIGTERM (final checkpoint written when -checkpoint is set)
+  4  -resume checkpoint is corrupt or belongs to a different workload
+`)
+	}
 	flag.Parse()
 
 	stop, err := prof.Start()
 	if err != nil {
 		log.Fatal(err)
 	}
-	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers, *engineName)
+	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers, *engineName,
+		*ckptPath, *ckptEvery, *resume)
 	if err := stop(); err != nil {
 		log.Print(err)
 	}
-	if runErr != nil {
-		log.Fatal(runErr)
+	switch {
+	case runErr == nil:
+		os.Exit(exitOK)
+	case errors.Is(runErr, errInterrupted):
+		log.Print(runErr)
+		os.Exit(exitInterrupted)
+	case errors.Is(runErr, resilience.ErrCorrupt), errors.Is(runErr, resilience.ErrMismatch):
+		log.Print(runErr)
+		os.Exit(exitBadResume)
+	default:
+		log.Print(runErr)
+		os.Exit(exitError)
 	}
 }
 
-func run(algList, archName string, size, width, ports int, detail string, workers int, engineName string) error {
+// checkpointPayload is the mbistcov checkpoint body: one grading State
+// per algorithm, keyed by name, in a fixed algorithm order. Algorithms
+// graded to completion resume instantly (every fault already settled);
+// the in-flight one resumes at its last persisted fault.
+type checkpointPayload struct {
+	Algs   []string                        `json:"algs"`
+	States map[string]*mbist.CoverageState `json:"states"`
+}
+
+func run(algList, archName string, size, width, ports int, detail string, workers int, engineName string,
+	ckptPath string, ckptEvery int, resume bool) error {
 	arch, err := parseArch(archName)
 	if err != nil {
 		return err
@@ -64,17 +138,114 @@ func run(algList, archName string, size, width, ports int, detail string, worker
 	if err != nil {
 		return err
 	}
-	opts := mbist.CoverageOptions{Size: size, Width: width, Ports: ports, Workers: workers, Engine: engine}
+	opts := mbist.CoverageOptions{
+		Size: size, Width: width, Ports: ports, Workers: workers,
+		Engine: engine, CheckpointEvery: ckptEvery,
+	}
+	if resume && ckptPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 
+	var algs []mbist.Algorithm
 	if detail != "" {
 		alg, ok := mbist.AlgorithmByName(detail)
 		if !ok {
 			return fmt.Errorf("unknown algorithm %q", detail)
 		}
-		rep, err := mbist.GradeCoverage(alg, arch, opts)
+		algs = []mbist.Algorithm{alg}
+	} else {
+		for _, name := range strings.Split(algList, ",") {
+			alg, ok := mbist.AlgorithmByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown algorithm %q", name)
+			}
+			algs = append(algs, alg)
+		}
+	}
+
+	// The workload fingerprint binds a checkpoint to this exact run: a
+	// readable architecture/geometry/algorithm summary plus a checksum
+	// of the per-algorithm fingerprints (which fold in the universe
+	// options and each algorithm's march notation) in grading order.
+	// Worker count and engine are excluded — verdicts are byte-identical
+	// across both, so a checkpoint resumes under either.
+	payload := checkpointPayload{States: make(map[string]*mbist.CoverageState)}
+	var fps []string
+	for _, alg := range algs {
+		payload.Algs = append(payload.Algs, alg.Name)
+		fps = append(fps, mbist.CoverageFingerprint(alg, arch, opts))
+	}
+	fingerprint := fmt.Sprintf("%v %dx%d/%d algs[%s] %08x",
+		arch, opts.Size, opts.Width, opts.Ports,
+		strings.Join(payload.Algs, ","),
+		crc32.ChecksumIEEE([]byte(strings.Join(fps, ";"))))
+
+	if resume {
+		var prior checkpointPayload
+		switch err := resilience.Load(ckptPath, fingerprint, &prior); {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("no checkpoint at %s, starting fresh", ckptPath)
+		case err != nil:
+			return err
+		default:
+			payload.States = prior.States
+			if payload.States == nil {
+				payload.States = make(map[string]*mbist.CoverageState)
+			}
+			done := 0
+			for _, st := range payload.States {
+				if st.Complete() {
+					done++
+				}
+			}
+			log.Printf("resuming from %s: %d/%d algorithms complete", ckptPath, done, len(algs))
+		}
+	}
+
+	// Stop at the next fault boundary on SIGINT/SIGTERM; the grading
+	// engines flush a final checkpoint before returning.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	var ckptErr error
+	reports := make([]*mbist.CoverageReport, 0, len(algs))
+	for _, alg := range algs {
+		algOpts := opts
+		if st := payload.States[alg.Name]; st != nil {
+			algOpts.Resume = st
+		}
+		if ckptPath != "" {
+			name := alg.Name
+			algOpts.Checkpoint = func(s *mbist.CoverageState) {
+				payload.States[name] = s
+				if err := resilience.Save(ckptPath, fingerprint, payload); err != nil {
+					ckptErr = err
+				}
+			}
+		}
+		rep, err := mbist.GradeCoverageContext(ctx, alg, arch, algOpts)
 		if err != nil {
+			if ctx.Err() != nil && rep != nil {
+				if ckptErr != nil {
+					return fmt.Errorf("%w after %d/%d faults of %s; checkpoint write failed: %v",
+						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptErr)
+				}
+				if ckptPath != "" {
+					return fmt.Errorf("%w after %d/%d faults of %s; state saved to %s",
+						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptPath)
+				}
+				return fmt.Errorf("%w after %d/%d faults of %s", errInterrupted, rep.Graded, rep.Universe, alg.Name)
+			}
 			return err
 		}
+		reports = append(reports, rep)
+	}
+	if ckptErr != nil {
+		log.Printf("warning: checkpoint write failed: %v", ckptErr)
+	}
+
+	if detail != "" {
+		rep := reports[0]
 		fmt.Print(rep)
 		if len(rep.Missed) > 0 {
 			fmt.Printf("missed faults (%d):\n", len(rep.Missed))
@@ -86,24 +257,29 @@ func run(algList, archName string, size, width, ports int, detail string, worker
 				fmt.Printf("  %v\n", f)
 			}
 		}
+		printQuarantine(rep)
 		return nil
 	}
 
-	var algs []mbist.Algorithm
-	for _, name := range strings.Split(algList, ",") {
-		alg, ok := mbist.AlgorithmByName(strings.TrimSpace(name))
-		if !ok {
-			return fmt.Errorf("unknown algorithm %q", name)
-		}
-		algs = append(algs, alg)
-	}
-	out, err := mbist.CoverageMatrix(algs, arch, opts)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("fault coverage on %v (%d x %d bits, %d ports):\n\n%s",
-		arch, size, width, ports, out)
+		arch, size, width, ports, mbist.RenderCoverageMatrix(reports))
+	for _, rep := range reports {
+		printQuarantine(rep)
+	}
 	return nil
+}
+
+// printQuarantine surfaces quarantined faults so a poisoned workload
+// cannot hide inside an otherwise clean matrix.
+func printQuarantine(rep *mbist.CoverageReport) {
+	if len(rep.Quarantined) == 0 {
+		return
+	}
+	log.Printf("%s on %v: %d fault(s) quarantined (excluded from coverage):",
+		rep.Algorithm, rep.Architecture, len(rep.Quarantined))
+	for _, q := range rep.Quarantined {
+		log.Printf("  #%d %s: %s", q.Index, q.Fault, q.Err)
+	}
 }
 
 func parseArch(s string) (mbist.Architecture, error) {

@@ -91,7 +91,10 @@ func run(algName, archName string, size, width, ports, maxFails int, bitmap, loc
 		}
 		fs = append(fs, f)
 	}
-	mem := mbist.NewFaultyMemory(size, width, ports, fs...)
+	mem, err := mbist.NewFaultyMemory(size, width, ports, fs...)
+	if err != nil {
+		return err
+	}
 
 	res, err := mbist.Run(arch, alg, mem, mbist.RunOptions{MaxFails: maxFails})
 	if err != nil {
@@ -137,7 +140,10 @@ func run(algName, archName string, size, width, ports, maxFails int, bitmap, loc
 		fmt.Print(diag.BuildBitmap(res.Fails, size, width))
 	}
 	if locate && d.Class == diag.ClassSingleCell {
-		probe := mbist.NewFaultyMemory(size, width, ports, fs...)
+		probe, err := mbist.NewFaultyMemory(size, width, ports, fs...)
+		if err != nil {
+			return err
+		}
 		suspects := diag.LocateAggressor(probe, 0, d.Cells[0])
 		cells := diag.AggressorCells(suspects)
 		switch {

@@ -14,6 +14,15 @@ import (
 	"repro/internal/faults"
 )
 
+// mustMem exits on facade constructor errors; this example hardwires
+// valid geometry and faults.
+func mustMem(m mbist.Memory, err error) mbist.Memory {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
 func main() {
 	log.SetFlags(0)
 
@@ -38,7 +47,7 @@ func investigate(title, algName string, f mbist.Fault) {
 		log.Fatalf("unknown algorithm %q", algName)
 	}
 
-	mem := mbist.NewFaultyMemory(size, 1, 1, f)
+	mem := mustMem(mbist.NewFaultyMemory(size, 1, 1, f))
 	// MaxFails 0: diagnostic mode, log every miscompare.
 	res, err := mbist.Run(mbist.Microcode, alg, mem, mbist.RunOptions{})
 	if err != nil {
@@ -63,7 +72,7 @@ func investigate(title, algName string, f mbist.Fault) {
 	// For a single implicated victim, run the active aggressor probe —
 	// the adaptive second pass a programmable BIST unit can execute.
 	if d.Class == diag.ClassSingleCell && !d.RetentionOnly {
-		probe := mbist.NewFaultyMemory(size, 1, 1, f)
+		probe := mustMem(mbist.NewFaultyMemory(size, 1, 1, f))
 		suspects := diag.LocateAggressor(probe, 0, d.Cells[0])
 		switch cells := diag.AggressorCells(suspects); {
 		case len(cells) == 0:

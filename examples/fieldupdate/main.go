@@ -19,6 +19,15 @@ import (
 	"repro/internal/microbist"
 )
 
+// mustMem exits on facade constructor errors; this example hardwires
+// valid geometry and faults.
+func mustMem(m mbist.Memory, err error) mbist.Memory {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
 func main() {
 	log.SetFlags(0)
 	lib := mbist.TechLibrary()
@@ -41,7 +50,7 @@ func main() {
 	// The fab reports escapes that look like data-retention defects:
 	// verify that March C really misses them.
 	drf := mbist.Fault{Kind: faults.DRF, Cell: 123, Value: true, Port: faults.AnyPort}
-	escaped := mbist.NewFaultyMemory(1024, 1, 1, drf)
+	escaped := mustMem(mbist.NewFaultyMemory(1024, 1, 1, drf))
 	res, err := revA.Run(escaped, microbist.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)
@@ -64,7 +73,7 @@ func main() {
 	fmt.Printf("       hardware change: %.0f um2 (same netlist, new storage contents)\n",
 		statsB.AreaUm2-statsA.AreaUm2)
 
-	caught := mbist.NewFaultyMemory(1024, 1, 1, drf)
+	caught := mustMem(mbist.NewFaultyMemory(1024, 1, 1, drf))
 	res2, err := revB.Run(caught, microbist.ExecOpts{})
 	if err != nil {
 		log.Fatal(err)

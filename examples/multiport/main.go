@@ -15,6 +15,15 @@ import (
 	"repro/internal/march"
 )
 
+// mustMem exits on facade constructor errors; this example hardwires
+// valid geometry and faults.
+func mustMem(m mbist.Memory, err error) mbist.Memory {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
 const (
 	size  = 64
 	width = 8
@@ -39,7 +48,7 @@ func main() {
 		Kind: faults.SA, Cell: 40 * width, Value: true, Port: 1,
 	}
 
-	mem := mbist.NewFaultyMemory(size, width, ports, intraWord, portFault)
+	mem := mustMem(mbist.NewFaultyMemory(size, width, ports, intraWord, portFault))
 	res, err := mbist.Run(mbist.Microcode, alg, mem, mbist.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -65,14 +74,14 @@ func main() {
 	// the reference runner (solid background only / port 0 only).
 	fmt.Println("\nrestricted runs on fresh copies of the same faulty memory:")
 
-	m1 := mbist.NewFaultyMemory(size, width, ports, intraWord)
+	m1 := mustMem(mbist.NewFaultyMemory(size, width, ports, intraWord))
 	r1, err := march.Run(alg, m1, march.RunOpts{SingleBackground: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  intra-word fault, solid background only: detected=%v (fault hidden)\n", r1.Detected())
 
-	m2 := mbist.NewFaultyMemory(size, width, ports, portFault)
+	m2 := mustMem(mbist.NewFaultyMemory(size, width, ports, portFault))
 	r2, err := march.Run(alg, m2, march.RunOpts{SinglePort: true})
 	if err != nil {
 		log.Fatal(err)

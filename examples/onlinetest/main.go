@@ -17,6 +17,15 @@ import (
 	"repro/internal/transparent"
 )
 
+// mustMem exits on facade constructor errors; this example hardwires
+// valid geometry and faults.
+func mustMem(m mbist.Memory, err error) mbist.Memory {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
 const (
 	size  = 256
 	width = 8
@@ -45,11 +54,11 @@ func main() {
 		}
 	}
 
-	healthy := mbist.NewSRAM(size, width, 1)
+	healthy := mustMem(mbist.NewSRAM(size, width, 1))
 	load(healthy)
-	defect := mbist.NewFaultyMemory(size, width, 1, mbist.Fault{
+	defect := mustMem(mbist.NewFaultyMemory(size, width, 1, mbist.Fault{
 		Kind: faults.DRF, Cell: 57*width + 2, Value: true, Port: faults.AnyPort,
-	})
+	}))
 	load(defect)
 
 	for epoch := 1; epoch <= 5; epoch++ {

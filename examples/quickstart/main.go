@@ -12,6 +12,15 @@ import (
 	"repro/internal/microbist"
 )
 
+// mustMem exits on facade constructor errors; this example hardwires
+// valid geometry and faults.
+func mustMem(m mbist.Memory, err error) mbist.Memory {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
 func main() {
 	log.SetFlags(0)
 
@@ -33,7 +42,7 @@ func main() {
 	fmt.Println(prog.Listing())
 
 	// Run the BIST on a clean 1K x 1 memory.
-	clean := mbist.NewSRAM(1024, 1, 1)
+	clean := mustMem(mbist.NewSRAM(1024, 1, 1))
 	res, err := mbist.Run(mbist.Microcode, alg, clean, mbist.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -42,9 +51,9 @@ func main() {
 		res.Pass, res.Operations, res.Cycles)
 
 	// Run it on a memory with cell 300 stuck at 1.
-	faulty := mbist.NewFaultyMemory(1024, 1, 1, mbist.Fault{
+	faulty := mustMem(mbist.NewFaultyMemory(1024, 1, 1, mbist.Fault{
 		Kind: faults.SA, Cell: 300, Value: true, Port: faults.AnyPort,
-	})
+	}))
 	res, err = mbist.Run(mbist.Microcode, alg, faulty, mbist.RunOptions{MaxFails: 3})
 	if err != nil {
 		log.Fatal(err)

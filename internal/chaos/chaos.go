@@ -1,0 +1,121 @@
+// Package chaos is the grading pipeline's failure-injection harness:
+// deterministic fault hooks that panic inside coverage workers, file
+// mutilators for checkpoint corruption tests, and netlists that
+// legitimately never settle. The injectors are deliberately
+// deterministic — keyed on fault index or byte offset, never on time
+// or scheduling — so the robustness tests built on them can assert
+// byte-identical reports at any worker count.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// PanicOn returns a coverage FaultHook that panics every time one of
+// the given universe indices is about to be graded. The panic value is
+// a pure function of the index, so quarantine verdicts — which record
+// the panic message — stay byte-identical across engines, retries and
+// worker counts. The hook is safe for concurrent use.
+func PanicOn(indices ...int) func(int) {
+	target := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		target[i] = true
+	}
+	return func(i int) {
+		if target[i] {
+			panic(fmt.Sprintf("chaos: injected panic at fault %d", i))
+		}
+	}
+}
+
+// PanicOnce returns a FaultHook that panics the first time each of the
+// given indices is seen and lets every later attempt through: a
+// "flaky" worker failure the retry path must absorb without
+// quarantining anything. Safe for concurrent use.
+func PanicOnce(indices ...int) func(int) {
+	target := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		target[i] = true
+	}
+	var mu sync.Mutex
+	fired := make(map[int]bool, len(indices))
+	return func(i int) {
+		if !target[i] {
+			return
+		}
+		mu.Lock()
+		first := !fired[i]
+		fired[i] = true
+		mu.Unlock()
+		if first {
+			panic(fmt.Sprintf("chaos: flaky panic at fault %d", i))
+		}
+	}
+}
+
+// CancelAfter returns a FaultHook that invokes cancel once n hook
+// calls have happened: mid-run cancellation at a reproducible point in
+// the grading workload. Safe for concurrent use.
+func CancelAfter(n int, cancel func()) func(int) {
+	var mu sync.Mutex
+	seen := 0
+	return func(int) {
+		mu.Lock()
+		seen++
+		hit := seen == n
+		mu.Unlock()
+		if hit {
+			cancel()
+		}
+	}
+}
+
+// Chain composes hooks left to right into one FaultHook.
+func Chain(hooks ...func(int)) func(int) {
+	return func(i int) {
+		for _, h := range hooks {
+			h(i)
+		}
+	}
+}
+
+// FlipByte XORs the byte at offset with 0xff in place — the minimal
+// corruption a checksummed checkpoint must catch. A negative offset
+// counts from the end of the file.
+func FlipByte(path string, offset int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 {
+		offset += int64(len(data))
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("chaos: offset %d outside %d-byte file %s", offset, len(data), path)
+	}
+	data[offset] ^= 0xff
+	return os.WriteFile(path, data, 0o600)
+}
+
+// Truncate cuts the file to its first keep bytes, simulating a write
+// torn by a crash (which the atomic rename-on-write protocol prevents
+// for real checkpoints — this mutilates the finished file directly).
+func Truncate(path string, keep int64) error {
+	return os.Truncate(path, keep)
+}
+
+// Oscillator builds x = INV(x): the smallest netlist whose relaxation
+// settle can never reach a fixpoint, for driving the gatesim
+// non-convergence watchdog.
+func Oscillator() *netlist.Netlist {
+	n := netlist.New("chaos-osc")
+	a := n.AddInput("a")
+	x := n.Add(netlist.CellInv, a)
+	n.SetGateInput(x, 0, x)
+	n.AddOutput("x", x)
+	return n
+}

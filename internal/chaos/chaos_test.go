@@ -1,0 +1,314 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/coverage"
+	"repro/internal/faults"
+	"repro/internal/gatesim"
+	"repro/internal/march"
+	"repro/internal/resilience"
+)
+
+func marchC(t *testing.T) march.Algorithm {
+	t.Helper()
+	alg, ok := march.ByName("marchc")
+	if !ok {
+		t.Fatal("library lacks marchc")
+	}
+	return alg
+}
+
+func reportJSON(t *testing.T, rep *coverage.Report) []byte {
+	t.Helper()
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	return b
+}
+
+// universeSize mirrors Grade's enumeration for the test geometry.
+func universeSize(size int) int {
+	return len(faults.Universe(size, 1, faults.UniverseOpts{Ports: 1}))
+}
+
+// TestQuarantineDeterminism injects always-panicking faults spanning
+// three lane batches and asserts the same panic set yields the same
+// byte-identical report on both engines at every worker count: the
+// quarantine list is sorted, stackless and excluded from the coverage
+// tallies, and no other verdict is disturbed.
+func TestQuarantineDeterminism(t *testing.T) {
+	alg := marchC(t)
+	n := universeSize(16)
+	targets := []int{3, 63, 64, 127}
+	for _, i := range targets {
+		if i >= n {
+			t.Fatalf("universe has only %d faults, target %d out of range", n, i)
+		}
+	}
+
+	var golden []byte
+	for _, engine := range []coverage.Engine{coverage.EngineAuto, coverage.EngineScalar} {
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			opts := coverage.Options{
+				Size: 16, Workers: w, Engine: engine,
+				FaultHook: chaos.PanicOn(targets...),
+			}
+			rep, err := coverage.Grade(alg, coverage.Reference, opts)
+			if err != nil {
+				t.Fatalf("engine %v workers %d: %v", engine, w, err)
+			}
+			if rep.Partial {
+				t.Fatalf("engine %v workers %d: report marked partial", engine, w)
+			}
+			if len(rep.Quarantined) != len(targets) {
+				t.Fatalf("engine %v workers %d: quarantined %d faults, want %d: %+v",
+					engine, w, len(rep.Quarantined), len(targets), rep.Quarantined)
+			}
+			for i, q := range rep.Quarantined {
+				if q.Index != targets[i] {
+					t.Fatalf("engine %v workers %d: quarantine[%d] = fault %d, want %d",
+						engine, w, i, q.Index, targets[i])
+				}
+				if want := fmt.Sprintf("panic: chaos: injected panic at fault %d", q.Index); q.Err != want {
+					t.Fatalf("quarantine err = %q, want %q", q.Err, want)
+				}
+			}
+			if rep.Overall.Total != n-len(targets) {
+				t.Fatalf("engine %v workers %d: Overall.Total = %d, want %d (universe %d minus quarantine)",
+					engine, w, rep.Overall.Total, n-len(targets), n)
+			}
+			if rep.Graded != n {
+				t.Fatalf("engine %v workers %d: Graded = %d, want %d", engine, w, rep.Graded, n)
+			}
+			got := reportJSON(t, rep)
+			if golden == nil {
+				golden = got
+			} else if !bytes.Equal(golden, got) {
+				t.Fatalf("engine %v workers %d: report diverged from first configuration:\n%s\nvs\n%s",
+					engine, w, golden, got)
+			}
+		}
+	}
+}
+
+// TestFlakyPanicIsRetriedNotQuarantined injects panics that fire only
+// on the first grading attempt per fault: the retry path must absorb
+// them and produce a report byte-identical to an unpoisoned run, with
+// nothing quarantined.
+func TestFlakyPanicIsRetriedNotQuarantined(t *testing.T) {
+	alg := marchC(t)
+	clean, err := coverage.Grade(alg, coverage.Reference, coverage.Options{Size: 16, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenJSON := reportJSON(t, clean)
+	for _, engine := range []coverage.Engine{coverage.EngineAuto, coverage.EngineScalar} {
+		for _, w := range []int{1, 2} {
+			opts := coverage.Options{
+				Size: 16, Workers: w, Engine: engine,
+				FaultHook: chaos.PanicOnce(5, 70),
+			}
+			rep, err := coverage.Grade(alg, coverage.Reference, opts)
+			if err != nil {
+				t.Fatalf("engine %v workers %d: %v", engine, w, err)
+			}
+			if len(rep.Quarantined) != 0 {
+				t.Fatalf("engine %v workers %d: flaky faults quarantined: %+v", engine, w, rep.Quarantined)
+			}
+			if got := reportJSON(t, rep); !bytes.Equal(goldenJSON, got) {
+				t.Fatalf("engine %v workers %d: report differs from unpoisoned run", engine, w)
+			}
+		}
+	}
+}
+
+// TestMidRunCancellationEmitsValidPartialReport cancels the context
+// from inside the workload and checks the partial report is internally
+// consistent, the error wraps context.Canceled, and the final
+// checkpoint flushed on the way out matches the report.
+func TestMidRunCancellationEmitsValidPartialReport(t *testing.T) {
+	alg := marchC(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *coverage.State
+	opts := coverage.Options{
+		Size: 16, Workers: 2, Engine: coverage.EngineScalar,
+		FaultHook:       chaos.CancelAfter(40, cancel),
+		Checkpoint:      func(s *coverage.State) { last = s },
+		CheckpointEvery: 1 << 30, // only the final flush fires
+	}
+	rep, err := coverage.GradeContext(ctx, alg, coverage.Reference, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled grade returned a nil report")
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled report not marked Partial")
+	}
+	if rep.Graded == 0 || rep.Graded >= rep.Universe {
+		t.Fatalf("Graded = %d of %d, want a strict mid-run cut", rep.Graded, rep.Universe)
+	}
+	if rep.Overall.Total != rep.Graded {
+		t.Fatalf("Overall.Total = %d, Graded = %d: partial tallies disagree", rep.Overall.Total, rep.Graded)
+	}
+	sum, det := 0, 0
+	for _, r := range rep.ByKind {
+		sum += r.Total
+		det += r.Detected
+	}
+	if sum != rep.Overall.Total || det != rep.Overall.Detected {
+		t.Fatalf("ByKind sums (%d/%d) disagree with Overall %v", det, sum, rep.Overall)
+	}
+	if len(rep.Missed)+rep.Overall.Detected != rep.Overall.Total {
+		t.Fatalf("missed %d + detected %d != total %d", len(rep.Missed), rep.Overall.Detected, rep.Overall.Total)
+	}
+	if last == nil {
+		t.Fatal("no final checkpoint flushed on cancellation")
+	}
+	if got := last.GradedCount(); got != rep.Graded {
+		t.Fatalf("final checkpoint has %d graded faults, report says %d", got, rep.Graded)
+	}
+}
+
+// TestResumeEquivalence is the kill-and-resume contract: a run that is
+// cancelled mid-flight (with quarantined faults in play), persisted
+// through the real checkpoint store, loaded back and resumed must
+// finish with a report byte-identical to an uninterrupted run under
+// the same panic set.
+func TestResumeEquivalence(t *testing.T) {
+	alg := marchC(t)
+	targets := []int{3, 64}
+	golden, err := coverage.Grade(alg, coverage.Reference, coverage.Options{
+		Size: 16, Workers: 2, FaultHook: chaos.PanicOn(targets...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenJSON := reportJSON(t, golden)
+
+	// Interrupted run: same panic set, cancelled mid-workload.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *coverage.State
+	_, err = coverage.GradeContext(ctx, alg, coverage.Reference, coverage.Options{
+		Size: 16, Workers: 2,
+		FaultHook:       chaos.Chain(chaos.PanicOn(targets...), chaos.CancelAfter(120, cancel)),
+		Checkpoint:      func(s *coverage.State) { last = s },
+		CheckpointEvery: 16,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if last == nil {
+		t.Fatal("interrupted run flushed no checkpoint")
+	}
+	if last.Complete() {
+		t.Fatal("interrupted run completed before cancellation; cancel point too late for this universe")
+	}
+
+	// Round-trip the state through the on-disk checkpoint store.
+	path := filepath.Join(t.TempDir(), "state.json")
+	const fp = "chaos-resume-test"
+	if err := resilience.Save(path, fp, last); err != nil {
+		t.Fatal(err)
+	}
+	var loaded coverage.State
+	if err := resilience.Load(path, fp, &loaded); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := coverage.Grade(alg, coverage.Reference, coverage.Options{
+		Size: 16, Workers: 2,
+		FaultHook: chaos.PanicOn(targets...),
+		Resume:    &loaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, resumed); !bytes.Equal(goldenJSON, got) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n%s\nvs\n%s", goldenJSON, got)
+	}
+}
+
+// TestCheckpointMutilationDetected drives the corruption injectors
+// over a real grading State: a flipped byte and a torn write must
+// surface as ErrCorrupt, a foreign workload as ErrMismatch — never as
+// a silently mis-resumed state.
+func TestCheckpointMutilationDetected(t *testing.T) {
+	st := &coverage.State{
+		Graded:   []bool{true, true, false, true, false, false, true, true, true, false},
+		Detected: []bool{true, false, false, true, false, false, false, true, true, false},
+		Quarantined: []coverage.FaultVerdict{
+			{Index: 6, Fault: "SA0(c6)", Err: "panic: chaos"},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "state.json")
+	const fp = "chaos-mutilation-test"
+
+	save := func() {
+		t.Helper()
+		if err := resilience.Save(path, fp, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save()
+	var round coverage.State
+	if err := resilience.Load(path, fp, &round); err != nil {
+		t.Fatalf("clean round-trip: %v", err)
+	}
+	if round.GradedCount() != st.GradedCount() || len(round.Quarantined) != 1 {
+		t.Fatalf("round-trip lost state: %+v", round)
+	}
+
+	if err := chaos.FlipByte(path, -25); err != nil {
+		t.Fatal(err)
+	}
+	if err := resilience.Load(path, fp, &coverage.State{}); !errors.Is(err, resilience.ErrCorrupt) {
+		t.Fatalf("flipped byte: err = %v, want ErrCorrupt", err)
+	}
+
+	save()
+	if err := chaos.Truncate(path, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := resilience.Load(path, fp, &coverage.State{}); !errors.Is(err, resilience.ErrCorrupt) {
+		t.Fatalf("truncated file: err = %v, want ErrCorrupt", err)
+	}
+
+	save()
+	if err := resilience.Load(path, "another-workload", &coverage.State{}); !errors.Is(err, resilience.ErrMismatch) {
+		t.Fatalf("foreign fingerprint: err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestOscillatorTripsWatchdog feeds the never-settling netlist to both
+// simulators and expects the bounded-relaxation watchdog, not a hang.
+func TestOscillatorTripsWatchdog(t *testing.T) {
+	nl := chaos.Oscillator()
+	s, err := gatesim.New(nl)
+	if err != nil {
+		t.Fatalf("scalar New: %v", err)
+	}
+	if err := s.Err(); !errors.Is(err, gatesim.ErrUnsettled) {
+		t.Fatalf("scalar Err = %v, want ErrUnsettled", err)
+	}
+	w, err := gatesim.NewWord(nl)
+	if err != nil {
+		t.Fatalf("word New: %v", err)
+	}
+	if err := w.Err(); !errors.Is(err, gatesim.ErrUnsettled) {
+		t.Fatalf("word Err = %v, want ErrUnsettled", err)
+	}
+}

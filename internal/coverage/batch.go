@@ -9,6 +9,7 @@ import (
 	"repro/internal/march"
 	"repro/internal/memory"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // The lane-parallel grading engine (PPSFP applied to the behavioural
@@ -62,14 +63,18 @@ func streamsEqual(a, b []march.StreamOp) bool {
 	return true
 }
 
-// gradeBatched fills detected[] by replaying the captured stream over
-// 63-fault lane batches. Batch b grades universe[b*MaxLanes:...] in
-// universe order, so detected[] — and with it the Report's Missed
-// ordering — is byte-identical to the scalar oracle at any worker
-// count.
-func gradeBatched(opts Options, universe []faults.Fault, stream []march.StreamOp, detected []bool) error {
+// gradeBatched grades the universe by replaying the captured stream
+// over 63-fault lane batches. Batch b grades universe[b*MaxLanes:...]
+// in universe order, so the verdicts — and with them the Report's
+// Missed ordering — are byte-identical to the scalar oracle at any
+// worker count. A panic anywhere in a batch (hook, injector or replay)
+// fails only that batch: each of its faults is retried individually on
+// the scalar oracle and quarantined if it panics again. Cancellation
+// stops the claim loop at the next batch boundary.
+func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
+	universe := r.universe
 	batches := (len(universe) + faults.MaxLanes - 1) / faults.MaxLanes
-	workers := opts.Workers
+	workers := r.opts.Workers
 	if workers > batches {
 		workers = batches
 	}
@@ -80,34 +85,105 @@ func gradeBatched(opts Options, universe []faults.Fault, stream []march.StreamOp
 	mBatch := reg.Span("coverage.batch_ns")
 	mFaults := reg.Counter("coverage.faults_graded")
 
+	batchSpan := func(b int) (start, end, pending int) {
+		start = b * faults.MaxLanes
+		end = min(start+faults.MaxLanes, len(universe))
+		for i := start; i < end; i++ {
+			if !r.resumed[i] {
+				pending++
+			}
+		}
+		return start, end, pending
+	}
+
+	// gradeOne replays one batch; a panic escapes as a *PanicError for
+	// the caller's scalar retry.
 	gradeOne := func(b int, planes []uint64) ([]uint64, error) {
-		start := b * faults.MaxLanes
-		end := start + faults.MaxLanes
-		if end > len(universe) {
-			end = len(universe)
+		start, end, pending := batchSpan(b)
+		if pending == 0 {
+			// Fully settled by the resumed checkpoint: nothing to replay.
+			return planes, nil
 		}
 		batch := universe[start:end]
 		t0 := mBatch.Start()
-		mem := faults.NewLaneInjected(opts.Size, opts.Width, opts.Ports, batch)
-		failMask, planes, err := replayStream(mem, stream, planes)
-		if err != nil {
-			return planes, fmt.Errorf("coverage: batch %d (faults %d..%d): %w", b, start, end-1, err)
+		var failMask uint64
+		var rerr error
+		perr := resilience.Capture(func() {
+			if r.opts.FaultHook != nil {
+				for i := start; i < end; i++ {
+					if !r.resumed[i] {
+						r.opts.FaultHook(i)
+					}
+				}
+			}
+			mem := faults.NewLaneInjected(r.opts.Size, r.opts.Width, r.opts.Ports, batch)
+			failMask, planes, rerr = replayStream(mem, stream, planes)
+		})
+		if perr != nil {
+			return planes, perr
 		}
-		for i := range batch {
-			detected[start+i] = failMask>>uint(i+1)&1 == 1
+		if rerr != nil {
+			return planes, fmt.Errorf("coverage: batch %d (faults %d..%d): %w", b, start, end-1, rerr)
 		}
+		r.commitBatch(start, end, failMask)
 		mBatch.ObserveSince(t0)
 		mBatches.Add(1)
 		mLanes.Observe(int64(len(batch)))
-		mFaults.Add(int64(len(batch)))
+		mFaults.Add(int64(pending))
+		return planes, nil
+	}
+
+	// runBatch grades one batch, degrading to per-fault scalar retries
+	// when the lane replay panics. The scalar fallback runner is per
+	// worker, built lazily on first panic and rebuilt after any panic
+	// that may have corrupted it.
+	runBatch := func(retry *runner, b int, planes []uint64) ([]uint64, error) {
+		planes, err := gradeOne(b, planes)
+		if err == nil {
+			return planes, nil
+		}
+		if _, ok := resilience.AsPanic(err); !ok {
+			return planes, err
+		}
+		r.mRetries.Add(1)
+		start, end, _ := batchSpan(b)
+		for i := start; i < end; i++ {
+			if r.resumed[i] {
+				continue
+			}
+			if r.ctx.Err() != nil {
+				return planes, nil
+			}
+			if *retry == nil {
+				if *retry, err = buildRunner(r.alg, r.arch, r.opts); err != nil {
+					return planes, err
+				}
+			}
+			d, ferr := r.scalarOne(*retry, i)
+			if ferr != nil {
+				p, ok := resilience.AsPanic(ferr)
+				if !ok {
+					return planes, fmt.Errorf("coverage: %s on %s with %v: %w", r.alg.Name, r.arch, universe[i], ferr)
+				}
+				r.quarantine(i, p)
+				*retry = nil
+				continue
+			}
+			r.record(i, d)
+			mFaults.Add(1)
+		}
 		return planes, nil
 	}
 
 	if workers <= 1 {
+		var retry runner
 		var planes []uint64
 		var err error
 		for b := 0; b < batches; b++ {
-			if planes, err = gradeOne(b, planes); err != nil {
+			if r.ctx.Err() != nil {
+				return nil
+			}
+			if planes, err = runBatch(&retry, b, planes); err != nil {
 				return err
 			}
 		}
@@ -118,7 +194,7 @@ func gradeBatched(opts Options, universe []faults.Fault, stream []march.StreamOp
 		cursor atomic.Int64
 		failed atomic.Bool
 		wg     sync.WaitGroup
-		mu     sync.Mutex
+		emu    sync.Mutex
 	)
 	errBatch := batches
 	var firstErr error
@@ -126,19 +202,20 @@ func gradeBatched(opts Options, universe []faults.Fault, stream []march.StreamOp
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var retry runner
 			var planes []uint64
 			for {
 				b := int(cursor.Add(1)) - 1
-				if b >= batches || failed.Load() {
+				if b >= batches || failed.Load() || r.ctx.Err() != nil {
 					return
 				}
 				var err error
-				if planes, err = gradeOne(b, planes); err != nil {
-					mu.Lock()
+				if planes, err = runBatch(&retry, b, planes); err != nil {
+					emu.Lock()
 					if b < errBatch {
 						errBatch, firstErr = b, err
 					}
-					mu.Unlock()
+					emu.Unlock()
 					failed.Store(true)
 					return
 				}

@@ -7,15 +7,23 @@
 // (PPSFP applied to the behavioural memory model). Both produce
 // byte-identical Reports; the lane engine is used automatically
 // whenever the captured stream matches the reference stream.
+//
+// Grading is hardened against the three failure modes of matrix-scale
+// sweeps: cancellation (GradeContext stops workers at the next fault or
+// batch boundary and still emits a valid partial Report), worker panics
+// (a panicking fault batch is retried on the scalar oracle and, if it
+// panics again, quarantined into Report.Quarantined instead of taking
+// the pool down), and interruption (Options.Checkpoint/Resume persist
+// per-fault verdicts so a killed run resumes to a byte-identical
+// report; see State).
 package coverage
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/faults"
 	"repro/internal/fsmbist"
@@ -78,6 +86,34 @@ type Options struct {
 	Workers int
 	// Engine selects the fault-simulation engine (default EngineAuto).
 	Engine Engine
+
+	// FaultHook, when non-nil, is called with each fault's universe
+	// index immediately before that fault is graded (once per occupied
+	// lane at batch start on the batched engine). It is the chaos
+	// injection point: a panic raised by the hook is indistinguishable
+	// from an engine panic and flows through the same
+	// recover/retry/quarantine path. The hook must be safe for
+	// concurrent use and deterministic per index if report determinism
+	// matters.
+	FaultHook func(index int)
+	// Checkpoint, when non-nil, receives a consistent snapshot of
+	// grading progress roughly every CheckpointEvery graded faults and
+	// once more when the run finishes or is cancelled, so an
+	// interrupted run always leaves its final state behind. The
+	// callback runs with grading paused; keep it brief (an atomic file
+	// write — see internal/resilience).
+	Checkpoint func(*State)
+	// CheckpointEvery is the checkpoint cadence in graded faults
+	// (default 256). Ignored when Checkpoint is nil.
+	CheckpointEvery int
+	// Resume seeds the run with a prior State (typically loaded from a
+	// checkpoint): already-graded faults keep their verdicts — including
+	// quarantine verdicts — and are not re-graded. The State must come
+	// from the same workload (same algorithm, architecture, geometry
+	// and universe options; see Fingerprint); its bitset lengths are
+	// validated against the universe. A resumed run's final report is
+	// byte-identical to an uninterrupted one.
+	Resume *State
 }
 
 func (o *Options) normalise() {
@@ -92,6 +128,9 @@ func (o *Options) normalise() {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 256
 	}
 	o.Universe.Ports = o.Ports
 }
@@ -121,17 +160,40 @@ type Report struct {
 	ByKind       map[faults.Kind]Ratio
 	Overall      Ratio
 	Missed       []faults.Fault
+	// Quarantined lists faults whose grading panicked and panicked
+	// again on the scalar retry, in universe order. They are excluded
+	// from ByKind/Overall/Missed so a poisoned fault can neither
+	// masquerade as covered nor inflate the missed list.
+	Quarantined []FaultVerdict
+	// Graded counts faults with a verdict (detected, missed or
+	// quarantined); Universe is the total enumerated for the geometry.
+	// Partial is true when the run was cancelled before Graded reached
+	// Universe — the tallies above then cover only the graded prefix of
+	// the work, though every individual verdict is still exact.
+	Graded   int
+	Universe int
+	Partial  bool
 }
 
 // Grade runs the algorithm against every fault in the universe on the
 // selected architecture, using the engine Options selects (lane-batched
 // stream replay by default, with automatic fallback to the scalar
-// oracle). The Report — including the Missed ordering — is
-// byte-identical across engines and worker counts.
+// oracle). The Report — including the Missed and Quarantined orderings —
+// is byte-identical across engines and worker counts.
 func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
+	return GradeContext(context.Background(), alg, arch, opts)
+}
+
+// GradeContext is Grade with cancellation: once ctx is cancelled or
+// past its deadline, workers stop at the next fault (or batch) boundary
+// and the partial report — valid, with Partial set and every graded
+// verdict exact — is returned alongside an error wrapping the context's
+// error. A nil report is only returned for hard failures (bad options,
+// runner compile errors, engine divergence).
+func GradeContext(ctx context.Context, alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
 	opts.normalise()
 	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
-	return gradeUniverse(alg, arch, opts, universe)
+	return gradeUniverse(ctx, alg, arch, opts, universe)
 }
 
 // GradeSerial grades with the scalar per-fault engine: one injected
@@ -148,162 +210,30 @@ func GradeSerial(alg march.Algorithm, arch Architecture, opts Options) (*Report,
 // normalised and the universe enumerated with opts.Universe on the
 // opts geometry. Matrix and Select use it to enumerate the fault
 // universe once per geometry and share it across Grade calls.
-func gradeUniverse(alg march.Algorithm, arch Architecture, opts Options, universe []faults.Fault) (*Report, error) {
-	detected := make([]bool, len(universe))
-	reg := obs.Active()
+func gradeUniverse(ctx context.Context, alg march.Algorithm, arch Architecture, opts Options, universe []faults.Fault) (*Report, error) {
+	r, err := newGradeRun(ctx, alg, arch, opts, universe)
+	if err != nil {
+		return nil, err
+	}
 	if opts.Engine == EngineAuto {
 		stream, ok, err := captureStream(alg, arch, opts)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
-			if err := gradeBatched(opts, universe, stream, detected); err != nil {
+			if err := r.gradeBatched(stream); err != nil {
 				return nil, err
 			}
-			return buildReport(alg, arch, universe, detected), nil
+			return r.finish()
 		}
 		// The captured stream diverged from the reference stream (e.g.
 		// a decomposed prog-FSM program): grade with the scalar oracle.
-		reg.Counter("coverage.stream_fallbacks").Add(1)
+		obs.Active().Counter("coverage.stream_fallbacks").Add(1)
 	}
-	if err := gradeScalar(alg, arch, opts, universe, detected); err != nil {
+	if err := r.gradeScalar(); err != nil {
 		return nil, err
 	}
-	return buildReport(alg, arch, universe, detected), nil
-}
-
-func buildReport(alg march.Algorithm, arch Architecture, universe []faults.Fault, detected []bool) *Report {
-	rep := &Report{
-		Algorithm:    alg.Name,
-		Architecture: arch,
-		ByKind:       make(map[faults.Kind]Ratio),
-	}
-	for i, f := range universe {
-		r := rep.ByKind[f.Kind]
-		r.Total++
-		rep.Overall.Total++
-		if detected[i] {
-			r.Detected++
-			rep.Overall.Detected++
-		} else {
-			rep.Missed = append(rep.Missed, f)
-		}
-		rep.ByKind[f.Kind] = r
-	}
-	obs.Active().Counter("coverage.detected").Add(int64(rep.Overall.Detected))
-	return rep
-}
-
-// gradeScalar fills detected[] with the per-fault oracle: universe[i]
-// is injected into a fresh memory and the test executed to its first
-// fail.
-func gradeScalar(alg march.Algorithm, arch Architecture, opts Options, universe []faults.Fault, detected []bool) error {
-	workers := opts.Workers
-	if workers > len(universe) {
-		workers = len(universe)
-	}
-	reg := obs.Active()
-	reg.Gauge("coverage.workers").Set(int64(workers))
-	mFaults := reg.Counter("coverage.faults_graded")
-	mFault := reg.Span("coverage.fault_ns")
-	if workers <= 1 {
-		runner, err := buildRunner(alg, arch, opts)
-		if err != nil {
-			return err
-		}
-		mWorker := reg.Counter("coverage.worker.00.faults")
-		for i, f := range universe {
-			start := mFault.Start()
-			mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
-			d, err := runner(mem)
-			if err != nil {
-				return fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
-			}
-			detected[i] = d
-			mFault.ObserveSince(start)
-			mFaults.Add(1)
-			mWorker.Add(1)
-		}
-		return nil
-	}
-	return gradeParallel(alg, arch, opts, universe, detected, workers)
-}
-
-// gradeParallel fans the fault universe out over a worker pool, filling
-// detected[i] for universe[i]. Each worker builds its own runner; work
-// is claimed dynamically through an atomic cursor so uneven per-fault
-// run times balance out. On error the workers drain and the error for
-// the lowest-indexed failing fault is returned, keeping failures as
-// deterministic as the serial path.
-func gradeParallel(alg march.Algorithm, arch Architecture, opts Options,
-	universe []faults.Fault, detected []bool, workers int) error {
-	var (
-		cursor atomic.Int64
-		failed atomic.Bool
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-	)
-	errIndex := len(universe)
-	var firstErr error
-	// Metrics: per-worker fault throughput plus the wait from pool
-	// launch to each worker's first claim (runner compilation latency —
-	// the pool's equivalent of queue wait). Nil no-op instruments when
-	// metrics are off.
-	reg := obs.Active()
-	mFaults := reg.Counter("coverage.faults_graded")
-	mFault := reg.Span("coverage.fault_ns")
-	mWait := reg.Span("coverage.worker_start_wait_ns")
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		mWorker := reg.Counter(fmt.Sprintf("coverage.worker.%02d.faults", w))
-		go func() {
-			defer wg.Done()
-			launched := mWait.Start()
-			runner, err := buildRunner(alg, arch, opts)
-			if err != nil {
-				// A compile failure precedes any fault in the serial
-				// path, so it outranks per-fault errors.
-				mu.Lock()
-				if errIndex > -1 {
-					errIndex, firstErr = -1, err
-				}
-				mu.Unlock()
-				failed.Store(true)
-				return
-			}
-			first := true
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(universe) || failed.Load() {
-					return
-				}
-				if first {
-					mWait.ObserveSince(launched)
-					first = false
-				}
-				start := mFault.Start()
-				f := universe[i]
-				mem := faults.NewInjected(opts.Size, opts.Width, opts.Ports, f)
-				d, err := runner(mem)
-				if err != nil {
-					mu.Lock()
-					if i < errIndex {
-						errIndex = i
-						firstErr = fmt.Errorf("coverage: %s on %s with %v: %w", alg.Name, arch, f, err)
-					}
-					mu.Unlock()
-					failed.Store(true)
-					return
-				}
-				detected[i] = d
-				mFault.ObserveSince(start)
-				mFaults.Add(1)
-				mWorker.Add(1)
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+	return r.finish()
 }
 
 // runner executes one test and reports detection.
@@ -380,6 +310,12 @@ func (rep *Report) String() string {
 	for _, k := range kinds {
 		fmt.Fprintf(&b, "  %-8s %s\n", k, rep.ByKind[k])
 	}
+	if len(rep.Quarantined) > 0 {
+		fmt.Fprintf(&b, "  quarantined %d fault(s)\n", len(rep.Quarantined))
+	}
+	if rep.Partial {
+		fmt.Fprintf(&b, "  PARTIAL: %d/%d faults graded\n", rep.Graded, rep.Universe)
+	}
 	return b.String()
 }
 
@@ -390,13 +326,23 @@ func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, er
 	opts.normalise()
 	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
 	var reports []*Report
-	kindSet := map[faults.Kind]bool{}
 	for _, alg := range algs {
-		rep, err := gradeUniverse(alg, arch, opts, universe)
+		rep, err := gradeUniverse(context.Background(), alg, arch, opts, universe)
 		if err != nil {
 			return "", err
 		}
 		reports = append(reports, rep)
+	}
+	return RenderMatrix(reports), nil
+}
+
+// RenderMatrix renders graded reports as a fault-kind × algorithm
+// table: the body of Matrix, exported so drivers that grade the
+// algorithms themselves (for per-algorithm checkpoint/resume) can reuse
+// the rendering.
+func RenderMatrix(reports []*Report) string {
+	kindSet := map[faults.Kind]bool{}
+	for _, rep := range reports {
 		for k := range rep.ByKind {
 			kindSet[k] = true
 		}
@@ -425,5 +371,5 @@ func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, er
 		fmt.Fprintf(&b, " %11.1f%%", rep.Overall.Percent())
 	}
 	b.WriteByte('\n')
-	return b.String(), nil
+	return b.String()
 }

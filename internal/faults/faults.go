@@ -5,9 +5,66 @@
 // stuck-open, data-retention, read-disturb (disconnected pull-up/down
 // devices) and address-decoder faults, with optional port-specific
 // visibility for multiport memories.
+//
+// # Panic contract
+//
+// Validate is the error-returning check for a geometry plus fault
+// list; callers holding unvalidated user input (the mbist facade,
+// mbistsim's -fault flags) run it first and surface the error. The
+// NewInjected/NewLaneInjected constructors and the per-operation
+// bounds checks panic on the same conditions: they run in the grading
+// hot loop — one constructor call per fault (or per 63-fault batch) of
+// a universe enumerated by this package, millions per matrix sweep —
+// so a violation there is a programming error in fault enumeration or
+// stream replay, not an input error. The grading pipeline's worker
+// isolation (internal/resilience.Capture) converts such panics into
+// quarantined verdicts rather than crashed sweeps.
 package faults
 
 import "fmt"
+
+// Validate checks a geometry and fault list the way the injecting
+// constructors do, returning the first problem as an error instead of
+// panicking: geometry bounds, victim/aggressor cell ranges, aggressor
+// distinctness for coupling faults, decoder-fault address ranges and
+// port visibility. A nil return guarantees NewInjected (and, for lists
+// of at most MaxLanes faults, NewLaneInjected) will not panic on the
+// same input.
+func Validate(size, width, ports int, faultList ...Fault) error {
+	if size <= 0 || width < 1 || width > 64 || ports <= 0 {
+		return fmt.Errorf("faults: bad geometry %dx%d, %d ports", size, width, ports)
+	}
+	cells := size * width
+	for i, f := range faultList {
+		if f.Port != AnyPort && (f.Port < 0 || f.Port >= ports) {
+			return fmt.Errorf("faults: fault %d (%v): port %d out of [0,%d)", i, f, f.Port, ports)
+		}
+		switch f.Kind {
+		case SA, TF, SOF, DRF, RDF, WDF, IRF, DRDF:
+			if f.Cell < 0 || f.Cell >= cells {
+				return fmt.Errorf("faults: fault %d (%v): victim cell %d out of [0,%d)", i, f, f.Cell, cells)
+			}
+		case CFin, CFid, CFst:
+			if f.Cell < 0 || f.Cell >= cells || f.Aggressor < 0 || f.Aggressor >= cells {
+				return fmt.Errorf("faults: fault %d (%v): coupling cells (%d,%d) out of [0,%d)",
+					i, f, f.Aggressor, f.Cell, cells)
+			}
+			if f.Cell == f.Aggressor {
+				return fmt.Errorf("faults: fault %d (%v): coupling victim == aggressor", i, f)
+			}
+		case AFNone, AFMap, AFMulti:
+			if f.Addr < 0 || f.Addr >= size {
+				return fmt.Errorf("faults: fault %d (%v): address %d out of [0,%d)", i, f, f.Addr, size)
+			}
+			if (f.Kind == AFMap || f.Kind == AFMulti) && (f.AggAddr < 0 || f.AggAddr >= size) {
+				return fmt.Errorf("faults: fault %d (%v): aggressor address %d out of [0,%d)", i, f, f.AggAddr, size)
+			}
+		default:
+			return fmt.Errorf("faults: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+	}
+	return nil
+}
 
 // Kind classifies a functional fault.
 type Kind uint8

@@ -2,40 +2,87 @@
 // two-phase (settle combinational logic, clock flip-flops) with a
 // levelised evaluation order. It exists to check that every synthesised
 // BIST controller netlist matches its behavioural model cycle for cycle.
+//
+// Netlists with combinational cycles — wired-AND buses with feedback,
+// cross-coupled latches, or loops closed by injected coupling faults —
+// are simulated with a bounded-iteration relaxation settle instead of a
+// levelised single pass. A cycle that reaches a fixpoint behaves like
+// any other logic; one that oscillates trips the watchdog and surfaces
+// as a sticky ErrUnsettled through Err rather than hanging or crashing
+// the run. Long-running drives can also be cancelled: SetContext arms a
+// periodic deadline/cancellation check in Step, again surfaced through
+// Err.
 package gatesim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
 
+// ErrUnsettled is the sentinel every non-convergence failure wraps:
+// the combinational relaxation loop exhausted its iteration watchdog
+// without reaching a fixpoint, i.e. the netlist oscillates under the
+// current inputs and forces. Test for it with errors.Is.
+var ErrUnsettled = errors.New("gatesim: combinational logic did not settle")
+
+// UnsettledError reports which netlist failed to settle and how many
+// relaxation passes the watchdog allowed. It unwraps to ErrUnsettled.
+type UnsettledError struct {
+	Netlist string
+	Iters   int
+}
+
+func (e *UnsettledError) Error() string {
+	return fmt.Sprintf("gatesim: netlist %s did not settle after %d relaxation passes (oscillation)", e.Netlist, e.Iters)
+}
+
+func (e *UnsettledError) Unwrap() error { return ErrUnsettled }
+
+// ctxCheckInterval is how many Step calls pass between context
+// cancellation checks — frequent enough for prompt SIGINT response,
+// rare enough to keep the per-cycle cost invisible.
+const ctxCheckInterval = 256
+
+// settleBudget bounds the relaxation passes a cyclic netlist gets
+// before the watchdog declares oscillation. A convergent loop of n
+// gates needs at most n passes; the budget is deliberately generous so
+// only genuine oscillation trips it.
+func settleBudget(cyclic int) int { return 2*cyclic + 8 }
+
 // Simulator executes one netlist. The zero value is not usable; call New.
 type Simulator struct {
 	nl     *netlist.Netlist
 	values []bool // indexed by NetID
 	order  []int  // combinational instance indices in topological order
+	cyclic []int  // combinational instances on loops, in index order
 	ffs    []int  // sequential instance indices
 	const1 netlist.NetID
 	cycles int
+	ctx    context.Context // optional cancellation, checked periodically
+	err    error           // sticky: ErrUnsettled or ctx.Err()
 	// forced nets override their driver's value during settling —
 	// the stuck-at fault injection mechanism of the logic-BIST fault
 	// simulator.
 	forced map[netlist.NetID]bool
 	// Metrics are bound once at construction from the registry active
 	// at that time; nil (the no-op instrument) when metrics are off.
-	mSettles *obs.Counter
-	mGates   *obs.Counter
+	mSettles   *obs.Counter
+	mGates     *obs.Counter
+	mUnsettled *obs.Counter
 }
 
 // levelise validates the netlist and computes the evaluation structures
 // shared by Simulator and WordSimulator: the combinational instance
-// indices in topological order and the sequential instance indices. It
-// fails on combinational loops or structural errors.
-func levelise(nl *netlist.Netlist) (order, ffs []int, err error) {
+// indices in topological order, the instances on combinational loops
+// (empty for the acyclic netlists every generator emits), and the
+// sequential instance indices. It fails on structural errors.
+func levelise(nl *netlist.Netlist) (order, cyclic, ffs []int, err error) {
 	if err := nl.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	insts := nl.Instances()
 	// Kahn levelisation over combinational instances. FF outputs,
@@ -61,10 +108,12 @@ func levelise(nl *netlist.Netlist) (order, ffs []int, err error) {
 			queue = append(queue, i)
 		}
 	}
+	inOrder := make([]bool, len(insts))
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
 		order = append(order, i)
+		inOrder[i] = true
 		for _, j := range fanout[insts[i].Out] {
 			indeg[j]--
 			if indeg[j] == 0 {
@@ -72,47 +121,64 @@ func levelise(nl *netlist.Netlist) (order, ffs []int, err error) {
 			}
 		}
 	}
-	combCount := 0
-	for _, inst := range insts {
-		if !inst.Kind.IsSequential() {
-			combCount++
+	// Whatever Kahn could not order sits on (or downstream of) a
+	// combinational loop; those instances are evaluated by relaxation.
+	for i, inst := range insts {
+		if !inst.Kind.IsSequential() && !inOrder[i] {
+			cyclic = append(cyclic, i)
 		}
 	}
-	if len(order) != combCount {
-		return nil, nil, fmt.Errorf("gatesim: netlist %s has a combinational loop", nl.Name)
-	}
-	return order, ffs, nil
+	return order, cyclic, ffs, nil
 }
 
 // New levelises the netlist and returns a simulator in the post-reset
-// state. It fails on combinational loops or structural errors.
+// state. It fails on structural errors. Combinational loops are legal:
+// the simulator settles them by bounded relaxation, and a loop that
+// oscillates surfaces as ErrUnsettled through Err after the settle that
+// tripped the watchdog.
 func New(nl *netlist.Netlist) (*Simulator, error) {
-	order, ffs, err := levelise(nl)
+	order, cyclic, ffs, err := levelise(nl)
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.Active()
 	s := &Simulator{
-		nl:       nl,
-		values:   make([]bool, nl.NumNets()+1),
-		order:    order,
-		ffs:      ffs,
-		mSettles: reg.Counter("gatesim.settles"),
-		mGates:   reg.Counter("gatesim.gates_evaluated"),
+		nl:         nl,
+		values:     make([]bool, nl.NumNets()+1),
+		order:      order,
+		cyclic:     cyclic,
+		ffs:        ffs,
+		mSettles:   reg.Counter("gatesim.settles"),
+		mGates:     reg.Counter("gatesim.gates_evaluated"),
+		mUnsettled: reg.Counter("gatesim.unsettled"),
 	}
 	s.const1 = s.constNet(true)
 	s.Reset()
 	return s, nil
 }
 
+// SetContext arms periodic cancellation checks: once ctx is cancelled
+// or past its deadline, Step becomes a no-op within ctxCheckInterval
+// cycles and Err returns the context's error. A nil ctx disarms.
+func (s *Simulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Err returns the sticky failure state: an *UnsettledError once a
+// settle trips the oscillation watchdog, or the context error once a
+// SetContext context is cancelled. Reset clears it. Drivers that loop
+// over Step/Eval must check Err at their own boundaries — the
+// per-cycle methods keep their void signatures.
+func (s *Simulator) Err() error { return s.err }
+
 // Reset applies the asynchronous reset: every flip-flop takes its Init
 // value and the combinational logic settles. Primary inputs keep their
-// current values. The cycle counter restarts at zero.
+// current values. The cycle counter restarts at zero and the sticky
+// error state clears.
 func (s *Simulator) Reset() {
 	insts := s.nl.Instances()
 	for _, i := range s.ffs {
 		s.values[insts[i].Out] = insts[i].Init
 	}
+	s.err = nil
 	s.settle()
 	s.cycles = 0
 }
@@ -124,9 +190,31 @@ func (s *Simulator) settle() {
 	for id, v := range s.forced {
 		s.values[id] = v
 	}
+	passes := 1
+	if s.settlePass() && len(s.cyclic) > 0 {
+		// Values on loops moved: relax to a fixpoint under the watchdog.
+		budget := settleBudget(len(s.cyclic))
+		for changed := true; changed; passes++ {
+			if passes >= budget {
+				s.err = &UnsettledError{Netlist: s.nl.Name, Iters: passes}
+				s.mUnsettled.Add(1)
+				break
+			}
+			changed = s.settlePass()
+		}
+	}
+	s.mSettles.Add(1)
+	s.mGates.Add(int64(passes * (len(s.order) + len(s.cyclic))))
+}
+
+// settlePass evaluates every combinational instance once — topological
+// order first, loop members last — and reports whether any loop
+// member's output changed (the fixpoint test; acyclic outputs are
+// final after one pass by construction).
+func (s *Simulator) settlePass() bool {
 	insts := s.nl.Instances()
 	var in [3]bool
-	for _, i := range s.order {
+	eval := func(i int) bool {
 		inst := insts[i]
 		for k, net := range inst.In {
 			in[k] = s.values[net]
@@ -135,10 +223,20 @@ func (s *Simulator) settle() {
 		if fv, ok := s.forced[inst.Out]; ok {
 			v = fv
 		}
+		changed := s.values[inst.Out] != v
 		s.values[inst.Out] = v
+		return changed
 	}
-	s.mSettles.Add(1)
-	s.mGates.Add(int64(len(s.order)))
+	for _, i := range s.order {
+		eval(i)
+	}
+	changed := false
+	for _, i := range s.cyclic {
+		if eval(i) {
+			changed = true
+		}
+	}
+	return changed
 }
 
 // Force pins a net to a value during settling regardless of its driver
@@ -232,8 +330,20 @@ func (s *Simulator) SetBus(ids []netlist.NetID, v uint64) {
 func (s *Simulator) Eval() { s.settle() }
 
 // Step advances one clock cycle: settle, capture every flip-flop's D,
-// update Qs, settle again.
+// update Qs, settle again. Once Err is non-nil — oscillation watchdog
+// or cancelled context — Step is a no-op, so runaway drivers that fail
+// to check Err stop making progress instead of burning CPU on an
+// already-failed run.
 func (s *Simulator) Step() {
+	if s.err != nil {
+		return
+	}
+	if s.ctx != nil && s.cycles%ctxCheckInterval == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+	}
 	s.settle()
 	insts := s.nl.Instances()
 	next := make([]bool, len(s.ffs))
@@ -247,9 +357,9 @@ func (s *Simulator) Step() {
 	s.cycles++
 }
 
-// StepN advances n clock cycles.
+// StepN advances n clock cycles, stopping early once Err is non-nil.
 func (s *Simulator) StepN(n int) {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && s.err == nil; i++ {
 		s.Step()
 	}
 }

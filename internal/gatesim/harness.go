@@ -1,6 +1,7 @@
 package gatesim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/memory"
@@ -47,9 +48,23 @@ func (r *BISTResult) Detected() bool { return len(r.MismatchAddrs) > 0 }
 // optionally dp_last_port. Inputs named start and delay_done, when
 // present, are held high.
 func RunBISTUnit(nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTResult, error) {
+	return RunBISTUnitContext(context.Background(), nl, mem, maxCycles)
+}
+
+// RunBISTUnitContext is RunBISTUnit with cancellation: the run stops at
+// the next cycle boundary once ctx is cancelled or past its deadline,
+// returning the partial result alongside the context's error. A netlist
+// whose combinational loops oscillate stops with ErrUnsettled the same
+// way instead of stepping a dead simulator to the cycle budget.
+func RunBISTUnitContext(ctx context.Context, nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTResult, error) {
 	sim, err := New(nl)
 	if err != nil {
 		return nil, err
+	}
+	sim.SetContext(ctx)
+	if err := sim.Err(); err != nil {
+		// The post-reset settle can already trip the oscillation watchdog.
+		return nil, fmt.Errorf("gatesim: BIST unit %s: %w", nl.Name, err)
 	}
 
 	in := func(name string) (netlist.NetID, bool) { return nl.InputByName(name) }
@@ -142,6 +157,11 @@ func RunBISTUnit(nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTRe
 
 	res := &BISTResult{}
 	for res.Cycles = 0; res.Cycles < maxCycles; res.Cycles++ {
+		// A cancelled context or tripped oscillation watchdog surfaces
+		// here: hand back the partial result with the sticky error.
+		if err := sim.Err(); err != nil {
+			return res, fmt.Errorf("gatesim: BIST unit %s: %w", nl.Name, err)
+		}
 		// Feed the datapath's condition flags back to the controller.
 		sim.Eval()
 		sim.Set(lastAddrIn, sim.Get(dpLastAddr))

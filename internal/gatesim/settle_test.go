@@ -1,0 +1,163 @@
+package gatesim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// oscillator builds x = INV(x): the smallest netlist whose relaxation
+// settle can never reach a fixpoint.
+func oscillator(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("osc")
+	a := n.AddInput("a")
+	x := n.Add(netlist.CellInv, a)
+	n.SetGateInput(x, 0, x)
+	n.AddOutput("x", x)
+	return n
+}
+
+// norLatch builds a cross-coupled NOR latch — a combinational loop that
+// settles to a stable state under constant inputs.
+func norLatch(t *testing.T) (*netlist.Netlist, [2]netlist.NetID, [2]netlist.NetID) {
+	t.Helper()
+	n := netlist.New("latch")
+	r := n.AddInput("r")
+	s := n.AddInput("s")
+	q := n.Add(netlist.CellNor2, r, s)  // q = NOR(r, qb) once rewired
+	qb := n.Add(netlist.CellNor2, s, q) // qb = NOR(s, q)
+	n.SetGateInput(q, 1, qb)            // close the loop
+	n.AddOutput("q", q)
+	n.AddOutput("qb", qb)
+	return n, [2]netlist.NetID{r, s}, [2]netlist.NetID{q, qb}
+}
+
+func TestOscillatingNetlistReturnsErrUnsettled(t *testing.T) {
+	nl := oscillator(t)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatalf("New rejected a cyclic netlist: %v", err)
+	}
+	if err := s.Err(); !errors.Is(err, ErrUnsettled) {
+		t.Fatalf("Err after reset settle = %v, want ErrUnsettled", err)
+	}
+	var ue *UnsettledError
+	if !errors.As(s.Err(), &ue) {
+		t.Fatalf("Err is not an *UnsettledError: %v", s.Err())
+	}
+	if ue.Netlist != "osc" || ue.Iters == 0 {
+		t.Errorf("UnsettledError = %+v", ue)
+	}
+	// Step on a failed simulator is a no-op, not a hang or panic.
+	before := s.Cycles()
+	s.StepN(10)
+	if s.Cycles() != before {
+		t.Errorf("Step advanced a failed simulator: %d -> %d", before, s.Cycles())
+	}
+	// Reset clears the sticky error (and immediately re-trips on this
+	// netlist, proving the watchdog runs per settle, not once).
+	s.Reset()
+	if !errors.Is(s.Err(), ErrUnsettled) {
+		t.Errorf("Err after Reset = %v, want ErrUnsettled again", s.Err())
+	}
+}
+
+func TestOscillatingNetlistWordSimulator(t *testing.T) {
+	nl := oscillator(t)
+	s, err := NewWord(nl)
+	if err != nil {
+		t.Fatalf("NewWord rejected a cyclic netlist: %v", err)
+	}
+	if err := s.Err(); !errors.Is(err, ErrUnsettled) {
+		t.Fatalf("word Err after reset settle = %v, want ErrUnsettled", err)
+	}
+	before := s.Cycles()
+	s.StepN(10)
+	if s.Cycles() != before {
+		t.Errorf("Step advanced a failed word simulator")
+	}
+}
+
+func TestConvergentLoopSettles(t *testing.T) {
+	nl, in, out := norLatch(t)
+	s, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set: s=1, r=0 -> q must resolve to 0, qb to... For this wiring
+	// q = NOR(r, qb), qb = NOR(s, q): with s=1, qb=0 regardless, so
+	// q = NOR(0, 0) = 1.
+	s.Set(in[0], false)
+	s.Set(in[1], true)
+	s.Eval()
+	if err := s.Err(); err != nil {
+		t.Fatalf("latch failed to settle: %v", err)
+	}
+	if !s.Get(out[0]) || s.Get(out[1]) {
+		t.Errorf("latch state q=%v qb=%v, want q=1 qb=0", s.Get(out[0]), s.Get(out[1]))
+	}
+
+	w, err := NewWord(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Set(in[0], false)
+	w.Set(in[1], true)
+	w.Eval()
+	if err := w.Err(); err != nil {
+		t.Fatalf("word latch failed to settle: %v", err)
+	}
+	if w.Get(out[0]) != ^uint64(0) || w.Get(out[1]) != 0 {
+		t.Errorf("word latch q=%x qb=%x, want all-ones/zero", w.Get(out[0]), w.Get(out[1]))
+	}
+}
+
+// counterNetlist builds a small free-running toggle chain so Step has
+// real sequential work for the cancellation tests.
+func counterNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("ctr")
+	q0 := n.AddFF(netlist.CellDFF, n.Const0(), false)
+	n.SetFFInput(q0, n.Inv(q0))
+	n.AddOutput("q0", q0)
+	return n
+}
+
+func TestScalarContextCancellationStopsStepping(t *testing.T) {
+	s, err := New(counterNetlist(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetContext(ctx)
+	s.StepN(ctxCheckInterval) // runs fine while the context is live
+	if err := s.Err(); err != nil {
+		t.Fatalf("Err with live context = %v", err)
+	}
+	cancel()
+	s.StepN(10 * ctxCheckInterval)
+	if !errors.Is(s.Err(), context.Canceled) {
+		t.Fatalf("Err after cancel = %v, want context.Canceled", s.Err())
+	}
+	if s.Cycles() > 2*ctxCheckInterval {
+		t.Errorf("simulator ran %d cycles after cancellation, want a stop within %d",
+			s.Cycles(), ctxCheckInterval)
+	}
+}
+
+func TestWordContextCancellationStopsStepping(t *testing.T) {
+	s, err := NewWord(counterNetlist(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	s.StepN(10 * ctxCheckInterval)
+	if !errors.Is(s.Err(), context.Canceled) {
+		t.Fatalf("word Err after cancel = %v, want context.Canceled", s.Err())
+	}
+}

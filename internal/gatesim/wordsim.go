@@ -1,6 +1,7 @@
 package gatesim
 
 import (
+	"context"
 	"math/bits"
 
 	"repro/internal/netlist"
@@ -28,10 +29,13 @@ type WordSimulator struct {
 	nl     *netlist.Netlist
 	values []uint64 // indexed by NetID; bit L = value in lane L
 	order  []int    // combinational instance indices in topological order
+	cyclic []int    // combinational instances on loops, in index order
 	ffs    []int    // sequential instance indices
 	next   []uint64 // Step scratch, one word per flip-flop
 	const1 netlist.NetID
 	cycles int
+	ctx    context.Context // optional cancellation, checked periodically
+	err    error           // sticky: ErrUnsettled or ctx.Err()
 	// Per-net force masks: where forceMask has a bit set, the net is
 	// pinned to the corresponding forceVal bit during settling — the
 	// per-lane stuck-at injection mechanism. Nets with a zero mask are
@@ -44,31 +48,35 @@ type WordSimulator struct {
 	// at that time; nil (the no-op instrument) when metrics are off.
 	// mLanes samples the forced-lane occupancy at every settle — how
 	// full the PPSFP batches keep the 64-lane word.
-	mSettles *obs.Counter
-	mGates   *obs.Counter
-	mLanes   *obs.Span
+	mSettles   *obs.Counter
+	mGates     *obs.Counter
+	mUnsettled *obs.Counter
+	mLanes     *obs.Span
 }
 
 // NewWord levelises the netlist and returns a word simulator in the
-// post-reset state. It fails on combinational loops or structural
-// errors.
+// post-reset state. It fails on structural errors; combinational loops
+// are settled by bounded relaxation exactly like the scalar Simulator,
+// with oscillation surfacing through Err as ErrUnsettled.
 func NewWord(nl *netlist.Netlist) (*WordSimulator, error) {
-	order, ffs, err := levelise(nl)
+	order, cyclic, ffs, err := levelise(nl)
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.Active()
 	s := &WordSimulator{
-		nl:        nl,
-		values:    make([]uint64, nl.NumNets()+1),
-		order:     order,
-		ffs:       ffs,
-		next:      make([]uint64, len(ffs)),
-		forceMask: make([]uint64, nl.NumNets()+1),
-		forceVal:  make([]uint64, nl.NumNets()+1),
-		mSettles:  reg.Counter("gatesim.word.settles"),
-		mGates:    reg.Counter("gatesim.word.gates_evaluated"),
-		mLanes:    reg.Span("gatesim.word.forced_lanes"),
+		nl:         nl,
+		values:     make([]uint64, nl.NumNets()+1),
+		order:      order,
+		cyclic:     cyclic,
+		ffs:        ffs,
+		next:       make([]uint64, len(ffs)),
+		forceMask:  make([]uint64, nl.NumNets()+1),
+		forceVal:   make([]uint64, nl.NumNets()+1),
+		mSettles:   reg.Counter("gatesim.word.settles"),
+		mGates:     reg.Counter("gatesim.word.gates_evaluated"),
+		mUnsettled: reg.Counter("gatesim.word.unsettled"),
+		mLanes:     reg.Span("gatesim.word.forced_lanes"),
 	}
 	for id := netlist.NetID(1); id <= netlist.NetID(nl.NumNets()); id++ {
 		if c, v := nl.IsConst(id); c && v {
@@ -92,9 +100,20 @@ func (s *WordSimulator) Reset() {
 			s.values[insts[i].Out] = 0
 		}
 	}
+	s.err = nil
 	s.settle()
 	s.cycles = 0
 }
+
+// SetContext arms periodic cancellation checks: once ctx is cancelled
+// or past its deadline, Step becomes a no-op within ctxCheckInterval
+// cycles and Err returns the context's error. A nil ctx disarms.
+func (s *WordSimulator) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Err returns the sticky failure state: an *UnsettledError once a
+// settle trips the oscillation watchdog, or the context error once a
+// SetContext context is cancelled. Reset clears it.
+func (s *WordSimulator) Err() error { return s.err }
 
 func (s *WordSimulator) settle() {
 	if s.const1 != netlist.Invalid {
@@ -104,8 +123,32 @@ func (s *WordSimulator) settle() {
 		m := s.forceMask[id]
 		s.values[id] = s.values[id]&^m | s.forceVal[id]&m
 	}
+	passes := 1
+	if s.settlePass() && len(s.cyclic) > 0 {
+		// Values on loops moved: relax to a fixpoint under the watchdog.
+		budget := settleBudget(len(s.cyclic))
+		for changed := true; changed; passes++ {
+			if passes >= budget {
+				s.err = &UnsettledError{Netlist: s.nl.Name, Iters: passes}
+				s.mUnsettled.Add(1)
+				break
+			}
+			changed = s.settlePass()
+		}
+	}
+	s.mSettles.Add(1)
+	s.mGates.Add(int64(passes * (len(s.order) + len(s.cyclic))))
+	if s.mLanes != nil { // skip the popcount walk when metrics are off
+		s.mLanes.Observe(int64(s.ForcedLanes()))
+	}
+}
+
+// settlePass evaluates every combinational instance once — topological
+// order first, loop members last — and reports whether any loop
+// member's output word changed (the fixpoint test).
+func (s *WordSimulator) settlePass() bool {
 	insts := s.nl.Instances()
-	for _, i := range s.order {
+	eval := func(i int) bool {
 		inst := &insts[i]
 		var v uint64
 		switch inst.Kind {
@@ -134,13 +177,20 @@ func (s *WordSimulator) settle() {
 		if m := s.forceMask[inst.Out]; m != 0 {
 			v = v&^m | s.forceVal[inst.Out]&m
 		}
+		changed := s.values[inst.Out] != v
 		s.values[inst.Out] = v
+		return changed
 	}
-	s.mSettles.Add(1)
-	s.mGates.Add(int64(len(s.order)))
-	if s.mLanes != nil { // skip the popcount walk when metrics are off
-		s.mLanes.Observe(int64(s.ForcedLanes()))
+	for _, i := range s.order {
+		eval(i)
 	}
+	changed := false
+	for _, i := range s.cyclic {
+		if eval(i) {
+			changed = true
+		}
+	}
+	return changed
 }
 
 // ForceLane pins a net to a value in one lane during settling regardless
@@ -230,8 +280,18 @@ func (s *WordSimulator) GetLane(id netlist.NetID, lane int) bool {
 func (s *WordSimulator) Eval() { s.settle() }
 
 // Step advances one clock cycle in every lane: settle, capture every
-// flip-flop's D word, update Qs, settle again.
+// flip-flop's D word, update Qs, settle again. Once Err is non-nil —
+// oscillation watchdog or cancelled context — Step is a no-op.
 func (s *WordSimulator) Step() {
+	if s.err != nil {
+		return
+	}
+	if s.ctx != nil && s.cycles%ctxCheckInterval == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.err = err
+			return
+		}
+	}
 	s.settle()
 	insts := s.nl.Instances()
 	for k, i := range s.ffs {
@@ -244,9 +304,9 @@ func (s *WordSimulator) Step() {
 	s.cycles++
 }
 
-// StepN advances n clock cycles.
+// StepN advances n clock cycles, stopping early once Err is non-nil.
 func (s *WordSimulator) StepN(n int) {
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && s.err == nil; i++ {
 		s.Step()
 	}
 }

@@ -12,8 +12,14 @@ type Fold struct {
 	Mask  Mask
 }
 
-// allMasks enumerates the seven non-trivial reference-register masks.
+// allMasks enumerates the reference-register masks in preference
+// order. The identity mask comes first: a literally repeated block is
+// encodable as a Repeat instruction that complements nothing, and
+// matching it this way keeps the executed address order identical to
+// the unfolded program (an Order-complementing match would run the
+// repeat pass in the opposite direction).
 var allMasks = []Mask{
+	{},
 	{Order: true},
 	{Data: true},
 	{Compare: true},
@@ -54,8 +60,16 @@ func (a Algorithm) FindFold() (Fold, bool) {
 
 func (a Algorithm) foldMatches(start, length int, m Mask) bool {
 	for i := 0; i < length; i++ {
-		want := a.Elements[start+i].Transform(m)
-		if !a.Elements[start+length+i].Equal(want) {
+		e := a.Elements[start+i]
+		if m.Order && e.Order == Any {
+			// Transform leaves Any unchanged, so the notations match —
+			// but the hardware Repeat complements the executed address
+			// direction while runners execute the unfolded ⇕ element in
+			// a fixed direction. Folding here would change the read
+			// order and thus the MISR signature.
+			return false
+		}
+		if !a.Elements[start+length+i].Equal(e.Transform(m)) {
 			return false
 		}
 	}

@@ -1,0 +1,65 @@
+package march
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// FuzzParse throws arbitrary notation at the march parser and checks
+// the invariants every accepted algorithm must satisfy: it validates,
+// its rendered notation parses back to the identical element sequence,
+// and it runs clean on a fault-free memory (the Validate contract: all
+// read expectations match the uniform cell state).
+func FuzzParse(f *testing.F) {
+	for _, build := range Library() {
+		alg := build()
+		f.Add(strings.Trim(alg.String(), "{}"))
+	}
+	f.Add("b(w0); u(r0,w1); d(r1,w0)")
+	f.Add("del u(r0)")
+	f.Add("⇕(w1); ⇓(r1,w0,r0)")
+	f.Add("b(w0); ; u(r0)")
+	f.Add("up (w0,w1) ;down(r1)")
+	f.Fuzz(func(t *testing.T, text string) {
+		a, err := Parse("fuzz", text)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("Parse accepted %q but Validate rejects it: %v", text, err)
+		}
+
+		// Round-trip through the renderer.
+		back, err := Parse("roundtrip", strings.Trim(a.String(), "{}"))
+		if err != nil {
+			t.Fatalf("rendered notation %q does not parse back: %v", a, err)
+		}
+		if len(back.Elements) != len(a.Elements) {
+			t.Fatalf("round-trip changed element count: %d vs %d", len(back.Elements), len(a.Elements))
+		}
+		for i := range a.Elements {
+			if !back.Elements[i].Equal(a.Elements[i]) {
+				t.Fatalf("round-trip changed element %d: %v vs %v", i, back.Elements[i], a.Elements[i])
+			}
+		}
+
+		// Any validated algorithm passes on a fault-free memory. Bound
+		// the work so pathological mega-algorithms don't stall the fuzzer.
+		if a.OpCount() > 64 {
+			return
+		}
+		const size = 8
+		res, err := Run(a, memory.NewSRAM(size, 1, 1), RunOpts{})
+		if err != nil {
+			t.Fatalf("run of parsed algorithm %q: %v", a, err)
+		}
+		if res.Detected() {
+			t.Fatalf("parsed algorithm %q detects faults on a fault-free memory: %+v", a, res.Fails)
+		}
+		if res.Operations != a.OpCount()*size {
+			t.Fatalf("operations = %d, want %d", res.Operations, a.OpCount()*size)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package march
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/memory"
@@ -63,6 +64,11 @@ type RunOpts struct {
 	// SingleBackground restricts testing to the solid background even
 	// on word-oriented memories.
 	SingleBackground bool
+	// Ctx, when non-nil, is checked at every march-element boundary:
+	// once cancelled or past its deadline, Run stops and returns the
+	// partial Result alongside the context's error. Nil means run to
+	// completion (context.Background semantics, without the lookup).
+	Ctx context.Context
 }
 
 // Run executes the algorithm directly against the memory: the reference
@@ -102,6 +108,14 @@ func Run(a Algorithm, mem memory.Memory, opts RunOpts) (*Result, error) {
 	for port := 0; port < ports; port++ {
 		for bgIdx, bg := range bgs {
 			for ei, e := range a.Elements {
+				if opts.Ctx != nil {
+					if err := opts.Ctx.Err(); err != nil {
+						mReads.Add(reads)
+						mWrites.Add(writes)
+						return res, fmt.Errorf("march: %s cancelled at port %d bg %d element %d: %w",
+							a.Name, port, bgIdx, ei, err)
+					}
+				}
 				if e.PauseBefore {
 					mem.Pause()
 					res.PauseCount++

@@ -1,6 +1,11 @@
 package march
 
-import "repro/internal/memory"
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/memory"
+)
 
 // StreamOp is one entry of the canonical memory-operation stream of a
 // march test on a fault-free memory: reads carry the value a clean
@@ -42,6 +47,30 @@ func FullStream(a Algorithm, size, width, ports int, singleBackground bool) []St
 	return expandStream(a, size, width, ports, singleBackground, true)
 }
 
+// FullStreamContext is FullStream with cancellation for matrix-scale
+// geometries, where one expansion can reach millions of entries: the
+// context is checked at element boundaries and a cancelled expansion
+// returns nil with the context's error.
+func FullStreamContext(ctx context.Context, a Algorithm, size, width, ports int, singleBackground bool) ([]StreamOp, error) {
+	mask := wordMask(width)
+	bgs := Backgrounds(width)
+	if singleBackground {
+		bgs = bgs[:1]
+	}
+	var ops []StreamOp
+	for port := 0; port < ports; port++ {
+		for _, bg := range bgs {
+			for _, e := range a.Elements {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("march: %s stream expansion cancelled: %w", a.Name, err)
+				}
+				ops = appendElement(ops, e, size, port, bg, mask, true)
+			}
+		}
+	}
+	return ops, nil
+}
+
 func expandStream(a Algorithm, size, width, ports int, singleBackground, pauses bool) []StreamOp {
 	mask := wordMask(width)
 	bgs := Backgrounds(width)
@@ -52,28 +81,35 @@ func expandStream(a Algorithm, size, width, ports int, singleBackground, pauses 
 	for port := 0; port < ports; port++ {
 		for _, bg := range bgs {
 			for _, e := range a.Elements {
-				if pauses && e.PauseBefore {
-					ops = append(ops, StreamOp{Pause: true})
-				}
-				for k := 0; k < size; k++ {
-					addr := k
-					if e.Order == Down {
-						addr = size - 1 - k
-					}
-					for _, op := range e.Ops {
-						data := bg
-						if op.Data {
-							data = ^bg & mask
-						}
-						ops = append(ops, StreamOp{
-							Write: op.Kind == Write,
-							Port:  port,
-							Addr:  addr,
-							Data:  data,
-						})
-					}
-				}
+				ops = appendElement(ops, e, size, port, bg, mask, pauses)
 			}
+		}
+	}
+	return ops
+}
+
+// appendElement expands one march element over the address range into
+// ops — the shared inner loop of every stream expansion.
+func appendElement(ops []StreamOp, e Element, size, port int, bg, mask uint64, pauses bool) []StreamOp {
+	if pauses && e.PauseBefore {
+		ops = append(ops, StreamOp{Pause: true})
+	}
+	for k := 0; k < size; k++ {
+		addr := k
+		if e.Order == Down {
+			addr = size - 1 - k
+		}
+		for _, op := range e.Ops {
+			data := bg
+			if op.Data {
+				data = ^bg & mask
+			}
+			ops = append(ops, StreamOp{
+				Write: op.Kind == Write,
+				Port:  port,
+				Addr:  addr,
+				Data:  data,
+			})
 		}
 	}
 	return ops

@@ -2,9 +2,39 @@
 // controller: an addressable array of words with one or more read/write
 // ports and an explicit Pause operation (the "hold" phase data-retention
 // tests insert between march elements).
+//
+// # Panic contract
+//
+// Validate is the error-returning geometry check; callers holding
+// unvalidated user input (the mbist facade, command-line tools) run it
+// first and surface the error. The constructors and the per-operation
+// Read/Write bounds checks panic instead of returning errors: they sit
+// in fault-grading hot loops that execute millions of times per sweep
+// over geometry the caller has already validated, so a violation there
+// is a programming error (a miscompiled address stream, a corrupted
+// controller model), not an input error. The grading pipeline's worker
+// isolation (internal/resilience.Capture) converts such panics into
+// quarantined verdicts rather than crashed sweeps.
 package memory
 
 import "fmt"
+
+// Validate checks a memory geometry: size and ports must be positive
+// and width in [1,64]. It is the error-returning front door for
+// unvalidated input; NewSRAM panics on the same conditions (see the
+// package panic contract).
+func Validate(size, width, ports int) error {
+	if size <= 0 {
+		return fmt.Errorf("memory: size %d must be positive", size)
+	}
+	if width < 1 || width > 64 {
+		return fmt.Errorf("memory: width %d out of [1,64]", width)
+	}
+	if ports <= 0 {
+		return fmt.Errorf("memory: ports %d must be positive", ports)
+	}
+	return nil
+}
 
 // Memory is the controller-visible interface of a memory under test.
 // Implementations must tolerate any port in [0,Ports) and address in
@@ -35,16 +65,12 @@ type SRAM struct {
 }
 
 // NewSRAM returns a fault-free memory of the given geometry. Width must
-// be in [1,64]; size and ports must be positive.
+// be in [1,64]; size and ports must be positive; it panics otherwise —
+// run Validate first on unvalidated input (see the package panic
+// contract).
 func NewSRAM(size, width, ports int) *SRAM {
-	if size <= 0 {
-		panic(fmt.Sprintf("memory: size %d must be positive", size))
-	}
-	if width < 1 || width > 64 {
-		panic(fmt.Sprintf("memory: width %d out of [1,64]", width))
-	}
-	if ports <= 0 {
-		panic(fmt.Sprintf("memory: ports %d must be positive", ports))
+	if err := Validate(size, width, ports); err != nil {
+		panic(err.Error())
 	}
 	return &SRAM{
 		size:  size,

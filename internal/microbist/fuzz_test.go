@@ -1,0 +1,77 @@
+package microbist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/march"
+	"repro/internal/memory"
+)
+
+// FuzzAssemble drives the assembler with arbitrary parsed march
+// notation and uses the unfolded program as a differential oracle for
+// the Repeat/reference-register folding: for every accepted algorithm,
+// the folded and fold-disabled programs must terminate and produce
+// identical verdicts, operation counts and MISR signatures on both a
+// clean memory and one with an injected stuck-at fault.
+func FuzzAssemble(f *testing.F) {
+	for _, name := range []string{"marchc", "marchc++", "marcha", "mats+"} {
+		alg, ok := march.ByName(name)
+		if !ok {
+			f.Fatalf("library lacks %s", name)
+		}
+		f.Add(strings.Trim(alg.String(), "{}"), true, true)
+	}
+	f.Add("b(w0); u(r0,w1); d(r1,w0)", false, false)
+	f.Add("del u(w1); del d(r1)", true, false)
+	f.Fuzz(func(t *testing.T, text string, word, multi bool) {
+		alg, err := march.Parse("fuzz", text)
+		if err != nil {
+			return
+		}
+		if alg.OpCount() > 64 {
+			return
+		}
+		opts := AssembleOpts{WordOriented: word, Multiport: multi}
+		folded, err := Assemble(alg, opts)
+		if err != nil {
+			t.Fatalf("assemble of valid algorithm %q: %v", alg, err)
+		}
+		opts.DisableFold = true
+		plain, err := Assemble(alg, opts)
+		if err != nil {
+			t.Fatalf("fold-disabled assemble of valid algorithm %q: %v", alg, err)
+		}
+
+		width, ports := 1, 1
+		if word {
+			width = 4
+		}
+		if multi {
+			ports = 2
+		}
+		const size = 8
+		sa := faults.Fault{Kind: faults.SA, Cell: 5*width + width/2, Value: true, Port: faults.AnyPort}
+		for _, mk := range []func() memory.Memory{
+			func() memory.Memory { return memory.NewSRAM(size, width, ports) },
+			func() memory.Memory { return faults.NewInjected(size, width, ports, sa) },
+		} {
+			fr, err := folded.Run(mk(), ExecOpts{})
+			if err != nil {
+				t.Fatalf("folded run of %q: %v", alg, err)
+			}
+			pr, err := plain.Run(mk(), ExecOpts{})
+			if err != nil {
+				t.Fatalf("unfolded run of %q: %v", alg, err)
+			}
+			if !fr.Terminated || !pr.Terminated {
+				t.Fatalf("%q exceeded its cycle budget (folded=%v unfolded=%v)", alg, fr.Terminated, pr.Terminated)
+			}
+			if fr.Detected() != pr.Detected() || fr.Operations != pr.Operations || fr.Signature != pr.Signature {
+				t.Fatalf("folded/unfolded divergence on %q: detected %v/%v, ops %d/%d, signature %04x/%04x",
+					alg, fr.Detected(), pr.Detected(), fr.Operations, pr.Operations, fr.Signature, pr.Signature)
+			}
+		}
+	})
+}

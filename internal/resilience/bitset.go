@@ -1,0 +1,44 @@
+package resilience
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// MarshalBits packs a []bool into a lowercase hex string, LSB-first
+// within each byte — the compact form checkpoints store per-fault
+// graded/detected flags in. The length is not encoded; UnmarshalBits
+// takes the expected count.
+func MarshalBits(bits []bool) string {
+	raw := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			raw[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return hex.EncodeToString(raw)
+}
+
+// UnmarshalBits decodes a MarshalBits string into exactly n flags,
+// rejecting strings of the wrong length or with set padding bits — both
+// are corruption, not versions of a valid state.
+func UnmarshalBits(s string, n int) ([]bool, error) {
+	wantBytes := (n + 7) / 8
+	if len(s) != 2*wantBytes {
+		return nil, fmt.Errorf("bitset: %d hex chars for %d bits, want %d", len(s), n, 2*wantBytes)
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("bitset: invalid hex %q: %w", s, err)
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = raw[i/8]>>uint(i%8)&1 == 1
+	}
+	for i := n; i < 8*wantBytes; i++ {
+		if raw[i/8]>>uint(i%8)&1 == 1 {
+			return nil, fmt.Errorf("bitset: padding bit %d is set", i)
+		}
+	}
+	return bits, nil
+}

@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Schema is the checkpoint format version. Loaders reject every other
+// value; bump it when the envelope or any payload layout changes
+// incompatibly.
+const Schema = "mbist-checkpoint/1"
+
+// ErrCorrupt marks a checkpoint that exists but cannot be trusted:
+// truncated, bit-flipped, syntactically invalid, or carrying a CRC that
+// does not match its payload. Use errors.Is to test for it.
+var ErrCorrupt = errors.New("checkpoint is corrupt")
+
+// ErrMismatch marks a structurally valid checkpoint written for a
+// different workload (schema or fingerprint differ). Use errors.Is.
+var ErrMismatch = errors.New("checkpoint does not match this workload")
+
+// CorruptError carries the detail behind an ErrCorrupt/ErrMismatch
+// verdict.
+type CorruptError struct {
+	Path   string
+	Reason string
+	kind   error // ErrCorrupt or ErrMismatch
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint %s: %s", e.Path, e.Reason)
+}
+
+func (e *CorruptError) Unwrap() error { return e.kind }
+
+// envelope is the on-disk frame around a checkpoint payload. CRC is the
+// IEEE CRC-32 of the raw Payload bytes — cheap, and more than enough to
+// catch the truncation and bit-rot failure modes a killed or crashed
+// writer leaves behind (the atomic rename below makes torn writes the
+// only way a partial file can appear, and then only as a stray .tmp).
+type envelope struct {
+	Schema      string          `json:"schema"`
+	Fingerprint string          `json:"fingerprint"`
+	CRC         uint32          `json:"crc"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// Save atomically writes payload as a checkpoint: marshal, frame with
+// schema/fingerprint/CRC, write to a sibling temp file, fsync, rename
+// over path. A reader never observes a partial checkpoint; a crashed
+// writer leaves the previous checkpoint intact.
+func Save(path, fingerprint string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: marshal: %w", path, err)
+	}
+	env := envelope{
+		Schema:      Schema,
+		Fingerprint: fingerprint,
+		CRC:         crc32.ChecksumIEEE(raw),
+		Payload:     raw,
+	}
+	data, err := json.MarshalIndent(&env, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: marshal envelope: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint %s: write: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint %s: sync: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint %s: close: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	obs.Active().Counter("resilience.checkpoint_writes").Add(1)
+	return nil
+}
+
+// Load reads a checkpoint written by Save into payload, verifying the
+// schema version, the workload fingerprint and the payload CRC. It
+// returns an error satisfying errors.Is(err, ErrCorrupt) for a damaged
+// file, errors.Is(err, ErrMismatch) for a checkpoint from a different
+// workload or format version, and os.ErrNotExist when no checkpoint
+// exists.
+func Load(path, fingerprint string, payload any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		obs.Active().Counter("resilience.checkpoint_corrupt").Add(1)
+		return &CorruptError{Path: path, Reason: "invalid JSON: " + err.Error(), kind: ErrCorrupt}
+	}
+	if env.Schema != Schema {
+		return &CorruptError{Path: path,
+			Reason: fmt.Sprintf("schema %q, want %q", env.Schema, Schema), kind: ErrMismatch}
+	}
+	if env.Fingerprint != fingerprint {
+		return &CorruptError{Path: path,
+			Reason: fmt.Sprintf("fingerprint %q does not match workload %q", env.Fingerprint, fingerprint),
+			kind:   ErrMismatch}
+	}
+	// The envelope is stored indented, which re-formats the embedded
+	// payload; compact it back to the canonical form Save checksummed.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		obs.Active().Counter("resilience.checkpoint_corrupt").Add(1)
+		return &CorruptError{Path: path, Reason: "payload: " + err.Error(), kind: ErrCorrupt}
+	}
+	if got := crc32.ChecksumIEEE(compact.Bytes()); got != env.CRC {
+		obs.Active().Counter("resilience.checkpoint_corrupt").Add(1)
+		return &CorruptError{Path: path,
+			Reason: fmt.Sprintf("payload CRC %08x, envelope says %08x", got, env.CRC), kind: ErrCorrupt}
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		obs.Active().Counter("resilience.checkpoint_corrupt").Add(1)
+		return &CorruptError{Path: path, Reason: "payload: " + err.Error(), kind: ErrCorrupt}
+	}
+	obs.Active().Counter("resilience.checkpoint_loads").Add(1)
+	return nil
+}

@@ -1,0 +1,214 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCaptureRecoversPanics(t *testing.T) {
+	err := Capture(func() { panic("boom") })
+	if err == nil {
+		t.Fatal("Capture returned nil for a panicking fn")
+	}
+	pe, ok := AsPanic(err)
+	if !ok {
+		t.Fatalf("error %v is not a PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("panic value = %v, want boom", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "resilience") {
+		t.Errorf("stack does not mention the panicking frame:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q, want it to carry the panic value", err.Error())
+	}
+}
+
+func TestCaptureNilOnSuccess(t *testing.T) {
+	if err := Capture(func() {}); err != nil {
+		t.Fatalf("Capture of a clean fn = %v", err)
+	}
+	if _, ok := AsPanic(errors.New("plain")); ok {
+		t.Error("AsPanic matched a plain error")
+	}
+	if _, ok := AsPanic(fmt.Errorf("wrapped: %w", &PanicError{Value: 1})); !ok {
+		t.Error("AsPanic missed a wrapped PanicError")
+	}
+}
+
+type payload struct {
+	Name string `json:"name"`
+	Bits string `json:"bits"`
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	in := payload{Name: "marchc", Bits: MarshalBits([]bool{true, false, true})}
+	if err := Save(path, "fp-1", in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "fp-1", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+	// Overwrite with new content: the rename path must replace cleanly.
+	in.Name = "marchb"
+	if err := Save(path, "fp-1", in); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, "fp-1", &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "marchb" {
+		t.Errorf("overwrite not visible: %+v", out)
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	var out payload
+	err := Load(filepath.Join(t.TempDir(), "absent.json"), "fp", &out)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing checkpoint error = %v, want ErrNotExist", err)
+	}
+}
+
+func TestCheckpointTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Save(path, "fp", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "fp", &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated checkpoint error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointBitFlipDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Save(path, "fp", payload{Name: "marchc"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a character inside the payload's string value, keeping the
+	// JSON well-formed so only the CRC can catch it.
+	i := strings.Index(string(data), "marchc")
+	if i < 0 {
+		t.Fatal("payload value not found")
+	}
+	data[i] = 'X'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "fp", &out); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit-flipped checkpoint error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Save(path, "workload-a", payload{}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	err := Load(path, "workload-b", &out)
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("fingerprint mismatch error = %v, want ErrMismatch", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("mismatch must not read as corruption")
+	}
+}
+
+func TestCheckpointSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := Save(path, "fp", payload{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), Schema, "mbist-checkpoint/0", 1)
+	if mutated == string(data) {
+		t.Fatal("schema string not found in envelope")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Load(path, "fp", &out); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("schema mismatch error = %v, want ErrMismatch", err)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := Save(path, "fp", payload{}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after Save = %v, want exactly state.json", names)
+	}
+}
+
+func TestBitsetRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1000} {
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = i%3 == 0
+		}
+		s := MarshalBits(bits)
+		got, err := UnmarshalBits(s, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("n=%d: bit %d = %v, want %v", n, i, got[i], bits[i])
+			}
+		}
+	}
+}
+
+func TestBitsetRejectsBadInput(t *testing.T) {
+	if _, err := UnmarshalBits("abc", 8); err == nil { // odd length
+		t.Error("odd-length hex accepted")
+	}
+	if _, err := UnmarshalBits("zz", 8); err == nil {
+		t.Error("non-hex accepted")
+	}
+	if _, err := UnmarshalBits("ffff", 8); err == nil {
+		t.Error("wrong bit count accepted")
+	}
+	if _, err := UnmarshalBits("80", 7); err == nil {
+		t.Error("set padding bit accepted")
+	}
+}

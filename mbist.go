@@ -55,12 +55,26 @@ func AlgorithmByName(name string) (Algorithm, bool) { return march.ByName(name) 
 // "b(w0); u(r0,w1); d(r1,w0)".
 func ParseAlgorithm(name, text string) (Algorithm, error) { return march.Parse(name, text) }
 
-// NewSRAM returns a fault-free memory of the given geometry.
-func NewSRAM(size, width, ports int) Memory { return memory.NewSRAM(size, width, ports) }
+// NewSRAM returns a fault-free memory of the given geometry, or an
+// error describing the first invalid parameter. The facade is the
+// validated front door: the internal constructors it wraps panic on
+// bad geometry (see the internal packages' panic contracts).
+func NewSRAM(size, width, ports int) (Memory, error) {
+	if err := memory.Validate(size, width, ports); err != nil {
+		return nil, err
+	}
+	return memory.NewSRAM(size, width, ports), nil
+}
 
-// NewFaultyMemory returns a memory with the given faults injected.
-func NewFaultyMemory(size, width, ports int, fs ...Fault) Memory {
-	return faults.NewInjected(size, width, ports, fs...)
+// NewFaultyMemory returns a memory with the given faults injected, or
+// an error if the geometry or any fault is invalid (cell or address
+// out of range, coupling victim equal to aggressor, port out of
+// range, unknown fault kind).
+func NewFaultyMemory(size, width, ports int, fs ...Fault) (Memory, error) {
+	if err := faults.Validate(size, width, ports, fs...); err != nil {
+		return nil, err
+	}
+	return faults.NewInjected(size, width, ports, fs...), nil
 }
 
 // Result is the unified outcome of a BIST run.

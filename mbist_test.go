@@ -8,13 +8,22 @@ import (
 	"repro/internal/faults"
 )
 
+// mustMem unwraps the facade constructors' (Memory, error) pair for
+// tests and benchmarks built on known-good geometry.
+func mustMem(m Memory, err error) Memory {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func TestRunAllArchitecturesCleanMemory(t *testing.T) {
 	alg, ok := AlgorithmByName("marchc")
 	if !ok {
 		t.Fatal("marchc missing from library")
 	}
 	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
-		mem := NewSRAM(64, 1, 1)
+		mem := mustMem(NewSRAM(64, 1, 1))
 		res, err := Run(arch, alg, mem, RunOptions{})
 		if err != nil {
 			t.Fatalf("%v: %v", arch, err)
@@ -32,7 +41,7 @@ func TestRunDetectsInjectedFault(t *testing.T) {
 	alg, _ := AlgorithmByName("marchc")
 	f := Fault{Kind: faults.SA, Cell: 17, Value: true, Port: faults.AnyPort}
 	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
-		mem := NewFaultyMemory(64, 1, 1, f)
+		mem := mustMem(NewFaultyMemory(64, 1, 1, f))
 		res, err := Run(arch, alg, mem, RunOptions{MaxFails: 1})
 		if err != nil {
 			t.Fatalf("%v: %v", arch, err)
@@ -49,7 +58,7 @@ func TestRunDetectsInjectedFault(t *testing.T) {
 func TestRunWordOrientedMultiport(t *testing.T) {
 	alg, _ := AlgorithmByName("marchc")
 	f := Fault{Kind: faults.SA, Cell: 3*8 + 5, Value: false, Port: 1}
-	mem := NewFaultyMemory(16, 8, 2, f)
+	mem := mustMem(NewFaultyMemory(16, 8, 2, f))
 	res, err := Run(Microcode, alg, mem, RunOptions{MaxFails: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -67,13 +76,52 @@ func TestParseAlgorithmFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem := NewSRAM(16, 1, 1)
+	mem := mustMem(NewSRAM(16, 1, 1))
 	res, err := Run(Microcode, alg, mem, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Pass {
 		t.Errorf("custom algorithm failed on clean memory: %v", res.Fails)
+	}
+}
+
+func TestFacadeConstructorsRejectBadInput(t *testing.T) {
+	if _, err := NewSRAM(0, 1, 1); err == nil {
+		t.Error("NewSRAM accepted size 0")
+	}
+	if _, err := NewSRAM(16, 65, 1); err == nil {
+		t.Error("NewSRAM accepted width 65")
+	}
+	if _, err := NewSRAM(16, 1, 0); err == nil {
+		t.Error("NewSRAM accepted 0 ports")
+	}
+	if _, err := NewFaultyMemory(16, 0, 1); err == nil {
+		t.Error("NewFaultyMemory accepted width 0")
+	}
+	if _, err := NewFaultyMemory(16, 1, 1,
+		Fault{Kind: faults.SA, Cell: 16, Port: faults.AnyPort}); err == nil {
+		t.Error("NewFaultyMemory accepted out-of-range victim cell")
+	}
+	if _, err := NewFaultyMemory(16, 1, 1,
+		Fault{Kind: faults.CFid, Cell: 3, Aggressor: 3, Port: faults.AnyPort}); err == nil {
+		t.Error("NewFaultyMemory accepted victim == aggressor coupling")
+	}
+	if _, err := NewFaultyMemory(16, 1, 1,
+		Fault{Kind: faults.AFMap, Addr: 2, AggAddr: 99, Port: faults.AnyPort}); err == nil {
+		t.Error("NewFaultyMemory accepted out-of-range aggressor address")
+	}
+	if _, err := NewFaultyMemory(16, 1, 2,
+		Fault{Kind: faults.SA, Cell: 1, Port: 2}); err == nil {
+		t.Error("NewFaultyMemory accepted out-of-range port")
+	}
+	if _, err := NewFaultyMemory(16, 1, 1,
+		Fault{Kind: faults.Kind(200), Port: faults.AnyPort}); err == nil {
+		t.Error("NewFaultyMemory accepted unknown fault kind")
+	}
+	if _, err := NewFaultyMemory(16, 1, 1,
+		Fault{Kind: faults.SA, Cell: 15, Port: faults.AnyPort}); err != nil {
+		t.Errorf("NewFaultyMemory rejected a valid fault: %v", err)
 	}
 }
 

@@ -1,6 +1,8 @@
 package mbist
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/coverage"
 	"repro/internal/netlist"
@@ -56,6 +58,13 @@ type CoverageReport = coverage.Report
 // CoverageOptions configures fault-coverage grading.
 type CoverageOptions = coverage.Options
 
+// CoverageState is the resumable progress of a grading run, produced
+// by CoverageOptions.Checkpoint and consumed by CoverageOptions.Resume.
+type CoverageState = coverage.State
+
+// CoverageFaultVerdict records one quarantined fault in a report.
+type CoverageFaultVerdict = coverage.FaultVerdict
+
 // CoverageEngine selects the fault-simulation engine.
 type CoverageEngine = coverage.Engine
 
@@ -81,7 +90,28 @@ func GradeCoverageSerial(alg Algorithm, arch Architecture, opts CoverageOptions)
 	return coverage.GradeSerial(alg, arch, opts)
 }
 
+// GradeCoverageContext is GradeCoverage with cancellation: workers
+// stop at the next fault (or batch) boundary once ctx is done and the
+// valid partial report is returned alongside the context's error.
+func GradeCoverageContext(ctx context.Context, alg Algorithm, arch Architecture, opts CoverageOptions) (*CoverageReport, error) {
+	return coverage.GradeContext(ctx, alg, arch, opts)
+}
+
+// CoverageFingerprint identifies a grading workload for
+// checkpoint/resume validation (worker count and engine excluded —
+// reports are byte-identical across both).
+func CoverageFingerprint(alg Algorithm, arch Architecture, opts CoverageOptions) string {
+	return coverage.Fingerprint(alg, arch, opts)
+}
+
 // CoverageMatrix renders a fault-kind × algorithm coverage table.
 func CoverageMatrix(algs []Algorithm, arch Architecture, opts CoverageOptions) (string, error) {
 	return coverage.Matrix(algs, arch, opts)
+}
+
+// RenderCoverageMatrix renders already-graded reports as the
+// CoverageMatrix table, for drivers that grade per algorithm (e.g. to
+// checkpoint between algorithms) and render at the end.
+func RenderCoverageMatrix(reports []*CoverageReport) string {
+	return coverage.RenderMatrix(reports)
 }
