@@ -14,6 +14,7 @@ package mbist
 //	go run ./cmd/mbistbench -out BENCH_pr3.json
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/benchsuite"
@@ -44,4 +45,15 @@ func BenchmarkGradeParallelMetricsOn(b *testing.B) {
 
 func BenchmarkGradeLaneMetricsOn(b *testing.B) {
 	benchsuite.GradeLaneMetricsOn(b)
+}
+
+// BenchmarkGradeLaneWidth sweeps the logical lane width of the batch
+// engine — 64 (one plane) through 512 (eight planes) — on one worker;
+// EXPERIMENTS.md X10 records the resulting speedup curve. Run with
+//
+//	go test -bench=GradeLaneWidth -benchtime=20x
+func BenchmarkGradeLaneWidth(b *testing.B) {
+	for _, lanes := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), benchsuite.GradeLaneWidth(lanes))
+	}
 }

@@ -79,19 +79,25 @@ func LoadBaseline(path string) (map[string]Entry, error) {
 	return rep.Benchmarks, nil
 }
 
-// Regression is one benchmark that exceeded the tolerated slowdown.
+// Regression is one benchmark metric that exceeded the tolerated
+// growth: Metric is "ns_per_op" or "allocs_per_op".
 type Regression struct {
-	Name       string
-	BaselineNs float64
-	CurrentNs  float64
-	Ratio      float64
+	Name     string
+	Metric   string
+	Baseline float64
+	Current  float64
+	Ratio    float64
 }
 
 // Gate compares current measurements against a baseline: a benchmark
-// regresses when current/baseline ns/op exceeds tolerance. Benchmarks
-// missing from either side are skipped (baselines predating a new
-// benchmark stay usable). Returns the regressions and the names
-// compared, both sorted by name for deterministic output.
+// regresses when current/baseline ns/op exceeds tolerance, and — with
+// the same tolerance — when its allocations per op grow past the
+// baseline's (only for baselines that record a positive allocs_per_op;
+// an alloc-free baseline entry of 0 cannot form a ratio and older
+// snapshots may predate alloc tracking). Benchmarks missing from
+// either side are skipped (baselines predating a new benchmark stay
+// usable). Returns the regressions and the names compared, both sorted
+// by name for deterministic output.
 func Gate(current, baseline map[string]Entry, tolerance float64) (regressions []Regression, compared []string) {
 	names := make([]string, 0, len(current))
 	for name := range current {
@@ -107,11 +113,24 @@ func Gate(current, baseline map[string]Entry, tolerance float64) (regressions []
 		ratio := current[name].NsPerOp / base.NsPerOp
 		if ratio > tolerance {
 			regressions = append(regressions, Regression{
-				Name:       name,
-				BaselineNs: base.NsPerOp,
-				CurrentNs:  current[name].NsPerOp,
-				Ratio:      ratio,
+				Name:     name,
+				Metric:   "ns_per_op",
+				Baseline: base.NsPerOp,
+				Current:  current[name].NsPerOp,
+				Ratio:    ratio,
 			})
+		}
+		if base.AllocsPerOp > 0 {
+			aratio := float64(current[name].AllocsPerOp) / float64(base.AllocsPerOp)
+			if aratio > tolerance {
+				regressions = append(regressions, Regression{
+					Name:     name,
+					Metric:   "allocs_per_op",
+					Baseline: float64(base.AllocsPerOp),
+					Current:  float64(current[name].AllocsPerOp),
+					Ratio:    aratio,
+				})
+			}
 		}
 	}
 	return regressions, compared

@@ -59,6 +59,41 @@ func TestGateToleranceBoundary(t *testing.T) {
 	}
 }
 
+// TestGateFlagsAllocRegression pins the allocs_per_op gate: growth past
+// tolerance trips it, growth within tolerance and alloc-free baselines
+// do not.
+func TestGateFlagsAllocRegression(t *testing.T) {
+	base := map[string]Entry{"B": {NsPerOp: 100, AllocsPerOp: 10}}
+	regs, _ := Gate(map[string]Entry{"B": {NsPerOp: 100, AllocsPerOp: 14}}, base, 1.30)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "allocs_per_op" || regs[0].Baseline != 10 || regs[0].Current != 14 {
+		t.Errorf("regression = %+v, want allocs_per_op 10 -> 14", regs[0])
+	}
+	if regs, _ := Gate(map[string]Entry{"B": {NsPerOp: 100, AllocsPerOp: 13}}, base, 1.30); len(regs) != 0 {
+		t.Errorf("allocs within tolerance regressed: %v", regs)
+	}
+	// A baseline without positive allocs cannot form a ratio — skipped.
+	zero := map[string]Entry{"B": {NsPerOp: 100, AllocsPerOp: 0}}
+	if regs, _ := Gate(map[string]Entry{"B": {NsPerOp: 100, AllocsPerOp: 1000}}, zero, 1.30); len(regs) != 0 {
+		t.Errorf("alloc-free baseline gated allocs: %v", regs)
+	}
+}
+
+// TestGateReportsBothMetrics checks one benchmark can regress on time
+// and allocations at once.
+func TestGateReportsBothMetrics(t *testing.T) {
+	base := map[string]Entry{"B": {NsPerOp: 100, AllocsPerOp: 10}}
+	regs, _ := Gate(map[string]Entry{"B": {NsPerOp: 200, AllocsPerOp: 20}}, base, 1.30)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "ns_per_op" || regs[1].Metric != "allocs_per_op" {
+		t.Errorf("metrics = %s, %s", regs[0].Metric, regs[1].Metric)
+	}
+}
+
 func TestGateSkipsUnsharedBenchmarks(t *testing.T) {
 	cur := map[string]Entry{"OnlyCurrent": {NsPerOp: 1}, "Shared": {NsPerOp: 1}}
 	base := map[string]Entry{"OnlyBaseline": {NsPerOp: 1}, "Shared": {NsPerOp: 1}}

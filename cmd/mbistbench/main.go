@@ -130,8 +130,8 @@ func main() {
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
-			fmt.Printf("REGRESSION %s: %.0f -> %.0f ns/op (%.2fx > %.2fx tolerance)\n",
-				r.Name, r.BaselineNs, r.CurrentNs, r.Ratio, *tolerance)
+			fmt.Printf("REGRESSION %s %s: %.0f -> %.0f (%.2fx > %.2fx tolerance)\n",
+				r.Name, r.Metric, r.Baseline, r.Current, r.Ratio, *tolerance)
 		}
 		os.Exit(1)
 	}

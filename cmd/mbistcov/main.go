@@ -9,6 +9,7 @@
 //	mbistcov -detail marchc
 //	mbistcov -arch microcode -workers 4 -cpuprofile grade.pprof -metrics
 //	mbistcov -engine scalar -detail marchc
+//	mbistcov -lanes 512 -workers 4
 //	mbistcov -size 1024 -width 8 -checkpoint state.json
 //	mbistcov -size 1024 -width 8 -checkpoint state.json -resume
 //
@@ -76,6 +77,7 @@ func main() {
 	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
 	workers := flag.Int("workers", 0, "concurrent grading workers (0 = all CPUs, 1 = serial)")
 	engineName := flag.String("engine", "auto", "fault-simulation engine: auto (lane-parallel stream replay with scalar fallback) or scalar (one fault at a time)")
+	lanesName := flag.String("lanes", "auto", "lane-engine batch width: auto, 64, 128, 256 or 512 logical fault lanes (ignored by -engine scalar; reports are byte-identical at every width)")
 	ckptPath := flag.String("checkpoint", "", "persist grading state to this file (atomic rename-on-write)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in graded faults (0 = default)")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
@@ -99,7 +101,7 @@ exit codes:
 	if err != nil {
 		log.Fatal(err)
 	}
-	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers, *engineName,
+	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers, *engineName, *lanesName,
 		*ckptPath, *ckptEvery, *resume)
 	if err := stop(); err != nil {
 		log.Print(err)
@@ -128,7 +130,7 @@ type checkpointPayload struct {
 	States map[string]*mbist.CoverageState `json:"states"`
 }
 
-func run(algList, archName string, size, width, ports int, detail string, workers int, engineName string,
+func run(algList, archName string, size, width, ports int, detail string, workers int, engineName, lanesName string,
 	ckptPath string, ckptEvery int, resume bool) error {
 	arch, err := parseArch(archName)
 	if err != nil {
@@ -138,9 +140,13 @@ func run(algList, archName string, size, width, ports int, detail string, worker
 	if err != nil {
 		return err
 	}
+	lanes, err := parseLanes(lanesName)
+	if err != nil {
+		return err
+	}
 	opts := mbist.CoverageOptions{
 		Size: size, Width: width, Ports: ports, Workers: workers,
-		Engine: engine, CheckpointEvery: ckptEvery,
+		Engine: engine, Lanes: lanes, CheckpointEvery: ckptEvery,
 	}
 	if resume && ckptPath == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
@@ -304,4 +310,23 @@ func parseEngine(s string) (mbist.CoverageEngine, error) {
 		return mbist.CoverageEngineScalar, nil
 	}
 	return 0, fmt.Errorf("unknown engine %q", s)
+}
+
+// parseLanes maps the -lanes flag to CoverageOptions.Lanes: "auto" (or
+// empty) defers to the library default, otherwise the value must be a
+// supported logical lane width.
+func parseLanes(s string) (int, error) {
+	switch s {
+	case "auto", "":
+		return 0, nil
+	case "64":
+		return 64, nil
+	case "128":
+		return 128, nil
+	case "256":
+		return 256, nil
+	case "512":
+		return 512, nil
+	}
+	return 0, fmt.Errorf("unknown lane width %q (want auto, 64, 128, 256 or 512)", s)
 }

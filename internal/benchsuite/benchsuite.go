@@ -48,29 +48,29 @@ func ControllerNetlist(tb testing.TB) *netlist.Netlist {
 
 // LogicBISTSerial measures the one-fault-at-a-time oracle engine.
 func LogicBISTSerial(b *testing.B) {
-	nl := ControllerNetlist(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	var res *logicbist.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = logicbist.RandomPatternCoverageSerial(nl, LogicBISTPatterns, LogicBISTSeed)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(100*res.Coverage(), "coverage%")
+	logicBIST(b, logicbist.RandomPatternCoverageSerial)
 }
 
 // LogicBISTWordParallel measures the 64-lane PPSFP engine.
 func LogicBISTWordParallel(b *testing.B) {
+	logicBIST(b, logicbist.RandomPatternCoverage)
+}
+
+// logicBIST runs one untimed warm-up call before measuring, so
+// allocs/op reports the steady state (cross-call caches populated)
+// independently of the iteration count — a prerequisite for the CI
+// allocs_per_op gate to be stable across benchtime and host speed.
+func logicBIST(b *testing.B, engine func(*netlist.Netlist, int, int64) (*logicbist.Result, error)) {
 	nl := ControllerNetlist(b)
+	if _, err := engine(nl, LogicBISTPatterns, LogicBISTSeed); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var res *logicbist.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = logicbist.RandomPatternCoverage(nl, LogicBISTPatterns, LogicBISTSeed)
+		res, err = engine(nl, LogicBISTPatterns, LogicBISTSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,22 +79,47 @@ func LogicBISTWordParallel(b *testing.B) {
 }
 
 func grade(b *testing.B, workers int, engine coverage.Engine) {
+	gradeLanes(b, workers, engine, 0)
+}
+
+func gradeLanes(b *testing.B, workers int, engine coverage.Engine, lanes int) {
 	alg, ok := march.ByName("marchc")
 	if !ok {
 		b.Fatal("march library lost marchc")
 	}
+	opts := coverage.Options{Size: 16, Workers: workers, Engine: engine, Lanes: lanes}
+	// Untimed warm-up: populate the stream/universe/levelization caches
+	// and the arena pool so allocs/op reports the steady state
+	// independently of the iteration count (see logicBIST).
+	if _, err := coverage.Grade(alg, coverage.Microcode, opts); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
+	b.ResetTimer()
 	var rep *coverage.Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		rep, err = coverage.Grade(alg, coverage.Microcode, coverage.Options{
-			Size: 16, Workers: workers, Engine: engine,
-		})
+		rep, err = coverage.Grade(alg, coverage.Microcode, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	// Reported after the loop: ResetTimer deletes user metrics, so
+	// anything recorded earlier would be lost.
 	b.ReportMetric(rep.Overall.Percent(), "coverage%")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// GradeLaneWidth returns a benchmark of the lane engine pinned to an
+// explicit logical lane width on one worker — the sweep behind the
+// EXPERIMENTS.md X10 lanes × workers speedup curve. Reports stay
+// byte-identical across widths, so the curve isolates pure batching
+// throughput.
+func GradeLaneWidth(lanes int) func(*testing.B) {
+	return func(b *testing.B) {
+		gradeLanes(b, 1, coverage.EngineAuto, lanes)
+		b.ReportMetric(float64(lanes), "lanes")
+	}
 }
 
 // GradeSerial measures scalar functional-fault grading on one worker
@@ -102,19 +127,21 @@ func grade(b *testing.B, workers int, engine coverage.Engine) {
 func GradeSerial(b *testing.B) { grade(b, 1, coverage.EngineScalar) }
 
 // GradeParallel measures the scalar engine's GOMAXPROCS worker pool.
+// The worker count is passed explicitly (not left to the Options
+// default) so the recorded "workers" extra is exactly the pool size
+// the measurement ran with.
 func GradeParallel(b *testing.B) {
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
-	grade(b, 0, coverage.EngineScalar)
+	grade(b, runtime.GOMAXPROCS(0), coverage.EngineScalar)
 }
 
 // GradeLane measures the 63-fault lane-batched stream-replay engine on
 // one worker; its speedup is tracked against GradeSerial.
 func GradeLane(b *testing.B) { grade(b, 1, coverage.EngineAuto) }
 
-// GradeLaneParallel measures the lane engine's batch worker pool.
+// GradeLaneParallel measures the lane engine's batch worker pool at an
+// explicit GOMAXPROCS worker count (see GradeParallel).
 func GradeLaneParallel(b *testing.B) {
-	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
-	grade(b, 0, coverage.EngineAuto)
+	grade(b, runtime.GOMAXPROCS(0), coverage.EngineAuto)
 }
 
 // GradeLaneMetricsOn measures the lane engine with the obs registry

@@ -74,35 +74,84 @@ func TestBatchedEngineMatchesScalarOracleWordMultiport(t *testing.T) {
 
 // TestBatchedEngineEngaged pins that the default Grade path actually
 // replays lane batches (rather than silently falling back) for the
-// canonical microcode configuration, and that every fault goes through
-// a batch whose occupancy is at most MaxLanes.
+// canonical microcode configuration, that batch occupancy respects the
+// configured lane width, and that the lane_width gauge reports it.
 func TestBatchedEngineEngaged(t *testing.T) {
-	reg := obs.Enable()
-	defer obs.Disable()
+	for _, lanes := range []int{0, 64, 128, 256, 512} {
+		reg := obs.Enable()
+		alg, _ := march.ByName("marchc")
+		rep, err := Grade(alg, Microcode, Options{Size: 16, Lanes: lanes})
+		if err != nil {
+			obs.Disable()
+			t.Fatal(err)
+		}
+		want := lanes
+		if want == 0 {
+			want = DefaultLanes
+		}
+		batches := reg.Counter("coverage.batches_replayed").Value()
+		if batches == 0 {
+			t.Fatalf("lanes=%d: batched engine not engaged for marchc on microcode", lanes)
+		}
+		if fb := reg.Counter("coverage.stream_fallbacks").Value(); fb != 0 {
+			t.Errorf("lanes=%d: unexpected stream fallbacks: %d", lanes, fb)
+		}
+		if lw := reg.Gauge("coverage.lane_width").Value(); int(lw) != want {
+			t.Errorf("lanes=%d: lane_width gauge %d, want %d", lanes, lw, want)
+		}
+		count, sum, _, max := reg.Span("coverage.batch_lanes").Stats()
+		if count != batches {
+			t.Errorf("lanes=%d: batch_lanes count %d, batches %d", lanes, count, batches)
+		}
+		if int(sum) != rep.Overall.Total {
+			t.Errorf("lanes=%d: lane occupancy sum %d, universe size %d", lanes, sum, rep.Overall.Total)
+		}
+		if int(max) > want-1 {
+			t.Errorf("lanes=%d: batch occupancy %d exceeds %d fault lanes", lanes, max, want-1)
+		}
+		if graded := reg.Counter("coverage.faults_graded").Value(); int(graded) != rep.Overall.Total {
+			t.Errorf("lanes=%d: faults_graded %d, universe size %d", lanes, graded, rep.Overall.Total)
+		}
+		obs.Disable()
+	}
+}
+
+// TestBatchedEngineMatchesScalarOracleAllLaneWidths sweeps the lane
+// width across every supported plane count on the canonical geometry:
+// each width must reproduce the scalar oracle's report byte-for-byte at
+// 1, 2 and GOMAXPROCS workers (acceptance criterion for the multi-plane
+// engine).
+func TestBatchedEngineMatchesScalarOracleAllLaneWidths(t *testing.T) {
 	alg, _ := march.ByName("marchc")
-	rep, err := Grade(alg, Microcode, Options{Size: 16})
-	if err != nil {
-		t.Fatal(err)
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		want, err := GradeSerial(alg, arch, Options{Size: 16})
+		if err != nil {
+			t.Fatalf("%s: oracle: %v", arch, err)
+		}
+		for _, lanes := range []int{64, 128, 256, 512} {
+			for _, workers := range []int{1, 2, 0} {
+				got, err := Grade(alg, arch, Options{Size: 16, Lanes: lanes, Workers: workers})
+				if err != nil {
+					t.Fatalf("%s lanes=%d workers=%d: %v", arch, lanes, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s lanes=%d workers=%d: report differs from scalar oracle", arch, lanes, workers)
+				}
+				if got.String() != want.String() {
+					t.Errorf("%s lanes=%d workers=%d: rendered report differs", arch, lanes, workers)
+				}
+			}
+		}
 	}
-	batches := reg.Counter("coverage.batches_replayed").Value()
-	if batches == 0 {
-		t.Fatal("batched engine not engaged for marchc on microcode")
-	}
-	if fb := reg.Counter("coverage.stream_fallbacks").Value(); fb != 0 {
-		t.Errorf("unexpected stream fallbacks: %d", fb)
-	}
-	count, sum, _, max := reg.Span("coverage.batch_lanes").Stats()
-	if count != batches {
-		t.Errorf("batch_lanes count %d, batches %d", count, batches)
-	}
-	if int(sum) != rep.Overall.Total {
-		t.Errorf("lane occupancy sum %d, universe size %d", sum, rep.Overall.Total)
-	}
-	if max > 63 {
-		t.Errorf("batch occupancy %d exceeds MaxLanes", max)
-	}
-	if graded := reg.Counter("coverage.faults_graded").Value(); int(graded) != rep.Overall.Total {
-		t.Errorf("faults_graded %d, universe size %d", graded, rep.Overall.Total)
+}
+
+// TestGradeRejectsBadLaneWidth pins Options.Lanes validation.
+func TestGradeRejectsBadLaneWidth(t *testing.T) {
+	alg, _ := march.ByName("marchc")
+	for _, lanes := range []int{-1, 1, 63, 96, 1024} {
+		if _, err := Grade(alg, Reference, Options{Size: 8, Lanes: lanes}); err == nil {
+			t.Errorf("lanes=%d: no error", lanes)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/fsmbist"
@@ -86,6 +87,14 @@ type Options struct {
 	Workers int
 	// Engine selects the fault-simulation engine (default EngineAuto).
 	Engine Engine
+	// Lanes sets the batched engine's logical lane width — how many
+	// machines (1 good + Lanes-1 faulty) one stream replay carries,
+	// packed into Lanes/64 uint64 bit-planes per cell. Valid values are
+	// 64, 128, 256 and 512; 0 means DefaultLanes. The report is
+	// byte-identical at any lane width (verdicts commit in universe
+	// order), so this is purely a throughput knob; it is ignored by the
+	// scalar engine and excluded from Fingerprint.
+	Lanes int
 
 	// FaultHook, when non-nil, is called with each fault's universe
 	// index immediately before that fault is graded (once per occupied
@@ -116,6 +125,13 @@ type Options struct {
 	Resume *State
 }
 
+// DefaultLanes is the lane width Options.Lanes == 0 selects. 256 lanes
+// (4 bit-planes) won the EXPERIMENTS.md X10 sweep on the benchmark
+// geometry: wide enough to amortise the stream replay over ~4x the
+// faults of a single plane, small enough that a batch's planes still
+// fit comfortably in L1.
+const DefaultLanes = 256
+
 func (o *Options) normalise() {
 	if o.Size <= 0 {
 		o.Size = 16
@@ -129,10 +145,23 @@ func (o *Options) normalise() {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Lanes == 0 {
+		o.Lanes = DefaultLanes
+	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 256
 	}
 	o.Universe.Ports = o.Ports
+}
+
+// validate rejects option values normalise cannot default away.
+func (o *Options) validate() error {
+	switch o.Lanes {
+	case 64, 128, 256, 512:
+		return nil
+	default:
+		return fmt.Errorf("coverage: lane width %d not one of 64, 128, 256, 512", o.Lanes)
+	}
 }
 
 // Ratio is detected-over-total.
@@ -192,8 +221,47 @@ func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error
 // runner compile errors, engine divergence).
 func GradeContext(ctx context.Context, alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
 	opts.normalise()
-	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
-	return gradeUniverse(ctx, alg, arch, opts, universe)
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return gradeUniverse(ctx, alg, arch, opts, cachedUniverse(opts))
+}
+
+// Fault universes are deterministic per (geometry, UniverseOpts), so
+// they are cached across Grade calls: matrix sweeps and benchmark loops
+// re-enumerate the same universe thousands of times, and the
+// enumeration was a fixed per-call allocation cost. Cached slices are
+// shared — grading only reads them — and the cache is bounded, flushed
+// whole when full.
+type universeKey struct {
+	size, width int
+	opts        faults.UniverseOpts
+}
+
+var (
+	universeMu    sync.Mutex
+	universeCache = map[universeKey][]faults.Fault{}
+)
+
+const universeCacheLimit = 64
+
+func cachedUniverse(opts Options) []faults.Fault {
+	key := universeKey{size: opts.Size, width: opts.Width, opts: opts.Universe}
+	universeMu.Lock()
+	u, ok := universeCache[key]
+	if ok {
+		universeMu.Unlock()
+		return u
+	}
+	universeMu.Unlock()
+	u = faults.Universe(opts.Size, opts.Width, opts.Universe)
+	universeMu.Lock()
+	if len(universeCache) >= universeCacheLimit {
+		universeCache = map[universeKey][]faults.Fault{}
+	}
+	universeCache[key] = u
+	universeMu.Unlock()
+	return u
 }
 
 // GradeSerial grades with the scalar per-fault engine: one injected
@@ -216,7 +284,7 @@ func gradeUniverse(ctx context.Context, alg march.Algorithm, arch Architecture, 
 		return nil, err
 	}
 	if opts.Engine == EngineAuto {
-		stream, ok, err := captureStream(alg, arch, opts)
+		stream, ok, err := cachedCaptureStream(alg, arch, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +392,10 @@ func (rep *Report) String() string {
 // once for the geometry and shared across all Grade calls.
 func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, error) {
 	opts.normalise()
-	universe := faults.Universe(opts.Size, opts.Width, opts.Universe)
+	if err := opts.validate(); err != nil {
+		return "", err
+	}
+	universe := cachedUniverse(opts)
 	var reports []*Report
 	for _, alg := range algs {
 		rep, err := gradeUniverse(context.Background(), alg, arch, opts, universe)

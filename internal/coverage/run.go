@@ -89,19 +89,21 @@ func (r *gradeRun) record(i int, detected bool) {
 }
 
 // commitBatch commits a lane batch's verdicts in one critical section:
-// universe[start:end] graded with lane i-start+1 carrying fault i.
+// universe[start:end] graded with logical lane i-start+1 carrying fault
+// i (plane (i-start+1)/64, bit (i-start+1)%64 of the fail masks).
 // Faults already settled by a resumed checkpoint keep their prior
 // verdict (the replay result is identical anyway — verdicts are
 // deterministic — but the resumed state stays authoritative).
-func (r *gradeRun) commitBatch(start, end int, failMask uint64) {
+func (r *gradeRun) commitBatch(start, end int, fail *[faults.MaxPlanes]uint64) {
 	r.mu.Lock()
 	n := 0
 	for i := start; i < end; i++ {
 		if r.resumed[i] {
 			continue
 		}
+		l := i - start + 1
 		r.graded[i] = true
-		r.detected[i] = failMask>>uint(i-start+1)&1 == 1
+		r.detected[i] = fail[l>>6]>>uint(l&63)&1 == 1
 		r.gradedCount++
 		n++
 	}
@@ -176,13 +178,29 @@ func (r *gradeRun) buildReportLocked() *Report {
 	rep := &Report{
 		Algorithm:    r.alg.Name,
 		Architecture: r.arch,
-		ByKind:       make(map[faults.Kind]Ratio),
+		ByKind:       make(map[faults.Kind]Ratio, 16),
 		Universe:     len(r.universe),
 	}
-	inQuarantine := make(map[int]bool, len(r.quarantined))
-	for _, q := range r.quarantined {
-		inQuarantine[q.Index] = true
+	var inQuarantine map[int]bool
+	if len(r.quarantined) > 0 {
+		inQuarantine = make(map[int]bool, len(r.quarantined))
+		for _, q := range r.quarantined {
+			inQuarantine[q.Index] = true
+		}
 	}
+	missed := 0
+	for i := range r.universe {
+		if r.graded[i] && !r.detected[i] && !inQuarantine[i] {
+			missed++
+		}
+	}
+	if missed > 0 {
+		rep.Missed = make([]faults.Fault, 0, missed)
+	}
+	// Tally per-kind ratios into a flat array (Kind is a small enum) and
+	// build the map once at the end: the per-fault map updates were the
+	// hottest part of report construction on cached-universe workloads.
+	var byKind [256]Ratio
 	for i, f := range r.universe {
 		if !r.graded[i] {
 			rep.Partial = true
@@ -192,16 +210,19 @@ func (r *gradeRun) buildReportLocked() *Report {
 		if inQuarantine[i] {
 			continue
 		}
-		kr := rep.ByKind[f.Kind]
-		kr.Total++
+		byKind[f.Kind].Total++
 		rep.Overall.Total++
 		if r.detected[i] {
-			kr.Detected++
+			byKind[f.Kind].Detected++
 			rep.Overall.Detected++
 		} else {
 			rep.Missed = append(rep.Missed, f)
 		}
-		rep.ByKind[f.Kind] = kr
+	}
+	for k, kr := range byKind {
+		if kr.Total > 0 {
+			rep.ByKind[faults.Kind(k)] = kr
+		}
 	}
 	rep.Quarantined = append([]FaultVerdict(nil), r.quarantined...)
 	sort.Slice(rep.Quarantined, func(a, b int) bool { return rep.Quarantined[a].Index < rep.Quarantined[b].Index })

@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+)
+
+// TestLaneBatchLoopZeroAlloc pins the zero-allocation steady state of
+// the lane batch loop: once a LaneInjected has been warmed on a batch,
+// re-arming it via Reset and replaying a march-like operation sequence
+// (with a reused ReadLanes destination) must not allocate. This is the
+// per-batch hot path of the grading engine's arena; a regression here
+// shows up as allocs-per-op growth in BenchmarkGradeLane.
+func TestLaneBatchLoopZeroAlloc(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc pins need a non-race build")
+	}
+	const size, width, ports, np = 16, 1, 1, 4
+	universe := Universe(size, width, UniverseOpts{})
+	limit := BatchLimit(np)
+	if len(universe) < 2*limit {
+		t.Fatalf("universe too small: %d faults", len(universe))
+	}
+	batches := [][]Fault{universe[:limit], universe[limit : 2*limit]}
+
+	m := NewLaneInjectedPlanes(size, width, ports, np, batches[0])
+	dst := make([]uint64, 0, width*np)
+	replay := func(batch []Fault) {
+		m.Reset(batch)
+		for a := 0; a < size; a++ {
+			m.Write(0, a, 0)
+		}
+		for a := 0; a < size; a++ {
+			dst = m.ReadLanes(0, a, dst[:0])
+			m.Write(0, a, 1)
+			dst = m.ReadLanes(0, a, dst[:0])
+		}
+		m.Pause()
+		for a := size - 1; a >= 0; a-- {
+			dst = m.ReadLanes(0, a, dst[:0])
+			dst = m.ReadLanes(0, a, dst[:0])
+			dst = m.ReadLanes(0, a, dst[:0])
+			m.Write(0, a, 0)
+		}
+	}
+	// Warm both batches so every lazily-grown mask array and entry list
+	// reaches its steady-state capacity.
+	replay(batches[0])
+	replay(batches[1])
+
+	i := 0
+	if avg := testing.AllocsPerRun(20, func() {
+		replay(batches[i&1])
+		i++
+	}); avg != 0 {
+		t.Errorf("lane batch loop allocates %.1f objects per batch in steady state, want 0", avg)
+	}
+}

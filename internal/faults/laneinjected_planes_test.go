@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laneWordPlanes extracts logical lane L's word from the per-bit result
+// planes a multi-plane ReadLanes returned (layout dst[bit*np+p], lane L
+// = plane L/64, bit L%64).
+func laneWordPlanes(dst []uint64, np, width, lane int) uint64 {
+	p, b := lane>>6, uint(lane&63)
+	var w uint64
+	for bit := 0; bit < width; bit++ {
+		w |= (dst[bit*np+p] >> b & 1) << uint(bit)
+	}
+	return w
+}
+
+// TestLaneInjectedPlanesMatchesScalar extends the lane-equivalence
+// property to the multi-plane layouts: at 2, 4 and 8 planes (128-512
+// logical lanes) a random operation sequence must leave every logical
+// lane bit-identical to a scalar Injected carrying only that lane's
+// fault. One LaneInjected is reused across universe batches via Reset,
+// so the arena path (zeroed-in-place mask arrays) is covered as well.
+func TestLaneInjectedPlanesMatchesScalar(t *testing.T) {
+	geometries := []struct {
+		size, width, ports int
+	}{
+		{8, 1, 1},
+		{4, 2, 2},
+	}
+	for _, g := range geometries {
+		universe := Universe(g.size, g.width, UniverseOpts{Ports: g.ports})
+		for _, np := range []int{2, 4, 8} {
+			limit := BatchLimit(np)
+			rng := rand.New(rand.NewSource(int64(np*1000 + g.size*10 + g.ports)))
+			mask := uint64(1)<<uint(g.width) - 1
+			var lanes *LaneInjected
+			for start := 0; start < len(universe); start += limit {
+				end := start + limit
+				if end > len(universe) {
+					end = len(universe)
+				}
+				batch := universe[start:end]
+				if lanes == nil {
+					lanes = NewLaneInjectedPlanes(g.size, g.width, g.ports, np, batch)
+				} else {
+					lanes.Reset(batch)
+				}
+				if lanes.Planes() != np || lanes.Lanes() != len(batch) {
+					t.Fatalf("planes/lanes = %d/%d, want %d/%d",
+						lanes.Planes(), lanes.Lanes(), np, len(batch))
+				}
+				scalars := make([]*Injected, len(batch)+1)
+				scalars[0] = NewInjected(g.size, g.width, g.ports)
+				for i, f := range batch {
+					scalars[i+1] = NewInjected(g.size, g.width, g.ports, f)
+				}
+
+				var dst []uint64
+				for step := 0; step < 250; step++ {
+					port := rng.Intn(g.ports)
+					addr := rng.Intn(g.size)
+					switch r := rng.Float64(); {
+					case r < 0.45:
+						data := rng.Uint64() & mask
+						lanes.Write(port, addr, data)
+						for _, s := range scalars {
+							s.Write(port, addr, data)
+						}
+					case r < 0.9:
+						dst = lanes.ReadLanes(port, addr, dst[:0])
+						for k, s := range scalars {
+							want := s.Read(port, addr)
+							if got := laneWordPlanes(dst, np, g.width, k); got != want {
+								fault := "none (good machine)"
+								if k > 0 {
+									fault = batch[k-1].String()
+								}
+								t.Fatalf("%dx%d/%dp np=%d step %d: read(p%d,a%d) lane %d = %0*b, scalar %0*b (fault %s)",
+									g.size, g.width, g.ports, np, step, port, addr, k,
+									g.width, got, g.width, want, fault)
+							}
+						}
+					default:
+						lanes.Pause()
+						for _, s := range scalars {
+							s.Pause()
+						}
+					}
+				}
+
+				for cell := 0; cell < g.size*g.width; cell++ {
+					for k, s := range scalars {
+						if lanes.LaneCellState(k, cell) != s.CellState(cell) {
+							fault := "none (good machine)"
+							if k > 0 {
+								fault = batch[k-1].String()
+							}
+							t.Fatalf("%dx%d/%dp np=%d: final cell %d lane %d = %v, scalar %v (fault %s)",
+								g.size, g.width, g.ports, cell, np, k,
+								lanes.LaneCellState(k, cell), s.CellState(cell), fault)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLaneInjectedFaultMaskPlane pins the per-plane occupied-lane mask:
+// logical lanes fill plane 0 bits 1..63 first, then whole planes.
+func TestLaneInjectedFaultMaskPlane(t *testing.T) {
+	universe := Universe(16, 1, UniverseOpts{})
+	if len(universe) < 130 {
+		t.Fatalf("universe too small for the test: %d faults", len(universe))
+	}
+
+	// 70 faults on 2 planes: plane 0 full (bits 1..63), plane 1 carries
+	// lanes 64..70 (bits 0..6).
+	m := NewLaneInjectedPlanes(16, 1, 1, 2, universe[:70])
+	if got, want := m.FaultMaskPlane(0), ^uint64(0)&^1; got != want {
+		t.Errorf("70 faults plane 0 mask = %x, want %x", got, want)
+	}
+	if got, want := m.FaultMaskPlane(1), uint64(1)<<7-1; got != want {
+		t.Errorf("70 faults plane 1 mask = %x, want %x", got, want)
+	}
+	if got := m.FaultMask(); got != m.FaultMaskPlane(0) {
+		t.Errorf("FaultMask() = %x, want plane-0 mask %x", got, m.FaultMaskPlane(0))
+	}
+
+	// 127 faults saturate both planes of a 2-plane memory.
+	m = NewLaneInjectedPlanes(16, 1, 1, 2, universe[:BatchLimit(2)])
+	if got, want := m.FaultMaskPlane(1), ^uint64(0); got != want {
+		t.Errorf("full plane 1 mask = %x, want %x", got, want)
+	}
+
+	// 10 faults on 4 planes: only plane 0 is occupied.
+	m = NewLaneInjectedPlanes(16, 1, 1, 4, universe[:10])
+	if got, want := m.FaultMaskPlane(0), (uint64(1)<<11-1)&^1; got != want {
+		t.Errorf("10 faults plane 0 mask = %x, want %x", got, want)
+	}
+	for p := 1; p < 4; p++ {
+		if got := m.FaultMaskPlane(p); got != 0 {
+			t.Errorf("10 faults plane %d mask = %x, want 0", p, got)
+		}
+	}
+}
+
+// TestLaneInjectedPlanesPanics pins the multi-plane constructor
+// validation: plane counts outside [1, MaxPlanes] and batches past
+// BatchLimit are rejected, for both construction and Reset.
+func TestLaneInjectedPlanesPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	universe := Universe(64, 1, UniverseOpts{})
+	expectPanic("zero planes", func() { NewLaneInjectedPlanes(4, 1, 1, 0, nil) })
+	expectPanic("too many planes", func() { NewLaneInjectedPlanes(4, 1, 1, MaxPlanes+1, nil) })
+	expectPanic("batch past 2-plane limit", func() {
+		NewLaneInjectedPlanes(64, 1, 1, 2, universe[:BatchLimit(2)+1])
+	})
+	expectPanic("Reset past limit", func() {
+		m := NewLaneInjectedPlanes(64, 1, 1, 2, universe[:10])
+		m.Reset(universe[:BatchLimit(2)+1])
+	})
+}

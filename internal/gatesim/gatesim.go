@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -75,12 +76,88 @@ type Simulator struct {
 	mUnsettled *obs.Counter
 }
 
+// levelCache memoises levelisation results across Simulator and
+// WordSimulator instances built from the same netlist — grading loops
+// construct thousands of simulators over a handful of controller
+// netlists, and Kahn levelisation (plus Validate) dominated their
+// construction cost. Entries are keyed by netlist pointer and guarded
+// by a cheap structural fingerprint, so mutating a netlist (e.g.
+// SetGateInput) invalidates its entry instead of serving stale orders.
+// The cached slices are shared read-only by every simulator.
+var (
+	levelMu    sync.Mutex
+	levelCache = map[*netlist.Netlist]levelEntry{}
+)
+
+// levelCacheLimit bounds the cache; netlist churn past it flushes the
+// whole map (simpler than LRU and the working set is a few netlists).
+const levelCacheLimit = 64
+
+type levelEntry struct {
+	fp     uint64
+	order  []int
+	cyclic []int
+	ffs    []int
+}
+
+// topoFingerprint hashes the structure levelisation depends on — net
+// count and every instance's kind and connectivity — with FNV-1a. It is
+// two orders of magnitude cheaper than re-levelising and catches any
+// post-construction mutation that could change the evaluation order.
+func topoFingerprint(nl *netlist.Netlist) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(nl.NumNets()))
+	for _, inst := range nl.Instances() {
+		mix(uint64(inst.Kind))
+		mix(uint64(inst.Out))
+		for _, in := range inst.In {
+			mix(uint64(in))
+		}
+	}
+	return h
+}
+
 // levelise validates the netlist and computes the evaluation structures
 // shared by Simulator and WordSimulator: the combinational instance
 // indices in topological order, the instances on combinational loops
 // (empty for the acyclic netlists every generator emits), and the
-// sequential instance indices. It fails on structural errors.
+// sequential instance indices. It fails on structural errors. Results
+// are cached per netlist (see levelCache); a cache hit skips both
+// Validate and the Kahn pass.
 func levelise(nl *netlist.Netlist) (order, cyclic, ffs []int, err error) {
+	fp := topoFingerprint(nl)
+	levelMu.Lock()
+	if e, ok := levelCache[nl]; ok && e.fp == fp {
+		levelMu.Unlock()
+		obs.Active().Counter("gatesim.levelization_cache_hits").Add(1)
+		return e.order, e.cyclic, e.ffs, nil
+	}
+	levelMu.Unlock()
+	order, cyclic, ffs, err = leveliseUncached(nl)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	levelMu.Lock()
+	if len(levelCache) >= levelCacheLimit {
+		levelCache = map[*netlist.Netlist]levelEntry{}
+	}
+	levelCache[nl] = levelEntry{fp: fp, order: order, cyclic: cyclic, ffs: ffs}
+	levelMu.Unlock()
+	return order, cyclic, ffs, nil
+}
+
+func leveliseUncached(nl *netlist.Netlist) (order, cyclic, ffs []int, err error) {
 	if err := nl.Validate(); err != nil {
 		return nil, nil, nil, err
 	}

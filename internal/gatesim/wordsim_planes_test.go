@@ -1,0 +1,290 @@
+package gatesim_test
+
+// Multi-plane WordSimulator equivalence: at 4 planes (256 logical
+// lanes) fault detection must match the scalar engine exactly, active
+// planes must shrink and warm-start without corrupting lane values,
+// and repeated construction must hit the levelization cache.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gatesim"
+	"repro/internal/netlist"
+	"repro/internal/obs"
+)
+
+// TestWordSimPlanesFaultDetectionMatchesSerial packs stuck-at faults
+// 255 to a settle pass on a 4-plane simulator (lane 0 good) and asserts
+// the detected-fault set equals the scalar engine's, one fault at a
+// time — on both controller netlists. Batch occupancy drives
+// SetActivePlanes exactly like the logic-BIST engine, so the shrink /
+// warm-start path is exercised on a real workload, including the
+// partial final batch of each pattern.
+func TestWordSimPlanesFaultDetectionMatchesSerial(t *testing.T) {
+	const planes = 4
+	for _, nl := range controllerNetlists(t) {
+		t.Run(nl.Name, func(t *testing.T) {
+			ser, err := gatesim.New(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ws, err := gatesim.NewWordPlanes(nl, planes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ws.Planes() != planes || ws.TotalLanes() != planes*gatesim.Lanes {
+				t.Fatalf("Planes/TotalLanes = %d/%d, want %d/%d",
+					ws.Planes(), ws.TotalLanes(), planes, planes*gatesim.Lanes)
+			}
+
+			// Full-scan access: inputs and FF outputs controllable,
+			// outputs and FF D inputs observable.
+			controls := append([]netlist.NetID(nil), nl.Inputs()...)
+			observes := append([]netlist.NetID(nil), nl.Outputs()...)
+			type fault struct {
+				net netlist.NetID
+				sa  bool
+			}
+			var faultList []fault
+			for _, id := range nl.Inputs() {
+				faultList = append(faultList, fault{id, false}, fault{id, true})
+			}
+			for _, inst := range nl.Instances() {
+				if inst.Kind.IsSequential() {
+					controls = append(controls, inst.Out)
+					observes = append(observes, inst.In[0])
+				}
+				faultList = append(faultList, fault{inst.Out, false}, fault{inst.Out, true})
+			}
+			ctrlVal := make(map[netlist.NetID]bool, len(controls))
+
+			rng := rand.New(rand.NewSource(5))
+			for pattern := 0; pattern < 3; pattern++ {
+				for _, id := range controls {
+					v := rng.Intn(2) == 1
+					ctrlVal[id] = v
+					ser.Set(id, v)
+					ws.Set(id, v)
+				}
+				ser.Eval()
+				good := make([]bool, len(observes))
+				for i, id := range observes {
+					good[i] = ser.Get(id)
+				}
+
+				// Serial oracle: one force + settle per fault.
+				serialDet := make([]bool, len(faultList))
+				for fi, f := range faultList {
+					ser.Force(f.net, f.sa)
+					ser.Eval()
+					for i, id := range observes {
+						if ser.Get(id) != good[i] {
+							serialDet[fi] = true
+							break
+						}
+					}
+					ser.Unforce(f.net)
+					if v, ok := ctrlVal[f.net]; ok {
+						ser.Set(f.net, v)
+					}
+				}
+
+				// Word engine: up to 255 faults per settle on logical
+				// lanes 1..255, active planes sized to the batch.
+				wordDet := make([]bool, len(faultList))
+				maxBatch := planes*gatesim.Lanes - 1
+				for start := 0; start < len(faultList); start += maxBatch {
+					end := start + maxBatch
+					if end > len(faultList) {
+						end = len(faultList)
+					}
+					batch := faultList[start:end]
+					np := len(batch)>>6 + 1 // highest occupied lane is len(batch)
+					ws.SetActivePlanes(np)
+					if ws.ActivePlanes() != np {
+						t.Fatalf("ActivePlanes = %d, want %d", ws.ActivePlanes(), np)
+					}
+					for k, f := range batch {
+						ws.ForceLane(f.net, k+1, f.sa)
+					}
+					if got := ws.ForcedLanes(); got != len(batch) {
+						t.Fatalf("batch %d: %d forced lanes, want %d", start, got, len(batch))
+					}
+					ws.Eval()
+					var diff [planes]uint64
+					for _, id := range observes {
+						g := -(ws.GetPlane(id, 0) & 1) // lane 0 = good machine
+						for p := 0; p < np; p++ {
+							diff[p] |= ws.GetPlane(id, p) ^ g
+						}
+					}
+					for k := range batch {
+						l := k + 1
+						wordDet[start+k] = diff[l>>6]>>uint(l&63)&1 == 1
+					}
+					ws.ClearForces()
+					for _, f := range batch {
+						if v, ok := ctrlVal[f.net]; ok {
+							ws.Set(f.net, v)
+						}
+					}
+				}
+
+				for fi, f := range faultList {
+					if serialDet[fi] != wordDet[fi] {
+						t.Fatalf("pattern %d: fault %s stuck-at-%v serial=%v word=%v",
+							pattern, nl.NetName(f.net), f.sa, serialDet[fi], wordDet[fi])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWordSimSetActivePlanes pins the shrink / warm-start contract on a
+// small combinational block: deactivated planes are skipped by settle,
+// and re-activated planes mirror plane 0 (the settled good machine).
+func TestWordSimSetActivePlanes(t *testing.T) {
+	nl := netlist.New("active")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	out := nl.Xor2(nl.And2(a, b), nl.Or2(a, b))
+	nl.AddOutput("f", out)
+	ws, err := gatesim.NewWordPlanes(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Distinct stimulus per plane, all planes active.
+	words := [4]uint64{0x0123456789abcdef, 0xfedcba9876543210, 0xaaaa5555aaaa5555, 0x00ff00ff00ff00ff}
+	for p, w := range words {
+		ws.SetWordPlane(a, p, w)
+		ws.SetWordPlane(b, p, ^w)
+	}
+	ws.Eval()
+	var settled [4]uint64
+	for p := range settled {
+		settled[p] = ws.GetPlane(out, p)
+	}
+
+	// Shrink to 2 planes: new stimulus must settle planes 0-1 only;
+	// planes 2-3 keep stale values (per the documented contract).
+	ws.SetActivePlanes(2)
+	ws.SetWordPlane(a, 0, 0)
+	ws.SetWordPlane(b, 0, 0)
+	ws.SetWordPlane(a, 1, ^uint64(0))
+	ws.SetWordPlane(b, 1, ^uint64(0))
+	ws.Eval()
+	if got := ws.GetPlane(out, 0); got != 0 {
+		t.Errorf("plane 0 after shrink = %#x, want 0", got)
+	}
+	if got := ws.GetPlane(out, 1); got != 0 {
+		t.Errorf("plane 1 after shrink = %#x, want 0 (xor of and/or on all-ones)", got)
+	}
+
+	// Regrow to 4: planes 2-3 warm-start from plane 0 for every net, so
+	// after a settle they must mirror plane 0 exactly.
+	ws.SetActivePlanes(4)
+	ws.Eval()
+	for p := 2; p < 4; p++ {
+		if got, want := ws.GetPlane(out, p), ws.GetPlane(out, 0); got != want {
+			t.Errorf("re-activated plane %d = %#x, want plane-0 value %#x", p, got, want)
+		}
+		if got, want := ws.GetPlane(a, p), ws.GetPlane(a, 0); got != want {
+			t.Errorf("re-activated input plane %d = %#x, want %#x", p, got, want)
+		}
+	}
+
+	// Clamping: out-of-range requests saturate at [1, Planes()].
+	ws.SetActivePlanes(0)
+	if ws.ActivePlanes() != 1 {
+		t.Errorf("SetActivePlanes(0) left %d active, want 1", ws.ActivePlanes())
+	}
+	ws.SetActivePlanes(99)
+	if ws.ActivePlanes() != 4 {
+		t.Errorf("SetActivePlanes(99) left %d active, want 4", ws.ActivePlanes())
+	}
+	_ = settled
+}
+
+// TestWordSimPlanesLaneIndependence checks every logical lane of a
+// 4-plane simulator evaluates exactly like a scalar simulation fed that
+// lane's stimulus bits.
+func TestWordSimPlanesLaneIndependence(t *testing.T) {
+	nl := netlist.New("planelanes")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	c := nl.AddInput("c")
+	nl.AddOutput("f", nl.Xor2(nl.And2(a, b), nl.Mux2(c, a, nl.Nor2(b, c))))
+	ws, err := gatesim.NewWordPlanes(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := gatesim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nl.Outputs()[0]
+	rng := rand.New(rand.NewSource(12))
+	var wa, wb, wc [4]uint64
+	for trial := 0; trial < 10; trial++ {
+		for p := 0; p < 4; p++ {
+			wa[p], wb[p], wc[p] = rng.Uint64(), rng.Uint64(), rng.Uint64()
+			ws.SetWordPlane(a, p, wa[p])
+			ws.SetWordPlane(b, p, wb[p])
+			ws.SetWordPlane(c, p, wc[p])
+		}
+		ws.Eval()
+		for lane := 0; lane < ws.TotalLanes(); lane++ {
+			p, bit := lane>>6, uint(lane&63)
+			ser.Set(a, wa[p]>>bit&1 == 1)
+			ser.Set(b, wb[p]>>bit&1 == 1)
+			ser.Set(c, wc[p]>>bit&1 == 1)
+			ser.Eval()
+			if ws.GetLane(out, lane) != ser.Get(out) {
+				t.Fatalf("trial %d lane %d: word=%v serial=%v",
+					trial, lane, ws.GetLane(out, lane), ser.Get(out))
+			}
+		}
+	}
+}
+
+// TestLevelizationCacheHits pins the cross-simulator levelization
+// cache: repeated construction over one netlist levelises once and
+// counts a cache hit for every later build.
+func TestLevelizationCacheHits(t *testing.T) {
+	reg := obs.Enable()
+	defer obs.Disable()
+
+	nl := netlist.New("levcache")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	nl.AddOutput("f", nl.And2(a, b))
+
+	hits := func() int64 {
+		for _, m := range reg.Snapshot() {
+			if m.Name == "gatesim.levelization_cache_hits" {
+				return m.Value
+			}
+		}
+		return 0
+	}
+
+	if _, err := gatesim.New(nl); err != nil { // first build levelises
+		t.Fatal(err)
+	}
+	base := hits()
+	if _, err := gatesim.NewWord(nl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gatesim.NewWordPlanes(nl, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gatesim.New(nl); err != nil {
+		t.Fatal(err)
+	}
+	if got := hits() - base; got != 3 {
+		t.Errorf("levelization cache hits after 3 rebuilds = %d, want 3", got)
+	}
+}

@@ -30,6 +30,14 @@ import (
 	"repro/internal/obs"
 )
 
+// wordPlanes is the bit-plane count of the parallel engine's simulator:
+// 4 planes carry 256 logical lanes (one good machine + 255 fault
+// machines) per settle. Chosen by benchmark — wider batches amortize
+// the per-batch force/diff/restore overhead, while the per-gate settle
+// cost stays proportional to live faults because detected faults drop
+// out of the pending set.
+const wordPlanes = 4
+
 // Fault is a single stuck-at fault on a net.
 type Fault struct {
 	Net     netlist.NetID
@@ -99,13 +107,25 @@ func scanAccess(nl *netlist.Netlist) (controls, observes []netlist.NetID, err er
 // to primary inputs and flip-flop outputs, and fault effects are
 // observed at primary outputs and flip-flop D inputs.
 //
-// Faults are simulated 63 at a time on a bit-parallel WordSimulator:
-// lane 0 carries the good machine and each remaining lane a faulty
-// machine with its fault net force-masked to the stuck value. One
-// settle pass therefore replaces up to 63 serial re-settles. The result
-// is bit-identical to RandomPatternCoverageSerial for the same seed.
+// Faults are simulated wordPlanes×64−1 at a time on a multi-plane
+// bit-parallel WordSimulator: logical lane 0 carries the good machine
+// and each remaining lane a faulty machine with its fault net
+// force-masked to the stuck value. One settle pass therefore replaces
+// up to 255 serial re-settles, and detected faults drop out of the
+// pending set after every pattern so later batches stay densely packed.
+// The result is bit-identical to RandomPatternCoverageSerial for the
+// same seed.
 func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Result, error) {
-	sim, err := gatesim.NewWord(nl)
+	sim, err := gatesim.NewWordPlanes(nl, wordPlanes)
+	if err != nil {
+		return nil, err
+	}
+	// Dense single-plane engine for the dropped-down tail: once the live
+	// set fits 63 fault lanes the narrow layout wins on cache density
+	// (and the multi-plane engine is never needed again, because the
+	// pending set only shrinks). Levelisation is shared via the cache,
+	// so the second simulator costs two value arrays.
+	sim1, err := gatesim.NewWord(nl)
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +140,12 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 
 	// Forcing a controllable net corrupts its stored word in the forced
 	// lanes; ctrlIdx maps those nets back to their pattern value for the
-	// post-batch restore.
-	ctrlIdx := make(map[netlist.NetID]int, len(controls))
+	// post-batch restore (-1: not controllable). A flat slice, because
+	// the restore loop runs once per fault per batch.
+	ctrlIdx := make([]int, nl.NumNets()+1)
+	for i := range ctrlIdx {
+		ctrlIdx[i] = -1
+	}
 	for i, id := range controls {
 		ctrlIdx[id] = i
 	}
@@ -133,69 +157,103 @@ func RandomPatternCoverage(nl *netlist.Netlist, patterns int, seed int64) (*Resu
 		pending[i] = i
 	}
 
-	const faultLanes = gatesim.Lanes - 1 // lane 0 is the good machine
+	const faultLanes = wordPlanes*gatesim.Lanes - 1 // lane 0 is the good machine
 
 	// Metrics: pattern and batch counts plus the faults-per-batch
 	// distribution, which shows how well detection drop-out keeps the
-	// 63 fault lanes occupied. Nil no-op instruments when disabled.
+	// fault lanes occupied, and the running count of faults retired
+	// from the pending set. Nil no-op instruments when disabled.
 	reg := obs.Active()
 	mPatterns := reg.Counter("logicbist.patterns")
 	mBatches := reg.Counter("logicbist.batches")
 	mBatchFaults := reg.Span("logicbist.batch_faults")
 	mDetected := reg.Counter("logicbist.detected")
+	mDropped := reg.Counter("logicbist.faults_dropped")
+
+	// A batch this large needs every plane of the wide engine anyway, so
+	// its unrolled full-width kernel applies; smaller remainders go to
+	// the dense single-plane engine instead of a partially occupied wide
+	// settle, whose strided layout wastes cache bandwidth.
+	const wideThreshold = (wordPlanes - 1) * gatesim.Lanes
 
 	rng := rand.New(rand.NewSource(seed))
 	vals := make([]bool, len(controls))
 	for p := 0; p < patterns; p++ {
-		// Apply one random pattern, broadcast across all lanes. The RNG
-		// draw order matches the serial engine exactly.
+		// Apply one random pattern, broadcast across all lanes of both
+		// engines (full scan re-drives every control each pattern, so
+		// the engines stay interchangeable chunk to chunk). The RNG draw
+		// order matches the serial engine exactly.
+		wide := len(pending) >= wideThreshold
 		for i, id := range controls {
 			vals[i] = rng.Intn(2) == 1
-			sim.Set(id, vals[i])
+			sim1.Set(id, vals[i])
+			if wide {
+				sim.Set(id, vals[i])
+			}
 		}
 		mPatterns.Add(1)
 
-		for start := 0; start < len(pending); start += faultLanes {
-			end := start + faultLanes
+		for start := 0; start < len(pending); {
+			// Full-width chunks ride the wide engine's unrolled kernel;
+			// the dropped-down tail rides the dense single-plane layout.
+			eng, lanesCap := sim1, gatesim.Lanes-1
+			if len(pending)-start >= wideThreshold {
+				eng, lanesCap = sim, faultLanes
+			}
+			end := start + lanesCap
 			if end > len(pending) {
 				end = len(pending)
 			}
 			batch := pending[start:end]
+			start = end
 			mBatches.Add(1)
 			mBatchFaults.Observe(int64(len(batch)))
+			// Settle only the planes this batch occupies: once dropping
+			// has thinned the pending set, the per-gate cost shrinks with
+			// it instead of paying for the full allocated lane width.
+			np := len(batch)>>6 + 1 // ceil((len(batch)+1)/64)
+			eng.SetActivePlanes(np)
 			for k, fi := range batch {
-				sim.ForceLane(faults[fi].Net, k+1, faults[fi].StuckAt)
+				eng.ForceLane(faults[fi].Net, k+1, faults[fi].StuckAt)
 			}
-			sim.Eval()
+			eng.Eval()
 			// A lane detects its fault when any observable differs from
-			// the good machine in lane 0.
-			var diff uint64
+			// the good machine in logical lane 0 (plane 0, bit 0).
+			var diff [wordPlanes]uint64
 			for _, id := range observes {
-				w := sim.Get(id)
-				diff |= w ^ -(w & 1) // -(w&1) replicates lane 0 into all lanes
+				w0 := eng.GetPlane(id, 0)
+				g := -(w0 & 1) // replicates lane 0 into all lanes
+				diff[0] |= w0 ^ g
+				for p := 1; p < np; p++ {
+					diff[p] |= eng.GetPlane(id, p) ^ g
+				}
 			}
 			for k, fi := range batch {
-				if diff>>uint(k+1)&1 == 1 {
+				l := k + 1
+				if diff[l>>6]>>uint(l&63)&1 == 1 {
 					detected[fi] = true
 					res.Detected++
 				}
 			}
-			sim.ClearForces()
+			eng.ClearForces()
 			// Restore controllable words corrupted by forcing; driven
 			// nets recover on the next settle by themselves.
 			for _, fi := range batch {
-				if ci, ok := ctrlIdx[faults[fi].Net]; ok {
-					sim.Set(faults[fi].Net, vals[ci])
+				if ci := ctrlIdx[faults[fi].Net]; ci >= 0 {
+					eng.Set(faults[fi].Net, vals[ci])
 				}
 			}
 		}
 
+		// Fault dropping: retire every fault this pattern detected so the
+		// next pattern's batches pack only live faults into fresh lanes.
 		live := pending[:0]
 		for _, fi := range pending {
 			if !detected[fi] {
 				live = append(live, fi)
 			}
 		}
+		mDropped.Add(int64(len(pending) - len(live)))
 		pending = live
 		res.CumulativeDetected = append(res.CumulativeDetected, res.Detected)
 	}

@@ -1,0 +1,6 @@
+//go:build race
+
+package raceflag
+
+// Enabled is true in builds with the race detector.
+const Enabled = true

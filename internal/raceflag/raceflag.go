@@ -1,0 +1,5 @@
+// Package raceflag reports whether the race detector is compiled in.
+// Allocation-regression tests consult it: race instrumentation inserts
+// allocations of its own, so testing.AllocsPerRun pins are only
+// meaningful in non-race builds.
+package raceflag
