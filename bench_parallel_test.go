@@ -47,6 +47,13 @@ func BenchmarkGradeLaneMetricsOn(b *testing.B) {
 	benchsuite.GradeLaneMetricsOn(b)
 }
 
+// BenchmarkGradeSharded measures the 4-shard sweep path (grade slices,
+// merge states, rebuild report) against BenchmarkGradeLane's unsharded
+// baseline — the overhead mbistd pays for distributable sweeps.
+func BenchmarkGradeSharded(b *testing.B) {
+	benchsuite.GradeSharded(b)
+}
+
 // BenchmarkGradeLaneWidth sweeps the logical lane width of the batch
 // engine — 64 (one plane) through 512 (eight planes) — on one worker;
 // EXPERIMENTS.md X10 records the resulting speedup curve. Run with

@@ -12,6 +12,8 @@
 //	mbistcov -lanes 512 -workers 4
 //	mbistcov -size 1024 -width 8 -checkpoint state.json
 //	mbistcov -size 1024 -width 8 -checkpoint state.json -resume
+//	mbistcov -size 1024 -shard 0/4 -out shard0.json
+//	mbistcov -size 1024 -merge shard0.json,shard1.json,shard2.json,shard3.json
 //
 // The observability flags -cpuprofile, -memprofile, -trace and
 // -metrics profile a grading run; -metrics dumps the obs counter
@@ -26,6 +28,13 @@
 // architecture, geometry, universe options), so a stale or tampered
 // file is rejected instead of silently mis-resumed.
 //
+// Sweeps also shard: -shard i/N grades only the i-th contiguous slice
+// of the fault universe and writes its state to -out; -merge combines
+// a full shard set (graded anywhere — goroutines, processes, machines)
+// and prints a matrix byte-identical to the unsharded run. Shard files
+// reuse the checkpoint envelope, so a shard graded under different
+// flags is rejected at merge.
+//
 // Exit codes:
 //
 //	0  success
@@ -33,7 +42,8 @@
 //	2  flag parse error
 //	3  interrupted by SIGINT/SIGTERM (final checkpoint written when
 //	   -checkpoint is set)
-//	4  -resume checkpoint is corrupt or belongs to a different workload
+//	4  -resume checkpoint or -merge shard file is corrupt or belongs
+//	   to a different workload
 package main
 
 import (
@@ -41,7 +51,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"hash/crc32"
 	"log"
 	"os"
 	"os/signal"
@@ -51,6 +60,7 @@ import (
 	mbist "repro"
 	"repro/internal/obs"
 	"repro/internal/resilience"
+	"repro/internal/sweep"
 )
 
 // Exit codes. 2 is taken by flag parsing.
@@ -68,19 +78,15 @@ var errInterrupted = errors.New("interrupted")
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mbistcov: ")
-	algList := flag.String("algs", "mats+,marchx,marchy,marchc,marchc+,marchc++,marcha,marchb",
-		"comma-separated library algorithms")
-	archName := flag.String("arch", "reference", "architecture: reference, microcode, fsm, hardwired")
-	size := flag.Int("size", 16, "memory addresses")
-	width := flag.Int("width", 1, "word width in bits")
-	ports := flag.Int("ports", 1, "memory ports")
+	var spec sweep.Spec
+	spec.Register(flag.CommandLine)
 	detail := flag.String("detail", "", "print the full per-kind report and missed faults for one algorithm")
-	workers := flag.Int("workers", 0, "concurrent grading workers (0 = all CPUs, 1 = serial)")
-	engineName := flag.String("engine", "auto", "fault-simulation engine: auto (lane-parallel stream replay with scalar fallback) or scalar (one fault at a time)")
-	lanesName := flag.String("lanes", "auto", "lane-engine batch width: auto, 64, 128, 256 or 512 logical fault lanes (ignored by -engine scalar; reports are byte-identical at every width)")
 	ckptPath := flag.String("checkpoint", "", "persist grading state to this file (atomic rename-on-write)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in graded faults (0 = default)")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file if it exists")
+	shardSpec := flag.String("shard", "", "grade one sweep slice i/N (e.g. 0/4) and write its state to -out")
+	outPath := flag.String("out", "", "shard state output file for -shard")
+	mergeList := flag.String("merge", "", "comma-separated shard files to merge into the final matrix")
 	var prof obs.Flags
 	prof.Register(flag.CommandLine)
 	defaultUsage := flag.Usage
@@ -92,7 +98,7 @@ exit codes:
   1  grading or configuration error
   2  flag parse error
   3  interrupted by SIGINT/SIGTERM (final checkpoint written when -checkpoint is set)
-  4  -resume checkpoint is corrupt or belongs to a different workload
+  4  -resume checkpoint or -merge shard file is corrupt or belongs to a different workload
 `)
 	}
 	flag.Parse()
@@ -101,8 +107,7 @@ exit codes:
 	if err != nil {
 		log.Fatal(err)
 	}
-	runErr := run(*algList, *archName, *size, *width, *ports, *detail, *workers, *engineName, *lanesName,
-		*ckptPath, *ckptEvery, *resume)
+	runErr := run(spec, *detail, *ckptPath, *ckptEvery, *resume, *shardSpec, *outPath, *mergeList)
 	if err := stop(); err != nil {
 		log.Print(err)
 	}
@@ -130,82 +135,18 @@ type checkpointPayload struct {
 	States map[string]*mbist.CoverageState `json:"states"`
 }
 
-func run(algList, archName string, size, width, ports int, detail string, workers int, engineName, lanesName string,
-	ckptPath string, ckptEvery int, resume bool) error {
-	arch, err := parseArch(archName)
+func run(spec sweep.Spec, detail, ckptPath string, ckptEvery int, resume bool, shardSpec, outPath, mergeList string) error {
+	if detail != "" {
+		spec.Algs = detail
+	}
+	spec.Algs = strings.TrimSpace(spec.Algs)
+	w, err := spec.Workload()
 	if err != nil {
 		return err
 	}
-	engine, err := parseEngine(engineName)
-	if err != nil {
-		return err
-	}
-	lanes, err := parseLanes(lanesName)
-	if err != nil {
-		return err
-	}
-	opts := mbist.CoverageOptions{
-		Size: size, Width: width, Ports: ports, Workers: workers,
-		Engine: engine, Lanes: lanes, CheckpointEvery: ckptEvery,
-	}
+	w.Opts.CheckpointEvery = ckptEvery
 	if resume && ckptPath == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
-	}
-
-	var algs []mbist.Algorithm
-	if detail != "" {
-		alg, ok := mbist.AlgorithmByName(detail)
-		if !ok {
-			return fmt.Errorf("unknown algorithm %q", detail)
-		}
-		algs = []mbist.Algorithm{alg}
-	} else {
-		for _, name := range strings.Split(algList, ",") {
-			alg, ok := mbist.AlgorithmByName(strings.TrimSpace(name))
-			if !ok {
-				return fmt.Errorf("unknown algorithm %q", name)
-			}
-			algs = append(algs, alg)
-		}
-	}
-
-	// The workload fingerprint binds a checkpoint to this exact run: a
-	// readable architecture/geometry/algorithm summary plus a checksum
-	// of the per-algorithm fingerprints (which fold in the universe
-	// options and each algorithm's march notation) in grading order.
-	// Worker count and engine are excluded — verdicts are byte-identical
-	// across both, so a checkpoint resumes under either.
-	payload := checkpointPayload{States: make(map[string]*mbist.CoverageState)}
-	var fps []string
-	for _, alg := range algs {
-		payload.Algs = append(payload.Algs, alg.Name)
-		fps = append(fps, mbist.CoverageFingerprint(alg, arch, opts))
-	}
-	fingerprint := fmt.Sprintf("%v %dx%d/%d algs[%s] %08x",
-		arch, opts.Size, opts.Width, opts.Ports,
-		strings.Join(payload.Algs, ","),
-		crc32.ChecksumIEEE([]byte(strings.Join(fps, ";"))))
-
-	if resume {
-		var prior checkpointPayload
-		switch err := resilience.Load(ckptPath, fingerprint, &prior); {
-		case errors.Is(err, os.ErrNotExist):
-			log.Printf("no checkpoint at %s, starting fresh", ckptPath)
-		case err != nil:
-			return err
-		default:
-			payload.States = prior.States
-			if payload.States == nil {
-				payload.States = make(map[string]*mbist.CoverageState)
-			}
-			done := 0
-			for _, st := range payload.States {
-				if st.Complete() {
-					done++
-				}
-			}
-			log.Printf("resuming from %s: %d/%d algorithms complete", ckptPath, done, len(algs))
-		}
 	}
 
 	// Stop at the next fault boundary on SIGINT/SIGTERM; the grading
@@ -213,41 +154,18 @@ func run(algList, archName string, size, width, ports int, detail string, worker
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	var ckptErr error
-	reports := make([]*mbist.CoverageReport, 0, len(algs))
-	for _, alg := range algs {
-		algOpts := opts
-		if st := payload.States[alg.Name]; st != nil {
-			algOpts.Resume = st
-		}
-		if ckptPath != "" {
-			name := alg.Name
-			algOpts.Checkpoint = func(s *mbist.CoverageState) {
-				payload.States[name] = s
-				if err := resilience.Save(ckptPath, fingerprint, payload); err != nil {
-					ckptErr = err
-				}
-			}
-		}
-		rep, err := mbist.GradeCoverageContext(ctx, alg, arch, algOpts)
-		if err != nil {
-			if ctx.Err() != nil && rep != nil {
-				if ckptErr != nil {
-					return fmt.Errorf("%w after %d/%d faults of %s; checkpoint write failed: %v",
-						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptErr)
-				}
-				if ckptPath != "" {
-					return fmt.Errorf("%w after %d/%d faults of %s; state saved to %s",
-						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptPath)
-				}
-				return fmt.Errorf("%w after %d/%d faults of %s", errInterrupted, rep.Graded, rep.Universe, alg.Name)
-			}
-			return err
-		}
-		reports = append(reports, rep)
+	switch {
+	case shardSpec != "" && mergeList != "":
+		return fmt.Errorf("-shard and -merge are mutually exclusive")
+	case shardSpec != "":
+		return runShard(ctx, w, shardSpec, outPath)
+	case mergeList != "":
+		return runMerge(w, mergeList)
 	}
-	if ckptErr != nil {
-		log.Printf("warning: checkpoint write failed: %v", ckptErr)
+
+	reports, err := gradeAll(ctx, w, ckptPath, resume)
+	if err != nil {
+		return err
 	}
 
 	if detail != "" {
@@ -267,8 +185,121 @@ func run(algList, archName string, size, width, ports int, detail string, worker
 		return nil
 	}
 
-	fmt.Printf("fault coverage on %v (%d x %d bits, %d ports):\n\n%s",
-		arch, size, width, ports, mbist.RenderCoverageMatrix(reports))
+	fmt.Print(w.RenderText(reports))
+	for _, rep := range reports {
+		printQuarantine(rep)
+	}
+	return nil
+}
+
+// gradeAll grades the whole workload with optional checkpoint/resume.
+func gradeAll(ctx context.Context, w *sweep.Workload, ckptPath string, resume bool) ([]*mbist.CoverageReport, error) {
+	// The workload fingerprint binds a checkpoint to this exact run;
+	// worker count, engine and lanes are excluded — verdicts are
+	// byte-identical across all three, so a checkpoint resumes under any.
+	payload := checkpointPayload{Algs: w.Names(), States: make(map[string]*mbist.CoverageState)}
+	fingerprint := w.Fingerprint()
+
+	if resume {
+		var prior checkpointPayload
+		switch err := resilience.Load(ckptPath, fingerprint, &prior); {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("no checkpoint at %s, starting fresh", ckptPath)
+		case err != nil:
+			return nil, err
+		default:
+			payload.States = prior.States
+			if payload.States == nil {
+				payload.States = make(map[string]*mbist.CoverageState)
+			}
+			done := 0
+			for _, st := range payload.States {
+				if st.Complete() {
+					done++
+				}
+			}
+			log.Printf("resuming from %s: %d/%d algorithms complete", ckptPath, done, len(w.Algs))
+		}
+	}
+
+	var ckptErr error
+	reports := make([]*mbist.CoverageReport, 0, len(w.Algs))
+	for _, alg := range w.Algs {
+		algOpts := w.Opts
+		if st := payload.States[alg.Name]; st != nil {
+			algOpts.Resume = st
+		}
+		if ckptPath != "" {
+			name := alg.Name
+			algOpts.Checkpoint = func(s *mbist.CoverageState) {
+				payload.States[name] = s
+				if err := resilience.Save(ckptPath, fingerprint, payload); err != nil {
+					ckptErr = err
+				}
+			}
+		}
+		rep, err := mbist.GradeCoverageContext(ctx, alg, w.Arch, algOpts)
+		if err != nil {
+			if ctx.Err() != nil && rep != nil {
+				if ckptErr != nil {
+					return nil, fmt.Errorf("%w after %d/%d faults of %s; checkpoint write failed: %v",
+						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptErr)
+				}
+				if ckptPath != "" {
+					return nil, fmt.Errorf("%w after %d/%d faults of %s; state saved to %s",
+						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptPath)
+				}
+				return nil, fmt.Errorf("%w after %d/%d faults of %s", errInterrupted, rep.Graded, rep.Universe, alg.Name)
+			}
+			return nil, err
+		}
+		reports = append(reports, rep)
+	}
+	if ckptErr != nil {
+		log.Printf("warning: checkpoint write failed: %v", ckptErr)
+	}
+	return reports, nil
+}
+
+// runShard grades one sweep slice and persists it to -out.
+func runShard(ctx context.Context, w *sweep.Workload, shardSpec, outPath string) error {
+	var shard, of int
+	if n, err := fmt.Sscanf(shardSpec, "%d/%d", &shard, &of); n != 2 || err != nil {
+		return fmt.Errorf("bad -shard %q, want i/N (e.g. 0/4)", shardSpec)
+	}
+	if outPath == "" {
+		return fmt.Errorf("-shard requires -out")
+	}
+	s, err := w.GradeShard(ctx, shard, of)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w while grading shard %d/%d", errInterrupted, shard, of)
+		}
+		return err
+	}
+	if err := w.SaveShard(outPath, s); err != nil {
+		return err
+	}
+	log.Printf("shard %d/%d graded, state saved to %s", shard, of, outPath)
+	return nil
+}
+
+// runMerge combines a full shard set and prints the final matrix,
+// byte-identical to an unsharded run of the same workload.
+func runMerge(w *sweep.Workload, mergeList string) error {
+	var shards []*sweep.Shard
+	for _, path := range strings.Split(mergeList, ",") {
+		s, err := w.LoadShard(strings.TrimSpace(path))
+		if err != nil {
+			return err
+		}
+		shards = append(shards, s)
+	}
+	reports, err := w.Merge(shards...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(w.RenderText(reports))
 	for _, rep := range reports {
 		printQuarantine(rep)
 	}
@@ -286,47 +317,4 @@ func printQuarantine(rep *mbist.CoverageReport) {
 	for _, q := range rep.Quarantined {
 		log.Printf("  #%d %s: %s", q.Index, q.Fault, q.Err)
 	}
-}
-
-func parseArch(s string) (mbist.Architecture, error) {
-	switch s {
-	case "reference":
-		return mbist.Reference, nil
-	case "microcode":
-		return mbist.Microcode, nil
-	case "fsm":
-		return mbist.ProgFSM, nil
-	case "hardwired":
-		return mbist.Hardwired, nil
-	}
-	return 0, fmt.Errorf("unknown architecture %q", s)
-}
-
-func parseEngine(s string) (mbist.CoverageEngine, error) {
-	switch s {
-	case "auto":
-		return mbist.CoverageEngineAuto, nil
-	case "scalar":
-		return mbist.CoverageEngineScalar, nil
-	}
-	return 0, fmt.Errorf("unknown engine %q", s)
-}
-
-// parseLanes maps the -lanes flag to CoverageOptions.Lanes: "auto" (or
-// empty) defers to the library default, otherwise the value must be a
-// supported logical lane width.
-func parseLanes(s string) (int, error) {
-	switch s {
-	case "auto", "":
-		return 0, nil
-	case "64":
-		return 64, nil
-	case "128":
-		return 128, nil
-	case "256":
-		return 256, nil
-	case "512":
-		return 512, nil
-	}
-	return 0, fmt.Errorf("unknown lane width %q (want auto, 64, 128, 256 or 512)", s)
 }

@@ -1,0 +1,85 @@
+// Command mbistd serves the MBIST workloads over HTTP: coverage
+// grading (optionally sharded), full-matrix lint, program assembly and
+// area evaluation run as jobs on a bounded worker pool, with streamed
+// progress and an obs metrics endpoint.
+//
+// Usage:
+//
+//	mbistd                      # listen on :8347
+//	mbistd -addr 127.0.0.1:9000 -grade-workers 4 -queue 128
+//
+// API (see internal/serve):
+//
+//	POST /v1/jobs              submit {"kind":"grade","grade":{...}}
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/report  result text, byte-identical to the CLIs
+//	GET  /v1/jobs/{id}/watch   streamed progress lines
+//	GET  /v1/metrics           obs counter snapshot (?format=json)
+//	GET  /v1/healthz           liveness + queue depth
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener closes,
+// new submissions get 503, queued and running jobs finish (bounded by
+// -drain-timeout), then the process exits 0. A drain that times out
+// cancels the remaining jobs and exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistd: ")
+	addr := flag.String("addr", ":8347", "listen address")
+	workers := flag.Int("grade-workers", 0, "concurrent jobs (0 = 2)")
+	queue := flag.Int("queue", 0, "queued-job bound (0 = 64)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to finish jobs on shutdown")
+	flag.Parse()
+
+	// The service registry backs /v1/metrics and the artifact-cache
+	// hit/build counters the e2e lane asserts on.
+	obs.Enable()
+
+	s := serve.New(serve.Options{Workers: *workers, Queue: *queue})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down: draining jobs")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(drainCtx); err != nil {
+		log.Fatalf("drain: %v (remaining jobs cancelled)", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained cleanly")
+}

@@ -144,6 +144,47 @@ func GradeLaneParallel(b *testing.B) {
 	grade(b, runtime.GOMAXPROCS(0), coverage.EngineAuto)
 }
 
+// GradeSharded measures the 4-shard sweep path end to end: grade four
+// universe slices, merge their states, rebuild the report. Tracked
+// against GradeLane (the same workload unsharded), it pins the
+// shard/merge overhead the mbistd service pays for distributable
+// sweeps.
+func GradeSharded(b *testing.B) {
+	const shards = 4
+	alg, ok := march.ByName("marchc")
+	if !ok {
+		b.Fatal("march library lost marchc")
+	}
+	opts := coverage.Options{Size: 16, Workers: 1}
+	run := func() *coverage.Report {
+		states := make([]*coverage.State, shards)
+		for i := range states {
+			var err error
+			if states[i], err = coverage.GradeShard(alg, coverage.Microcode, opts, i, shards); err != nil {
+				b.Fatal(err)
+			}
+		}
+		merged, err := coverage.MergeStates(states...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := coverage.ReportFromState(alg, coverage.Microcode, opts, merged)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	run() // untimed warm-up (see logicBIST)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rep *coverage.Report
+	for i := 0; i < b.N; i++ {
+		rep = run()
+	}
+	b.ReportMetric(rep.Overall.Percent(), "coverage%")
+	b.ReportMetric(float64(shards), "shards")
+}
+
 // GradeLaneMetricsOn measures the lane engine with the obs registry
 // enabled. Tracked against GradeLane, it pins the <2% observability
 // overhead budget on the batched path (DESIGN.md "Observability").
@@ -174,5 +215,6 @@ func Suite() []Case {
 		{Name: "BenchmarkGradeLane", Serial: "BenchmarkGradeSerial", F: GradeLane},
 		{Name: "BenchmarkGradeLaneParallel", Serial: "BenchmarkGradeSerial", F: GradeLaneParallel},
 		{Name: "BenchmarkGradeLaneMetricsOn", Serial: "BenchmarkGradeLane", F: GradeLaneMetricsOn},
+		{Name: "BenchmarkGradeSharded", Serial: "BenchmarkGradeLane", F: GradeSharded},
 	}
 }

@@ -1,0 +1,59 @@
+package coverage
+
+import (
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/obs"
+)
+
+// TestRepeatGradeServedFromArtifactCache pins the service-facing cache
+// contract: a repeated identical grade request re-synthesises nothing —
+// the fault universe, the captured operation stream and the controller
+// program are all served from the artifact cache, observable through
+// the artifact.<name>.builds counters.
+func TestRepeatGradeServedFromArtifactCache(t *testing.T) {
+	reg := obs.Enable()
+	defer obs.Disable()
+
+	alg, ok := march.ByName("marchc")
+	if !ok {
+		t.Fatal("march library lost marchc")
+	}
+	// A geometry no other test in this package grades, so the first
+	// Grade here is the one that populates the cache.
+	opts := Options{Size: 24, Width: 2, Workers: 2}
+
+	builds := func(name string) int64 {
+		return reg.Counter("artifact." + name + ".builds").Value()
+	}
+	hits := func(name string) int64 {
+		return reg.Counter("artifact." + name + ".hits").Value()
+	}
+
+	first, err := Grade(alg, Microcode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, s1, c1 := builds("universe"), builds("stream"), builds("controller")
+	if u1 > 1 || s1 > 1 || c1 > 1 {
+		t.Fatalf("first grade synthesised universe=%d stream=%d controller=%d times, want at most 1 each",
+			u1, s1, c1)
+	}
+
+	second, err := Grade(alg, Microcode, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, s, c := builds("universe"), builds("stream"), builds("controller"); u != u1 || s != s1 || c != c1 {
+		t.Fatalf("repeat grade re-synthesised: universe %d->%d, stream %d->%d, controller %d->%d",
+			u1, u, s1, s, c1, c)
+	}
+	if hits("universe") == 0 || hits("stream") == 0 {
+		t.Fatalf("repeat grade did not hit the cache: universe hits=%d, stream hits=%d",
+			hits("universe"), hits("stream"))
+	}
+	if first.String() != second.String() {
+		t.Fatalf("cached grade diverged:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/artifact"
 	"repro/internal/faults"
 	"repro/internal/march"
 	"repro/internal/memory"
@@ -53,13 +54,13 @@ func captureStream(alg march.Algorithm, arch Architecture, opts Options) ([]marc
 }
 
 // Captured streams (and their verification verdicts, including negative
-// ones) are deterministic per workload, so they are cached across Grade
-// calls: matrix sweeps and benchmark loops re-grade the same
+// ones) are deterministic per workload, so they are content-addressed
+// in the artifact cache and shared across Grade calls and service
+// requests: matrix sweeps and benchmark loops re-grade the same
 // (algorithm, architecture, geometry) many times, and re-running the
 // controller plus re-expanding the reference stream dominated the
-// per-call allocation budget. The cache is bounded and flushed whole
-// when full; entries are immutable once stored (replay only reads the
-// stream).
+// per-call allocation budget. Entries are immutable once stored
+// (replay only reads the stream).
 type streamKey struct {
 	algFP              uint64
 	arch               Architecture
@@ -71,71 +72,28 @@ type streamEntry struct {
 	ok  bool
 }
 
-var (
-	streamMu    sync.Mutex
-	streamCache = map[streamKey]streamEntry{}
-)
-
-const streamCacheLimit = 64
-
-// algFingerprint hashes an algorithm's full structure (FNV-1a), so two
-// different algorithms sharing a Name cannot alias a cache entry.
-func algFingerprint(alg march.Algorithm) uint64 {
-	const prime64 = 1099511628211
-	h := uint64(14695981039346656037)
-	mixByte := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	for i := 0; i < len(alg.Name); i++ {
-		mixByte(alg.Name[i])
-	}
-	for _, e := range alg.Elements {
-		mixByte(0xff) // element delimiter
-		mixByte(byte(e.Order))
-		if e.PauseBefore {
-			mixByte(1)
-		} else {
-			mixByte(0)
-		}
-		for _, op := range e.Ops {
-			mixByte(byte(op.Kind))
-			if op.Data {
-				mixByte(1)
-			} else {
-				mixByte(0)
-			}
-		}
-	}
-	return h
-}
+var streamCache = artifact.New[streamKey, streamEntry]("stream", 0)
 
 // cachedCaptureStream is captureStream memoised on the workload key.
 // Errors are never cached (they may be transient panics of a chaos
-// hook's making); verification verdicts are, so a decomposed program
-// pays its capture exactly once.
+// hook's making — the artifact cache drops failed builds); verification
+// verdicts are, so a decomposed program pays its capture exactly once.
 func cachedCaptureStream(alg march.Algorithm, arch Architecture, opts Options) ([]march.StreamOp, bool, error) {
 	key := streamKey{
-		algFP: algFingerprint(alg), arch: arch,
+		algFP: march.Fingerprint(alg), arch: arch,
 		size: opts.Size, width: opts.Width, ports: opts.Ports,
 	}
-	streamMu.Lock()
-	e, hit := streamCache[key]
-	streamMu.Unlock()
-	if hit {
-		return e.ops, e.ok, nil
-	}
-	ops, ok, err := captureStream(alg, arch, opts)
+	e, err := streamCache.Get(key, func() (streamEntry, error) {
+		ops, ok, err := captureStream(alg, arch, opts)
+		if err != nil {
+			return streamEntry{}, err
+		}
+		return streamEntry{ops: ops, ok: ok}, nil
+	})
 	if err != nil {
 		return nil, false, err
 	}
-	streamMu.Lock()
-	if len(streamCache) >= streamCacheLimit {
-		streamCache = map[streamKey]streamEntry{}
-	}
-	streamCache[key] = streamEntry{ops: ops, ok: ok}
-	streamMu.Unlock()
-	return ops, ok, nil
+	return e.ops, e.ok, nil
 }
 
 func streamsEqual(a, b []march.StreamOp) bool {
@@ -305,7 +263,7 @@ func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
 		r.mRetries.Add(1)
 		start, end, _ := batchSpan(b)
 		rebuild := func() error {
-			sc.retry, err = buildRunner(r.alg, r.arch, r.opts)
+			sc.retry, err = buildRunnerFresh(r.alg, r.arch, r.opts)
 			return err
 		}
 		for i := start; i < end; i++ {

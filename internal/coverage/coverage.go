@@ -24,14 +24,10 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
+	"repro/internal/artifact"
 	"repro/internal/faults"
-	"repro/internal/fsmbist"
-	"repro/internal/hardbist"
 	"repro/internal/march"
-	"repro/internal/memory"
-	"repro/internal/microbist"
 	"repro/internal/obs"
 )
 
@@ -228,40 +224,33 @@ func GradeContext(ctx context.Context, alg march.Algorithm, arch Architecture, o
 }
 
 // Fault universes are deterministic per (geometry, UniverseOpts), so
-// they are cached across Grade calls: matrix sweeps and benchmark loops
+// they are content-addressed in the artifact cache and shared across
+// Grade calls and service requests: matrix sweeps and benchmark loops
 // re-enumerate the same universe thousands of times, and the
 // enumeration was a fixed per-call allocation cost. Cached slices are
-// shared — grading only reads them — and the cache is bounded, flushed
-// whole when full.
+// shared — grading only reads them. Concurrent first requests (service
+// traffic) enumerate exactly once (artifact singleflight).
 type universeKey struct {
 	size, width int
 	opts        faults.UniverseOpts
 }
 
-var (
-	universeMu    sync.Mutex
-	universeCache = map[universeKey][]faults.Fault{}
-)
-
-const universeCacheLimit = 64
+var universeCache = artifact.New[universeKey, []faults.Fault]("universe", 0)
 
 func cachedUniverse(opts Options) []faults.Fault {
 	key := universeKey{size: opts.Size, width: opts.Width, opts: opts.Universe}
-	universeMu.Lock()
-	u, ok := universeCache[key]
-	if ok {
-		universeMu.Unlock()
-		return u
-	}
-	universeMu.Unlock()
-	u = faults.Universe(opts.Size, opts.Width, opts.Universe)
-	universeMu.Lock()
-	if len(universeCache) >= universeCacheLimit {
-		universeCache = map[universeKey][]faults.Fault{}
-	}
-	universeCache[key] = u
-	universeMu.Unlock()
+	u, _ := universeCache.Get(key, func() ([]faults.Fault, error) {
+		return faults.Universe(opts.Size, opts.Width, opts.Universe), nil
+	})
 	return u
+}
+
+// UniverseSize returns the number of faults a grading run with these
+// options enumerates — the denominator a driver streaming progress
+// (e.g. the grading service) reports against before the run finishes.
+func UniverseSize(opts Options) int {
+	opts.normalise()
+	return len(cachedUniverse(opts))
 }
 
 // GradeSerial grades with the scalar per-fault engine: one injected
@@ -283,87 +272,29 @@ func gradeUniverse(ctx context.Context, alg march.Algorithm, arch Architecture, 
 	if err != nil {
 		return nil, err
 	}
-	if opts.Engine == EngineAuto {
-		stream, ok, err := cachedCaptureStream(alg, arch, opts)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			if err := r.gradeBatched(stream); err != nil {
-				return nil, err
-			}
-			return r.finish()
-		}
-		// The captured stream diverged from the reference stream (e.g.
-		// a decomposed prog-FSM program): grade with the scalar oracle.
-		obs.Active().Counter("coverage.stream_fallbacks").Add(1)
-	}
-	if err := r.gradeScalar(); err != nil {
+	if err := r.runEngine(); err != nil {
 		return nil, err
 	}
 	return r.finish()
 }
 
-// runner executes one test and reports detection.
-type runner func(mem memory.Memory) (bool, error)
-
-func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, error) {
-	word := opts.Width > 1
-	multi := opts.Ports > 1
-	switch arch {
-	case Reference:
-		return func(mem memory.Memory) (bool, error) {
-			res, err := march.Run(alg, mem, march.RunOpts{
-				MaxFails: 1, SinglePort: !multi, SingleBackground: !word,
-			})
-			if err != nil {
-				return false, err
-			}
-			return res.Detected(), nil
-		}, nil
-	case Microcode:
-		p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+// runEngine grades every unresolved fault with the engine the options
+// select: the lane-batched stream replay when EngineAuto's captured
+// stream matches the reference stream, the scalar oracle otherwise.
+func (r *gradeRun) runEngine() error {
+	if r.opts.Engine == EngineAuto {
+		stream, ok, err := cachedCaptureStream(r.alg, r.arch, r.opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return func(mem memory.Memory) (bool, error) {
-			res, err := p.Run(mem, microbist.ExecOpts{MaxFails: 1})
-			if err != nil {
-				return false, err
-			}
-			return res.Detected(), nil
-		}, nil
-	case ProgFSM:
-		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: word, Multiport: multi})
-		if err != nil {
-			return nil, err
+		if ok {
+			return r.gradeBatched(stream)
 		}
-		return func(mem memory.Memory) (bool, error) {
-			res, err := p.Run(mem, fsmbist.ExecOpts{MaxFails: 1})
-			if err != nil {
-				return false, err
-			}
-			return res.Detected(), nil
-		}, nil
-	case Hardwired:
-		cfg := hardbist.Config{
-			WordOriented: word, Multiport: multi,
-			Width: opts.Width, Ports: opts.Ports, AddrBits: 10,
-		}
-		c, err := hardbist.Generate(alg, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return func(mem memory.Memory) (bool, error) {
-			res, err := c.Run(mem, hardbist.ExecOpts{MaxFails: 1})
-			if err != nil {
-				return false, err
-			}
-			return res.Detected(), nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("coverage: unknown architecture %d", arch)
+		// The captured stream diverged from the reference stream (e.g.
+		// a decomposed prog-FSM program): grade with the scalar oracle.
+		obs.Active().Counter("coverage.stream_fallbacks").Add(1)
 	}
+	return r.gradeScalar()
 }
 
 // String renders the report as an aligned table sorted by fault kind.

@@ -340,7 +340,7 @@ func (r *gradeRun) scalarWorker(mWorker *obs.Counter, claim func() int, fail fun
 		return
 	}
 	rebuild := func() bool {
-		if run, err = buildRunner(r.alg, r.arch, r.opts); err != nil {
+		if run, err = buildRunnerFresh(r.alg, r.arch, r.opts); err != nil {
 			fail(-1, err)
 			return false
 		}

@@ -1,0 +1,150 @@
+package coverage
+
+import (
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/fsmbist"
+	"repro/internal/hardbist"
+	"repro/internal/march"
+	"repro/internal/memory"
+	"repro/internal/microbist"
+)
+
+// runner executes one test and reports detection.
+type runner func(mem memory.Memory) (bool, error)
+
+// Synthesised controllers are content-addressed in the artifact cache:
+// assembling a microcode program, compiling an FSM program or
+// generating a hardwired Moore machine is deterministic per
+// (algorithm, architecture, geometry-relevant options), and every
+// worker of every Grade call used to redo it. Programs and controllers
+// are immutable once built — Run constructs fresh execution state per
+// call — so one cached instance is safely shared across workers and
+// service requests. The panic-retry path deliberately bypasses the
+// cache (buildRunnerFresh) so a controller suspected of panic
+// corruption is never re-shared.
+type controllerKey struct {
+	algFP        uint64
+	arch         Architecture
+	word, multi  bool
+	width, ports int
+}
+
+var controllerCache = artifact.New[controllerKey, any]("controller", 0)
+
+// synthController synthesises the architecture's controller artifact:
+// a *microbist.Program, *fsmbist.Program or *hardbist.Controller (nil
+// for Reference, which runs the march directly).
+func synthController(alg march.Algorithm, arch Architecture, opts Options) (any, error) {
+	word := opts.Width > 1
+	multi := opts.Ports > 1
+	switch arch {
+	case Reference:
+		return nil, nil
+	case Microcode:
+		p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	case ProgFSM:
+		p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: word, Multiport: multi})
+		if err != nil {
+			return nil, err
+		}
+		return p, nil
+	case Hardwired:
+		c, err := hardbist.Generate(alg, hardbist.Config{
+			WordOriented: word, Multiport: multi,
+			Width: opts.Width, Ports: opts.Ports, AddrBits: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("coverage: unknown architecture %d", arch)
+	}
+}
+
+// cachedController is synthController memoised on the content key.
+func cachedController(alg march.Algorithm, arch Architecture, opts Options) (any, error) {
+	key := controllerKey{
+		algFP: march.Fingerprint(alg), arch: arch,
+		word: opts.Width > 1, multi: opts.Ports > 1,
+		width: opts.Width, ports: opts.Ports,
+	}
+	return controllerCache.Get(key, func() (any, error) {
+		return synthController(alg, arch, opts)
+	})
+}
+
+// runnerFor wraps a synthesised controller as a detection runner.
+func runnerFor(alg march.Algorithm, arch Architecture, opts Options, ctrl any) runner {
+	word := opts.Width > 1
+	multi := opts.Ports > 1
+	switch arch {
+	case Reference:
+		return func(mem memory.Memory) (bool, error) {
+			res, err := march.Run(alg, mem, march.RunOpts{
+				MaxFails: 1, SinglePort: !multi, SingleBackground: !word,
+			})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}
+	case Microcode:
+		p := ctrl.(*microbist.Program)
+		return func(mem memory.Memory) (bool, error) {
+			res, err := p.Run(mem, microbist.ExecOpts{MaxFails: 1})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}
+	case ProgFSM:
+		p := ctrl.(*fsmbist.Program)
+		return func(mem memory.Memory) (bool, error) {
+			res, err := p.Run(mem, fsmbist.ExecOpts{MaxFails: 1})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}
+	case Hardwired:
+		c := ctrl.(*hardbist.Controller)
+		return func(mem memory.Memory) (bool, error) {
+			res, err := c.Run(mem, hardbist.ExecOpts{MaxFails: 1})
+			if err != nil {
+				return false, err
+			}
+			return res.Detected(), nil
+		}
+	default:
+		return nil
+	}
+}
+
+// buildRunner returns the per-fault test executor for the architecture,
+// sharing the content-addressed controller from the artifact cache.
+func buildRunner(alg march.Algorithm, arch Architecture, opts Options) (runner, error) {
+	ctrl, err := cachedController(alg, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runnerFor(alg, arch, opts, ctrl), nil
+}
+
+// buildRunnerFresh synthesises a brand-new controller, bypassing the
+// artifact cache. The panic-retry paths use it: a panic mid-run could
+// in principle have left the shared program observable mid-corruption,
+// and the quarantine machinery's contract is a retry on pristine state.
+func buildRunnerFresh(alg march.Algorithm, arch Architecture, opts Options) (runner, error) {
+	ctrl, err := synthController(alg, arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runnerFor(alg, arch, opts, ctrl), nil
+}

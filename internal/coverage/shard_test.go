@@ -1,0 +1,159 @@
+package coverage
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/march"
+)
+
+// TestShardMergeByteIdentical pins the sharding contract from the
+// service design: a sweep split into N shards, graded independently
+// and merged produces a report byte-identical to the unsharded sweep,
+// for every shard count, including counts that do not divide the
+// universe evenly.
+func TestShardMergeByteIdentical(t *testing.T) {
+	alg, ok := march.ByName("marchc")
+	if !ok {
+		t.Fatal("march library lost marchc")
+	}
+	opts := Options{Size: 16, Workers: 2}
+
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		full, err := Grade(alg, arch, opts)
+		if err != nil {
+			t.Fatalf("%v: unsharded grade: %v", arch, err)
+		}
+		for _, n := range []int{1, 2, 4, 5} {
+			states := make([]*State, n)
+			covered := 0
+			for s := 0; s < n; s++ {
+				if states[s], err = GradeShard(alg, arch, opts, s, n); err != nil {
+					t.Fatalf("%v: shard %d/%d: %v", arch, s, n, err)
+				}
+				covered += states[s].GradedCount()
+			}
+			if covered != full.Universe {
+				t.Fatalf("%v: %d shards graded %d faults, universe has %d", arch, n, covered, full.Universe)
+			}
+			merged, err := MergeStates(states...)
+			if err != nil {
+				t.Fatalf("%v: merge %d shards: %v", arch, n, err)
+			}
+			rep, err := ReportFromState(alg, arch, opts, merged)
+			if err != nil {
+				t.Fatalf("%v: report from %d-shard merge: %v", arch, n, err)
+			}
+			if got, want := rep.String(), full.String(); got != want {
+				t.Errorf("%v: %d-shard merged report diverges from unsharded:\n--- merged\n%s\n--- unsharded\n%s",
+					arch, n, got, want)
+			}
+			if !reflect.DeepEqual(rep, full) {
+				t.Errorf("%v: %d-shard merged report struct diverges from unsharded", arch, n)
+			}
+		}
+	}
+}
+
+// TestShardRangeCovers checks the slice arithmetic: contiguous,
+// disjoint, covering, balanced to within one fault.
+func TestShardRangeCovers(t *testing.T) {
+	for _, size := range []int{0, 1, 7, 64, 1000} {
+		for _, of := range []int{1, 2, 3, 7, 64} {
+			prev := 0
+			for s := 0; s < of; s++ {
+				lo, hi := ShardRange(size, s, of)
+				if lo != prev {
+					t.Fatalf("size %d, %d shards: shard %d starts at %d, previous ended at %d", size, of, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("size %d, %d shards: shard %d is [%d,%d)", size, of, s, lo, hi)
+				}
+				if n := hi - lo; n > size/of+1 {
+					t.Fatalf("size %d, %d shards: shard %d grades %d faults, want at most %d", size, of, s, n, size/of+1)
+				}
+				prev = hi
+			}
+			if prev != size {
+				t.Fatalf("size %d, %d shards: slices end at %d", size, of, prev)
+			}
+		}
+	}
+}
+
+func TestGradeShardRejectsBadPlan(t *testing.T) {
+	alg, _ := march.ByName("mats+")
+	opts := Options{Size: 8}
+	for _, tc := range []struct{ shard, of int }{{0, 0}, {-1, 2}, {2, 2}, {5, 3}} {
+		if _, err := GradeShard(alg, Reference, opts, tc.shard, tc.of); err == nil {
+			t.Errorf("shard %d of %d accepted, want error", tc.shard, tc.of)
+		}
+	}
+}
+
+func TestGradeShardRejectsForeignResume(t *testing.T) {
+	alg, _ := march.ByName("mats+")
+	opts := Options{Size: 8}
+	s0, err := GradeShard(alg, Reference, opts, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A shard-0 state resumes shard 0 but must be rejected by shard 1.
+	opts.Resume = s0
+	if _, err := GradeShard(alg, Reference, opts, 1, 2); err == nil ||
+		!strings.Contains(err.Error(), "outside its slice") {
+		t.Fatalf("shard 1 accepted shard 0's state, err=%v", err)
+	}
+	if _, err := GradeShard(alg, Reference, opts, 0, 2); err != nil {
+		t.Fatalf("shard 0 rejected its own state: %v", err)
+	}
+}
+
+func TestMergeStatesRejectsOverlapAndMismatch(t *testing.T) {
+	alg, _ := march.ByName("mats+")
+	opts := Options{Size: 8}
+	s0, err := GradeShard(alg, Reference, opts, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeStates(); err == nil {
+		t.Error("merge of zero states accepted")
+	}
+	if _, err := MergeStates(s0, s0); err == nil ||
+		!strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("merge of overlapping states accepted, err=%v", err)
+	}
+	short := &State{Graded: make([]bool, 3), Detected: make([]bool, 3)}
+	if _, err := MergeStates(s0, short); err == nil {
+		t.Error("merge of mismatched universes accepted")
+	}
+	if _, err := MergeStates(s0, nil); err == nil {
+		t.Error("merge with nil state accepted")
+	}
+	bad := &State{
+		Graded:      append([]bool(nil), s0.Graded...),
+		Detected:    append([]bool(nil), s0.Detected...),
+		Quarantined: []FaultVerdict{{Index: len(s0.Graded) - 1}},
+	}
+	bad.Graded[len(bad.Graded)-1] = false
+	if _, err := MergeStates(bad); err == nil {
+		t.Error("merge accepted quarantine entry outside graded set")
+	}
+}
+
+func TestReportFromStateRequiresComplete(t *testing.T) {
+	alg, _ := march.ByName("mats+")
+	opts := Options{Size: 8}
+	s0, err := GradeShard(alg, Reference, opts, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReportFromState(alg, Reference, opts, s0); err == nil ||
+		!strings.Contains(err.Error(), "complete") {
+		t.Fatalf("report built from half a sweep, err=%v", err)
+	}
+	if _, err := ReportFromState(alg, Reference, opts, nil); err == nil {
+		t.Error("report built from nil state")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/fsmbist"
 	"repro/internal/hardbist"
 	"repro/internal/march"
@@ -115,7 +116,7 @@ func Matrix(opts MatrixOpts) (*Report, error) {
 			// Programs are a function of (algorithm, word, multiport)
 			// only; lint them at the geometry where each combination
 			// first appears to avoid duplicate artifacts.
-			prog, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+			prog, err := cachedProgram(alg, word, multi)
 			if err != nil {
 				return nil, fmt.Errorf("lint: assemble %s/%s: %w", name, g.name, err)
 			}
@@ -124,7 +125,7 @@ func Matrix(opts MatrixOpts) (*Report, error) {
 
 			for _, arch := range archs {
 				for _, unit := range []bool{false, true} {
-					nl, err := buildNetlist(arch, alg, prog, g, unit, timer)
+					nl, err := cachedNetlist(arch, alg, prog, g, unit, timer)
 					if err != nil {
 						return nil, fmt.Errorf("lint: build %v/%s/%s: %w", arch, name, g.name, err)
 					}
@@ -141,6 +142,49 @@ func Matrix(opts MatrixOpts) (*Report, error) {
 	}
 	rep.Sort()
 	return rep, nil
+}
+
+// Synthesised matrix artifacts are content-addressed in the artifact
+// cache and shared across Matrix calls: one full-matrix lint
+// synthesises ~400 netlists (~6s), and the grading service fields
+// repeated lint requests against the same matrix. Netlists are
+// read-only after construction — every Check* pass uses the traversal
+// accessors — so sharing is safe. The netlist cache's limit is sized
+// to hold one full default matrix (8 algorithms × 4 architectures × 3
+// geometries × {ctrl,unit} = 192 cells) without flushing.
+type progKey struct {
+	algFP       uint64
+	word, multi bool
+}
+
+var progCache = artifact.New[progKey, *microbist.Program]("lint.program", 0)
+
+func cachedProgram(alg march.Algorithm, word, multi bool) (*microbist.Program, error) {
+	return progCache.Get(progKey{algFP: march.Fingerprint(alg), word: word, multi: multi},
+		func() (*microbist.Program, error) {
+			return microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+		})
+}
+
+type netKey struct {
+	algFP                  uint64
+	arch                   Arch
+	addrBits, width, ports int
+	unit                   bool
+	timer                  int
+}
+
+var netCache = artifact.New[netKey, *netlist.Netlist]("lint.netlist", 256)
+
+func cachedNetlist(arch Arch, alg march.Algorithm, prog *microbist.Program, g geometry, datapath bool, timer int) (*netlist.Netlist, error) {
+	key := netKey{
+		algFP: march.Fingerprint(alg), arch: arch,
+		addrBits: g.addrBits, width: g.width, ports: g.ports,
+		unit: datapath, timer: timer,
+	}
+	return netCache.Get(key, func() (*netlist.Netlist, error) {
+		return buildNetlist(arch, alg, prog, g, datapath, timer)
+	})
 }
 
 // buildNetlist synthesises one matrix cell.

@@ -1,0 +1,37 @@
+package march
+
+// Fingerprint hashes an algorithm's full structure (name, element
+// orders, pause flags and operation lists) with FNV-1a, so two
+// different algorithms sharing a Name cannot alias a content-addressed
+// cache entry. It is the algorithm component of every synthesis cache
+// key (internal/artifact consumers in coverage, lint and the grading
+// service).
+func Fingerprint(alg Algorithm) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mixByte := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < len(alg.Name); i++ {
+		mixByte(alg.Name[i])
+	}
+	for _, e := range alg.Elements {
+		mixByte(0xff) // element delimiter
+		mixByte(byte(e.Order))
+		if e.PauseBefore {
+			mixByte(1)
+		} else {
+			mixByte(0)
+		}
+		for _, op := range e.Ops {
+			mixByte(byte(op.Kind))
+			if op.Data {
+				mixByte(1)
+			} else {
+				mixByte(0)
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,657 @@
+// Package serve implements the MBIST grading service behind
+// cmd/mbistd: a JSON-over-HTTP job API exposing the repository's
+// long-running workloads — coverage grading (optionally sharded),
+// full-matrix lint, program assembly and area evaluation — on a
+// bounded worker pool.
+//
+// Every job's text result is byte-identical to the corresponding CLI's
+// stdout (mbistcov, mbistlint, mbistasm, mbistarea): the service and
+// the CLIs resolve workloads through the same internal/sweep plumbing
+// and render through the same library calls, which the service-e2e CI
+// lane pins with a literal diff.
+//
+// API:
+//
+//	POST /v1/jobs            submit a job        -> 202 {"id":"job-1"}
+//	GET  /v1/jobs/{id}       job status JSON
+//	GET  /v1/jobs/{id}/report  result text (409 until the job is done)
+//	GET  /v1/jobs/{id}/watch   streamed progress lines until terminal
+//	GET  /v1/metrics         obs registry snapshot (?format=json)
+//	GET  /v1/healthz         liveness + queue depth
+//
+// Submissions are validated synchronously — an unknown algorithm,
+// architecture or engine is a 400 at POST time, not a failed job.
+// During drain (SIGTERM) submissions return 503 while queued and
+// running jobs finish.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	mbist "repro"
+	"repro/internal/fsmbist"
+	"repro/internal/march"
+	"repro/internal/microbist"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrently running jobs (<=0 selects 2).
+	Workers int
+	// Queue bounds jobs accepted but not yet running (<=0 selects 64).
+	// A full queue rejects submissions with 503 instead of buffering
+	// without bound.
+	Queue int
+}
+
+// Server owns the job store and the worker pool. Create with New,
+// mount Handler on an http.Server, and Drain on shutdown.
+type Server struct {
+	workers int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	nextID   int
+	draining bool
+
+	queue   chan *Job
+	running atomic.Int64
+
+	mJobs    *obs.Counter
+	mDone    *obs.Counter
+	mFailed  *obs.Counter
+	mWorking *obs.Gauge
+}
+
+// New starts a server's worker pool and returns it.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := obs.Active()
+	s := &Server{
+		workers:  opts.Workers,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, opts.Queue),
+		mJobs:    reg.Counter("serve.jobs_submitted"),
+		mDone:    reg.Counter("serve.jobs_done"),
+		mFailed:  reg.Counter("serve.jobs_failed"),
+		mWorking: reg.Gauge("serve.jobs_running"),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Drain stops accepting new jobs, waits for queued and running jobs to
+// finish, and returns nil — or cancels everything still running and
+// returns the context error if ctx expires first.
+func (s *Server) Drain(ctx context.Context) error {
+	s.closeQueue()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels running jobs and stops the pool without waiting for
+// queued work. Tests use it; production shutdown goes through Drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.closeQueue()
+	s.wg.Wait()
+}
+
+// closeQueue flips the server into draining and closes the queue
+// exactly once. Submissions enqueue under the same mutex, so a send on
+// the closed queue cannot race in.
+func (s *Server) closeQueue() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		job.setState(StateRunning)
+		s.mWorking.Set(s.running.Add(1))
+		text, err := job.run(s.ctx)
+		s.mWorking.Set(s.running.Add(-1))
+		if err != nil {
+			job.fail(err)
+			s.mFailed.Add(1)
+			continue
+		}
+		job.finish(text)
+		s.mDone.Add(1)
+	}
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: queued -> running -> done | failed.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Job is one submitted workload. All mutable fields are guarded by mu;
+// run closures touch progress through the job's own methods.
+type Job struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+
+	mu     sync.Mutex
+	state  JobState
+	done   int
+	total  int
+	errMsg string
+	result string
+
+	run func(ctx context.Context) (string, error)
+}
+
+func (j *Job) setState(st JobState) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(text string) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = text
+	j.done = j.total
+	j.mu.Unlock()
+}
+
+func (j *Job) step() {
+	j.mu.Lock()
+	j.done++
+	j.mu.Unlock()
+}
+
+// Status is the wire form of a job's state.
+type Status struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+	Error string   `json:"error,omitempty"`
+}
+
+func (j *Job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID: j.ID, Kind: j.Kind, State: j.state,
+		Done: j.done, Total: j.total, Error: j.errMsg,
+	}
+}
+
+// Request is a job submission body. Kind selects the payload; the
+// matching field configures it (absent = all defaults).
+type Request struct {
+	Kind     string           `json:"kind"`
+	Grade    *GradeRequest    `json:"grade,omitempty"`
+	Lint     *LintRequest     `json:"lint,omitempty"`
+	Assemble *AssembleRequest `json:"assemble,omitempty"`
+	Area     *AreaRequest     `json:"area,omitempty"`
+}
+
+// GradeRequest grades a coverage workload; the embedded Spec is the
+// exact flag surface of mbistcov (same defaults, same names). Shards
+// splits the sweep into that many universe slices graded independently
+// and merged — the report is byte-identical at every shard count.
+type GradeRequest struct {
+	sweep.Spec
+	Shards int `json:"shards,omitempty"`
+}
+
+// LintRequest lints the synthesised matrix (mbistlint's surface).
+type LintRequest struct {
+	Algs  string `json:"algs,omitempty"`
+	Arch  string `json:"arch,omitempty"`
+	Timer int    `json:"timer,omitempty"`
+}
+
+// AssembleRequest assembles one algorithm (mbistasm's surface).
+type AssembleRequest struct {
+	Arch      string `json:"arch,omitempty"` // microcode (default) or fsm
+	Alg       string `json:"alg,omitempty"`  // library name (default marchc)
+	Spec      string `json:"spec,omitempty"` // custom march notation, overrides Alg
+	Word      *bool  `json:"word,omitempty"`
+	Multiport *bool  `json:"multiport,omitempty"`
+}
+
+// AreaRequest regenerates the paper's area evaluation (mbistarea's
+// surface). Table 0 prints all three tables plus the observations.
+type AreaRequest struct {
+	Table int `json:"table,omitempty"`
+}
+
+// Submit validates a request and enqueues it, returning the job. A
+// validation failure is returned synchronously; a draining server or a
+// full queue returns ErrUnavailable.
+func (s *Server) Submit(req Request) (*Job, error) {
+	job := &Job{Kind: req.Kind, state: StateQueued}
+	var err error
+	switch req.Kind {
+	case "grade":
+		err = prepGrade(job, req.Grade)
+	case "lint":
+		err = prepLint(job, req.Lint)
+	case "assemble":
+		err = prepAssemble(job, req.Assemble)
+	case "area":
+		err = prepArea(job, req.Area)
+	default:
+		err = fmt.Errorf("unknown job kind %q (want grade, lint, assemble or area)", req.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrUnavailable
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("job-%d", s.nextID)
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		return nil, ErrUnavailable
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+	s.mJobs.Add(1)
+	return job, nil
+}
+
+// ErrUnavailable marks a submission rejected because the server is
+// draining or its queue is full; handlers map it to 503.
+var ErrUnavailable = fmt.Errorf("server is draining or its job queue is full")
+
+func prepGrade(job *Job, req *GradeRequest) error {
+	if req == nil {
+		req = &GradeRequest{}
+	}
+	w, err := req.Spec.Workload()
+	if err != nil {
+		return err
+	}
+	shards := req.Shards
+	if shards < 0 {
+		return fmt.Errorf("negative shard count %d", shards)
+	}
+	if shards <= 1 {
+		job.total = len(w.Algs)
+		job.run = func(ctx context.Context) (string, error) {
+			reports := make([]*mbist.CoverageReport, 0, len(w.Algs))
+			for _, alg := range w.Algs {
+				rep, err := mbist.GradeCoverageContext(ctx, alg, w.Arch, w.Opts)
+				if err != nil {
+					return "", err
+				}
+				reports = append(reports, rep)
+				job.step()
+			}
+			return w.RenderText(reports), nil
+		}
+		return nil
+	}
+	job.total = shards + 1 // one unit per shard plus the merge
+	job.run = func(ctx context.Context) (string, error) {
+		pieces := make([]*sweep.Shard, shards)
+		for i := range pieces {
+			var err error
+			if pieces[i], err = w.GradeShard(ctx, i, shards); err != nil {
+				return "", err
+			}
+			job.step()
+		}
+		reports, err := w.Merge(pieces...)
+		if err != nil {
+			return "", err
+		}
+		job.step()
+		return w.RenderText(reports), nil
+	}
+	return nil
+}
+
+func prepLint(job *Job, req *LintRequest) error {
+	if req == nil {
+		req = &LintRequest{}
+	}
+	opts := mbist.LintOptions{DelayTimerBits: req.Timer}
+	if req.Algs != "" {
+		for _, name := range strings.Split(req.Algs, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := march.ByName(name); !ok {
+				return fmt.Errorf("unknown algorithm %q", name)
+			}
+			opts.Algorithms = append(opts.Algorithms, name)
+		}
+	}
+	if req.Arch != "" {
+		arch, err := parseLintArch(req.Arch)
+		if err != nil {
+			return err
+		}
+		opts.Archs = []mbist.LintArch{arch}
+	}
+	job.total = 1
+	job.run = func(ctx context.Context) (string, error) {
+		rep, err := mbist.Lint(opts)
+		if err != nil {
+			return "", err
+		}
+		return rep.Text(), nil
+	}
+	return nil
+}
+
+func prepAssemble(job *Job, req *AssembleRequest) error {
+	if req == nil {
+		req = &AssembleRequest{}
+	}
+	arch := req.Arch
+	if arch == "" {
+		arch = "microcode"
+	}
+	if arch != "microcode" && arch != "fsm" {
+		return fmt.Errorf("unknown architecture %q (want microcode or fsm)", arch)
+	}
+	var alg march.Algorithm
+	if req.Spec != "" {
+		var err error
+		if alg, err = march.Parse("custom", req.Spec); err != nil {
+			return err
+		}
+	} else {
+		name := req.Alg
+		if name == "" {
+			name = "marchc"
+		}
+		var ok bool
+		if alg, ok = march.ByName(name); !ok {
+			return fmt.Errorf("unknown algorithm %q", name)
+		}
+	}
+	word, multi := true, true
+	if req.Word != nil {
+		word = *req.Word
+	}
+	if req.Multiport != nil {
+		multi = *req.Multiport
+	}
+	job.total = 1
+	job.run = func(ctx context.Context) (string, error) {
+		var b strings.Builder
+		fmt.Fprintf(&b, "algorithm: %s = %s (%dN)\n\n", alg.Name, alg, alg.OpCount())
+		switch arch {
+		case "microcode":
+			p, err := microbist.Assemble(alg, microbist.AssembleOpts{WordOriented: word, Multiport: multi})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(p.Listing())
+		case "fsm":
+			p, err := fsmbist.Compile(alg, fsmbist.CompileOpts{WordOriented: word, Multiport: multi})
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(p.Listing())
+			if p.Decomposed {
+				fmt.Fprintf(&b, "\nnote: elements decomposed into SM components; realized algorithm:\n%s\n", p.Realized)
+			}
+		}
+		return b.String(), nil
+	}
+	return nil
+}
+
+func prepArea(job *Job, req *AreaRequest) error {
+	if req == nil {
+		req = &AreaRequest{}
+	}
+	if req.Table < 0 || req.Table > 3 {
+		return fmt.Errorf("no table %d (want 1-3, or 0 for all)", req.Table)
+	}
+	table := req.Table
+	job.total = 1
+	job.run = func(ctx context.Context) (string, error) {
+		var b strings.Builder
+		tables := []func() (*mbist.Table, error){mbist.Table1, mbist.Table2, mbist.Table3}
+		for i, f := range tables {
+			if table != 0 && table != i+1 {
+				continue
+			}
+			t, err := f()
+			if err != nil {
+				return "", fmt.Errorf("table %d: %w", i+1, err)
+			}
+			fmt.Fprintln(&b, t)
+		}
+		if table == 0 {
+			o, err := mbist.MeasureObservations()
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintln(&b, "Observations (paper §3):")
+			fmt.Fprint(&b, o)
+			if err := o.Check(); err != nil {
+				return "", fmt.Errorf("observation check failed: %w", err)
+			}
+			fmt.Fprintln(&b, "all four observations hold")
+		}
+		return b.String(), nil
+	}
+	return nil
+}
+
+func parseLintArch(s string) (mbist.LintArch, error) {
+	switch s {
+	case "microcode":
+		return mbist.LintMicrocode, nil
+	case "microcode-scan":
+		return mbist.LintMicrocodeScan, nil
+	case "fsm":
+		return mbist.LintProgFSM, nil
+	case "hardwired":
+		return mbist.LintHardwired, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q", s)
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	job, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrUnavailable):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+func (s *Server) lookup(r *http.Request) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r)
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r)
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	st := job.status()
+	switch st.State {
+	case StateFailed:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", st.ID, st.Error))
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		job.mu.Lock()
+		result := job.result
+		job.mu.Unlock()
+		fmt.Fprint(w, result)
+	default:
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; report is available once it is done", st.ID, st.State))
+	}
+}
+
+// handleWatch streams progress lines ("state done/total") until the
+// job reaches a terminal state or the client goes away.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r)
+	if job == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	var last Status
+	for first := true; ; first = false {
+		st := job.status()
+		if first || st != last {
+			fmt.Fprintf(w, "%s %d/%d\n", st.State, st.Done, st.Total)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			last = st
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ms := obs.Active().Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteJSON(w, ms); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	obs.WriteText(w, ms)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"jobs":     n,
+		"queued":   len(s.queue),
+		"workers":  s.workers,
+		"draining": draining,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}

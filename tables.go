@@ -115,3 +115,29 @@ func CoverageMatrix(algs []Algorithm, arch Architecture, opts CoverageOptions) (
 func RenderCoverageMatrix(reports []*CoverageReport) string {
 	return coverage.RenderMatrix(reports)
 }
+
+// GradeCoverageShard grades shard `shard` of `of` — a contiguous slice
+// of the fault universe — returning its resumable State. Grade every
+// shard (anywhere: goroutine, process, machine), merge with
+// MergeCoverageStates and render with CoverageReportFromState; the
+// result is byte-identical to an unsharded GradeCoverage.
+func GradeCoverageShard(alg Algorithm, arch Architecture, opts CoverageOptions, shard, of int) (*CoverageState, error) {
+	return coverage.GradeShard(alg, arch, opts, shard, of)
+}
+
+// GradeCoverageShardContext is GradeCoverageShard with cancellation.
+func GradeCoverageShardContext(ctx context.Context, alg Algorithm, arch Architecture, opts CoverageOptions, shard, of int) (*CoverageState, error) {
+	return coverage.GradeShardContext(ctx, alg, arch, opts, shard, of)
+}
+
+// MergeCoverageStates combines disjoint shard states into one State,
+// rejecting overlapping or mismatched shards.
+func MergeCoverageStates(states ...*CoverageState) (*CoverageState, error) {
+	return coverage.MergeStates(states...)
+}
+
+// CoverageReportFromState renders the final report of a completed
+// sweep from its (merged) State without re-grading anything.
+func CoverageReportFromState(alg Algorithm, arch Architecture, opts CoverageOptions, s *CoverageState) (*CoverageReport, error) {
+	return coverage.ReportFromState(alg, arch, opts, s)
+}
