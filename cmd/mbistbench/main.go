@@ -23,6 +23,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -40,6 +41,7 @@ func main() {
 	repeat := flag.Int("repeat", 3, "measure each benchmark this many times and keep the fastest (noise robustness)")
 	benchRE := flag.String("bench", "", "only run tracked benchmarks matching this regexp")
 	list := flag.Bool("list", false, "list the tracked benchmarks and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile covering every measured run to this file")
 	flag.Parse()
 
 	suite := benchsuite.Suite()
@@ -59,6 +61,27 @@ func main() {
 	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		log.Fatalf("bad -benchtime %q: %v", *benchtime, err)
+	}
+	// The profile brackets the measurement loop only and is stopped
+	// explicitly (not deferred): the gate below exits the process on a
+	// regression, and the profile of the run that regressed is exactly
+	// the artifact worth keeping.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("start CPU profile: %v", err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote CPU profile %s\n", *cpuprofile)
+		}
 	}
 
 	report := &Report{
@@ -94,6 +117,7 @@ func main() {
 			c.Name, best.NsPerOp(), best.AllocsPerOp(), *repeat, best.N)
 		report.AddResult(c.Name, best)
 	}
+	stopProfile()
 	if len(report.Benchmarks) == 0 {
 		log.Fatalf("-bench %q matched no tracked benchmark", *benchRE)
 	}

@@ -65,8 +65,16 @@ type Cache[K comparable, V any] struct {
 	name  string
 	limit int
 
+	// Counter names are precomputed so the hit path does zero string
+	// building (the obs registry resolves nil — and free — when
+	// metrics are disabled, but name concatenation would still
+	// allocate per Get).
+	nHits, nMisses, nWaits, nBuilds    string
+	nBuildErrors, nBuildPanics, nFlush string
+
 	mu      sync.Mutex
 	entries map[K]*entry[V]
+	hook    func()
 }
 
 // New returns an empty cache. name scopes the obs counters
@@ -78,18 +86,26 @@ func New[K comparable, V any](name string, limit int) *Cache[K, V] {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
+	prefix := "artifact." + name + "."
 	return &Cache[K, V]{
-		name:    name,
-		limit:   limit,
-		entries: make(map[K]*entry[V]),
+		name:         name,
+		limit:        limit,
+		nHits:        prefix + "hits",
+		nMisses:      prefix + "misses",
+		nWaits:       prefix + "waits",
+		nBuilds:      prefix + "builds",
+		nBuildErrors: prefix + "build_errors",
+		nBuildPanics: prefix + "build_panics",
+		nFlush:       prefix + "flushes",
+		entries:      make(map[K]*entry[V]),
 	}
 }
 
 // counter resolves one of the cache's obs counters against the active
 // registry at call time (nil and therefore free when metrics are
-// disabled).
-func (c *Cache[K, V]) counter(suffix string) *obs.Counter {
-	return obs.Active().Counter("artifact." + c.name + "." + suffix)
+// disabled). name is one of the precomputed c.n* fields.
+func (c *Cache[K, V]) counter(name string) *obs.Counter {
+	return obs.Active().Counter(name)
 }
 
 // Get returns the artifact for key, synthesising it with build on the
@@ -106,10 +122,10 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 		select {
 		case <-e.done:
 			// Built: a plain hit.
-			c.counter("hits").Add(1)
+			c.counter(c.nHits).Add(1)
 		default:
 			// In flight: wait for the builder.
-			c.counter("waits").Add(1)
+			c.counter(c.nWaits).Add(1)
 			<-e.done
 		}
 		return e.val, e.err
@@ -122,7 +138,7 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	e := &entry[V]{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
-	c.counter("misses").Add(1)
+	c.counter(c.nMisses).Add(1)
 
 	// resolve publishes the flight's outcome: failed builds are dropped
 	// from the cache (unless a concurrent flush already replaced the
@@ -145,15 +161,15 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 		// build panicked past us: fail the flight so no waiter blocks
 		// forever, then let the panic keep unwinding this goroutine.
 		e.err = ErrBuildPanicked
-		c.counter("build_panics").Add(1)
+		c.counter(c.nBuildPanics).Add(1)
 		resolve()
 	}()
 	e.val, e.err = build()
 	completed = true
 	if e.err != nil {
-		c.counter("build_errors").Add(1)
+		c.counter(c.nBuildErrors).Add(1)
 	} else {
-		c.counter("builds").Add(1)
+		c.counter(c.nBuilds).Add(1)
 	}
 	resolve()
 	return e.val, e.err
@@ -186,5 +202,20 @@ func (c *Cache[K, V]) flushLocked() {
 		}
 	}
 	c.entries = kept
-	c.counter("flushes").Add(1)
+	c.counter(c.nFlush).Add(1)
+	if c.hook != nil {
+		c.hook()
+	}
+}
+
+// SetFlushHook registers f to run after every flush, whether explicit
+// (Flush) or capacity-triggered from Get. Dependent caches use it to
+// drop derived state whose lifetime is bound to this cache's entries
+// (e.g. the coverage arena pool follows the partition plans its
+// batches alias). f runs with the cache lock held: it must be brief
+// and must not call back into this cache.
+func (c *Cache[K, V]) SetFlushHook(f func()) {
+	c.mu.Lock()
+	c.hook = f
+	c.mu.Unlock()
 }

@@ -79,15 +79,18 @@ func logicBIST(b *testing.B, engine func(*netlist.Netlist, int, int64) (*logicbi
 }
 
 func grade(b *testing.B, workers int, engine coverage.Engine) {
-	gradeLanes(b, workers, engine, 0)
+	gradeOpts(b, coverage.Options{Size: 16, Workers: workers, Engine: engine})
 }
 
 func gradeLanes(b *testing.B, workers int, engine coverage.Engine, lanes int) {
+	gradeOpts(b, coverage.Options{Size: 16, Workers: workers, Engine: engine, Lanes: lanes})
+}
+
+func gradeOpts(b *testing.B, opts coverage.Options) {
 	alg, ok := march.ByName("marchc")
 	if !ok {
 		b.Fatal("march library lost marchc")
 	}
-	opts := coverage.Options{Size: 16, Workers: workers, Engine: engine, Lanes: lanes}
 	// Untimed warm-up: populate the stream/universe/levelization caches
 	// and the arena pool so allocs/op reports the steady state
 	// independently of the iteration count (see logicBIST).
@@ -107,7 +110,7 @@ func gradeLanes(b *testing.B, workers int, engine coverage.Engine, lanes int) {
 	// Reported after the loop: ResetTimer deletes user metrics, so
 	// anything recorded earlier would be lost.
 	b.ReportMetric(rep.Overall.Percent(), "coverage%")
-	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(opts.Workers), "workers")
 }
 
 // GradeLaneWidth returns a benchmark of the lane engine pinned to an
@@ -142,6 +145,14 @@ func GradeLane(b *testing.B) { grade(b, 1, coverage.EngineAuto) }
 // explicit GOMAXPROCS worker count (see GradeParallel).
 func GradeLaneParallel(b *testing.B) {
 	grade(b, runtime.GOMAXPROCS(0), coverage.EngineAuto)
+}
+
+// GradeLaneInterpreted measures the lane engine with Options.Replay
+// pinned to the per-op interpreted path — the reference the compiled
+// kernels are validated against. Its ratio to GradeLane is the
+// compiled-replay speedup (EXPERIMENTS.md X12).
+func GradeLaneInterpreted(b *testing.B) {
+	gradeOpts(b, coverage.Options{Size: 16, Workers: 1, Replay: coverage.ReplayInterpreted})
 }
 
 // GradeSharded measures the 4-shard sweep path end to end: grade four
@@ -188,10 +199,20 @@ func GradeSharded(b *testing.B) {
 // GradeLaneMetricsOn measures the lane engine with the obs registry
 // enabled. Tracked against GradeLane, it pins the <2% observability
 // overhead budget on the batched path (DESIGN.md "Observability").
+// It also asserts the compiled-replay counters: the budget measurement
+// is only meaningful if the metered runs actually compiled the stream
+// and dispatched specialized kernels rather than silently degrading to
+// the interpreted or general path.
 func GradeLaneMetricsOn(b *testing.B) {
-	obs.Enable()
+	reg := obs.Enable()
 	defer obs.Disable()
 	grade(b, 1, coverage.EngineAuto)
+	if reg.Counter("coverage.compiled_streams").Value() == 0 {
+		b.Fatal("metrics-on grade never took the compiled replay path")
+	}
+	if reg.Counter("coverage.fast_kernel_batches").Value() == 0 {
+		b.Fatal("metrics-on grade replayed no batch through a specialized kernel")
+	}
 }
 
 // Case is one tracked benchmark. Serial names the paired serial
@@ -213,6 +234,7 @@ func Suite() []Case {
 		{Name: "BenchmarkGradeSerial", F: GradeSerial},
 		{Name: "BenchmarkGradeParallel", Serial: "BenchmarkGradeSerial", F: GradeParallel},
 		{Name: "BenchmarkGradeLane", Serial: "BenchmarkGradeSerial", F: GradeLane},
+		{Name: "BenchmarkGradeLaneInterpreted", Serial: "BenchmarkGradeSerial", F: GradeLaneInterpreted},
 		{Name: "BenchmarkGradeLaneParallel", Serial: "BenchmarkGradeSerial", F: GradeLaneParallel},
 		{Name: "BenchmarkGradeLaneMetricsOn", Serial: "BenchmarkGradeLane", F: GradeLaneMetricsOn},
 		{Name: "BenchmarkGradeSharded", Serial: "BenchmarkGradeLane", F: GradeSharded},

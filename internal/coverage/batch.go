@@ -108,23 +108,31 @@ func streamsEqual(a, b []march.StreamOp) bool {
 	return true
 }
 
-// laneScratch is one grading worker's arena: the lane memory is built
-// on the first batch and Reset for every batch after it, and the read
-// plane buffer is threaded through the replay, so the steady-state
-// batch loop allocates nothing. A panic mid-batch discards the memory —
-// it may have been left mid-mutation — and the next batch rebuilds it.
+// laneScratch is one grading worker's reusable state: the interpreted
+// read plane buffer and the lazily built scalar-retry runner. The lane
+// arenas themselves live in the batch-affine pool below.
 type laneScratch struct {
-	mem   *faults.LaneInjected
 	reads []uint64
 	retry runner
 }
 
-// Worker arenas are recycled across Grade calls through a bounded
-// free-list keyed by geometry and plane count: a warm arena's fault
-// tables already hold the capacity the same workload's batches need, so
+// Arenas are recycled across Grade calls through a bounded free-list
+// keyed by geometry and plane capacity: a warm arena's fault tables
+// already hold the capacity the same workload's batches need, so
 // steady-state grading (benchmark loops, matrix sweeps) re-injects into
-// retained storage instead of allocating. Arenas suspected of panic
+// retained storage instead of allocating. arenaGet further prefers the
+// arena already armed with the requested batch slice — cached partition
+// plans hand out stable slices, so the match lets ResetPlanes skip
+// re-injection entirely (batch-affine reuse). Arenas suspected of panic
 // corruption are never returned.
+//
+// Keys whose free-list empties keep their (empty, capacity-bearing)
+// slice so the steady-state get/put cycle never re-allocates backing
+// arrays; dead keys are swept when the pool reaches its limit, and the
+// whole pool is flushed whenever the universe or partition artifact
+// caches flush: under a heterogeneous job stream (mbistd) dead
+// geometries neither pin map keys nor outlive the plans their batches
+// came from.
 type arenaKey struct {
 	size, width, ports, planes int
 }
@@ -137,18 +145,41 @@ var (
 
 const arenaPoolLimit = 32
 
-func arenaGet(k arenaKey) *faults.LaneInjected {
+func init() {
+	universeCache.SetFlushHook(flushArenas)
+	partitionCache.SetFlushHook(flushArenas)
+}
+
+func arenaGet(k arenaKey, batch []faults.Fault) *faults.LaneInjected {
 	arenaMu.Lock()
 	defer arenaMu.Unlock()
 	list := arenaPool[k]
-	if n := len(list); n > 0 {
-		m := list[n-1]
-		list[n-1] = nil
-		arenaPool[k] = list[:n-1]
-		arenaN--
-		return m
+	n := len(list)
+	pick := -1
+	for j := n - 1; j >= 0; j-- {
+		if list[j].SameBatch(batch) {
+			pick = j
+			break
+		}
 	}
-	return nil
+	if pick < 0 {
+		// No arena is armed with this batch. While the pool has headroom
+		// let the caller allocate a fresh arena instead of recycling a
+		// mismatched one: the put after the batch grows the pool toward
+		// one arena per distinct batch, which is what makes every later
+		// get a re-injection-free hit. Only recycle (pay re-injection,
+		// save the allocation) once the pool is at capacity.
+		if arenaN < arenaPoolLimit || n == 0 {
+			return nil
+		}
+		pick = n - 1
+	}
+	m := list[pick]
+	list[pick] = list[n-1]
+	list[n-1] = nil
+	arenaPool[k] = list[:n-1]
+	arenaN--
+	return m
 }
 
 func arenaPut(k arenaKey, m *faults.LaneInjected) {
@@ -158,87 +189,144 @@ func arenaPut(k arenaKey, m *faults.LaneInjected) {
 	arenaMu.Lock()
 	defer arenaMu.Unlock()
 	if arenaN >= arenaPoolLimit {
+		// Full: this arena is dropped anyway; take the chance to evict
+		// keys whose free-lists have drained (dead geometries under a
+		// heterogeneous job stream).
+		for key, list := range arenaPool {
+			if len(list) == 0 {
+				delete(arenaPool, key)
+			}
+		}
 		return
 	}
 	arenaPool[k] = append(arenaPool[k], m)
 	arenaN++
 }
 
+// flushArenas empties the pool; registered as the flush hook of the
+// universe and partition caches, whose lifetimes bound the batches the
+// arenas are armed with.
+func flushArenas() {
+	arenaMu.Lock()
+	arenaPool = map[arenaKey][]*faults.LaneInjected{}
+	arenaN = 0
+	arenaMu.Unlock()
+}
+
+// arenaPoolStats reports the pool's key and arena counts (tests).
+func arenaPoolStats() (keys, arenas int) {
+	arenaMu.Lock()
+	defer arenaMu.Unlock()
+	return len(arenaPool), arenaN
+}
+
 // gradeBatched grades the universe by replaying the captured stream
-// over lane batches of opts.Lanes-1 faults packed into opts.Lanes/64
-// bit-planes. Batch b grades universe[b*(Lanes-1):...] in universe
-// order, so the verdicts — and with them the Report's Missed ordering —
-// are byte-identical to the scalar oracle at any worker count or lane
-// width. A panic anywhere in a batch (hook, injector or replay) fails
-// only that batch: each of its faults is retried individually on the
-// scalar oracle and quarantined if it panics again. Cancellation stops
-// the claim loop at the next batch boundary.
+// over kind-partitioned lane batches of at most opts.Lanes-1 faults
+// (see buildPartition). Verdicts commit through each batch's universe
+// indices, so the Report — including the Missed ordering — is
+// byte-identical to the scalar oracle at any worker count, lane width
+// or replay mode: partitioning reorders grading, never the
+// universe-ordered verdict assembly. By default the stream is lowered
+// to a compiled µop program replayed through capability-gated kernels
+// (faults.Replay); Options.Replay can pin the interpreted per-op path,
+// which is also the automatic fallback if compilation fails. A panic
+// anywhere in a batch (hook, injector or replay) fails only that
+// batch: each of its faults is retried individually on the scalar
+// oracle and quarantined if it panics again. Cancellation stops the
+// claim loop at the next batch boundary.
 func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
 	universe := r.universe
-	planes := r.opts.Lanes / 64
-	batchCap := faults.BatchLimit(planes)
-	batches := (len(universe) + batchCap - 1) / batchCap
+	maxPlanes := r.opts.Lanes / 64
+	plan := cachedPartition(r.opts, universe)
+	var cs *faults.CompiledStream
+	reg := obs.Active()
+	if r.opts.Replay == ReplayCompiled {
+		var err error
+		if cs, err = cachedCompiledStream(r.alg, r.opts, stream); err != nil {
+			// A verified capture that fails µop validation should be
+			// impossible; degrade to the interpreted replay rather than
+			// failing the run.
+			reg.Counter("coverage.compile_fallbacks").Add(1)
+			cs = nil
+		}
+	}
+	if cs != nil {
+		reg.Counter("coverage.compiled_streams").Add(1)
+	}
+	batches := len(plan)
 	workers := r.opts.Workers
 	if workers > batches {
 		workers = batches
 	}
-	reg := obs.Active()
 	reg.Gauge("coverage.workers").Set(int64(workers))
 	reg.Gauge("coverage.lane_width").Set(int64(r.opts.Lanes))
 	mBatches := reg.Counter("coverage.batches_replayed")
+	mFastKernels := reg.Counter("coverage.fast_kernel_batches")
 	mLanes := reg.Span("coverage.batch_lanes")
 	mBatch := reg.Span("coverage.batch_ns")
 	mFaults := reg.Counter("coverage.faults_graded")
 
-	batchSpan := func(b int) (start, end, pending int) {
-		start = b * batchCap
-		end = min(start+batchCap, len(universe))
-		for i := start; i < end; i++ {
-			if !r.resumed[i] {
+	pendingIn := func(bt *laneBatch) int {
+		pending := 0
+		for _, ui := range bt.idx {
+			if !r.resumed[ui] {
 				pending++
 			}
 		}
-		return start, end, pending
+		return pending
 	}
 
+	akey := arenaKey{size: r.opts.Size, width: r.opts.Width, ports: r.opts.Ports, planes: maxPlanes}
+
 	// gradeOne replays one batch; a panic escapes as a *PanicError for
-	// the caller's scalar retry.
+	// the caller's scalar retry. Arenas are fetched batch-affine from
+	// the pool and returned unless the batch panicked (the arena may be
+	// mid-mutation).
 	gradeOne := func(b int, sc *laneScratch) error {
-		start, end, pending := batchSpan(b)
+		bt := &plan[b]
+		pending := pendingIn(bt)
 		if pending == 0 {
 			// Fully settled by the resumed checkpoint: nothing to replay.
 			return nil
 		}
-		batch := universe[start:end]
 		t0 := mBatch.Start()
 		var fail [faults.MaxPlanes]uint64
+		kern := faults.KernelGeneral
+		var mem *faults.LaneInjected
 		var rerr error
 		perr := resilience.Capture(func() {
 			if r.opts.FaultHook != nil {
-				for i := start; i < end; i++ {
-					if !r.resumed[i] {
-						r.opts.FaultHook(i)
+				for _, ui := range bt.idx {
+					if !r.resumed[ui] {
+						r.opts.FaultHook(int(ui))
 					}
 				}
 			}
-			if sc.mem == nil {
-				sc.mem = faults.NewLaneInjectedPlanes(r.opts.Size, r.opts.Width, r.opts.Ports, planes, batch)
-			} else {
-				sc.mem.Reset(batch)
+			mem = arenaGet(akey, bt.faults)
+			if mem == nil {
+				mem = faults.NewLaneInjectedPlanes(r.opts.Size, r.opts.Width, r.opts.Ports, maxPlanes, nil)
 			}
-			fail, sc.reads, rerr = replayStream(sc.mem, stream, sc.reads)
+			mem.ResetPlanes(bt.faults, bt.planes)
+			if cs != nil {
+				kern, rerr = mem.Replay(cs, &fail)
+			} else {
+				fail, sc.reads, rerr = replayStream(mem, stream, sc.reads)
+			}
 		})
 		if perr != nil {
-			sc.mem = nil
 			return perr
 		}
+		arenaPut(akey, mem)
 		if rerr != nil {
-			return fmt.Errorf("coverage: batch %d (faults %d..%d): %w", b, start, end-1, rerr)
+			return fmt.Errorf("coverage: batch %d (%d faults): %w", b, len(bt.faults), rerr)
 		}
-		r.commitBatch(start, end, &fail)
+		r.commitBatch(bt.idx, &fail)
 		mBatch.ObserveSince(t0)
 		mBatches.Add(1)
-		mLanes.Observe(int64(len(batch)))
+		if cs != nil && kern != faults.KernelGeneral {
+			mFastKernels.Add(1)
+		}
+		mLanes.Observe(int64(len(bt.faults)))
 		mFaults.Add(int64(pending))
 		return nil
 	}
@@ -261,12 +349,12 @@ func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
 			return err
 		}
 		r.mRetries.Add(1)
-		start, end, _ := batchSpan(b)
 		rebuild := func() error {
 			sc.retry, err = buildRunnerFresh(r.alg, r.arch, r.opts)
 			return err
 		}
-		for i := start; i < end; i++ {
+		for _, ui := range plan[b].idx {
+			i := int(ui)
 			if r.resumed[i] {
 				continue
 			}
@@ -303,21 +391,16 @@ func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
 		return nil
 	}
 
-	akey := arenaKey{size: r.opts.Size, width: r.opts.Width, ports: r.opts.Ports, planes: planes}
-
 	if workers <= 1 {
-		sc := laneScratch{mem: arenaGet(akey)}
+		var sc laneScratch
 		for b := 0; b < batches; b++ {
 			if r.ctx.Err() != nil {
-				arenaPut(akey, sc.mem)
 				return nil
 			}
 			if err := runBatch(&sc, b); err != nil {
-				arenaPut(akey, sc.mem)
 				return err
 			}
 		}
-		arenaPut(akey, sc.mem)
 		return nil
 	}
 
@@ -333,8 +416,7 @@ func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := laneScratch{mem: arenaGet(akey)}
-			defer func() { arenaPut(akey, sc.mem) }()
+			var sc laneScratch
 			for {
 				b := int(cursor.Add(1)) - 1
 				if b >= batches || failed.Load() || r.ctx.Err() != nil {

@@ -112,6 +112,16 @@ func TestBatchedEngineEngaged(t *testing.T) {
 		if graded := reg.Counter("coverage.faults_graded").Value(); int(graded) != rep.Overall.Total {
 			t.Errorf("lanes=%d: faults_graded %d, universe size %d", lanes, graded, rep.Overall.Total)
 		}
+		if cs := reg.Counter("coverage.compiled_streams").Value(); cs == 0 {
+			t.Errorf("lanes=%d: stream was not compiled to µops", lanes)
+		}
+		// Kind-partitioned batches are capability-pure, so every batch
+		// must dispatch to a specialized kernel — the general catch-all
+		// engaging here would mean the partitioner mixed mechanism
+		// classes.
+		if fast := reg.Counter("coverage.fast_kernel_batches").Value(); fast != batches {
+			t.Errorf("lanes=%d: %d/%d batches took a specialized kernel", lanes, fast, batches)
+		}
 		obs.Disable()
 	}
 }

@@ -1,0 +1,177 @@
+package coverage
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/march"
+	"repro/internal/obs"
+)
+
+// TestCompiledReplayMatchesInterpreted is the acceptance property of
+// the compiled replay path: for every architecture and every algorithm
+// in the march library, at the narrowest and widest lane widths and at
+// serial and GOMAXPROCS worker counts, grading with ReplayCompiled must
+// produce a Report byte-identical to ReplayInterpreted — the reference
+// the kernels are validated against.
+func TestCompiledReplayMatchesInterpreted(t *testing.T) {
+	names := make([]string, 0, len(march.Library()))
+	for name := range march.Library() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, arch := range []Architecture{Reference, Microcode, ProgFSM, Hardwired} {
+		for _, name := range names {
+			alg, _ := march.ByName(name)
+			for _, lanes := range []int{64, 512} {
+				want, err := Grade(alg, arch, Options{
+					Size: 8, Lanes: lanes, Workers: 1, Replay: ReplayInterpreted,
+				})
+				if err != nil {
+					t.Fatalf("%s on %s lanes=%d: interpreted: %v", name, arch, lanes, err)
+				}
+				for _, workers := range []int{1, 0} {
+					got, err := Grade(alg, arch, Options{
+						Size: 8, Lanes: lanes, Workers: workers, Replay: ReplayCompiled,
+					})
+					if err != nil {
+						t.Fatalf("%s on %s lanes=%d workers=%d: compiled: %v", name, arch, lanes, workers, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s on %s lanes=%d workers=%d: compiled report differs from interpreted:\ngot  %v\nwant %v",
+							name, arch, lanes, workers, got, want)
+					}
+					if got.String() != want.String() {
+						t.Errorf("%s on %s lanes=%d workers=%d: rendered report differs", name, arch, lanes, workers)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledReplayResumeQuarantine extends the equivalence property
+// through the resilience machinery: with always-panicking faults
+// spanning several partition batches (quarantine path) and a mid-run
+// checkpoint that a second run resumes from, both replay modes must
+// still converge on byte-identical reports — including resuming a
+// checkpoint written by the *other* mode, since State is
+// replay-agnostic.
+func TestCompiledReplayResumeQuarantine(t *testing.T) {
+	alg, _ := march.ByName("marchc")
+	targets := map[int]bool{3: true, 63: true, 64: true, 127: true}
+	hook := func(i int) {
+		if targets[i] {
+			panic("chaos: injected fault hook panic")
+		}
+	}
+	run := func(replay Replay, resume *State) (*Report, *State) {
+		var first *State
+		opts := Options{
+			Size: 16, Workers: 1, Replay: replay,
+			FaultHook:       hook,
+			CheckpointEvery: 200,
+			Resume:          resume,
+			Checkpoint: func(s *State) {
+				if first == nil && len(s.Quarantined) > 0 {
+					first = s
+				}
+			},
+		}
+		rep, err := Grade(alg, Microcode, opts)
+		if err != nil {
+			t.Fatalf("replay=%d resume=%v: %v", replay, resume != nil, err)
+		}
+		return rep, first
+	}
+
+	repI, ckI := run(ReplayInterpreted, nil)
+	repC, ckC := run(ReplayCompiled, nil)
+	if len(repI.Quarantined) != len(targets) {
+		t.Fatalf("interpreted run quarantined %d faults, want %d", len(repI.Quarantined), len(targets))
+	}
+	if !reflect.DeepEqual(repC, repI) {
+		t.Errorf("compiled report differs from interpreted under quarantine:\ngot  %v\nwant %v", repC, repI)
+	}
+	if ckI == nil || ckC == nil {
+		t.Fatal("no mid-run checkpoint with quarantine entries was captured")
+	}
+
+	// Resume every (checkpoint origin, replay mode) pairing; all four
+	// must land on the uninterrupted interpreted report.
+	for _, tc := range []struct {
+		name   string
+		replay Replay
+		ck     *State
+	}{
+		{"interpreted from interpreted ckpt", ReplayInterpreted, ckI},
+		{"compiled from compiled ckpt", ReplayCompiled, ckC},
+		{"compiled from interpreted ckpt", ReplayCompiled, ckI},
+		{"interpreted from compiled ckpt", ReplayInterpreted, ckC},
+	} {
+		got, _ := run(tc.replay, tc.ck)
+		if !reflect.DeepEqual(got, repI) {
+			t.Errorf("%s: resumed report differs from uninterrupted run", tc.name)
+		}
+	}
+}
+
+// TestInterpretedReplayPinsNoCompile pins the Options.Replay knob: the
+// interpreted mode must never compile the stream or dispatch a
+// specialized kernel.
+func TestInterpretedReplayPinsNoCompile(t *testing.T) {
+	reg := obs.Enable()
+	defer obs.Disable()
+	alg, _ := march.ByName("marchc")
+	if _, err := Grade(alg, Microcode, Options{Size: 8, Replay: ReplayInterpreted}); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("coverage.compiled_streams").Value(); n != 0 {
+		t.Errorf("interpreted replay compiled %d streams, want 0", n)
+	}
+	if n := reg.Counter("coverage.fast_kernel_batches").Value(); n != 0 {
+		t.Errorf("interpreted replay took %d specialized kernel batches, want 0", n)
+	}
+	if reg.Counter("coverage.batches_replayed").Value() == 0 {
+		t.Error("interpreted replay did not use the batched engine")
+	}
+	// A clean grade must replay every batch in-lane: panic retries on
+	// the interpreted path mean it silently degraded to the scalar
+	// engine (correct reports, interpreted-vs-compiled timings bogus).
+	if n := reg.Counter("coverage.panic_retries").Value(); n != 0 {
+		t.Errorf("interpreted replay fell back to %d scalar panic retries, want 0", n)
+	}
+}
+
+// TestArenaPoolEviction pins the pool hygiene contract: the pool grows
+// toward one arena per distinct batch while under its limit, reuses
+// them batch-affine across repeated grades, and is emptied whole when
+// the partition artifact cache flushes (its plans own the batch slices
+// the arenas are armed with).
+func TestArenaPoolEviction(t *testing.T) {
+	flushArenas()
+	partitionCache.Flush()
+	alg, _ := march.ByName("marchc")
+	if _, err := Grade(alg, Microcode, Options{Size: 16, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	keys, arenas := arenaPoolStats()
+	if keys == 0 || arenas == 0 {
+		t.Fatalf("pool empty after a batched grade (keys=%d arenas=%d)", keys, arenas)
+	}
+	if _, err := Grade(alg, Microcode, Options{Size: 16, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if k2, a2 := arenaPoolStats(); k2 != keys || a2 != arenas {
+		t.Errorf("repeat grade grew the pool: keys %d->%d arenas %d->%d", keys, k2, arenas, a2)
+	}
+	partitionCache.Flush()
+	if k, a := arenaPoolStats(); k != 0 || a != 0 {
+		t.Errorf("pool not emptied by partition cache flush: keys=%d arenas=%d", k, a)
+	}
+	universeCache.Flush()
+	if k, a := arenaPoolStats(); k != 0 || a != 0 {
+		t.Errorf("pool not emptied by universe cache flush: keys=%d arenas=%d", k, a)
+	}
+}

@@ -69,6 +69,23 @@ const (
 	EngineScalar
 )
 
+// Replay selects how the batched engine executes the captured stream.
+type Replay uint8
+
+const (
+	// ReplayCompiled (the default) lowers the captured stream once per
+	// (algorithm, geometry) into a validated µop program and replays
+	// batches through capability-gated kernels (faults.Kernel): batches
+	// free of decoder/coupling/latch machinery skip those code paths
+	// entirely. Verdicts are byte-identical to ReplayInterpreted.
+	ReplayCompiled Replay = iota
+	// ReplayInterpreted dispatches each captured march.StreamOp through
+	// the general Write/ReadLanes path — the reference the compiled
+	// kernels are validated against, and the automatic fallback when
+	// compilation fails.
+	ReplayInterpreted
+)
+
 // Options configures a grading run.
 type Options struct {
 	// Size, Width, Ports set the memory geometry (defaults 16×1, 1 port).
@@ -91,6 +108,11 @@ type Options struct {
 	// order), so this is purely a throughput knob; it is ignored by the
 	// scalar engine and excluded from Fingerprint.
 	Lanes int
+	// Replay selects the batched engine's stream execution mode
+	// (default ReplayCompiled). Reports are byte-identical in both
+	// modes — this is a throughput/validation knob, ignored by the
+	// scalar engine and excluded from Fingerprint.
+	Replay Replay
 
 	// FaultHook, when non-nil, is called with each fault's universe
 	// index immediately before that fault is graded (once per occupied

@@ -46,11 +46,15 @@ func newGradeRun(ctx context.Context, alg march.Algorithm, arch Architecture, op
 		ctx = context.Background()
 	}
 	reg := obs.Active()
+	// One backing allocation for the three per-fault bit arrays (full
+	// capacity slices, so appends can never alias across them).
+	n := len(universe)
+	flags := make([]bool, 3*n)
 	r := &gradeRun{
 		ctx: ctx, alg: alg, arch: arch, opts: opts, universe: universe,
-		resumed:      make([]bool, len(universe)),
-		graded:       make([]bool, len(universe)),
-		detected:     make([]bool, len(universe)),
+		resumed:      flags[0:n:n],
+		graded:       flags[n : 2*n : 2*n],
+		detected:     flags[2*n : 3*n : 3*n],
 		mQuarantined: reg.Counter("coverage.quarantined"),
 		mRetries:     reg.Counter("coverage.panic_retries"),
 		mCheckpoints: reg.Counter("coverage.checkpoints"),
@@ -89,19 +93,22 @@ func (r *gradeRun) record(i int, detected bool) {
 }
 
 // commitBatch commits a lane batch's verdicts in one critical section:
-// universe[start:end] graded with logical lane i-start+1 carrying fault
-// i (plane (i-start+1)/64, bit (i-start+1)%64 of the fail masks).
-// Faults already settled by a resumed checkpoint keep their prior
-// verdict (the replay result is identical anyway — verdicts are
-// deterministic — but the resumed state stays authoritative).
-func (r *gradeRun) commitBatch(start, end int, fail *[faults.MaxPlanes]uint64) {
+// idx[k] is the universe index of the fault on logical lane k+1 (plane
+// (k+1)/64, bit (k+1)%64 of the fail masks) — batches are
+// kind-partitioned, so lanes map to arbitrary universe indices while
+// the verdict arrays stay universe-ordered. Faults already settled by
+// a resumed checkpoint keep their prior verdict (the replay result is
+// identical anyway — verdicts are deterministic — but the resumed
+// state stays authoritative).
+func (r *gradeRun) commitBatch(idx []int32, fail *[faults.MaxPlanes]uint64) {
 	r.mu.Lock()
 	n := 0
-	for i := start; i < end; i++ {
+	for k, ui := range idx {
+		i := int(ui)
 		if r.resumed[i] {
 			continue
 		}
-		l := i - start + 1
+		l := k + 1
 		r.graded[i] = true
 		r.detected[i] = fail[l>>6]>>uint(l&63)&1 == 1
 		r.gradedCount++
@@ -200,7 +207,7 @@ func (r *gradeRun) buildReportLocked() *Report {
 	// Tally per-kind ratios into a flat array (Kind is a small enum) and
 	// build the map once at the end: the per-fault map updates were the
 	// hottest part of report construction on cached-universe workloads.
-	var byKind [256]Ratio
+	var byKind [faults.NumKinds]Ratio
 	for i, f := range r.universe {
 		if !r.graded[i] {
 			rep.Partial = true
@@ -224,8 +231,10 @@ func (r *gradeRun) buildReportLocked() *Report {
 			rep.ByKind[faults.Kind(k)] = kr
 		}
 	}
-	rep.Quarantined = append([]FaultVerdict(nil), r.quarantined...)
-	sort.Slice(rep.Quarantined, func(a, b int) bool { return rep.Quarantined[a].Index < rep.Quarantined[b].Index })
+	if len(r.quarantined) > 0 {
+		rep.Quarantined = append([]FaultVerdict(nil), r.quarantined...)
+		sort.Slice(rep.Quarantined, func(a, b int) bool { return rep.Quarantined[a].Index < rep.Quarantined[b].Index })
+	}
 	obs.Active().Counter("coverage.detected").Add(int64(rep.Overall.Detected))
 	return rep
 }

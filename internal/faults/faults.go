@@ -122,6 +122,10 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of defined fault kinds — the bound for flat
+// per-kind tally arrays.
+const NumKinds = int(numKinds)
+
 var kindNames = [numKinds]string{
 	"SA", "TF", "CFin", "CFid", "CFst", "SOF", "DRF", "RDF",
 	"AFnone", "AFmap", "AFmulti", "WDF", "IRF", "DRDF",

@@ -35,6 +35,7 @@ const (
 	DefaultWorkers = 0
 	DefaultEngine  = "auto"
 	DefaultLanes   = "auto"
+	DefaultReplay  = "compiled"
 )
 
 // Spec is the wire/flag form of one coverage workload. The zero value
@@ -55,6 +56,9 @@ type Spec struct {
 	Engine string `json:"engine,omitempty"`
 	// Lanes is the lane-engine batch width: auto, 64, 128, 256 or 512.
 	Lanes string `json:"lanes,omitempty"`
+	// Replay selects the lane engine's stream execution: compiled
+	// (µop kernels) or interpreted (per-op reference path).
+	Replay string `json:"replay,omitempty"`
 }
 
 // Register binds the shared workload flags onto fs, with the shared
@@ -68,6 +72,7 @@ func (s *Spec) Register(fs *flag.FlagSet) {
 	fs.IntVar(&s.Workers, "workers", DefaultWorkers, "concurrent grading workers (0 = all CPUs, 1 = serial)")
 	fs.StringVar(&s.Engine, "engine", DefaultEngine, "fault-simulation engine: auto (lane-parallel stream replay with scalar fallback) or scalar (one fault at a time)")
 	fs.StringVar(&s.Lanes, "lanes", DefaultLanes, "lane-engine batch width: auto, 64, 128, 256 or 512 logical fault lanes (ignored by -engine scalar; reports are byte-identical at every width)")
+	fs.StringVar(&s.Replay, "replay", DefaultReplay, "lane-engine stream execution: compiled (µop kernels) or interpreted (per-op reference path; reports are byte-identical in both modes)")
 }
 
 // Workload is a resolved Spec: parsed algorithms, architecture and
@@ -102,6 +107,9 @@ func (s Spec) Workload() (*Workload, error) {
 	if s.Lanes == "" {
 		s.Lanes = DefaultLanes
 	}
+	if s.Replay == "" {
+		s.Replay = DefaultReplay
+	}
 	arch, err := ParseArch(s.Arch)
 	if err != nil {
 		return nil, err
@@ -114,11 +122,15 @@ func (s Spec) Workload() (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	replay, err := ParseReplay(s.Replay)
+	if err != nil {
+		return nil, err
+	}
 	w := &Workload{
 		Arch: arch,
 		Opts: coverage.Options{
 			Size: s.Size, Width: s.Width, Ports: s.Ports,
-			Workers: s.Workers, Engine: engine, Lanes: lanes,
+			Workers: s.Workers, Engine: engine, Lanes: lanes, Replay: replay,
 		},
 	}
 	for _, name := range strings.Split(s.Algs, ",") {
@@ -144,9 +156,9 @@ func (w *Workload) Names() []string {
 // exact workload: a readable architecture/geometry/algorithm summary
 // plus a checksum of the per-algorithm coverage fingerprints (which
 // fold in the universe options and each algorithm's march notation) in
-// grading order. Worker count, engine and lanes are excluded —
-// verdicts are byte-identical across all three, so state persisted
-// under one configuration resumes under any other.
+// grading order. Worker count, engine, lanes and replay mode are
+// excluded — verdicts are byte-identical across all four, so state
+// persisted under one configuration resumes under any other.
 func (w *Workload) Fingerprint() string {
 	names := w.Names()
 	fps := make([]string, len(w.Algs))
@@ -225,6 +237,19 @@ func ParseLanes(s string) (int, error) {
 		return 512, nil
 	}
 	return 0, fmt.Errorf("unknown lane width %q (want auto, 64, 128, 256 or 512)", s)
+}
+
+// ParseReplay maps a replay-mode name to its coverage constant.
+// "compiled" (or empty) is the default µop-kernel path; "interpreted"
+// pins the per-op reference replay the kernels are validated against.
+func ParseReplay(s string) (coverage.Replay, error) {
+	switch s {
+	case "compiled", "":
+		return coverage.ReplayCompiled, nil
+	case "interpreted":
+		return coverage.ReplayInterpreted, nil
+	}
+	return 0, fmt.Errorf("unknown replay mode %q (want compiled or interpreted)", s)
 }
 
 // Shard is one graded workload slice: shard Shard of Of, with one
