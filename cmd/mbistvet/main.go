@@ -1,0 +1,260 @@
+// Command mbistvet runs the repo's invariant analyzers (internal/vet)
+// over Go packages. It is both a standalone sweeper and a `go vet`
+// tool:
+//
+//	mbistvet ./...                        # standalone sweep
+//	mbistvet -only hotpathalloc,obsname ./...
+//	mbistvet -json ./...                  # machine-readable findings
+//	go vet -vettool=$(pwd)/mbistvet ./... # as the vet driver's tool
+//
+// The vet-tool mode implements the (unpublished) cmd/go vet protocol:
+// -V=full describes the executable for build caching, -flags lists the
+// analyzer flags as JSON, and a trailing *.cfg argument analyzes one
+// compilation unit described by the JSON config cmd/go writes —
+// including the dependency-only units it schedules purely for their
+// export side effects (VetxOnly).
+//
+// Exit status: 0 clean, 1 findings reported, 2 driver failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/vet/analysis"
+	"repro/internal/vet/analyzers"
+)
+
+var (
+	onlyFlag = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag = flag.Bool("json", false, "emit findings as JSON keyed by package and analyzer")
+	listFlag = flag.Bool("list", false, "list the analyzers and exit")
+
+	// Vet driver protocol flags. -V prints the executable description
+	// cmd/go caches on; the rest are legacy vet flags cmd/go passes to
+	// every tool when vetting standard-library units — accepted, ignored.
+	versionFlag = flag.String("V", "", "print version and exit (driver protocol)")
+	printFlags  = flag.Bool("flags", false, "print analyzer flags in JSON (driver protocol)")
+	_           = flag.Int("c", -1, "display offending line with this many lines of context (accepted for driver compatibility)")
+	_           = flag.Bool("unsafeptr", true, "no effect (driver compatibility)")
+	_           = flag.Bool("unreachable", true, "no effect (driver compatibility)")
+	_           = flag.Bool("source", false, "no effect (driver compatibility)")
+	_           = flag.Bool("tests", true, "no effect (driver compatibility)")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mbistvet: ")
+	flag.Parse()
+
+	if *versionFlag != "" {
+		printVersion()
+		return
+	}
+	if *printFlags {
+		printFlagDefs()
+		return
+	}
+	if *listFlag {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	suite := analyzers.All()
+	if *onlyFlag != "" {
+		var ok bool
+		suite, ok = analyzers.ByName(strings.Split(*onlyFlag, ","))
+		if !ok {
+			log.Printf("unknown analyzer in -only=%s (run mbistvet -list)", *onlyFlag)
+			os.Exit(2)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], suite)
+		return
+	}
+	runStandalone(args, suite)
+}
+
+// printVersion emits the executable description the go command's build
+// cache keys vet results on: content-addressed so editing an analyzer
+// invalidates cached findings.
+func printVersion() {
+	exe, err := os.Executable()
+	var sum [sha256.Size]byte
+	if err == nil {
+		if data, rerr := os.ReadFile(exe); rerr == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("mbistvet version devel buildID=%x\n", sum[:16])
+}
+
+// printFlagDefs describes the tool's flags to cmd/go (the -flags leg
+// of the vet protocol), which uses it to validate pass-through flags.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var defs []flagDef
+	flag.VisitAll(func(f *flag.Flag) {
+		if f.Name == "V" || f.Name == "flags" {
+			return
+		}
+		isBool := false
+		if bf, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = bf.IsBoolFlag()
+		}
+		defs = append(defs, flagDef{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.MarshalIndent(defs, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// vetConfig is the JSON compilation-unit description cmd/go hands the
+// tool (a subset of cmd/go's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet compilation unit.
+func runUnit(cfgPath string, suite []*analysis.Analyzer) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("cannot decode vet config %s: %v", cfgPath, err)
+	}
+	// Always leave the output facts file behind: cmd/go caches it as
+	// the unit's vet result. The suite exchanges no facts, so it is
+	// empty — its existence is what matters.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only unit: scheduled purely so downstream units
+		// could read facts. Nothing to analyze.
+		writeVetx()
+		return
+	}
+	// Imports resolve import path -> package path (ImportMap: test
+	// variants, vendoring) -> export data file (PackageFile). The gc
+	// importer calls back with package paths for transitive
+	// references, so the map carries both keyings.
+	exports := map[string]string{}
+	for pkgPath, file := range cfg.PackageFile {
+		exports[pkgPath] = file
+	}
+	for impPath, pkgPath := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[pkgPath]; ok {
+			exports[impPath] = file
+		}
+	}
+	u, err := analysis.CheckFiles(cfg.ImportPath, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		log.Fatal(err)
+	}
+	diags, err := analysis.Run(u, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx()
+	report(map[string][]analysis.Diagnostic{cfg.ID: diags})
+}
+
+// runStandalone loads the patterns from the current module and sweeps
+// them.
+func runStandalone(patterns []string, suite []*analysis.Analyzer) {
+	units, err := analysis.Load(".", patterns...)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	all := map[string][]analysis.Diagnostic{}
+	for _, u := range units {
+		diags, err := analysis.Run(u, suite)
+		if err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+		if len(diags) > 0 {
+			all[u.ImportPath] = diags
+		}
+	}
+	report(all)
+}
+
+// report prints findings (text to stderr, or -json to stdout) and
+// exits 1 if there were any.
+func report(byPkg map[string][]analysis.Diagnostic) {
+	total := 0
+	for _, diags := range byPkg {
+		total += len(diags)
+	}
+	if *jsonFlag {
+		// The same shape x/tools drivers emit: package -> analyzer ->
+		// findings.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		tree := map[string]map[string][]jsonDiag{}
+		for pkg, diags := range byPkg {
+			t := map[string][]jsonDiag{}
+			for _, d := range diags {
+				t[d.Analyzer] = append(t[d.Analyzer], jsonDiag{Posn: d.Pos.String(), Message: d.Message})
+			}
+			tree[pkg] = t
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, diags := range byPkg {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s\n", d)
+			}
+		}
+	}
+	if total > 0 {
+		os.Exit(1)
+	}
+}

@@ -446,6 +446,8 @@ func (r *gradeRun) gradeBatched(stream []march.StreamOp) error {
 // has failed; lane 0 failing means the good machine diverged from the
 // recorded clean run, which would break the engine's equivalence
 // argument, so it is an error.
+//
+//mbist:hotpath
 func replayStream(mem *faults.LaneInjected, stream []march.StreamOp, reads []uint64) ([faults.MaxPlanes]uint64, []uint64, error) {
 	np := mem.Planes()
 	var occ, fail [faults.MaxPlanes]uint64

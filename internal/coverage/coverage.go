@@ -87,6 +87,13 @@ const (
 )
 
 // Options configures a grading run.
+//
+// Every field must either be folded into the checkpoint fingerprint
+// (see Fingerprint in state.go) or carry an //mbist:fingerprint-exclude
+// annotation arguing why it cannot change verdicts; the fingerprint
+// analyzer in internal/vet enforces this.
+//
+//mbist:fingerprint-source
 type Options struct {
 	// Size, Width, Ports set the memory geometry (defaults 16×1, 1 port).
 	Size  int
@@ -97,8 +104,10 @@ type Options struct {
 	// Workers sets the number of concurrent grading workers; 0 means
 	// runtime.GOMAXPROCS(0), 1 forces the serial path. The report is
 	// byte-identical at any worker count.
+	//mbist:fingerprint-exclude verdicts are byte-identical at any worker count
 	Workers int
 	// Engine selects the fault-simulation engine (default EngineAuto).
+	//mbist:fingerprint-exclude engines are validated byte-identical; a throughput knob, not workload identity
 	Engine Engine
 	// Lanes sets the batched engine's logical lane width — how many
 	// machines (1 good + Lanes-1 faulty) one stream replay carries,
@@ -107,11 +116,13 @@ type Options struct {
 	// byte-identical at any lane width (verdicts commit in universe
 	// order), so this is purely a throughput knob; it is ignored by the
 	// scalar engine and excluded from Fingerprint.
+	//mbist:fingerprint-exclude lane width only re-partitions batches; verdicts commit in universe order
 	Lanes int
 	// Replay selects the batched engine's stream execution mode
 	// (default ReplayCompiled). Reports are byte-identical in both
 	// modes — this is a throughput/validation knob, ignored by the
 	// scalar engine and excluded from Fingerprint.
+	//mbist:fingerprint-exclude compiled and interpreted replay are validated byte-identical
 	Replay Replay
 
 	// FaultHook, when non-nil, is called with each fault's universe
@@ -122,6 +133,7 @@ type Options struct {
 	// recover/retry/quarantine path. The hook must be safe for
 	// concurrent use and deterministic per index if report determinism
 	// matters.
+	//mbist:fingerprint-exclude chaos instrumentation, not workload identity; a hook that panics only quarantines
 	FaultHook func(index int)
 	// Checkpoint, when non-nil, receives a consistent snapshot of
 	// grading progress roughly every CheckpointEvery graded faults and
@@ -129,9 +141,11 @@ type Options struct {
 	// interrupted run always leaves its final state behind. The
 	// callback runs with grading paused; keep it brief (an atomic file
 	// write — see internal/resilience).
+	//mbist:fingerprint-exclude persistence callback; observes progress, never alters verdicts
 	Checkpoint func(*State)
 	// CheckpointEvery is the checkpoint cadence in graded faults
 	// (default 256). Ignored when Checkpoint is nil.
+	//mbist:fingerprint-exclude cadence of snapshots, not their content
 	CheckpointEvery int
 	// Resume seeds the run with a prior State (typically loaded from a
 	// checkpoint): already-graded faults keep their verdicts — including
@@ -140,6 +154,7 @@ type Options struct {
 	// and universe options; see Fingerprint); its bitset lengths are
 	// validated against the universe. A resumed run's final report is
 	// byte-identical to an uninterrupted one.
+	//mbist:fingerprint-exclude the fingerprint's consumer: Resume is validated against it, never folded into it
 	Resume *State
 }
 
@@ -228,6 +243,7 @@ type Report struct {
 // oracle). The Report — including the Missed and Quarantined orderings —
 // is byte-identical across engines and worker counts.
 func Grade(alg march.Algorithm, arch Architecture, opts Options) (*Report, error) {
+	//mbist:exempt ctxflow compatibility wrapper over GradeContext for non-cancellable callers
 	return GradeContext(context.Background(), alg, arch, opts)
 }
 
@@ -344,6 +360,15 @@ func (rep *Report) String() string {
 // kind-by-algorithm coverage table. The fault universe is enumerated
 // once for the geometry and shared across all Grade calls.
 func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, error) {
+	//mbist:exempt ctxflow compatibility wrapper over MatrixContext, mirroring Grade
+	return MatrixContext(context.Background(), algs, arch, opts)
+}
+
+// MatrixContext is Matrix with cancellation: the context is threaded
+// into every per-algorithm grade, so cancelling it stops the sweep at
+// the next fault (or batch) boundary. Unlike GradeContext no partial
+// table is rendered — a cancelled sweep returns only the error.
+func MatrixContext(ctx context.Context, algs []march.Algorithm, arch Architecture, opts Options) (string, error) {
 	opts.normalise()
 	if err := opts.validate(); err != nil {
 		return "", err
@@ -351,7 +376,7 @@ func Matrix(algs []march.Algorithm, arch Architecture, opts Options) (string, er
 	universe := cachedUniverse(opts)
 	var reports []*Report
 	for _, alg := range algs {
-		rep, err := gradeUniverse(context.Background(), alg, arch, opts, universe)
+		rep, err := gradeUniverse(ctx, alg, arch, opts, universe)
 		if err != nil {
 			return "", err
 		}

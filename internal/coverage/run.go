@@ -43,7 +43,7 @@ type gradeRun struct {
 
 func newGradeRun(ctx context.Context, alg march.Algorithm, arch Architecture, opts Options, universe []faults.Fault) (*gradeRun, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //mbist:exempt ctxflow nil-context guard for internal callers, not an invented root
 	}
 	reg := obs.Active()
 	// One backing allocation for the three per-fault bit arrays (full
@@ -83,6 +83,8 @@ func newGradeRun(ctx context.Context, alg march.Algorithm, arch Architecture, op
 }
 
 // record commits one fault's verdict.
+//
+//mbist:hotpath
 func (r *gradeRun) record(i int, detected bool) {
 	r.mu.Lock()
 	r.graded[i] = true
@@ -100,6 +102,8 @@ func (r *gradeRun) record(i int, detected bool) {
 // a resumed checkpoint keep their prior verdict (the replay result is
 // identical anyway — verdicts are deterministic — but the resumed
 // state stays authoritative).
+//
+//mbist:hotpath
 func (r *gradeRun) commitBatch(idx []int32, fail *[faults.MaxPlanes]uint64) {
 	r.mu.Lock()
 	n := 0
@@ -257,6 +261,18 @@ func (r *gradeRun) scalarOne(run runner, i int) (detected bool, err error) {
 	return detected, ferr
 }
 
+// workerFaultCounters precomputes the per-worker fault counter names
+// so spawning workers does no name formatting. Runs with more workers
+// than slots wrap and share counters, which merges their tallies but
+// never builds a name on the spawn path.
+var workerFaultCounters = func() [64]string {
+	var t [64]string
+	for i := range t {
+		t[i] = fmt.Sprintf("coverage.worker.%02d.faults", i)
+	}
+	return t
+}()
+
 // gradeScalar grades every unresolved fault with the per-fault oracle:
 // universe[i] is injected into a fresh memory and the test executed to
 // its first fail. Panics are retried once on a rebuilt runner and then
@@ -301,7 +317,7 @@ func (r *gradeRun) gradeScalar() error {
 	mWait := reg.Span("coverage.worker_start_wait_ns")
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		mWorker := reg.Counter(fmt.Sprintf("coverage.worker.%02d.faults", w))
+		mWorker := reg.Counter(workerFaultCounters[w%len(workerFaultCounters)])
 		go func() {
 			defer wg.Done()
 			launched := mWait.Start()

@@ -37,6 +37,7 @@ func ShardRange(universeSize, shard, of int) (lo, hi int) {
 
 // GradeShard grades shard `shard` of `of` and returns its State.
 func GradeShard(alg march.Algorithm, arch Architecture, opts Options, shard, of int) (*State, error) {
+	//mbist:exempt ctxflow compatibility wrapper over GradeShardContext
 	return GradeShardContext(context.Background(), alg, arch, opts, shard, of)
 }
 
@@ -167,6 +168,7 @@ func ReportFromState(alg march.Algorithm, arch Architecture, opts Options, s *St
 	universe := cachedUniverse(opts)
 	opts.Resume = s
 	opts.Checkpoint = nil
+	//mbist:exempt ctxflow merge is pure in-memory bookkeeping; the run never starts workers
 	r, err := newGradeRun(context.Background(), alg, arch, opts, universe)
 	if err != nil {
 		return nil, err

@@ -357,6 +357,8 @@ func (m *LaneInjected) ResetPlanes(batch []Fault, planes int) {
 // plants — the only inject side effect the same-batch Reset fast path
 // must reproduce (everything else inject writes is immutable across
 // replays of the same batch).
+//
+//mbist:hotpath
 func (m *LaneInjected) seedDirty() {
 	for i := range m.cfState {
 		e := &m.cfState[i]
@@ -529,6 +531,7 @@ func (m *LaneInjected) FaultMaskPlane(p int) uint64 {
 	return uint64(1)<<uint(k) - 1
 }
 
+//mbist:hotpath
 func (m *LaneInjected) checkAccess(port, addr int) {
 	if port < 0 || port >= m.ports {
 		panic(fmt.Sprintf("faults: port %d out of [0,%d)", port, m.ports))
@@ -543,6 +546,8 @@ func (m *LaneInjected) checkAccess(port, addr int) {
 // redirect (AFMap) their lanes away from the default cells. Batches
 // without decoder faults keep defLanes pinned all-ones and skip the
 // recomputation entirely.
+//
+//mbist:hotpath
 func (m *LaneInjected) defaultDecode(port, addr int, redir []afEntry) {
 	if !m.hasAF {
 		return
@@ -560,6 +565,8 @@ func (m *LaneInjected) defaultDecode(port, addr int, redir []afEntry) {
 
 // markDirty queues a cell for CFst re-application. Callers gate on
 // hasCFst so fault-free-of-CFst batches never take the branch.
+//
+//mbist:hotpath
 func (m *LaneInjected) markDirty(cell int) {
 	if !m.dirty[cell] {
 		m.dirty[cell] = true
@@ -569,6 +576,8 @@ func (m *LaneInjected) markDirty(cell int) {
 
 // Write stores data at addr through port in every lane at once,
 // applying each lane's fault behaviour.
+//
+//mbist:hotpath
 func (m *LaneInjected) Write(port, addr int, data uint64) {
 	m.checkAccess(port, addr)
 	redir := m.afRedir[addr]
@@ -603,6 +612,8 @@ func (m *LaneInjected) Write(port, addr int, data uint64) {
 // writeCell updates one plane of one cell within laneMask, applying
 // write-path faults and firing coupling triggers for lanes whose cell
 // transitioned.
+//
+//mbist:hotpath
 func (m *LaneInjected) writeCell(port, cell, plane int, vplane, laneMask uint64) {
 	i := cell*m.np + plane
 	old := m.planes[i]
@@ -668,6 +679,8 @@ func (m *LaneInjected) writeCell(port, cell, plane int, vplane, laneMask uint64)
 // the dirty filter preserves the re-apply-after-every-write semantics
 // of the scalar model. Applying an entry twice (its cells both dirty)
 // is idempotent.
+//
+//mbist:hotpath
 func (m *LaneInjected) applyStateCFs() {
 	if len(m.dirtyList) == 0 {
 		return
@@ -698,6 +711,8 @@ func (m *LaneInjected) applyStateCFs() {
 // `bit`. It applies read-path fault behaviour — including its side
 // effects on cell state, sense latches and read-disturb counters —
 // lane-exactly.
+//
+//mbist:hotpath
 func (m *LaneInjected) ReadLanes(port, addr int, dst []uint64) []uint64 {
 	m.checkAccess(port, addr)
 	redir := m.afRedir[addr]
@@ -744,6 +759,8 @@ func (m *LaneInjected) ReadLanes(port, addr int, dst []uint64) []uint64 {
 // caller, once per architectural read of the default-decoded cell
 // (redirected aggressor reads never count — exact for RDF lanes, which
 // never carry a decoder fault of their own; see Write).
+//
+//mbist:hotpath
 func (m *LaneInjected) readCell(port, cell, bit, plane int, laneMask uint64) uint64 {
 	i := cell*m.np + plane
 	raw := m.planes[i]
@@ -785,6 +802,8 @@ func (m *LaneInjected) readCell(port, cell, bit, plane int, laneMask uint64) uin
 
 // Pause models a retention delay: every DRF victim leaks to its value
 // in its lane.
+//
+//mbist:hotpath
 func (m *LaneInjected) Pause() {
 	for _, e := range m.drf {
 		i := e.cell*m.np + e.plane

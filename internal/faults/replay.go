@@ -200,6 +200,8 @@ func (cs *CompiledStream) Geometry() (size, width, ports int) {
 // verdict can no longer change), and errors out if the good machine
 // (lane 0) ever misreads — the signal that the stream does not match
 // this geometry's fault-free behaviour.
+//
+//mbist:hotpath
 func (m *LaneInjected) Replay(cs *CompiledStream, fail *[MaxPlanes]uint64) (Kernel, error) {
 	if cs.size != m.size || cs.width != m.width || cs.ports != m.ports {
 		return 0, fmt.Errorf("faults: stream compiled for %dx%d/%d replayed on %dx%d/%d",
@@ -235,6 +237,8 @@ func goodLaneErr(op *UOp) error {
 }
 
 // replayDone reports whether every occupied lane has already failed.
+//
+//mbist:hotpath
 func replayDone(fail, occ *[MaxPlanes]uint64, np int) bool {
 	for p := 0; p < np; p++ {
 		if fail[p]&occ[p] != occ[p] {
@@ -248,6 +252,8 @@ func replayDone(fail, occ *[MaxPlanes]uint64, np int) bool {
 // stripe, reads apply the SA/IRF read masks and compare. No decoder
 // redirects, no triggers, no dirty tracking, no latch or counter
 // state exist in the batch, so none are maintained.
+//
+//mbist:hotpath
 func (m *LaneInjected) replayMask(ops []UOp, fail, occ *[MaxPlanes]uint64) error {
 	np, width, planes := m.np, m.width, m.planes
 	wb, rb := m.wmask.byPort, m.rmask.byPort
@@ -332,6 +338,8 @@ func (m *LaneInjected) replayMask(ops []UOp, fail, occ *[MaxPlanes]uint64) error
 // replayLatch extends replayMask with read-path state: RDF
 // consecutive-read counters, DRDF destructive flips and SOF sense
 // latches. Still no decoder or coupling machinery.
+//
+//mbist:hotpath
 func (m *LaneInjected) replayLatch(ops []UOp, fail, occ *[MaxPlanes]uint64) error {
 	np, width, planes := m.np, m.width, m.planes
 	wb, rb := m.wmask.byPort, m.rmask.byPort
@@ -430,6 +438,8 @@ func (m *LaneInjected) replayLatch(ops []UOp, fail, occ *[MaxPlanes]uint64) erro
 // replayCoupling extends replayMask with write-transition triggers
 // (CFin/CFid) and CFst dirty tracking + re-application. Reads stay on
 // the mask fast path: coupling batches carry no read-path state.
+//
+//mbist:hotpath
 func (m *LaneInjected) replayCoupling(ops []UOp, fail, occ *[MaxPlanes]uint64) error {
 	np, width, planes := m.np, m.width, m.planes
 	wb, rb := m.wmask.byPort, m.rmask.byPort
@@ -551,6 +561,8 @@ func (m *LaneInjected) replayCoupling(ops []UOp, fail, occ *[MaxPlanes]uint64) e
 // replayAF is the decoder-fault-only kernel: accesses apply AFNone
 // drops and AFMap/AFMulti redirections over raw cells, with no mask,
 // trigger, latch or counter machinery (an AF-only batch has none).
+//
+//mbist:hotpath
 func (m *LaneInjected) replayAF(ops []UOp, fail, occ *[MaxPlanes]uint64) error {
 	np, width, planes := m.np, m.width, m.planes
 	rv := m.readVals
@@ -619,6 +631,8 @@ func (m *LaneInjected) replayAF(ops []UOp, fail, occ *[MaxPlanes]uint64) error {
 // values (no caller-side result buffer). It differs from the
 // interpreted path only in skipping per-op access validation, which
 // NewCompiledStream already proved.
+//
+//mbist:hotpath
 func (m *LaneInjected) replayGeneral(ops []UOp, fail, occ *[MaxPlanes]uint64) error {
 	np, width := m.np, m.width
 	for oi := range ops {

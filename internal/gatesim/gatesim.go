@@ -260,6 +260,7 @@ func (s *Simulator) Reset() {
 	s.cycles = 0
 }
 
+//mbist:hotpath
 func (s *Simulator) settle() {
 	if s.const1 != netlist.Invalid {
 		s.values[s.const1] = true
@@ -288,10 +289,12 @@ func (s *Simulator) settle() {
 // order first, loop members last — and reports whether any loop
 // member's output changed (the fixpoint test; acyclic outputs are
 // final after one pass by construction).
+//
+//mbist:hotpath
 func (s *Simulator) settlePass() bool {
 	insts := s.nl.Instances()
 	var in [3]bool
-	eval := func(i int) bool {
+	eval := func(i int) bool { //mbist:exempt hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs/op by the gatesim alloc tests
 		inst := insts[i]
 		for k, net := range inst.In {
 			in[k] = s.values[net]

@@ -48,6 +48,7 @@ func (r *BISTResult) Detected() bool { return len(r.MismatchAddrs) > 0 }
 // optionally dp_last_port. Inputs named start and delay_done, when
 // present, are held high.
 func RunBISTUnit(nl *netlist.Netlist, mem memory.Memory, maxCycles int) (*BISTResult, error) {
+	//mbist:exempt ctxflow compatibility wrapper over RunBISTUnitContext
 	return RunBISTUnitContext(context.Background(), nl, mem, maxCycles)
 }
 

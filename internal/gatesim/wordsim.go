@@ -183,6 +183,7 @@ func (s *WordSimulator) SetContext(ctx context.Context) { s.ctx = ctx }
 // SetContext context is cancelled. Reset clears it.
 func (s *WordSimulator) Err() error { return s.err }
 
+//mbist:hotpath
 func (s *WordSimulator) settle() {
 	P := s.planes
 	A := s.active
@@ -219,6 +220,7 @@ func (s *WordSimulator) settle() {
 	}
 }
 
+//mbist:hotpath
 func (s *WordSimulator) settlePass() bool {
 	if s.planes == 1 {
 		return s.settlePass1()
@@ -234,9 +236,11 @@ func (s *WordSimulator) settlePass() bool {
 // and reports whether any loop member's output word changed (the
 // fixpoint test). It is kept separate from settlePassN so the 64-lane
 // path pays no per-plane loop overhead.
+//
+//mbist:hotpath
 func (s *WordSimulator) settlePass1() bool {
 	insts := s.nl.Instances()
-	eval := func(i int) bool {
+	eval := func(i int) bool { //mbist:exempt hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs/op by the gatesim alloc tests
 		inst := &insts[i]
 		var v uint64
 		switch inst.Kind {
@@ -286,13 +290,15 @@ func (s *WordSimulator) settlePass1() bool {
 // the per-gate overhead (dispatch, force lookup, change tracking) is
 // amortised across up to P×64 lanes while shrunken batches only pay
 // for the planes they occupy.
+//
+//mbist:hotpath
 func (s *WordSimulator) settlePassN() bool {
 	P := s.planes
 	A := s.active
 	insts := s.nl.Instances()
 	vals := s.values
 	var nv [MaxPlanes]uint64
-	eval := func(i int) bool {
+	eval := func(i int) bool { //mbist:exempt hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs/op by the gatesim alloc tests
 		inst := &insts[i]
 		a := int(inst.In[0]) * P
 		switch inst.Kind {
@@ -377,10 +383,12 @@ func (s *WordSimulator) settlePassN() bool {
 // the >64-lane engine earns its speedup — per plane word it is cheaper
 // than the single-plane pass because dispatch, bounds checks and change
 // tracking are amortised 4×.
+//
+//mbist:hotpath
 func (s *WordSimulator) settlePass4() bool {
 	insts := s.nl.Instances()
 	vals := s.values
-	eval := func(i int) bool {
+	eval := func(i int) bool { //mbist:exempt hotpathalloc non-escaping closure, stack-allocated; pinned at 0 allocs/op by the gatesim alloc tests
 		inst := &insts[i]
 		a := int(inst.In[0]) * 4
 		ax := (*[4]uint64)(vals[a : a+4])

@@ -85,6 +85,7 @@ func New(opts Options) *Server {
 	if opts.Queue <= 0 {
 		opts.Queue = 64
 	}
+	//mbist:exempt ctxflow server-lifetime root context, cancelled by Close
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := obs.Active()
 	s := &Server{

@@ -41,6 +41,14 @@ const (
 // Spec is the wire/flag form of one coverage workload. The zero value
 // of any field means "default" — a JSON request body of {} and a flag
 // set with no arguments resolve to the same workload.
+//
+// Every field must be threaded through the Workload resolver (and from
+// there into the workload fingerprint) or carry an explicit
+// //mbist:fingerprint-exclude annotation; the fingerprint analyzer in
+// internal/vet enforces this, so a new wire knob cannot silently skip
+// shard-compatibility checking.
+//
+//mbist:fingerprint-source Workload
 type Spec struct {
 	// Algs is the comma-separated algorithm list.
 	Algs string `json:"algs,omitempty"`
@@ -77,6 +85,8 @@ func (s *Spec) Register(fs *flag.FlagSet) {
 
 // Workload is a resolved Spec: parsed algorithms, architecture and
 // grading options, ready to grade.
+//
+//mbist:fingerprint-source
 type Workload struct {
 	Algs []march.Algorithm
 	Arch coverage.Architecture

@@ -1,0 +1,197 @@
+// Package analysis is the repo's self-contained static-analysis
+// substrate: the Analyzer/Pass/Diagnostic shape of
+// golang.org/x/tools/go/analysis rebuilt on the standard library only,
+// so the mbistvet suite needs no module dependencies (the build
+// environment is hermetic — see go.mod).
+//
+// An Analyzer inspects one type-checked package (a Pass) and reports
+// Diagnostics. Drivers — cmd/mbistvet standalone mode, its `go vet
+// -vettool` unit mode, and the vettest golden harness — construct
+// Passes from different package sources but run the same analyzer
+// code, so a finding means the same thing in CI, in an editor and in a
+// golden test.
+//
+// # Exemption grammar
+//
+// A finding is suppressed by an in-source exemption comment on the
+// reported line or the line immediately above it:
+//
+//	//mbist:exempt <analyzer> <reason>
+//
+// The analyzer name must match the reporting analyzer ("*" matches
+// all) and the reason is mandatory — an exemption documents why the
+// invariant does not apply, it is not a mute button. Exemptions are
+// resolved centrally in Pass.Report so every analyzer honours them
+// uniformly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings, -only filters and
+	// exemption comments. It must be a lowercase identifier.
+	Name string
+	// Doc is the one-paragraph description `mbistvet help` prints.
+	Doc string
+	// Run inspects the package and reports findings via pass.Report.
+	// The returned error aborts the whole run (driver failure, not a
+	// finding).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass holds one type-checked package and the reporting sink for one
+// analyzer's run over it.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives non-exempted findings.
+	report func(Diagnostic)
+
+	// exemptions maps "file:line" to the exemption comments parsed from
+	// that line. Built lazily from Files.
+	exemptions map[string][]exemption
+}
+
+type exemption struct {
+	analyzer string
+	reason   string
+}
+
+// Reportf reports a finding at pos unless an exemption comment
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.exempted(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Several
+// invariants (ctxflow's Background ban, obsname) are relaxed in tests.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+func key(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+func (p *Pass) exempted(pos token.Position) bool {
+	if p.exemptions == nil {
+		p.exemptions = map[string][]exemption{}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//mbist:exempt")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						// An exemption without a reason is itself a
+						// defect; leave it inert so the finding it
+						// tried to hide still surfaces.
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					e := exemption{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+					// The comment covers its own line (trailing
+					// comment) and the line below (comment-above
+					// style).
+					p.exemptions[key(cp.Filename, cp.Line)] = append(p.exemptions[key(cp.Filename, cp.Line)], e)
+					p.exemptions[key(cp.Filename, cp.Line+1)] = append(p.exemptions[key(cp.Filename, cp.Line+1)], e)
+				}
+			}
+		}
+	}
+	for _, e := range p.exemptions[key(pos.Filename, pos.Line)] {
+		if e.analyzer == "*" || e.analyzer == p.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Unit is one loadable compilation unit: parsed, type-checked source
+// ready to run analyzers over. Both the standalone loader (Load) and
+// the vet-driver config path construct Units.
+type Unit struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// Run executes each analyzer over the unit and returns the collected
+// findings sorted by position.
+func Run(u *Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.TypesInfo,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, u.ImportPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

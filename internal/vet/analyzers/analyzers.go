@@ -1,0 +1,49 @@
+// Package analyzers holds the mbistvet analyzer suite: the repo's
+// cross-cutting invariants — the ones the compiler cannot see and
+// earlier PRs caught by hand or at runtime — encoded as static
+// analyses over type-checked packages.
+//
+// The catalog (see DESIGN.md "Go-level static analysis" for the full
+// contract of each):
+//
+//   - hotpathalloc:  //mbist:hotpath functions must not allocate
+//   - ctxflow:       context.Context is threaded, never invented
+//   - obsname:       obs instrument names are precomputed, package-prefixed
+//   - paniccontract: Validate-front-door packages panic only on contract
+//   - fingerprint:   checkpoint fingerprints cover every workload knob
+//   - staticonly:    internal/lint never simulates
+//
+// Every analyzer honours the //mbist:exempt suppression grammar (see
+// internal/vet/analysis).
+package analyzers
+
+import "repro/internal/vet/analysis"
+
+// All returns the full suite in stable (reporting) order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPathAlloc,
+		CtxFlow,
+		ObsName,
+		PanicContract,
+		Fingerprint,
+		StaticOnly,
+	}
+}
+
+// ByName resolves a comma-separated -only list against the suite.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

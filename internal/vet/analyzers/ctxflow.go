@@ -1,0 +1,178 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/vet/analysis"
+)
+
+// CtxFlow enforces the PR 5 cancellation contract: long-running
+// library code is cancellable because every blocking loop threads a
+// context.Context handed down from the caller — contexts flow from
+// cmd/ main loops inward and are never invented mid-stack. Three
+// rules:
+//
+//  1. context.Background() and context.TODO() are banned outside cmd/
+//     packages and _test.go files. Library compat wrappers (Grade,
+//     GradeShard) and nil-context guards carry an explicit
+//     //mbist:exempt ctxflow with the reason.
+//  2. A declared context.Context parameter must be used — an ignored
+//     ctx means the function looks cancellable but is not.
+//  3. An exported library function that loops over work and blocks
+//     inside the loop (channel operation, select, time.Sleep) must
+//     accept a context.Context.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforce context threading through blocking library loops",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	isCmd := isCommandPackage(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(pass, fn)
+			// Rule 2: unused context parameter.
+			for name, obj := range ctxParams {
+				if name == "_" {
+					continue
+				}
+				if !usesObject(pass, fn.Body, obj) {
+					pass.Reportf(fn.Pos(), "%s declares context parameter %q but never uses it — propagate it or drop it", fn.Name.Name, name)
+				}
+			}
+			// Rule 3: exported blocking loop without a context.
+			if fn.Name.IsExported() && !isCmd && len(ctxParams) == 0 && !pass.InTestFile(fn.Pos()) {
+				if at, blocks := blockingLoop(fn.Body); blocks {
+					pass.Reportf(at.Pos(), "%s blocks inside a loop but accepts no context.Context — long-running library loops must be cancellable", fn.Name.Name)
+				}
+			}
+		}
+		// Rule 1: invented contexts.
+		if isCmd {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+				return true
+			}
+			if (sel.Sel.Name == "Background" || sel.Sel.Name == "TODO") && !pass.InTestFile(call.Pos()) {
+				pass.Reportf(call.Pos(), "context.%s() in library code — accept a context.Context from the caller instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCommandPackage reports whether path is a main-package home (cmd/
+// tree or examples): the stack roots allowed to mint root contexts.
+func isCommandPackage(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/") ||
+		strings.HasPrefix(path, "examples/") || strings.Contains(path, "/examples/")
+}
+
+// contextParams returns fn's context.Context parameters by name.
+func contextParams(pass *analysis.Pass, fn *ast.FuncDecl) map[string]types.Object {
+	out := map[string]types.Object{}
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				o := named.Obj()
+				if o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context" {
+					out[name.Name] = obj
+				}
+			}
+		}
+	}
+	return out
+}
+
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}
+
+// blockingLoop reports the first blocking operation inside a for/range
+// loop in body: a channel send/receive, a select, or time.Sleep.
+func blockingLoop(body *ast.BlockStmt) (pos ast.Node, blocks bool) {
+	var found ast.Node
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		if found != nil || n == nil {
+			return
+		}
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					inLoop(n.Init, depth)
+				}
+				inLoop(n.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				inLoop(n.Body, depth+1)
+				return false
+			case *ast.FuncLit:
+				// A nested closure owns its own contract.
+				return false
+			case *ast.SendStmt:
+				if depth > 0 {
+					found = n
+				}
+			case *ast.SelectStmt:
+				if depth > 0 {
+					found = n
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" && depth > 0 {
+					found = n
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && depth > 0 {
+					if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "time" && sel.Sel.Name == "Sleep" {
+						found = n
+					}
+				}
+			}
+			return true
+		})
+	}
+	inLoop(body, 0)
+	if found != nil {
+		return found, true
+	}
+	return nil, false
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/vet/analyzers"
+	"repro/internal/vet/vettest"
+)
+
+func TestCtxFlowGolden(t *testing.T) {
+	vettest.Run(t, analyzers.CtxFlow, "ctxflow")
+}
+
+func TestCtxFlowCommandPackagesExempt(t *testing.T) {
+	vettest.Run(t, analyzers.CtxFlow, "cmd/demo")
+}

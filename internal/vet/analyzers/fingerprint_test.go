@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/vet/analyzers"
+	"repro/internal/vet/vettest"
+)
+
+func TestFingerprintGolden(t *testing.T) {
+	vettest.Run(t, analyzers.Fingerprint, "fingerprint")
+}

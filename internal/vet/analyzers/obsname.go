@@ -1,0 +1,98 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/vet/analysis"
+)
+
+// ObsName enforces the internal/obs naming contract: instrument names
+// are package-prefixed ("coverage.batches_replayed") and precomputed —
+// the name an instrument lookup receives is never built at the lookup
+// site. Per-call fmt.Sprintf or concatenation of a metric name
+// allocates on every event even with metrics disabled (the PR 8
+// artifact-cache bug class) and breaks the zero-alloc-when-disabled
+// budget obs is built around.
+//
+// At every call to (*obs.Registry).Counter/Gauge/Span the name
+// argument must be either a compile-time constant string of the form
+// "<prefix>.<name>", or a plain reference (identifier, field, index)
+// to a name computed once at construction time — the
+// artifact.Cache.nHits pattern. Constructing expressions (calls,
+// concatenation) at the lookup site are findings.
+var ObsName = &analysis.Analyzer{
+	Name: "obsname",
+	Doc:  "obs instrument names must be precomputed, package-prefixed constants",
+	Run:  runObsName,
+}
+
+func runObsName(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isObsLookup(pass, sel) {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			arg := call.Args[0]
+			tv := pass.TypesInfo.Types[arg]
+			if tv.Value != nil {
+				// Constant: must be package-prefixed.
+				name := constant.StringVal(tv.Value)
+				if !strings.Contains(name, ".") {
+					pass.Reportf(arg.Pos(), "obs instrument name %q is not package-prefixed (want \"<pkg>.<name>\")", name)
+				}
+				return true
+			}
+			switch arg.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+				// A reference to a precomputed name: allowed.
+			default:
+				pass.Reportf(arg.Pos(), "obs instrument name is built at the lookup site — precompute it once (constant or construction-time field)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsLookup reports whether sel names the Counter, Gauge or Span
+// method of the obs Registry.
+func isObsLookup(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Span":
+	default:
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "obs" || strings.HasSuffix(pkg.Path(), "/obs"))
+}

@@ -1,0 +1,12 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/vet/analyzers"
+	"repro/internal/vet/vettest"
+)
+
+func TestObsNameGolden(t *testing.T) {
+	vettest.Run(t, analyzers.ObsName, "obsname")
+}

@@ -1,0 +1,91 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"repro/internal/vet/analysis"
+)
+
+// PanicContract enforces the PR 5 validation contract in packages with
+// an error-returning Validate front door (memory, faults): unvalidated
+// input goes through Validate and gets an error; the constructors and
+// per-operation hot paths panic only on programming errors, and every
+// such panic is attributable. Concretely, in any package that declares
+// an exported Validate function, each panic argument must be one of:
+//
+//   - a constant string prefixed "<pkg>: " (the documented message form)
+//   - fmt.Sprintf with a constant "<pkg>: "-prefixed format
+//   - an <expr>.Error() call — re-raising a validation error, the
+//     NewSRAM pattern
+//
+// Anything else (a bare error value, an integer, an unprefixed string)
+// would surface in quarantine verdicts and crash reports without
+// naming its origin, and is a finding. Test files are not checked.
+var PanicContract = &analysis.Analyzer{
+	Name: "paniccontract",
+	Doc:  "Validate-front-door packages panic only via the documented contract",
+	Run:  runPanicContract,
+}
+
+func runPanicContract(pass *analysis.Pass) error {
+	if !declaresExportedValidate(pass) {
+		return nil
+	}
+	prefix := pass.Pkg.Name() + ": "
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPanicCall(call) || len(call.Args) != 1 {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			if !panicArgOnContract(pass, call.Args[0], prefix) {
+				pass.Reportf(call.Pos(), "panic outside the %s package contract: message must be a constant or constant-format fmt.Sprintf prefixed %q, or err.Error()", pass.Pkg.Name(), prefix)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func declaresExportedValidate(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == "Validate" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func panicArgOnContract(pass *analysis.Pass, arg ast.Expr, prefix string) bool {
+	// Constant string with the package prefix.
+	if tv := pass.TypesInfo.Types[arg]; tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// <expr>.Error(): re-raising a validation error.
+	if sel.Sel.Name == "Error" && len(call.Args) == 0 {
+		return true
+	}
+	// fmt.Sprintf with a constant, prefixed format.
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && sel.Sel.Name == "Sprintf" && len(call.Args) > 0 {
+		if tv := pass.TypesInfo.Types[call.Args[0]]; tv.Value != nil && tv.Value.Kind() == constant.String {
+			return strings.HasPrefix(constant.StringVal(tv.Value), prefix)
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/vet/analyzers"
+	"repro/internal/vet/vettest"
+)
+
+func TestPanicContractGolden(t *testing.T) {
+	vettest.Run(t, analyzers.PanicContract, "paniccontract")
+}
+
+func TestPanicContractRequiresValidateGate(t *testing.T) {
+	vettest.Run(t, analyzers.PanicContract, "nopanicgate")
+}

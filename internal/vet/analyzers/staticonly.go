@@ -1,0 +1,71 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/vet/analysis"
+)
+
+// StaticOnly is the PR 4 lint-layer contract, promoted from a bespoke
+// go/parser test into the suite: internal/lint analyses artifacts, it
+// never simulates them. Two rules, applied only to the lint package:
+//
+//  1. The simulation and execution packages (gatesim, coverage,
+//     logicbist, faults, memory) may not be imported — lint reasons
+//     about netlists, programs and march algorithms structurally.
+//  2. No call to a method named Run or RunContext: march, microbist,
+//     fsmbist and hardbist expose behavioural executors through Run
+//     methods, so even a types-only import becomes a simulation the
+//     moment Run is called.
+var StaticOnly = &analysis.Analyzer{
+	Name: "staticonly",
+	Doc:  "internal/lint must stay static: no simulation imports, no Run calls",
+	Run:  runStaticOnly,
+}
+
+// staticOnlyBanned is the banned import set, matched on the import
+// path's last element so the golden-test stub packages trip it too.
+var staticOnlyBanned = map[string]bool{
+	"gatesim":   true,
+	"coverage":  true,
+	"logicbist": true,
+	"faults":    true,
+	"memory":    true,
+}
+
+func runStaticOnly(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "lint" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if last := path[strings.LastIndex(path, "/")+1:]; staticOnlyBanned[last] {
+				pass.Reportf(imp.Pos(), "lint imports %s: the lint layer must stay static", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "Run" || sel.Sel.Name == "RunContext" {
+				pass.Reportf(call.Pos(), "lint calls %s: lint analyses artifacts, it does not execute them", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"repro/internal/vet/analyzers"
+	"repro/internal/vet/vettest"
+)
+
+func TestStaticOnlyGolden(t *testing.T) {
+	vettest.Run(t, analyzers.StaticOnly, "staticonly")
+}
+
+func TestStaticOnlyOnlyChecksLintPackage(t *testing.T) {
+	vettest.Run(t, analyzers.StaticOnly, "notlint")
+}

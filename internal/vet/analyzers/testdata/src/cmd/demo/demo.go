@@ -1,0 +1,24 @@
+// Package demo pins the ctxflow cmd/ exception: command packages are
+// the stack roots allowed to mint root contexts and to loop without a
+// threaded context.
+package demo
+
+import "context"
+
+// Root mints the process context: allowed under cmd/.
+func Root() context.Context {
+	return context.Background()
+}
+
+// Serve loops over a channel without a context: allowed under cmd/.
+func Serve(in chan int, handle func(int)) {
+	for v := range in {
+		handle(<-makeTick(v))
+	}
+}
+
+func makeTick(v int) chan int {
+	ch := make(chan int, 1)
+	ch <- v
+	return ch
+}

@@ -1,0 +1,74 @@
+// Package ctxflow exercises the ctxflow analyzer: contexts flow in
+// from the caller, blocking library loops must be cancellable.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func run(ctx context.Context) { _ = ctx }
+
+// Grade invents a root context in library code (rule 1).
+func Grade() {
+	ctx := context.Background() // want "in library code — accept a context.Context"
+	_ = ctx
+}
+
+func todo() {
+	run(context.TODO()) // want "in library code — accept a context.Context"
+}
+
+// GradeCompat pins the exemption path for documented compat wrappers.
+func GradeCompat() {
+	//mbist:exempt ctxflow compatibility wrapper, pinned by the golden test
+	run(context.Background())
+}
+
+// Process declares ctx and ignores it (rule 2).
+func Process(ctx context.Context, n int) { // want "declares context parameter .ctx. but never uses it"
+	_ = n
+}
+
+func used(ctx context.Context) { <-ctx.Done() }
+
+// Pump copies between channels forever with no cancellation (rule 3).
+func Pump(in, out chan int) {
+	for v := range in {
+		out <- v // want "blocks inside a loop but accepts no context.Context"
+	}
+}
+
+// Poll busy-waits with no cancellation (rule 3).
+func Poll(done func() bool) {
+	for !done() {
+		time.Sleep(time.Millisecond) // want "blocks inside a loop but accepts no context.Context"
+	}
+}
+
+// PumpCtx is the cancellable version: accepted.
+func PumpCtx(ctx context.Context, in, out chan int) {
+	for v := range in {
+		select {
+		case out <- v:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// pump is unexported: internal helpers inherit their caller's
+// contract and are not flagged.
+func pump(in, out chan int) {
+	for v := range in {
+		out <- v
+	}
+}
+
+// Spawn returns a closure; the closure owns its own contract.
+func Spawn(in chan int) func() {
+	return func() {
+		for range in {
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package fingerprint exercises the fingerprint analyzer: every field
+// of a marked struct is either folded into the named source function
+// or carries an explicit exclusion.
+package fingerprint
+
+// Options is the annotated struct under the default source name.
+//
+//mbist:fingerprint-source
+type Options struct {
+	Size  int
+	Width int
+	// Workers cannot change verdicts.
+	//mbist:fingerprint-exclude throughput knob only
+	Workers int
+	Lanes   int // want "neither folded into Fingerprint nor annotated"
+	//mbist:fingerprint-exclude stale by construction
+	Depth int // want "annotated //mbist:fingerprint-exclude but Fingerprint references it"
+}
+
+// Fingerprint folds the workload identity.
+func Fingerprint(o Options) string {
+	_ = o.Size
+	_ = o.Width
+	_ = o.Depth
+	return "v1"
+}
+
+// Req resolves through a named source function instead of the default.
+//
+//mbist:fingerprint-source Workload
+type Req struct {
+	Algs string
+	//mbist:fingerprint-exclude presentation only
+	Pretty bool
+}
+
+// Workload resolves Req.
+func Workload(r Req) string { return r.Algs }
+
+// Spec names a resolver that does not exist.
+//
+//mbist:fingerprint-source Resolve
+type Spec struct { // want "no function Resolve"
+	N int
+}
+
+// Plain structs without the marker are not checked.
+type Plain struct {
+	Whatever int
+}

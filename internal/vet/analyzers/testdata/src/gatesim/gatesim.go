@@ -1,0 +1,14 @@
+// Package gatesim is the golden-test stub of the banned simulation
+// package: the staticonly analyzer matches banned imports on the last
+// path element, so this two-line double trips it exactly like the real
+// repro/internal/gatesim.
+package gatesim
+
+// Sim is a stand-in simulator.
+type Sim struct{}
+
+// Run executes the simulation.
+func (s Sim) Run() {}
+
+// RunContext executes the simulation under a context.
+func (s Sim) RunContext() {}

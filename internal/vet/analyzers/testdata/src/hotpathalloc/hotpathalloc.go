@@ -1,0 +1,80 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: annotated
+// functions may not allocate outside the documented cold paths.
+package hotpathalloc
+
+import "fmt"
+
+type ring struct {
+	buf  []int
+	free []int32
+}
+
+type anyT = interface{}
+
+func run() {}
+
+func sink(v interface{}) {}
+
+func variadic(vs ...interface{}) {}
+
+// hot is the annotated kernel: every allocating construct below is a
+// finding.
+//
+//mbist:hotpath
+func hot(m *ring, dst []byte, pre []interface{}, n int, name string) []byte {
+	x := make([]int, n) // want "make in a //mbist:hotpath function allocates"
+	_ = x
+	p := new(int) // want "new in a //mbist:hotpath function allocates"
+	_ = p
+	s := []int{1, 2} // want "slice literal in a //mbist:hotpath function allocates"
+	_ = s
+	mp := map[int]int{} // want "map literal in a //mbist:hotpath function allocates"
+	_ = mp
+	go run()       // want "go statement in a //mbist:hotpath function allocates a goroutine"
+	f := func() {} // want "closure in a //mbist:hotpath function allocates"
+	f()
+	fmt.Println(n)    // want "fmt.Println in a //mbist:hotpath function allocates"
+	msg := "x" + name // want "string concatenation in a //mbist:hotpath function allocates"
+	_ = msg
+	var local []byte
+	local = append(local, 1) // want "append grows a non-parameter buffer"
+	_ = local
+	dst = append(dst, 1)       // caller-supplied scratch: allowed
+	m.free = append(m.free, 2) // field of a parameter: allowed
+	st := ring{}               // struct literal is stack-shaped: allowed
+	_ = st
+	for i := 0; i < n; i++ {
+		defer run() // want "defer inside a loop in a //mbist:hotpath function allocates per iteration"
+	}
+	sink(n)          // want "argument boxes into interface parameter"
+	variadic(n)      // want "argument boxes into interface parameter"
+	variadic(pre...) // passing the slice through: allowed
+	_ = anyT(n)      // want "conversion to interface in a //mbist:hotpath function boxes"
+	sink(&n)         // pointer-shaped: allowed
+	return dst
+}
+
+// coldPaths pins the two escapes: panic arguments and return
+// statements may build errors freely.
+//
+//mbist:hotpath
+func coldPaths(n int) error {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpathalloc: bad %d", n))
+	}
+	return fmt.Errorf("n=%d", n)
+}
+
+// exempted pins the suppression mechanism: the annotated reason keeps
+// the allocation quiet.
+//
+//mbist:hotpath
+func exempted(n int) {
+	buf := make([]int, n) //mbist:exempt hotpathalloc one-time warmup allocation, measured cold
+	_ = buf
+}
+
+// unannotated functions allocate freely.
+func unannotated(n int) {
+	_ = make([]int, n)
+}

@@ -1,0 +1,10 @@
+// Package nopanicgate pins the analyzer's gating: a package with no
+// exported Validate front door is outside the contract and may panic
+// however it likes.
+package nopanicgate
+
+func check(n int) {
+	if n < 0 {
+		panic("anything goes here")
+	}
+}

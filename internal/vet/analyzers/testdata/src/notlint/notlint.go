@@ -1,0 +1,11 @@
+// Package notlint pins the staticonly gating: outside the lint
+// package, simulation imports and Run calls are unrestricted.
+package notlint
+
+import "gatesim"
+
+// Drive simulates; allowed anywhere but internal/lint.
+func Drive() {
+	var s gatesim.Sim
+	s.Run()
+}

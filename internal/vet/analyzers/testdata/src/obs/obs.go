@@ -1,0 +1,31 @@
+// Package obs is the golden-test double of repro/internal/obs: just
+// enough surface for the obsname analyzer to recognise instrument
+// lookups by method name and receiver type.
+package obs
+
+// Registry is the instrument registry double.
+type Registry struct{}
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+
+// Span returns the named span.
+func (r *Registry) Span(name string) *Span { return nil }
+
+// Counter is a cumulative instrument.
+type Counter struct{}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {}
+
+// Gauge is a last-value instrument.
+type Gauge struct{}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {}
+
+// Span is a distribution instrument.
+type Span struct{}

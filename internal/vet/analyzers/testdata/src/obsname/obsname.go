@@ -1,0 +1,42 @@
+// Package obsname exercises the obsname analyzer: instrument names
+// must be package-prefixed and precomputed, never built at the lookup
+// site.
+package obsname
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+var reg *obs.Registry
+
+const (
+	cGood = "pkg.requests"
+	cBare = "requests"
+)
+
+// precomputed names in the construction-time-field style.
+var (
+	vName = "pkg.precomputed"
+	table = [2]string{"pkg.worker.00", "pkg.worker.01"}
+)
+
+type holder struct{ name string }
+
+func lookups(h holder, i int, dyn func(int) string) {
+	reg.Counter("pkg.ok").Add(1)           // constant, prefixed: allowed
+	reg.Counter(cGood).Add(1)              // named constant, prefixed: allowed
+	reg.Counter("bare").Add(1)             // want "not package-prefixed"
+	reg.Counter(cBare).Add(1)              // want "not package-prefixed"
+	reg.Counter(vName).Add(1)              // identifier reference: allowed
+	reg.Counter(h.name).Add(1)             // field reference: allowed
+	reg.Gauge(table[i]).Set(2)             // index into a precomputed table: allowed
+	_ = reg.Span(fmt.Sprintf("pkg.%d", i)) // want "built at the lookup site"
+	reg.Counter("pkg." + dyn(i)).Add(1)    // want "built at the lookup site"
+	reg.Counter(dyn(i)).Add(1)             // want "built at the lookup site"
+}
+
+func exempted(i int, dyn func(int) string) {
+	reg.Counter(dyn(i)).Add(1) //mbist:exempt obsname migration shim, pinned by the golden test
+}

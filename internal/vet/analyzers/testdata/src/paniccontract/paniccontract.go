@@ -1,0 +1,43 @@
+// Package paniccontract exercises the panic-contract analyzer: the
+// exported Validate front door arms it, and every panic must then be
+// attributable.
+package paniccontract
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validate is the error-returning front door that arms the analyzer
+// for this package.
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("paniccontract: negative")
+	}
+	return nil
+}
+
+func check(n int, err error) {
+	if n < -1 {
+		panic("paniccontract: negative size") // constant, prefixed: allowed
+	}
+	if n == 1 {
+		panic(fmt.Sprintf("paniccontract: bad n %d", n)) // prefixed constant format: allowed
+	}
+	if err != nil {
+		panic(err.Error()) // re-raising a validation error: allowed
+	}
+}
+
+func violations(n int, err error) {
+	if n == 2 {
+		panic("negative size") // want "panic outside the paniccontract package contract"
+	}
+	if n == 3 {
+		panic(fmt.Sprintf("bad n %d", n)) // want "panic outside the paniccontract package contract"
+	}
+	if n == 4 {
+		panic(err) // want "panic outside the paniccontract package contract"
+	}
+	panic(n) // want "panic outside the paniccontract package contract"
+}

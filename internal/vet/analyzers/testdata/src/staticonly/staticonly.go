@@ -1,0 +1,18 @@
+// Package lint is the golden double of internal/lint: the staticonly
+// analyzer engages only on packages named lint.
+package lint
+
+import (
+	"sort"
+
+	"gatesim" // want "lint imports gatesim: the lint layer must stay static"
+)
+
+// Check is free to analyse statically (sorting is fine) but every
+// executor call is a finding.
+func Check(names []string) {
+	sort.Strings(names)
+	var s gatesim.Sim
+	s.Run()        // want "lint calls Run: lint analyses artifacts, it does not execute them"
+	s.RunContext() // want "lint calls RunContext: lint analyses artifacts, it does not execute them"
+}

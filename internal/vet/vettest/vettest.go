@@ -1,0 +1,268 @@
+// Package vettest is the golden-file harness for the mbistvet
+// analyzer suite, mirroring the x/tools analysistest convention on the
+// stdlib-only internal/vet/analysis substrate.
+//
+// A test package lives under testdata/src/<name>/ next to the calling
+// test. Its imports resolve testdata-first: an import path with a
+// directory under testdata/src is type-checked from that source
+// (letting tests stub repo packages like obs or gatesim with
+// two-line doubles), and anything else resolves against the real
+// toolchain's export data via `go list -export`.
+//
+// Expected findings are written in the source as trailing comments:
+//
+//	reg.Counter(fmt.Sprintf("x.%d", i)) // want "built at the lookup site"
+//
+// The string is a regular expression matched against analyzer
+// diagnostics reported on that line. Every want must be matched by a
+// diagnostic and every diagnostic by a want; either direction failing
+// fails the test, so goldens pin both the flagged and the accepted
+// cases.
+package vettest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/vet/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the caller's directory),
+// runs the analyzer over it and diffs the findings against the
+// source's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newLoader(root)
+	u, err := ld.load(pkg)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkg, err)
+	}
+	diags, err := analysis.Run(u, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+	}
+	checkWants(t, u, diags)
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+func checkWants(t *testing.T, u *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := u.Fset.Position(c.Pos())
+					pat, err := unquoteWant(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// unquoteWant resolves the \" and \\ escapes the want grammar allows
+// inside its quoted pattern.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// loader type-checks testdata packages, resolving imports
+// testdata-first and falling back to toolchain export data.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*types.Package // memoized local packages
+	units   map[string]*analysis.Unit
+	exports map[string]string // stdlib package path -> export file
+	gc      types.Importer
+}
+
+func newLoader(root string) *loader {
+	ld := &loader{
+		root:  root,
+		fset:  token.NewFileSet(),
+		pkgs:  map[string]*types.Package{},
+		units: map[string]*analysis.Unit{},
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		if ld.exports == nil {
+			if err := ld.resolveStdlib(); err != nil {
+				return nil, err
+			}
+		}
+		file, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ld
+}
+
+// Import implements types.Importer over the testdata-first scheme.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.root, path); isDir(dir) {
+		u, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return u.Pkg, nil
+	}
+	return ld.gc.Import(path)
+}
+
+func (ld *loader) load(path string) (*analysis.Unit, error) {
+	if u, ok := ld.units[path]; ok {
+		return u, nil
+	}
+	dir := filepath.Join(ld.root, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	u := &analysis.Unit{ImportPath: path, Fset: ld.fset, Files: files, Pkg: pkg, TypesInfo: info}
+	ld.units[path] = u
+	return u, nil
+}
+
+// resolveStdlib builds the export-data map for every non-testdata
+// import reachable from the testdata tree, in one `go list` call.
+func (ld *loader) resolveStdlib() error {
+	std := map[string]bool{}
+	err := filepath.WalkDir(ld.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !isDir(filepath.Join(ld.root, p)) {
+				std[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	ld.exports = map[string]string{}
+	if len(std) == 0 {
+		return nil
+	}
+	roots := make([]string, 0, len(std))
+	for p := range std {
+		roots = append(roots, p)
+	}
+	sort.Strings(roots)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, roots...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

@@ -106,15 +106,35 @@ func Run(arch Architecture, alg Algorithm, mem Memory, opts RunOptions) (*Result
 	if err != nil {
 		return nil, err
 	}
-	if reg := obs.Active(); reg != nil {
-		prefix := "run." + arch.String() + "."
-		reg.Counter(prefix + "runs").Add(1)
-		reg.Counter(prefix + "operations").Add(int64(res.Operations))
-		reg.Counter(prefix + "cycles").Add(int64(res.Cycles))
-		reg.Counter(prefix + "fails").Add(int64(len(res.Fails)))
+	if reg := obs.Active(); reg != nil && int(arch) < len(runMetricNames) {
+		names := runMetricNames[arch]
+		reg.Counter(names.runs).Add(1)
+		reg.Counter(names.operations).Add(int64(res.Operations))
+		reg.Counter(names.cycles).Add(int64(res.Cycles))
+		reg.Counter(names.fails).Add(int64(len(res.Fails)))
 	}
 	return res, nil
 }
+
+// runCounterNames holds the per-architecture obs counter names, built
+// once at init so Run's metrics exit performs no string construction.
+type runCounterNames struct {
+	runs, operations, cycles, fails string
+}
+
+var runMetricNames = func() [Hardwired + 1]runCounterNames {
+	var t [Hardwired + 1]runCounterNames
+	for a := range t {
+		prefix := "run." + Architecture(a).String() + "."
+		t[a] = runCounterNames{
+			runs:       prefix + "runs",
+			operations: prefix + "operations",
+			cycles:     prefix + "cycles",
+			fails:      prefix + "fails",
+		}
+	}
+	return t
+}()
 
 func runArch(arch Architecture, alg Algorithm, mem Memory, opts RunOptions) (*Result, error) {
 	word := mem.Width() > 1
