@@ -12,6 +12,7 @@
 //	mbistcov -lanes 512 -workers 4
 //	mbistcov -size 1024 -width 8 -checkpoint state.json
 //	mbistcov -size 1024 -width 8 -checkpoint state.json -resume
+//	mbistcov -size 1024 -timeout 5m -checkpoint state.json
 //	mbistcov -size 1024 -shard 0/4 -out shard0.json
 //	mbistcov -size 1024 -merge shard0.json,shard1.json,shard2.json,shard3.json
 //
@@ -40,8 +41,8 @@
 //	0  success
 //	1  grading or configuration error
 //	2  flag parse error
-//	3  interrupted by SIGINT/SIGTERM (final checkpoint written when
-//	   -checkpoint is set)
+//	3  interrupted by SIGINT/SIGTERM or the -timeout deadline (final
+//	   checkpoint written when -checkpoint is set)
 //	4  -resume checkpoint or -merge shard file is corrupt or belongs
 //	   to a different workload
 package main
@@ -71,9 +72,18 @@ const (
 	exitBadResume   = 4
 )
 
-// errInterrupted marks a run stopped by SIGINT/SIGTERM after writing
-// its final checkpoint.
+// errInterrupted marks a run stopped by SIGINT/SIGTERM or the -timeout
+// deadline after writing its final checkpoint.
 var errInterrupted = errors.New("interrupted")
+
+// cause distinguishes the two interruption sources in the exit-3
+// message: a -timeout expiry versus an operator signal.
+func cause(ctx context.Context) string {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return " (-timeout deadline exceeded)"
+	}
+	return ""
+}
 
 func main() {
 	log.SetFlags(0)
@@ -97,7 +107,7 @@ exit codes:
   0  success
   1  grading or configuration error
   2  flag parse error
-  3  interrupted by SIGINT/SIGTERM (final checkpoint written when -checkpoint is set)
+  3  interrupted by SIGINT/SIGTERM or the -timeout deadline (final checkpoint written when -checkpoint is set)
   4  -resume checkpoint or -merge shard file is corrupt or belongs to a different workload
 `)
 	}
@@ -150,9 +160,17 @@ func run(spec sweep.Spec, detail, ckptPath string, ckptEvery int, resume bool, s
 	}
 
 	// Stop at the next fault boundary on SIGINT/SIGTERM; the grading
-	// engines flush a final checkpoint before returning.
+	// engines flush a final checkpoint before returning. A -timeout
+	// deadline takes the same path: final checkpoint, exit 3.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if timeout, err := spec.TimeoutDuration(); err != nil {
+		return err
+	} else if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
 
 	switch {
 	case shardSpec != "" && mergeList != "":
@@ -242,14 +260,14 @@ func gradeAll(ctx context.Context, w *sweep.Workload, ckptPath string, resume bo
 		if err != nil {
 			if ctx.Err() != nil && rep != nil {
 				if ckptErr != nil {
-					return nil, fmt.Errorf("%w after %d/%d faults of %s; checkpoint write failed: %v",
-						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptErr)
+					return nil, fmt.Errorf("%w%s after %d/%d faults of %s; checkpoint write failed: %v",
+						errInterrupted, cause(ctx), rep.Graded, rep.Universe, alg.Name, ckptErr)
 				}
 				if ckptPath != "" {
-					return nil, fmt.Errorf("%w after %d/%d faults of %s; state saved to %s",
-						errInterrupted, rep.Graded, rep.Universe, alg.Name, ckptPath)
+					return nil, fmt.Errorf("%w%s after %d/%d faults of %s; state saved to %s",
+						errInterrupted, cause(ctx), rep.Graded, rep.Universe, alg.Name, ckptPath)
 				}
-				return nil, fmt.Errorf("%w after %d/%d faults of %s", errInterrupted, rep.Graded, rep.Universe, alg.Name)
+				return nil, fmt.Errorf("%w%s after %d/%d faults of %s", errInterrupted, cause(ctx), rep.Graded, rep.Universe, alg.Name)
 			}
 			return nil, err
 		}
@@ -273,7 +291,7 @@ func runShard(ctx context.Context, w *sweep.Workload, shardSpec, outPath string)
 	s, err := w.GradeShard(ctx, shard, of)
 	if err != nil {
 		if ctx.Err() != nil {
-			return fmt.Errorf("%w while grading shard %d/%d", errInterrupted, shard, of)
+			return fmt.Errorf("%w%s while grading shard %d/%d", errInterrupted, cause(ctx), shard, of)
 		}
 		return err
 	}

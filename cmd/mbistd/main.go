@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	mbistd                      # listen on :8347
+//	mbistd                      # listen on :8347, in-memory job store
+//	mbistd -journal-dir /var/lib/mbistd   # durable job store
 //	mbistd -addr 127.0.0.1:9000 -grade-workers 4 -queue 128
 //
 // API (see internal/serve):
@@ -15,18 +16,44 @@
 //	GET  /v1/jobs/{id}/report  result text, byte-identical to the CLIs
 //	GET  /v1/jobs/{id}/watch   streamed progress lines
 //	GET  /v1/metrics           obs counter snapshot (?format=json)
-//	GET  /v1/healthz           liveness + queue depth
+//	GET  /v1/healthz           liveness + queue depth + journal info
+//
+// HTTP status codes:
+//
+//	202  job accepted
+//	200  idempotency-key replay (existing job returned, not re-run)
+//	400  invalid request (unknown kind/algorithm/architecture, bad timeout)
+//	404  unknown job ID
+//	409  report requested before the job is done
+//	500  report of a failed or quarantined job
+//	503  draining or queue full; Retry-After header and JSON body
+//	     {"error":..., "code":"draining"|"saturated", "retry_after_seconds":N}
+//
+// With -journal-dir every job state transition is journaled
+// (fsync-per-record) and replayed on restart: finished jobs keep
+// serving their reports, interrupted jobs resume from their last
+// coverage checkpoint with byte-identical final reports.
 //
 // On SIGINT/SIGTERM the server drains gracefully: the listener closes,
 // new submissions get 503, queued and running jobs finish (bounded by
-// -drain-timeout), then the process exits 0. A drain that times out
-// cancels the remaining jobs and exits 1.
+// -drain-timeout), then the process exits 0.
+//
+// Exit codes:
+//
+//	0  clean shutdown (drained)
+//	1  runtime error (listen failure, HTTP server error)
+//	2  flag misuse
+//	3  drain timeout: remaining jobs were cancelled (journaled jobs
+//	   resume on the next start against the same -journal-dir)
+//	4  corrupt or foreign journal: refused to start rather than guess
+//	   at a job log that failed CRC/fingerprint verification
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -35,7 +62,14 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/serve"
+)
+
+const (
+	exitRuntime      = 1
+	exitDrainTimeout = 3
+	exitBadJournal   = 4
 )
 
 func main() {
@@ -45,13 +79,40 @@ func main() {
 	workers := flag.Int("grade-workers", 0, "concurrent jobs (0 = 2)")
 	queue := flag.Int("queue", 0, "queued-job bound (0 = 64)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to finish jobs on shutdown")
+	journalDir := flag.String("journal-dir", "", "durable job store directory; empty keeps jobs in memory only")
+	ckptEvery := flag.Int("checkpoint-every", 0, "grade-job checkpoint cadence in graded faults (0 = 2048)")
+	watchdog := flag.Duration("watchdog", 0, "fail a running job with no checkpoint progress for this long (0 = off)")
+	retries := flag.Int("retries", 0, "default transient-failure retry budget per job (0 = 2, negative = never; requests override via spec retries)")
+	retryBase := flag.Duration("retry-base", 0, "backoff base delay between retries (0 = 100ms)")
+	retryCap := flag.Duration("retry-cap", 0, "backoff delay cap (0 = 5s)")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for the retry backoff jitter (deterministic schedules)")
+	crashAfter := flag.Int("chaos-crash-after-checkpoints", 0, "chaos harness: SIGKILL this process after the Nth checkpointed journal record (0 = off; requires -journal-dir)")
 	flag.Parse()
 
 	// The service registry backs /v1/metrics and the artifact-cache
 	// hit/build counters the e2e lane asserts on.
 	obs.Enable()
 
-	s := serve.New(serve.Options{Workers: *workers, Queue: *queue})
+	s, err := serve.New(serve.Options{
+		Workers:               *workers,
+		Queue:                 *queue,
+		JournalDir:            *journalDir,
+		CheckpointEvery:       *ckptEvery,
+		Watchdog:              *watchdog,
+		RetryMax:              *retries,
+		RetryBase:             *retryBase,
+		RetryCap:              *retryCap,
+		RetrySeed:             *retrySeed,
+		CrashAfterCheckpoints: *crashAfter,
+	})
+	if err != nil {
+		log.Print(err)
+		if errors.Is(err, resilience.ErrCorrupt) || errors.Is(err, resilience.ErrMismatch) {
+			fmt.Fprintln(os.Stderr, "mbistd: refusing to start on an untrusted journal; inspect or move it aside to start fresh")
+			os.Exit(exitBadJournal)
+		}
+		os.Exit(exitRuntime)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -65,7 +126,8 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(exitRuntime)
 	case <-ctx.Done():
 	}
 
@@ -76,10 +138,12 @@ func main() {
 		log.Printf("http shutdown: %v", err)
 	}
 	if err := s.Drain(drainCtx); err != nil {
-		log.Fatalf("drain: %v (remaining jobs cancelled)", err)
+		log.Printf("drain: %v (remaining jobs cancelled; journaled jobs resume on restart)", err)
+		os.Exit(exitDrainTimeout)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(exitRuntime)
 	}
 	log.Print("drained cleanly")
 }

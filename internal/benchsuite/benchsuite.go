@@ -11,6 +11,7 @@ package benchsuite
 
 import (
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/coverage"
@@ -212,6 +213,14 @@ func GradeLaneMetricsOn(b *testing.B) {
 	}
 	if reg.Counter("coverage.fast_kernel_batches").Value() == 0 {
 		b.Fatal("metrics-on grade replayed no batch through a specialized kernel")
+	}
+	// The service durability layer (journal appends, retry/watchdog
+	// bookkeeping) must stay off the grade hot path: a bare grading run
+	// may not touch any serve.* instrument.
+	for _, m := range reg.Snapshot() {
+		if strings.HasPrefix(m.Name, "serve.") {
+			b.Fatalf("grade hot path touched service instrument %s", m.Name)
+		}
 	}
 }
 

@@ -1,0 +1,213 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/resilience"
+	"repro/internal/sweep"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// mbistdBinary builds cmd/mbistd once per test run and returns its
+// path.
+func mbistdBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mbistd-chaos-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "mbistd")
+		cmd := exec.Command("go", "build", "-o", buildBin, "repro/cmd/mbistd")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build mbistd: %v: %s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+func startService(t *testing.T, journalDir string, extra ...string) *chaos.Service {
+	t.Helper()
+	port, err := chaos.FreePort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := chaos.StartService(chaos.ServiceOptions{
+		Binary:     mbistdBinary(t),
+		Addr:       fmt.Sprintf("127.0.0.1:%d", port),
+		JournalDir: journalDir,
+		Args:       extra,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Kill)
+	return s
+}
+
+// TestServiceCrashRecoveryByteIdentical is the X14 scenario end to
+// end, across a real process boundary: mbistd SIGKILLs itself after a
+// deterministic number of journaled checkpoints mid-grade, a second
+// process on the same journal directory re-enqueues the job, resumes
+// it from the last checkpoint, and serves a report byte-identical to
+// an uninterrupted in-process run of the same sweep.Spec.
+func TestServiceCrashRecoveryByteIdentical(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// The uninterrupted reference, computed in-process by the same
+	// library the daemon wraps.
+	spec := sweep.Spec{Algs: "marchc,marchx", Size: 32}
+	w, err := spec.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := w.Grade(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.RenderText(reports)
+
+	dir := t.TempDir()
+	victim := startService(t, dir,
+		"-grade-workers", "1",
+		"-checkpoint-every", "64",
+		"-chaos-crash-after-checkpoints", "3",
+	)
+	if err := victim.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, id, err := victim.Submit(ctx, `{"kind":"grade","key":"x14","grade":{"algs":"marchc,marchx","size":32}}`)
+	if err != nil || code != 202 {
+		t.Fatalf("submit: code=%d err=%v", code, err)
+	}
+
+	// The daemon kills itself (power-cut semantics: SIGKILL, no
+	// cleanup) after the third fsync'd checkpoint record.
+	exit, err := victim.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != -1 {
+		t.Fatalf("victim exit code %d, want -1 (killed by SIGKILL); stderr:\n%s", exit, victim.Stderr())
+	}
+
+	// Same journal directory, no crash flag: the job must come back and
+	// finish from where the journal left it.
+	survivor := startService(t, dir, "-grade-workers", "1", "-checkpoint-every", "64")
+	if err := survivor.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	state, err := survivor.WaitJob(ctx, id)
+	if err != nil {
+		t.Fatalf("%v; survivor stderr:\n%s", err, survivor.Stderr())
+	}
+	if state != "done" {
+		t.Fatalf("recovered job ended %q; survivor stderr:\n%s", state, survivor.Stderr())
+	}
+	got, err := survivor.Report(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("resumed report diverges from uninterrupted run:\n--- resumed\n%s\n--- uninterrupted\n%s", got, want)
+	}
+
+	// The idempotency key survives the crash too: resubmitting on the
+	// survivor replays the finished job instead of grading again.
+	code, dupID, err := survivor.Submit(ctx, `{"kind":"grade","key":"x14","grade":{"algs":"marchc,marchx","size":32}}`)
+	if err != nil || code != 200 || dupID != id {
+		t.Fatalf("key replay: code=%d id=%s err=%v, want 200 %s", code, dupID, err, id)
+	}
+
+	if exit, err := survivor.Stop(ctx); err != nil || exit != 0 {
+		t.Fatalf("survivor drain: exit=%d err=%v; stderr:\n%s", exit, err, survivor.Stderr())
+	}
+}
+
+// TestServiceRefusesCorruptJournal pins exit code 4: a journal record
+// mutilated on disk must keep the daemon from starting.
+func TestServiceRefusesCorruptJournal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	dir := t.TempDir()
+	first := startService(t, dir, "-grade-workers", "1")
+	if err := first.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, id, err := first.Submit(ctx, `{"kind":"grade","grade":{"algs":"mats+","size":16}}`)
+	if err != nil || code != 202 {
+		t.Fatalf("submit: code=%d err=%v", code, err)
+	}
+	if state, err := first.WaitJob(ctx, id); err != nil || state != "done" {
+		t.Fatalf("job: state=%s err=%v", state, err)
+	}
+	if exit, err := first.Stop(ctx); err != nil || exit != 0 {
+		t.Fatalf("drain: exit=%d err=%v", exit, err)
+	}
+
+	// Flip one byte inside the first record of the journal — a complete,
+	// fsync'd line whose CRC can no longer verify.
+	journal := filepath.Join(dir, "jobs.journal")
+	if err := chaos.FlipByte(journal, 20); err != nil {
+		t.Fatal(err)
+	}
+	refused := startService(t, dir)
+	exit, err := refused.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 4 {
+		t.Fatalf("exit code %d on a corrupt journal, want 4; stderr:\n%s", exit, refused.Stderr())
+	}
+	if !strings.Contains(refused.Stderr(), "untrusted journal") {
+		t.Errorf("stderr lacks the refusal notice:\n%s", refused.Stderr())
+	}
+}
+
+// TestServiceRefusesForeignJournal pins the fingerprint check across
+// the process boundary: a structurally valid journal written by a
+// different owner must be refused with exit code 4, not replayed.
+func TestServiceRefusesForeignJournal(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	dir := t.TempDir()
+	j, _, err := resilience.OpenJournal(filepath.Join(dir, "jobs.journal"), "some-other-tool/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(map[string]string{"op": "accepted", "id": "job-1"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	refused := startService(t, dir)
+	exit, err := refused.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 4 {
+		t.Fatalf("exit code %d on a foreign journal, want 4; stderr:\n%s", exit, refused.Stderr())
+	}
+}

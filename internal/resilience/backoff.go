@@ -1,0 +1,67 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes decorrelated-jitter exponential backoff delays:
+// each delay is drawn uniformly from [base, min(cap, prev*3)], so
+// retries spread out (no thundering herd of synchronised clients) while
+// still growing roughly exponentially toward the cap. The generator is
+// seeded, never clocked — for one seed the delay sequence is a pure
+// function of the call count, which is what lets the retry tests assert
+// exact schedules.
+//
+// Backoff is safe for concurrent use (the job store shares one across
+// workers).
+type Backoff struct {
+	base, cap time.Duration
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	prev time.Duration
+}
+
+// NewBackoff returns a backoff over [base, cap] seeded with seed.
+// Non-positive base defaults to 100ms; a cap below base is raised to
+// base.
+func NewBackoff(base, cap time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{
+		base: base,
+		cap:  cap,
+		rng:  rand.New(rand.NewSource(seed)),
+		prev: base,
+	}
+}
+
+// Next returns the next delay in the sequence.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	hi := b.prev * 3
+	if hi > b.cap {
+		hi = b.cap
+	}
+	d := b.base
+	if hi > b.base {
+		d = b.base + time.Duration(b.rng.Int63n(int64(hi-b.base)+1))
+	}
+	b.prev = d
+	return d
+}
+
+// Reset restarts the sequence as if freshly constructed with the same
+// seed state (the RNG stream continues; only the growth window resets).
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.prev = b.base
+	b.mu.Unlock()
+}

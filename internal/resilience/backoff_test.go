@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministicUnderSeed pins the property the retry tests
+// lean on: for one seed the delay schedule is a pure function of the
+// call count.
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	a := NewBackoff(10*time.Millisecond, time.Second, 42)
+	b := NewBackoff(10*time.Millisecond, time.Second, 42)
+	for i := 0; i < 50; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("call %d: seeds diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	base, cap := 10*time.Millisecond, 200*time.Millisecond
+	b := NewBackoff(base, cap, 1)
+	prev := base
+	sawCapWindow := false
+	for i := 0; i < 100; i++ {
+		d := b.Next()
+		if d < base || d > cap {
+			t.Fatalf("call %d: delay %v outside [%v, %v]", i, d, base, cap)
+		}
+		// Decorrelated jitter: each delay is at most 3x the previous
+		// (clamped at the cap).
+		hi := prev * 3
+		if hi > cap {
+			hi = cap
+			sawCapWindow = true
+		}
+		if d > hi {
+			t.Fatalf("call %d: delay %v exceeds decorrelated window %v", i, d, hi)
+		}
+		prev = d
+	}
+	if !sawCapWindow {
+		t.Error("100 draws never reached the cap window — growth is broken")
+	}
+}
+
+func TestBackoffSeedsDiffer(t *testing.T) {
+	a := NewBackoff(time.Millisecond, time.Minute, 1)
+	b := NewBackoff(time.Millisecond, time.Minute, 2)
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Next() != b.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("20 draws identical across different seeds")
+	}
+}
+
+func TestBackoffResetRestartsWindow(t *testing.T) {
+	base := 5 * time.Millisecond
+	b := NewBackoff(base, time.Second, 7)
+	for i := 0; i < 10; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if d := b.Next(); d > 3*base {
+		t.Errorf("first delay after Reset = %v, want within the restarted window [%v, %v]", d, base, 3*base)
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	d := b.Next()
+	if d < 100*time.Millisecond {
+		t.Errorf("defaulted backoff returned %v, want >= the 100ms default base", d)
+	}
+}

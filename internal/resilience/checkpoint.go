@@ -27,15 +27,20 @@ var ErrCorrupt = errors.New("checkpoint is corrupt")
 var ErrMismatch = errors.New("checkpoint does not match this workload")
 
 // CorruptError carries the detail behind an ErrCorrupt/ErrMismatch
-// verdict.
+// verdict, for checkpoint files and journals alike.
 type CorruptError struct {
 	Path   string
 	Reason string
-	kind   error // ErrCorrupt or ErrMismatch
+	what   string // artifact label: "checkpoint" (default) or "journal"
+	kind   error  // ErrCorrupt or ErrMismatch
 }
 
 func (e *CorruptError) Error() string {
-	return fmt.Sprintf("checkpoint %s: %s", e.Path, e.Reason)
+	what := e.what
+	if what == "" {
+		what = "checkpoint"
+	}
+	return fmt.Sprintf("%s %s: %s", what, e.Path, e.Reason)
 }
 
 func (e *CorruptError) Unwrap() error { return e.kind }

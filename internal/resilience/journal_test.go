@@ -1,0 +1,256 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+type transition struct {
+	Op  string `json:"op"`
+	Job string `json:"job"`
+}
+
+func openAppend(t *testing.T, path, fp string, payloads ...transition) {
+	t.Helper()
+	j, _, err := OpenJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, p := range payloads {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, path, fp string) []transition {
+	t.Helper()
+	j, raw, err := OpenJournal(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	out := make([]transition, len(raw))
+	for i, r := range raw {
+		if err := json.Unmarshal(r, &out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	want := []transition{{"accepted", "job-1"}, {"running", "job-1"}, {"done", "job-1"}}
+	openAppend(t, path, "fp-1", want...)
+
+	got := replayAll(t, path, "fp-1")
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Appends continue across reopens with the sequence intact.
+	openAppend(t, path, "fp-1", transition{"accepted", "job-2"})
+	if got := replayAll(t, path, "fp-1"); len(got) != 4 || got[3].Job != "job-2" {
+		t.Fatalf("after reopen+append: %+v", got)
+	}
+}
+
+// TestJournalTornTailDropped pins the recoverable failure mode: a
+// SIGKILL mid-append leaves a final line without its newline; replay
+// drops exactly that record, truncates the file and continues.
+func TestJournalTornTailDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	openAppend(t, path, "fp", transition{"accepted", "job-1"}, transition{"running", "job-1"})
+	twoRecords, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openAppend(t, path, "fp", transition{"done", "job-1"})
+
+	// Tear the third record: keep the two complete records plus a few
+	// bytes of the third, exactly what a killed writer leaves behind.
+	if err := chaos.Truncate(path, twoRecords.Size()+7); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path, "fp")
+	if len(got) != 2 || got[1].Op != "running" {
+		t.Fatalf("after torn tail: replayed %+v, want the 2 complete records", got)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != twoRecords.Size() {
+		t.Errorf("torn tail not truncated away: %d bytes, want %d", fi.Size(), twoRecords.Size())
+	}
+
+	// The journal must be appendable again on a clean line boundary.
+	openAppend(t, path, "fp", transition{"failed", "job-1"})
+	if got := replayAll(t, path, "fp"); len(got) != 3 || got[2].Op != "failed" {
+		t.Fatalf("append after tail drop: %+v", got)
+	}
+}
+
+// TestJournalMidFileCorruptionRefused pins the non-recoverable mode: a
+// flipped byte in an interior record is bit rot, not crash debris —
+// replay must refuse with ErrCorrupt instead of resurrecting jobs from
+// a log it cannot trust.
+func TestJournalMidFileCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	openAppend(t, path, "fp",
+		transition{"accepted", "job-1"}, transition{"running", "job-1"}, transition{"done", "job-1"})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload (the job ID), well
+	// before the final line.
+	i := bytes.Index(data, []byte("job-1"))
+	if i < 0 {
+		t.Fatal("payload bytes not found")
+	}
+	if err := chaos.FlipByte(path, int64(i)); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := OpenJournal(path, "fp")
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-file flip: error = %v, want ErrCorrupt", err)
+	}
+	if j != nil {
+		t.Fatal("corrupt journal still returned a handle")
+	}
+}
+
+// A complete final record with a bad CRC is also corruption (an fsync'd
+// record cannot be half-written), not a droppable tail.
+func TestJournalTailCRCFlipRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	openAppend(t, path, "fp", transition{"accepted", "job-1"}, transition{"running", "job-1"})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.LastIndex(data, []byte("running"))
+	if i < 0 {
+		t.Fatal("payload bytes not found")
+	}
+	if err := chaos.FlipByte(path, int64(i)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, "fp"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tail CRC flip: error = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestJournalForeignFingerprintRefused pins identity binding: a journal
+// written by a different owner (another workload, another store) must
+// be refused with ErrMismatch, never merged into this one's state.
+func TestJournalForeignFingerprintRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	openAppend(t, path, "owner-a", transition{"accepted", "job-1"})
+	_, _, err := OpenJournal(path, "owner-b")
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("foreign journal: error = %v, want ErrMismatch", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("a foreign journal must not read as corruption")
+	}
+}
+
+func TestJournalSchemaMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	openAppend(t, path, "fp", transition{"accepted", "job-1"})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), JournalSchema, "mbist-journal/0", 1)
+	if mutated == string(data) {
+		t.Fatal("schema string not found in record")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, "fp"); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("schema mismatch: error = %v, want ErrMismatch", err)
+	}
+}
+
+func TestJournalSequenceTamperRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	openAppend(t, path, "fp", transition{"accepted", "job-1"}, transition{"running", "job-1"})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the first record line: the repeated seq 1 after seq 2
+	// must be refused.
+	nl := bytes.IndexByte(data, '\n')
+	doctored := append(data, data[:nl+1]...)
+	if err := os.WriteFile(path, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path, "fp"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sequence tamper: error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalRotateCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, _, err := OpenJournal(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(transition{"accepted", "job-1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := j.Size()
+	if err := j.Rotate([]any{transition{"done", "job-1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Size() >= before {
+		t.Errorf("rotate did not shrink the journal: %d -> %d bytes", before, j.Size())
+	}
+	if j.Records() != 1 {
+		t.Errorf("rotated journal holds %d records, want 1", j.Records())
+	}
+	// Appends continue after rotation, and a reopen replays the
+	// compacted view.
+	if err := j.Append(transition{"accepted", "job-2"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	got := replayAll(t, path, "fp")
+	if len(got) != 2 || got[0].Op != "done" || got[1].Job != "job-2" {
+		t.Fatalf("after rotate+append: %+v", got)
+	}
+}
+
+func TestJournalEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file: created empty.
+	if got := replayAll(t, filepath.Join(dir, "absent.journal"), "fp"); len(got) != 0 {
+		t.Fatalf("fresh journal replayed %+v", got)
+	}
+	// Existing empty file: no records, no error.
+	path := filepath.Join(dir, "empty.journal")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path, "fp"); len(got) != 0 {
+		t.Fatalf("empty journal replayed %+v", got)
+	}
+}

@@ -13,16 +13,34 @@
 // API:
 //
 //	POST /v1/jobs            submit a job        -> 202 {"id":"job-1"}
+//	                         (200 when an idempotency key replays)
 //	GET  /v1/jobs/{id}       job status JSON
 //	GET  /v1/jobs/{id}/report  result text (409 until the job is done)
 //	GET  /v1/jobs/{id}/watch   streamed progress lines until terminal
 //	GET  /v1/metrics         obs registry snapshot (?format=json)
-//	GET  /v1/healthz         liveness + queue depth
+//	GET  /v1/healthz         liveness + queue depth + journal info
 //
 // Submissions are validated synchronously — an unknown algorithm,
 // architecture or engine is a 400 at POST time, not a failed job.
-// During drain (SIGTERM) submissions return 503 while queued and
-// running jobs finish.
+// During drain (SIGTERM) or queue saturation submissions return 503
+// with a Retry-After header and a machine-readable JSON body while
+// queued and running jobs finish.
+//
+// # Durability
+//
+// With Options.JournalDir set the server journals every job state
+// transition (accepted → running → checkpointed(N) → done | failed |
+// quarantined) to an append-only, fsync-per-record JSONL log riding
+// the internal/resilience envelope (see journal.go). On restart the
+// journal is replayed: terminal jobs keep serving their reports,
+// interrupted jobs are re-enqueued and grade jobs resume from their
+// last coverage.State checkpoint, producing reports byte-identical to
+// an uninterrupted run. Jobs additionally get per-request deadlines
+// (sweep.Spec.Timeout — an expired job reports Partial results), a
+// stuck-job watchdog (no checkpoint progress within Options.Watchdog →
+// cancelled and failed with attribution), and bounded retry with
+// decorrelated-jitter backoff for transient failures (deterministic
+// under Options.RetrySeed).
 package serve
 
 import (
@@ -31,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -41,6 +60,7 @@ import (
 	"repro/internal/march"
 	"repro/internal/microbist"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 	"repro/internal/sweep"
 )
 
@@ -52,12 +72,47 @@ type Options struct {
 	// A full queue rejects submissions with 503 instead of buffering
 	// without bound.
 	Queue int
+	// JournalDir, when non-empty, makes the job store durable: every
+	// state transition is journaled to <JournalDir>/jobs.journal and
+	// replayed on the next New against the same directory. Empty keeps
+	// the store in memory only.
+	JournalDir string
+	// CheckpointEvery is the grade-job checkpoint cadence in graded
+	// faults (<=0 selects 2048). Each checkpoint journals the
+	// algorithm's coverage state, bounding the work a crash loses.
+	CheckpointEvery int
+	// Watchdog is the maximum wall time a running job may go without
+	// checkpoint progress before it is cancelled and failed with
+	// attribution. Zero disables the watchdog.
+	Watchdog time.Duration
+	// RetryMax is the default transient-failure retry budget (re-runs
+	// after the first attempt) for jobs that do not set their own via
+	// sweep.Spec.Retries. Zero selects 2; negative disables retries.
+	RetryMax int
+	// RetryBase and RetryCap bound the decorrelated-jitter backoff
+	// delays between retries (defaults 100ms and 5s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// RetrySeed seeds the backoff's jitter source, making retry
+	// schedules deterministic for tests. Zero is a valid seed.
+	RetrySeed int64
+	// CrashAfterCheckpoints is a chaos knob: after the Nth checkpointed
+	// journal record the process SIGKILLs itself — a deterministic
+	// power-cut for the kill/restart/byte-identity harness. Zero
+	// disables it. Requires JournalDir.
+	CrashAfterCheckpoints int
 }
 
 // Server owns the job store and the worker pool. Create with New,
 // mount Handler on an http.Server, and Drain on shutdown.
 type Server struct {
-	workers int
+	workers         int
+	checkpointEvery int
+	watchdog        time.Duration
+	retryMax        int
+	backoff         *resilience.Backoff
+	crashAfter      int64
+	crashCount      atomic.Int64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -65,45 +120,100 @@ type Server struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	keys     map[string]string // idempotency key -> job ID
 	nextID   int
 	draining bool
+
+	journal   *resilience.Journal // nil when JournalDir is unset
+	journalMu sync.Mutex
 
 	queue   chan *Job
 	running atomic.Int64
 
-	mJobs    *obs.Counter
-	mDone    *obs.Counter
-	mFailed  *obs.Counter
-	mWorking *obs.Gauge
+	mJobs         *obs.Counter
+	mDone         *obs.Counter
+	mFailed       *obs.Counter
+	mWorking      *obs.Gauge
+	mRecovered    *obs.Counter
+	mRetried      *obs.Counter
+	mDeadline     *obs.Counter
+	mWatchdog     *obs.Counter
+	mJournalBytes *obs.Gauge
 }
 
-// New starts a server's worker pool and returns it.
-func New(opts Options) *Server {
+// New starts a server's worker pool and returns it. With
+// Options.JournalDir set it first replays the journal: an error there
+// (resilience.ErrCorrupt, resilience.ErrMismatch or I/O) refuses to
+// start — a service must not guess at a job log it cannot trust.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 2
 	}
 	if opts.Queue <= 0 {
 		opts.Queue = 64
 	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 2048
+	}
+	if opts.RetryMax == 0 {
+		opts.RetryMax = 2
+	}
+	if opts.RetryMax < 0 {
+		opts.RetryMax = 0
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	if opts.RetryCap <= 0 {
+		opts.RetryCap = 5 * time.Second
+	}
 	//mbist:exempt ctxflow server-lifetime root context, cancelled by Close
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := obs.Active()
 	s := &Server{
-		workers:  opts.Workers,
-		ctx:      ctx,
-		cancel:   cancel,
-		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, opts.Queue),
-		mJobs:    reg.Counter("serve.jobs_submitted"),
-		mDone:    reg.Counter("serve.jobs_done"),
-		mFailed:  reg.Counter("serve.jobs_failed"),
-		mWorking: reg.Gauge("serve.jobs_running"),
+		workers:         opts.Workers,
+		checkpointEvery: opts.CheckpointEvery,
+		watchdog:        opts.Watchdog,
+		retryMax:        opts.RetryMax,
+		backoff:         resilience.NewBackoff(opts.RetryBase, opts.RetryCap, opts.RetrySeed),
+		crashAfter:      int64(opts.CrashAfterCheckpoints),
+		ctx:             ctx,
+		cancel:          cancel,
+		jobs:            make(map[string]*Job),
+		keys:            make(map[string]string),
+		mJobs:           reg.Counter("serve.jobs_submitted"),
+		mDone:           reg.Counter("serve.jobs_done"),
+		mFailed:         reg.Counter("serve.jobs_failed"),
+		mWorking:        reg.Gauge("serve.jobs_running"),
+		mRecovered:      reg.Counter("serve.jobs_recovered"),
+		mRetried:        reg.Counter("serve.jobs_retried"),
+		mDeadline:       reg.Counter("serve.jobs_deadline_exceeded"),
+		mWatchdog:       reg.Counter("serve.watchdog_kills"),
+		mJournalBytes:   reg.Gauge("serve.journal_bytes"),
+	}
+	var pending []*Job
+	if opts.JournalDir != "" {
+		var err error
+		if pending, err = s.openJournal(opts.JournalDir); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	// Recovered jobs get guaranteed queue headroom so replay can never
+	// deadlock against a small configured queue.
+	s.queue = make(chan *Job, opts.Queue+len(pending))
+	for _, job := range pending {
+		//mbist:exempt ctxflow cannot block: the queue was just sized with len(pending) headroom
+		s.queue <- job
+	}
+	if n := len(pending); n > 0 {
+		s.mRecovered.Add(int64(n))
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Drain stops accepting new jobs, waits for queued and running jobs to
@@ -118,20 +228,25 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
+		s.closeJournal()
 		return ctx.Err()
 	}
 }
 
 // Close cancels running jobs and stops the pool without waiting for
 // queued work. Tests use it; production shutdown goes through Drain.
+// Interrupted jobs stay journaled as running, so a restart against the
+// same journal directory re-enqueues and resumes them.
 func (s *Server) Close() {
 	s.cancel()
 	s.closeQueue()
 	s.wg.Wait()
+	s.closeJournal()
 }
 
 // closeQueue flips the server into draining and closes the queue
@@ -149,56 +264,194 @@ func (s *Server) closeQueue() {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for job := range s.queue {
-		job.setState(StateRunning)
-		s.mWorking.Set(s.running.Add(1))
-		text, err := job.run(s.ctx)
-		s.mWorking.Set(s.running.Add(-1))
-		if err != nil {
-			job.fail(err)
-			s.mFailed.Add(1)
-			continue
+		s.runJob(job)
+	}
+}
+
+// runJob drives one job through its attempts: run, classify the
+// outcome, retry transient failures within the budget, journal every
+// terminal transition.
+func (s *Server) runJob(job *Job) {
+	for {
+		attempt := job.startAttempt()
+		s.journalAppend(jobEntry{Op: opRunning, ID: job.ID, Attempt: attempt})
+
+		runCtx := s.ctx
+		var cancel context.CancelFunc
+		if t := job.timeout; t > 0 {
+			runCtx, cancel = context.WithTimeout(runCtx, t)
+		} else {
+			runCtx, cancel = context.WithCancel(runCtx)
 		}
-		job.finish(text)
-		s.mDone.Add(1)
+		var wdStop chan struct{}
+		if s.watchdog > 0 {
+			wdStop = make(chan struct{})
+			go s.watchJob(job, cancel, wdStop)
+		}
+
+		s.mWorking.Set(s.running.Add(1))
+		var text string
+		var runErr error
+		if capErr := resilience.Capture(func() { text, runErr = job.run(runCtx) }); capErr != nil {
+			runErr = capErr
+		}
+		s.mWorking.Set(s.running.Add(-1))
+		if wdStop != nil {
+			close(wdStop)
+		}
+		cancel()
+
+		switch {
+		case runErr == nil:
+			job.finish(text)
+			if job.isExpired() {
+				s.mDeadline.Add(1)
+			}
+			s.journalAppend(jobEntry{Op: opDone, ID: job.ID, Result: text, Expired: job.isExpired()})
+			s.mDone.Add(1)
+			s.maybeCompact()
+			return
+		case s.ctx.Err() != nil:
+			// Server shutdown, not a job failure: fail it in memory for
+			// this process but leave the journal at "running", so a
+			// restart against the same journal dir re-enqueues and
+			// resumes the job.
+			job.fail(runErr)
+			s.mFailed.Add(1)
+			return
+		case job.wasWatchdogKilled():
+			job.fail(fmt.Errorf("watchdog: no checkpoint progress within %v; attempt %d cancelled", s.watchdog, attempt))
+			s.journalAppend(jobEntry{Op: opFailed, ID: job.ID, Attempt: attempt, Error: job.status().Error})
+			s.mFailed.Add(1)
+			s.maybeCompact()
+			return
+		case errors.Is(runErr, context.DeadlineExceeded):
+			// A deadline that escaped the run closure uncooked. Retrying
+			// would only expire again; fail with attribution.
+			job.fail(fmt.Errorf("deadline %v exceeded: %w", job.timeout, runErr))
+			s.journalAppend(jobEntry{Op: opFailed, ID: job.ID, Attempt: attempt, Error: job.status().Error})
+			s.mFailed.Add(1)
+			s.maybeCompact()
+			return
+		default:
+			// Transient failure: validation happened at submit, so a run
+			// error here is an engine/runtime fault worth re-running —
+			// from the last journaled checkpoint, within the budget.
+			if attempt <= job.retries {
+				s.mRetried.Add(1)
+				select {
+				case <-time.After(s.backoff.Next()):
+					continue
+				case <-s.ctx.Done():
+					job.fail(runErr)
+					s.mFailed.Add(1)
+					return
+				}
+			}
+			if _, isPanic := resilience.AsPanic(runErr); isPanic {
+				job.quarantine(runErr)
+				s.journalAppend(jobEntry{Op: opQuarantined, ID: job.ID, Attempt: attempt, Error: job.status().Error})
+			} else {
+				job.fail(runErr)
+				s.journalAppend(jobEntry{Op: opFailed, ID: job.ID, Attempt: attempt, Error: job.status().Error})
+			}
+			s.mFailed.Add(1)
+			s.maybeCompact()
+			return
+		}
+	}
+}
+
+// watchJob cancels a job's attempt when it makes no checkpoint
+// progress for the watchdog window.
+func (s *Server) watchJob(job *Job, cancel context.CancelFunc, stop chan struct{}) {
+	interval := s.watchdog / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if time.Since(job.progressTime()) > s.watchdog {
+				job.markWatchdogKilled()
+				s.mWatchdog.Add(1)
+				cancel()
+				return
+			}
+		}
 	}
 }
 
 // JobState is a job's lifecycle position.
 type JobState string
 
-// Job lifecycle: queued -> running -> done | failed.
+// Job lifecycle: queued -> running -> done | failed | quarantined.
+// Quarantined marks a job whose every attempt panicked — poisoned
+// input rather than a transient fault.
 const (
-	StateQueued  JobState = "queued"
-	StateRunning JobState = "running"
-	StateDone    JobState = "done"
-	StateFailed  JobState = "failed"
+	StateQueued      JobState = "queued"
+	StateRunning     JobState = "running"
+	StateDone        JobState = "done"
+	StateFailed      JobState = "failed"
+	StateQuarantined JobState = "quarantined"
 )
+
+// terminal reports whether a state is final.
+func (st JobState) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateQuarantined
+}
 
 // Job is one submitted workload. All mutable fields are guarded by mu;
 // run closures touch progress through the job's own methods.
 type Job struct {
 	ID   string `json:"id"`
 	Kind string `json:"kind"`
+	Key  string `json:"key,omitempty"`
 
-	mu     sync.Mutex
-	state  JobState
-	done   int
-	total  int
-	errMsg string
-	result string
+	mu           sync.Mutex
+	state        JobState
+	done         int
+	total        int
+	errMsg       string
+	result       string
+	attempt      int
+	checkpoints  int
+	expired      bool
+	wdKilled     bool
+	lastProgress time.Time
+	resume       map[string]*mbist.CoverageState
+
+	req     Request
+	timeout time.Duration
+	retries int
 
 	run func(ctx context.Context) (string, error)
 }
 
-func (j *Job) setState(st JobState) {
+func (j *Job) startAttempt() int {
 	j.mu.Lock()
-	j.state = st
-	j.mu.Unlock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.attempt++
+	j.wdKilled = false
+	j.lastProgress = time.Now()
+	return j.attempt
 }
 
 func (j *Job) fail(err error) {
 	j.mu.Lock()
 	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+func (j *Job) quarantine(err error) {
+	j.mu.Lock()
+	j.state = StateQuarantined
 	j.errMsg = err.Error()
 	j.mu.Unlock()
 }
@@ -214,7 +467,67 @@ func (j *Job) finish(text string) {
 func (j *Job) step() {
 	j.mu.Lock()
 	j.done++
+	j.lastProgress = time.Now()
 	j.mu.Unlock()
+}
+
+func (j *Job) markExpired() {
+	j.mu.Lock()
+	j.expired = true
+	j.mu.Unlock()
+}
+
+func (j *Job) isExpired() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.expired
+}
+
+func (j *Job) markWatchdogKilled() {
+	j.mu.Lock()
+	j.wdKilled = true
+	j.mu.Unlock()
+}
+
+func (j *Job) wasWatchdogKilled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wdKilled
+}
+
+func (j *Job) progressTime() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastProgress
+}
+
+// resumeState returns the job's last journaled checkpoint for key
+// (algorithm name, or "alg#shard/of" for sharded grades), nil when the
+// job starts fresh.
+func (j *Job) resumeState(key string) *mbist.CoverageState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resume[key]
+}
+
+// noteCheckpoint records checkpoint progress on the job and journals
+// it. The coverage engine calls the checkpoint hook with grading
+// paused, so the synchronous marshal inside Append sees a consistent
+// snapshot.
+func (s *Server) noteCheckpoint(job *Job, key string, st *mbist.CoverageState) {
+	job.mu.Lock()
+	job.checkpoints++
+	n := job.checkpoints
+	job.lastProgress = time.Now()
+	if job.resume == nil {
+		job.resume = make(map[string]*mbist.CoverageState)
+	}
+	job.resume[key] = st
+	job.mu.Unlock()
+	s.journalAppend(jobEntry{
+		Op: opCheckpointed, ID: job.ID, N: n,
+		States: map[string]*mbist.CoverageState{key: st},
+	})
 }
 
 // Status is the wire form of a job's state.
@@ -224,7 +537,14 @@ type Status struct {
 	State JobState `json:"state"`
 	Done  int      `json:"done"`
 	Total int      `json:"total"`
-	Error string   `json:"error,omitempty"`
+	// Attempt counts runs of this job (retries increment it).
+	Attempt int `json:"attempt,omitempty"`
+	// Checkpoints counts journaled coverage checkpoints.
+	Checkpoints int `json:"checkpoints,omitempty"`
+	// DeadlineExceeded marks a done job whose report is Partial because
+	// its sweep.Spec timeout expired.
+	DeadlineExceeded bool   `json:"deadline_exceeded,omitempty"`
+	Error            string `json:"error,omitempty"`
 }
 
 func (j *Job) status() Status {
@@ -232,14 +552,20 @@ func (j *Job) status() Status {
 	defer j.mu.Unlock()
 	return Status{
 		ID: j.ID, Kind: j.Kind, State: j.state,
-		Done: j.done, Total: j.total, Error: j.errMsg,
+		Done: j.done, Total: j.total,
+		Attempt: j.attempt, Checkpoints: j.checkpoints,
+		DeadlineExceeded: j.expired, Error: j.errMsg,
 	}
 }
 
 // Request is a job submission body. Kind selects the payload; the
 // matching field configures it (absent = all defaults).
 type Request struct {
-	Kind     string           `json:"kind"`
+	Kind string `json:"kind"`
+	// Key is an optional idempotency key: resubmitting a request with
+	// the key of an in-flight or completed job returns that job (200)
+	// instead of executing it again.
+	Key      string           `json:"key,omitempty"`
 	Grade    *GradeRequest    `json:"grade,omitempty"`
 	Lint     *LintRequest     `json:"lint,omitempty"`
 	Assemble *AssembleRequest `json:"assemble,omitempty"`
@@ -277,15 +603,88 @@ type AreaRequest struct {
 	Table int `json:"table,omitempty"`
 }
 
-// Submit validates a request and enqueues it, returning the job. A
-// validation failure is returned synchronously; a draining server or a
-// full queue returns ErrUnavailable.
-func (s *Server) Submit(req Request) (*Job, error) {
-	job := &Job{Kind: req.Kind, state: StateQueued}
+// Submit validates a request and enqueues it, returning the job and
+// whether it was an idempotent replay of an existing one. A validation
+// failure is returned synchronously; a draining server returns
+// ErrDraining and a full queue ErrSaturated (both wrap
+// ErrUnavailable).
+func (s *Server) Submit(req Request) (job *Job, existing bool, err error) {
+	job, err = s.prepJob(req)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if req.Key != "" {
+		if id, ok := s.keys[req.Key]; ok {
+			prior := s.jobs[id]
+			s.mu.Unlock()
+			return prior, true, nil
+		}
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, ErrDraining
+	}
+	// All queue sends happen under s.mu, so the capacity check cannot
+	// race with another producer — and the send below cannot block.
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		return nil, false, ErrSaturated
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("job-%d", s.nextID)
+	job.Key = req.Key
+	s.jobs[job.ID] = job
+	if req.Key != "" {
+		s.keys[req.Key] = job.ID
+	}
+	// Journal before acknowledging: an accepted job survives a crash
+	// between this append and the worker picking it up.
+	s.journalAppend(jobEntry{Op: opAccepted, ID: job.ID, Key: job.Key, Req: &job.req})
+	s.queue <- job
+	s.mu.Unlock()
+	s.mJobs.Add(1)
+	return job, false, nil
+}
+
+// enqueue inserts a pre-built job with a custom run closure, bypassing
+// request validation and the journal. It is the test seam for the
+// retry, watchdog and panic paths.
+func (s *Server) enqueue(job *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		return ErrSaturated
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("job-%d", s.nextID)
+	job.state = StateQueued
+	s.jobs[job.ID] = job
+	s.queue <- job
+	return nil
+}
+
+// ErrUnavailable marks a submission rejected because the server is
+// draining or its job queue is full; handlers map it to 503 with a
+// Retry-After header. ErrDraining and ErrSaturated identify which.
+var (
+	ErrUnavailable = errors.New("server is draining or its job queue is full")
+	ErrDraining    = fmt.Errorf("draining: %w", ErrUnavailable)
+	ErrSaturated   = fmt.Errorf("queue full: %w", ErrUnavailable)
+)
+
+// prepJob validates a request into a runnable job. The job's retry
+// budget defaults to the server's; grade jobs may override it (and set
+// a deadline) through their sweep.Spec.
+func (s *Server) prepJob(req Request) (*Job, error) {
+	job := &Job{Kind: req.Kind, state: StateQueued, req: req, retries: s.retryMax}
 	var err error
 	switch req.Kind {
 	case "grade":
-		err = prepGrade(job, req.Grade)
+		err = s.prepGrade(job, req.Grade)
 	case "lint":
 		err = prepLint(job, req.Lint)
 	case "assemble":
@@ -298,32 +697,10 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		return nil, ErrUnavailable
-	}
-	s.nextID++
-	job.ID = fmt.Sprintf("job-%d", s.nextID)
-	select {
-	case s.queue <- job:
-	default:
-		s.nextID--
-		s.mu.Unlock()
-		return nil, ErrUnavailable
-	}
-	s.jobs[job.ID] = job
-	s.mu.Unlock()
-	s.mJobs.Add(1)
 	return job, nil
 }
 
-// ErrUnavailable marks a submission rejected because the server is
-// draining or its queue is full; handlers map it to 503.
-var ErrUnavailable = fmt.Errorf("server is draining or its job queue is full")
-
-func prepGrade(job *Job, req *GradeRequest) error {
+func (s *Server) prepGrade(job *Job, req *GradeRequest) error {
 	if req == nil {
 		req = &GradeRequest{}
 	}
@@ -331,6 +708,12 @@ func prepGrade(job *Job, req *GradeRequest) error {
 	if err != nil {
 		return err
 	}
+	timeout, err := req.Spec.TimeoutDuration()
+	if err != nil {
+		return err
+	}
+	job.timeout = timeout
+	job.retries = req.Spec.RetryBudget(s.retryMax)
 	shards := req.Shards
 	if shards < 0 {
 		return fmt.Errorf("negative shard count %d", shards)
@@ -338,37 +721,104 @@ func prepGrade(job *Job, req *GradeRequest) error {
 	if shards <= 1 {
 		job.total = len(w.Algs)
 		job.run = func(ctx context.Context) (string, error) {
-			reports := make([]*mbist.CoverageReport, 0, len(w.Algs))
-			for _, alg := range w.Algs {
-				rep, err := mbist.GradeCoverageContext(ctx, alg, w.Arch, w.Opts)
-				if err != nil {
-					return "", err
-				}
-				reports = append(reports, rep)
-				job.step()
-			}
-			return w.RenderText(reports), nil
+			return s.runGrade(ctx, job, w)
 		}
 		return nil
 	}
 	job.total = shards + 1 // one unit per shard plus the merge
 	job.run = func(ctx context.Context) (string, error) {
-		pieces := make([]*sweep.Shard, shards)
-		for i := range pieces {
-			var err error
-			if pieces[i], err = w.GradeShard(ctx, i, shards); err != nil {
-				return "", err
-			}
-			job.step()
-		}
-		reports, err := w.Merge(pieces...)
-		if err != nil {
-			return "", err
-		}
-		job.step()
-		return w.RenderText(reports), nil
+		return s.runShardedGrade(ctx, job, w, shards)
 	}
 	return nil
+}
+
+// runGrade grades the workload algorithm by algorithm, journaling a
+// checkpoint every checkpointEvery faults and resuming any algorithm
+// with a recovered state (a complete recovered state re-grades
+// nothing). On its own deadline it returns the valid Partial report
+// graded so far instead of an error.
+func (s *Server) runGrade(ctx context.Context, job *Job, w *sweep.Workload) (string, error) {
+	reports := make([]*mbist.CoverageReport, 0, len(w.Algs))
+	for _, alg := range w.Algs {
+		algOpts := w.Opts
+		algOpts.CheckpointEvery = s.checkpointEvery
+		if st := job.resumeState(alg.Name); st != nil {
+			algOpts.Resume = st
+		}
+		name := alg.Name
+		algOpts.Checkpoint = func(st *mbist.CoverageState) { s.noteCheckpoint(job, name, st) }
+		rep, err := mbist.GradeCoverageContext(ctx, alg, w.Arch, algOpts)
+		if err != nil {
+			if job.timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				if rep != nil {
+					reports = append(reports, rep)
+				}
+				job.markExpired()
+				return renderPartial(w, reports, job.timeout), nil
+			}
+			return "", err
+		}
+		reports = append(reports, rep)
+		job.step()
+	}
+	return w.RenderText(reports), nil
+}
+
+// renderPartial renders a deadline-expired grade: the matrix over
+// every report produced (the last one Partial but internally
+// consistent — each graded verdict exact) plus an attribution line.
+func renderPartial(w *sweep.Workload, reports []*mbist.CoverageReport, timeout time.Duration) string {
+	complete := 0
+	for _, r := range reports {
+		if !r.Partial {
+			complete++
+		}
+	}
+	return fmt.Sprintf("%s\npartial: deadline %v exceeded after %d/%d algorithms\n",
+		strings.TrimRight(w.RenderText(reports), "\n"), timeout, complete, len(w.Algs))
+}
+
+// runShardedGrade grades shard by shard with per-(algorithm, shard)
+// checkpoint states keyed "alg#shard/of", merging into a report
+// byte-identical to the unsharded sweep.
+func (s *Server) runShardedGrade(ctx context.Context, job *Job, w *sweep.Workload, shards int) (string, error) {
+	pieces := make([]*sweep.Shard, shards)
+	for i := range pieces {
+		piece := &sweep.Shard{
+			Algs:   w.Names(),
+			Shard:  i,
+			Of:     shards,
+			States: make(map[string]*mbist.CoverageState, len(w.Algs)),
+		}
+		for _, alg := range w.Algs {
+			key := fmt.Sprintf("%s#%d/%d", alg.Name, i, shards)
+			algOpts := w.Opts
+			algOpts.CheckpointEvery = s.checkpointEvery
+			if st := job.resumeState(key); st != nil {
+				algOpts.Resume = st
+			}
+			ck := key
+			algOpts.Checkpoint = func(st *mbist.CoverageState) { s.noteCheckpoint(job, ck, st) }
+			st, err := mbist.GradeCoverageShardContext(ctx, alg, w.Arch, algOpts, i, shards)
+			if err != nil {
+				if job.timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					job.markExpired()
+					return fmt.Sprintf("fault coverage on %v (%d x %d bits, %d ports):\n\npartial: deadline %v exceeded after %d/%d shards; no merged matrix\n",
+						w.Arch, w.Opts.Size, w.Opts.Width, w.Opts.Ports, job.timeout, i, shards), nil
+				}
+				return "", err
+			}
+			piece.States[alg.Name] = st
+		}
+		pieces[i] = piece
+		job.step()
+	}
+	reports, err := w.Merge(pieces...)
+	if err != nil {
+		return "", err
+	}
+	job.step()
+	return w.RenderText(reports), nil
 }
 
 func prepLint(job *Job, req *LintRequest) error {
@@ -516,6 +966,14 @@ func parseLintArch(s string) (mbist.LintArch, error) {
 	return 0, fmt.Errorf("unknown architecture %q", s)
 }
 
+// Retry-After seconds the 503 responses advertise: a saturated queue
+// clears as soon as a worker frees a slot; a draining server never
+// comes back, so the client should wait for its replacement.
+const (
+	retryAfterSaturated = 1
+	retryAfterDraining  = 10
+)
+
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -536,13 +994,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	job, err := s.Submit(req)
+	job, existing, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrUnavailable):
-		httpError(w, http.StatusServiceUnavailable, err)
+		code, retryAfter := "saturated", retryAfterSaturated
+		if errors.Is(err, ErrDraining) {
+			code, retryAfter = "draining", retryAfterDraining
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":               err.Error(),
+			"code":                code,
+			"retry_after_seconds": retryAfter,
+		})
 		return
 	case err != nil:
 		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if existing {
+		writeJSON(w, http.StatusOK, job.status())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.status())
@@ -571,8 +1042,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	st := job.status()
 	switch st.State {
-	case StateFailed:
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s failed: %s", st.ID, st.Error))
+	case StateFailed, StateQuarantined:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
 	case StateDone:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		job.mu.Lock()
@@ -607,7 +1078,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			}
 			last = st
 		}
-		if st.State == StateDone || st.State == StateFailed {
+		if st.State.terminal() {
 			return
 		}
 		select {
@@ -636,13 +1107,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	n := len(s.jobs)
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":   "ok",
 		"jobs":     n,
 		"queued":   len(s.queue),
 		"workers":  s.workers,
 		"draining": draining,
-	})
+	}
+	s.journalMu.Lock()
+	if s.journal != nil {
+		body["journal"] = map[string]any{
+			"path":    s.journal.Path(),
+			"bytes":   s.journal.Size(),
+			"records": s.journal.Records(),
+		}
+	}
+	s.journalMu.Unlock()
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

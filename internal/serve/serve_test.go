@@ -17,7 +17,10 @@ import (
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -278,7 +281,10 @@ func TestMetricsAndHealthz(t *testing.T) {
 // job accepted before drain completes, and submissions during/after
 // drain are rejected with 503.
 func TestDrainFinishesQueuedJobsThenRejects(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"strings"
+	"time"
 
 	"repro/internal/coverage"
 	"repro/internal/march"
@@ -67,6 +68,16 @@ type Spec struct {
 	// Replay selects the lane engine's stream execution: compiled
 	// (µop kernels) or interpreted (per-op reference path).
 	Replay string `json:"replay,omitempty"`
+	// Timeout is the per-run deadline as a Go duration string ("90s",
+	// "5m"); empty means no deadline. A run that hits its deadline stops
+	// at the last graded fault and reports Partial results.
+	//mbist:fingerprint-exclude execution policy: a deadline truncates a run, it never changes any verdict
+	Timeout string `json:"timeout,omitempty"`
+	// Retries bounds how many times a transiently failing job is re-run
+	// after its first attempt: 0 means the executing driver's default,
+	// negative means never retry. Only mbistd acts on it.
+	//mbist:fingerprint-exclude execution policy: re-running a deterministic workload cannot change its identity
+	Retries int `json:"retries,omitempty"`
 }
 
 // Register binds the shared workload flags onto fs, with the shared
@@ -81,6 +92,38 @@ func (s *Spec) Register(fs *flag.FlagSet) {
 	fs.StringVar(&s.Engine, "engine", DefaultEngine, "fault-simulation engine: auto (lane-parallel stream replay with scalar fallback) or scalar (one fault at a time)")
 	fs.StringVar(&s.Lanes, "lanes", DefaultLanes, "lane-engine batch width: auto, 64, 128, 256 or 512 logical fault lanes (ignored by -engine scalar; reports are byte-identical at every width)")
 	fs.StringVar(&s.Replay, "replay", DefaultReplay, "lane-engine stream execution: compiled (µop kernels) or interpreted (per-op reference path; reports are byte-identical in both modes)")
+	fs.StringVar(&s.Timeout, "timeout", "", "per-run deadline as a Go duration (e.g. 90s, 5m); empty = none; an expired run reports Partial results (execution policy — excluded from the workload fingerprint)")
+	fs.IntVar(&s.Retries, "retries", 0, "transient-failure retry budget for service jobs: 0 = service default, negative = never retry (execution policy — excluded from the workload fingerprint)")
+}
+
+// TimeoutDuration parses the spec's per-run deadline. Zero means no
+// deadline. Negative or unparsable durations are rejected — a deadline
+// typo must fail the request, not silently grade forever.
+func (s Spec) TimeoutDuration() (time.Duration, error) {
+	if s.Timeout == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s.Timeout)
+	if err != nil {
+		return 0, fmt.Errorf("invalid timeout %q: %v", s.Timeout, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("invalid timeout %q: must not be negative", s.Timeout)
+	}
+	return d, nil
+}
+
+// RetryBudget resolves the spec's retry budget against the executing
+// driver's default: 0 defers to def, negative means never retry.
+func (s Spec) RetryBudget(def int) int {
+	switch {
+	case s.Retries < 0:
+		return 0
+	case s.Retries == 0:
+		return def
+	default:
+		return s.Retries
+	}
 }
 
 // Workload is a resolved Spec: parsed algorithms, architecture and

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/resilience"
 )
@@ -65,6 +66,7 @@ func TestFingerprintExcludesExecutionKnobs(t *testing.T) {
 		{Algs: "marchc", Size: 8, Workers: 7},
 		{Algs: "marchc", Size: 8, Engine: "scalar"},
 		{Algs: "marchc", Size: 8, Lanes: "512"},
+		{Algs: "marchc", Size: 8, Timeout: "90s", Retries: 3},
 	} {
 		w, err := s.Workload()
 		if err != nil {
@@ -188,5 +190,41 @@ func TestMergeRejectsBadShardSets(t *testing.T) {
 	}
 	if _, err := w.Merge(s0, s1); err != nil {
 		t.Errorf("valid merge rejected: %v", err)
+	}
+}
+
+func TestSpecTimeoutDuration(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    time.Duration
+		wantErr bool
+	}{
+		{"", 0, false},
+		{"90s", 90 * time.Second, false},
+		{"5m", 5 * time.Minute, false},
+		{"-1s", 0, true},
+		{"ninety", 0, true},
+	}
+	for _, c := range cases {
+		d, err := Spec{Timeout: c.in}.TimeoutDuration()
+		if (err != nil) != c.wantErr {
+			t.Errorf("TimeoutDuration(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if d != c.want {
+			t.Errorf("TimeoutDuration(%q) = %v, want %v", c.in, d, c.want)
+		}
+	}
+}
+
+func TestSpecRetryBudget(t *testing.T) {
+	if got := (Spec{}).RetryBudget(2); got != 2 {
+		t.Errorf("unset Retries: budget %d, want the driver default 2", got)
+	}
+	if got := (Spec{Retries: 5}).RetryBudget(2); got != 5 {
+		t.Errorf("Retries=5: budget %d, want 5", got)
+	}
+	if got := (Spec{Retries: -1}).RetryBudget(2); got != 0 {
+		t.Errorf("Retries=-1: budget %d, want 0 (never retry)", got)
 	}
 }
